@@ -1,0 +1,37 @@
+"""Figures 2-3: the Jajodia-Sandhu views at U and C (with subsumption)."""
+
+import pytest
+
+from repro.mls import surprise_stories_at, view_at
+from repro.reporting.figures import figure_02, figure_03
+from repro.workloads import mission_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rel, _ = mission_relation()
+    return rel
+
+
+def test_fig02_artifact_verified():
+    assert figure_02().verified
+
+
+def test_fig03_artifact_verified():
+    assert figure_03().verified
+
+
+def test_fig02_u_view(benchmark, relation):
+    view = benchmark(view_at, relation, "u")
+    assert len(view) == 5
+
+
+def test_fig03_c_view(benchmark, relation):
+    view = benchmark(view_at, relation, "c")
+    assert len(view) == 6
+    assert len(view.with_key("phantom")) == 2  # the surprise stories
+
+
+def test_fig03_surprise_detection(benchmark, relation):
+    stories = benchmark(surprise_stories_at, relation, "c")
+    assert len(stories) == 2

@@ -1,0 +1,25 @@
+"""Figures 4-5: the Jukic-Vrbsky model and its interpretation table."""
+
+from repro.reporting.figures import figure_04, figure_05
+from repro.workloads import FIGURE5_EXPECTED, jv_mission
+
+
+def test_fig04_artifact_verified():
+    assert figure_04().verified
+
+
+def test_fig05_artifact_verified():
+    assert figure_05().verified
+
+
+def test_fig05_interpretation_table(benchmark):
+    jv = jv_mission()
+    table = benchmark(jv.interpretation_table, ["u", "c", "s"])
+    for tid, expected in FIGURE5_EXPECTED.items():
+        got = tuple(table[tid][level].value for level in ("u", "c", "s"))
+        assert got == expected
+
+
+def test_fig04_annotation_build(benchmark):
+    jv = benchmark(jv_mission)
+    assert len(jv.tuples) == 10

@@ -1,0 +1,55 @@
+"""Figures 6-8: the three beta views at level C, plus the printed
+(filter-composed) variants of Figures 7 and 8."""
+
+import pytest
+
+from repro.belief import cautious, firm, optimistic
+from repro.mls.views import view_at
+from repro.reporting.figures import figure_06, figure_07, figure_08
+from repro.workloads import mission_relation
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rel, _ = mission_relation()
+    return rel
+
+
+def test_fig06_08_artifacts_verified():
+    assert figure_06().verified
+    assert all(f.verified for f in figure_07())
+    assert all(f.verified for f in figure_08())
+
+
+def test_fig06_firm(benchmark, relation):
+    view = benchmark(firm, relation, "c")
+    assert [t.value("starship") for t in view] == ["atlantis"]
+
+
+def test_fig07_optimistic(benchmark, relation):
+    view = benchmark(optimistic, relation, "c")
+    assert len(view) == 4  # beta omits t4/t5
+    assert view.tuple_classes() == {"c"}
+
+
+def test_fig07_literal_composition(benchmark, relation):
+    """The printed figure = beta after the J-S filter sigma."""
+    def composed():
+        return optimistic(view_at(relation, "c"), "c")
+    view = benchmark(composed)
+    assert len(view) == 6  # includes the filter-generated t4/t5
+
+
+def test_fig08_cautious(benchmark, relation):
+    view = benchmark(cautious, relation, "c")
+    ships = sorted(t.value("starship") for t in view)
+    assert ships == ["atlantis", "eagle", "falcon", "voyager"]
+
+
+def test_fig08_literal_composition(benchmark, relation):
+    def composed():
+        return cautious(view_at(relation, "c"), "c")
+    view = benchmark(composed)
+    phantom = view.with_key("phantom").tuples
+    assert len(phantom) == 1
+    assert phantom[0].key_classification() == "c"  # t5 overrides t4

@@ -1,0 +1,46 @@
+"""Figure 13: FILTER / FILTER-NULL rules and user-defined belief modes."""
+
+from repro.multilog import (
+    MultiLogSession,
+    OperationalEngine,
+    filtered_cells,
+    surprise_cells,
+)
+from repro.reporting.figures import figure_13
+from repro.workloads import mission_multilog
+from repro.workloads.d1 import mission_multilog_source
+
+
+def test_fig13_artifact_verified():
+    assert figure_13().verified
+
+
+def test_fig13_filtered_view(benchmark):
+    engine = OperationalEngine(mission_multilog(), "s")
+    cells = benchmark(filtered_cells, engine, "c")
+    # Eight visible molecules x three attributes, with the three identical
+    # atlantis assertions collapsing to two level-variants: 24 cells before
+    # subsumption (matches view_at(..., apply_subsumption=False)).
+    assert len(cells) == 24
+
+
+def test_fig13_surprise_cells(benchmark):
+    engine = OperationalEngine(mission_multilog(), "s")
+    cells = benchmark(surprise_cells, engine, "c")
+    assert {(c[1], c[2]) for c in cells} == {
+        ("phantom", "objective"), ("phantom", "destination")}
+
+
+def test_fig13_user_defined_mode(benchmark):
+    source = mission_multilog_source() + """
+        bel(P, K, A, V, C, H, corroborated) :-
+            bel(P, K, A, V, C, H, fir), bel(P, K, A, V, C, L, opt), order(L, H).
+    """
+    session = MultiLogSession(source, clearance="s")
+
+    def ask():
+        return session.ask("c[mission(K : objective -C-> V)] << corroborated")
+
+    answers = benchmark(ask)
+    # The C re-assertion of atlantis is firm at C and visible below.
+    assert answers == [{"C": "u", "K": "atlantis", "V": "diplomacy"}]

@@ -1,0 +1,38 @@
+"""Proposition 6.1: Datalog as the degenerate case -- correctness and the
+abstraction overhead of going through MultiLog."""
+
+import pytest
+
+from repro.datalog import answer_rows, evaluate, parse_atom, parse_program
+from repro.multilog import run_both
+from repro.workloads.generator import random_datalog_program
+
+
+@pytest.fixture(scope="module")
+def chain_program():
+    return random_datalog_program(30, "chain")
+
+
+def test_prop61_answers_agree(chain_program):
+    multilog, native = run_both(chain_program, "path(n0, X)")
+    assert multilog == native
+    assert len(native) == 29
+
+
+def test_prop61_native_engine(benchmark, chain_program):
+    program = parse_program(chain_program)
+    goal = parse_atom("path(n0, X)")
+
+    def run():
+        return answer_rows(evaluate(program), goal)
+
+    rows = benchmark(run)
+    assert len(rows) == 29
+
+
+def test_prop61_through_multilog(benchmark, chain_program):
+    def run():
+        return run_both(chain_program, "path(n0, X)")[0]
+
+    rows = benchmark(run)
+    assert len(rows) == 29

@@ -1,0 +1,42 @@
+"""Scaling study (no counterpart in the paper): belief-view cost vs
+database size, mode, and lattice shape."""
+
+import pytest
+
+from repro.belief import belief
+from repro.workloads.generator import make_lattice, random_mls_relation
+
+SIZES = [50, 200, 800]
+
+
+@pytest.mark.parametrize("n_tuples", SIZES)
+@pytest.mark.parametrize("mode", ["fir", "opt", "cau"])
+def test_beta_scaling_chain(benchmark, n_tuples, mode):
+    lattice = make_lattice("chain", 4)
+    relation = random_mls_relation(
+        n_tuples, lattice, polyinstantiation_rate=0.4, seed=11)
+    top = sorted(lattice.tops())[0]
+    view = benchmark(belief, relation, top, mode)
+    if mode != "fir":
+        assert len(view) > 0
+
+
+@pytest.mark.parametrize("shape", ["chain", "diamond"])
+def test_beta_cautious_lattice_shape(benchmark, shape):
+    """Cautious belief under incomparable sources (multiple models) vs a
+    total order, at equal size."""
+    lattice = make_lattice(shape, 4)
+    relation = random_mls_relation(
+        400, lattice, polyinstantiation_rate=0.5, seed=13)
+    top = sorted(lattice.tops())[0]
+    view = benchmark(belief, relation, top, "cau")
+    assert len(view) > 0
+
+
+@pytest.mark.parametrize("poly", [0.0, 0.5, 0.9])
+def test_beta_cautious_vs_polyinstantiation(benchmark, poly):
+    """More polyinstantiation -> more overriding work per key."""
+    relation = random_mls_relation(
+        400, polyinstantiation_rate=poly, n_keys=60, seed=17)
+    view = benchmark(belief, relation, "t", "cau")
+    assert len(view) > 0

@@ -1,0 +1,48 @@
+"""Scaling study: the Datalog back-end (the CORAL stand-in) on transitive
+closure, and the MultiLog pipeline end to end."""
+
+import pytest
+
+from repro.datalog import evaluate, parse_program
+from repro.multilog import OperationalEngine, translate
+from repro.workloads.generator import random_datalog_program, random_multilog_database
+
+CHAIN_SIZES = [20, 60, 120]
+DB_SIZES = [25, 100, 250]
+
+
+@pytest.mark.parametrize("n_nodes", CHAIN_SIZES)
+def test_engine_chain_closure(benchmark, n_nodes):
+    program = parse_program(random_datalog_program(n_nodes, "chain"))
+    db = benchmark(evaluate, program)
+    expected = n_nodes * (n_nodes - 1) // 2
+    assert len(db.rows("path")) == expected
+
+
+@pytest.mark.parametrize("n_nodes", CHAIN_SIZES)
+def test_engine_random_graph_closure(benchmark, n_nodes):
+    program = parse_program(random_datalog_program(n_nodes, "random", seed=3))
+    db = benchmark(evaluate, program)
+    assert db.rows("path")
+
+
+@pytest.mark.parametrize("n_tuples", DB_SIZES)
+def test_multilog_operational_scaling(benchmark, n_tuples):
+    db = random_multilog_database(n_tuples, seed=23, polyinstantiation_rate=0.3)
+
+    def run():
+        return OperationalEngine(db, "t").compute().believed_cells("cau", "t")
+
+    rows = benchmark(run)
+    assert rows
+
+
+@pytest.mark.parametrize("n_tuples", DB_SIZES)
+def test_multilog_reduction_scaling(benchmark, n_tuples):
+    db = random_multilog_database(n_tuples, seed=23, polyinstantiation_rate=0.3)
+
+    def run():
+        return translate(db, "t").bel_rows("cau", "t")
+
+    rows = benchmark(run)
+    assert rows

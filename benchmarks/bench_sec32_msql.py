@@ -1,0 +1,44 @@
+"""Section 3.2: the extended-SQL "without any doubt" query."""
+
+import pytest
+
+from repro.msql import WITHOUT_DOUBT_QUERY, Catalog, SqlSession, parse_sql
+from repro.workloads import mission_relation
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    relation, _ = mission_relation()
+    cat.register(relation)
+    return cat
+
+
+def test_sec32_parse(benchmark):
+    statement = benchmark(parse_sql, WITHOUT_DOUBT_QUERY)
+    assert statement.table == "mission"
+
+
+@pytest.mark.parametrize("level, expected", [
+    ("u", []), ("c", []), ("s", [("voyager",)]),
+])
+def test_sec32_execute(benchmark, catalog, level, expected):
+    session = SqlSession(catalog, level)
+    result = benchmark(session.execute, WITHOUT_DOUBT_QUERY)
+    assert result.rows == expected
+
+
+def test_sec32_mode_views(benchmark, catalog):
+    """The three believed subqueries on their own."""
+    session = SqlSession(catalog, "s")
+
+    def run_all():
+        return [
+            session.execute(
+                f"select starship from mission where destination = mars "
+                f"and objective = spying believed {mode}")
+            for mode in ("cautiously", "firmly", "optimistically")
+        ]
+
+    results = benchmark(run_all)
+    assert all(r.rows == [("voyager",)] for r in results)

@@ -1,0 +1,55 @@
+"""Theorem 6.1: operational <=> reduction, checked and timed.
+
+The equivalence itself is the reproduced result; the benchmark also
+contrasts the *cost* of the two semantics on the same database -- the
+trade-off the paper's implementation section discusses (a direct
+interpreter vs compiling onto CORAL).
+"""
+
+import pytest
+
+from repro.multilog import OperationalEngine, check_equivalence, translate
+from repro.workloads import d1_database, d1_query, mission_multilog
+from repro.workloads.generator import make_lattice, random_multilog_database
+
+
+def test_thm61_d1(benchmark):
+    report = benchmark(check_equivalence, d1_database(), "c", [d1_query()])
+    assert report.equivalent
+
+
+def test_thm61_mission(benchmark):
+    report = benchmark(check_equivalence, mission_multilog(), "s")
+    assert report.equivalent
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_thm61_random_diamond(benchmark, seed):
+    db = random_multilog_database(
+        30, make_lattice("diamond"), belief_rules=3,
+        polyinstantiation_rate=0.4, seed=seed)
+    report = benchmark(check_equivalence, db, "hi")
+    assert report.equivalent, report.all_messages()
+
+
+@pytest.mark.parametrize("n_tuples", [20, 80])
+def test_cost_operational(benchmark, n_tuples):
+    db = random_multilog_database(n_tuples, belief_rules=2, seed=7)
+
+    def run():
+        return OperationalEngine(db, "t").compute().cells()
+
+    cells = benchmark(run)
+    assert cells
+
+
+@pytest.mark.parametrize("n_tuples", [20, 80])
+def test_cost_reduction(benchmark, n_tuples):
+    db = random_multilog_database(n_tuples, belief_rules=2, seed=7)
+
+    def run():
+        reduced = translate(db, "t")
+        return reduced.model()
+
+    model = benchmark(run)
+    assert len(model)

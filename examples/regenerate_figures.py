@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper and print the artifacts.
+
+This is the evaluation section of the paper, re-run: each figure is
+rebuilt from the actual machinery and checked against the printed
+contents.  ``--write-experiments`` refreshes EXPERIMENTS.md.
+
+Run: ``python examples/regenerate_figures.py [--write-experiments]``
+"""
+
+import sys
+from pathlib import Path
+
+from repro.reporting import all_figures
+from repro.reporting.experiments import build_experiments_markdown
+
+
+def main() -> None:
+    figures = all_figures()
+    for figure in figures:
+        print(figure)
+        print()
+    verified = sum(1 for f in figures if f.verified)
+    print(f"{verified}/{len(figures)} artifacts verified against the paper")
+    if "--write-experiments" in sys.argv:
+        path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+        path.write_text(build_experiments_markdown())
+        print(f"wrote {path}")
+    if verified != len(figures):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

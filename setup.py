@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Mirrors pyproject.toml's [project.scripts] for the legacy offline
+# install path (python setup.py develop) used where the 'wheel' package
+# is unavailable.
+setup(entry_points={"console_scripts": ["multilog = repro.cli:main"]})

@@ -1,0 +1,42 @@
+"""Belief models over MLS relations (Section 3).
+
+* :mod:`repro.belief.beta` -- the parametric belief function beta
+  (Definition 3.1) with firm / optimistic / cautious modes.
+* :mod:`repro.belief.modes` -- mode names, aliases, user-defined modes.
+* :mod:`repro.belief.jukic_vrbsky` -- the fixed-interpretation model the
+  paper contrasts against (Figures 4-5).
+* :mod:`repro.belief.cuppens` -- Cuppens' additive / suspicious / trusted
+  views, implemented to test the paper's subsumption claim.
+"""
+
+from repro.belief.beta import (
+    CautiousConflict,
+    belief,
+    believed_without_doubt,
+    cautious,
+    cautious_conflicts,
+    firm,
+    optimistic,
+)
+from repro.belief.cuppens import additive, suspicious, trusted
+from repro.belief.jukic_vrbsky import Interpretation, JVRelation, JVTuple
+from repro.belief.modes import BeliefMode, ModeRegistry, default_registry
+
+__all__ = [
+    "BeliefMode",
+    "CautiousConflict",
+    "Interpretation",
+    "JVRelation",
+    "JVTuple",
+    "ModeRegistry",
+    "additive",
+    "belief",
+    "believed_without_doubt",
+    "cautious",
+    "cautious_conflicts",
+    "default_registry",
+    "firm",
+    "optimistic",
+    "suspicious",
+    "trusted",
+]

@@ -1,0 +1,146 @@
+"""The parametric belief function beta (Definition 3.1).
+
+``beta(r, s, m)`` computes the relation a subject cleared at ``s`` believes
+in mode ``m``:
+
+* **firm** -- exactly the tuples created at ``s`` (``t[TC] = s``); the
+  conservative "only my level speaks truth" stance (Figure 6).
+* **optimistic** -- every tuple whose tuple class is dominated by ``s``,
+  restamped ``TC = s`` (the paper contrasts this restamping with the
+  Jajodia-Sandhu view of Figure 3); monotonic accumulation (Figure 7).
+* **cautious** -- non-monotonic inheritance with overriding: per apparent
+  key, each attribute takes the value whose classification is *maximal*
+  among the tuples visible at ``s`` (Figure 8).  Dominating levels
+  override lower ones exactly like subclasses override superclasses.
+
+beta deliberately does **not** apply the Jajodia-Sandhu filter sigma, so
+it never manufactures null-bearing migrated tuples: Figure 7's t4/t5 and
+Figure 8's t5 are *absent* from beta's output (Section 3.2 calls this out
+explicitly -- it is how beta avoids generating surprise stories).
+
+On partial orders the cautious maximum need not be unique; beta then
+returns every combination of maximal choices (the paper's "multiple
+models").  :func:`cautious_conflicts` reports where that happened.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import Cell, MLSTuple
+from repro.belief.modes import BeliefMode
+
+
+def firm(relation: MLSRelation, level: Level) -> MLSRelation:
+    """Tuples stored at exactly ``level`` (Definition 3.1, m = firm)."""
+    relation.schema.lattice.check_level(level)
+    return MLSRelation(
+        relation.schema, (t for t in relation if t.tc == level)
+    )
+
+
+def optimistic(relation: MLSRelation, level: Level) -> MLSRelation:
+    """All tuples visible at ``level``, restamped ``TC = level``."""
+    lattice = relation.schema.lattice
+    lattice.check_level(level)
+    believed = (
+        t.replace(tc=level) for t in relation if lattice.leq(t.tc, level)
+    )
+    return MLSRelation(relation.schema, believed)
+
+
+@dataclass(frozen=True)
+class CautiousConflict:
+    """A key/attribute pair whose maximal believed cells are not unique."""
+
+    key: tuple[object, ...]
+    attribute: str
+    candidates: tuple[Cell, ...]
+
+
+def _visible(relation: MLSRelation, level: Level) -> list[MLSTuple]:
+    lattice = relation.schema.lattice
+    return [t for t in relation if lattice.leq(t.tc, level)]
+
+
+def _maximal_cells(relation: MLSRelation, group: list[MLSTuple], attribute: str) -> list[Cell]:
+    """Distinct cells for ``attribute`` whose classification nothing outranks."""
+    lattice = relation.schema.lattice
+    cells: list[Cell] = []
+    for t in group:
+        cell = t.cell(attribute)
+        if cell not in cells:
+            cells.append(cell)
+    return [
+        cell for cell in cells
+        if not any(lattice.lt(cell.cls, other.cls) for other in cells)
+    ]
+
+
+def cautious(relation: MLSRelation, level: Level) -> MLSRelation:
+    """Inheritance-with-overriding belief (Definition 3.1, m = cautious)."""
+    lattice = relation.schema.lattice
+    lattice.check_level(level)
+    visible = _visible(relation, level)
+    groups: dict[tuple[object, ...], list[MLSTuple]] = {}
+    for t in visible:
+        groups.setdefault(t.key_values(), []).append(t)
+    believed: list[MLSTuple] = []
+    for group in groups.values():
+        per_attribute = [
+            _maximal_cells(relation, group, attr)
+            for attr in relation.schema.attributes
+        ]
+        for combo in itertools.product(*per_attribute):
+            cells = dict(zip(relation.schema.attributes, combo))
+            believed.append(MLSTuple(relation.schema, cells, tc=level))
+    return MLSRelation(relation.schema, believed)
+
+
+def cautious_conflicts(relation: MLSRelation, level: Level) -> list[CautiousConflict]:
+    """Key/attribute pairs where cautious belief is ambiguous at ``level``.
+
+    Ambiguity arises from incomparable classifications (partial orders) or
+    from distinct values at the same maximal classification (possible when
+    key classifications differ, e.g. the two Phantom lineages at level S).
+    """
+    visible = _visible(relation, level)
+    groups: dict[tuple[object, ...], list[MLSTuple]] = {}
+    for t in visible:
+        groups.setdefault(t.key_values(), []).append(t)
+    conflicts: list[CautiousConflict] = []
+    for key, group in groups.items():
+        for attr in relation.schema.attributes:
+            maximal = _maximal_cells(relation, group, attr)
+            if len(maximal) > 1:
+                conflicts.append(CautiousConflict(key, attr, tuple(maximal)))
+    return conflicts
+
+
+def belief(relation: MLSRelation, level: Level, mode: BeliefMode | str) -> MLSRelation:
+    """The parametric belief function ``beta : R x S x mu -> R``."""
+    resolved = mode if isinstance(mode, BeliefMode) else BeliefMode.parse(mode)
+    if resolved is BeliefMode.FIRM:
+        return firm(relation, level)
+    if resolved is BeliefMode.OPTIMISTIC:
+        return optimistic(relation, level)
+    return cautious(relation, level)
+
+
+def believed_without_doubt(relation: MLSRelation, level: Level,
+                           attributes: tuple[str, ...] | None = None) -> MLSRelation:
+    """Tuples believed in *every* mode at ``level`` -- "without any doubt".
+
+    This is the Section 3.2 query pattern: the intersection of the firm,
+    optimistic and cautious beliefs.  Comparison is on data values over
+    ``attributes`` (default: the apparent key), since the three modes stamp
+    different tuple classes.
+    """
+    attrs = attributes if attributes is not None else relation.schema.key
+    views = [belief(relation, level, mode) for mode in BeliefMode]
+    rows = [set(view.project_values(attrs)) for view in views]
+    agreed = set.intersection(*rows)
+    return views[0].select(lambda t: tuple(t.value(a) for a in attrs) in agreed)

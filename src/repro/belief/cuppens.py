@@ -1,0 +1,56 @@
+"""Cuppens' views of a multilevel database, as derived belief modes.
+
+Cuppens [7] proposed three fixed views -- *additive*, *suspicious* and
+*trusted* -- and the paper claims (Section 3.1) that its firm/optimistic/
+cautious modes subsume all three.  This module implements the Cuppens
+views directly so that claim is testable:
+
+* **suspicious** -- trust only data asserted at your own level; identical
+  to the firm mode.
+* **additive** -- accumulate everything visible without reconciliation;
+  identical to the optimistic mode up to the optimistic TC restamping
+  (additive keeps the source tuple classes).
+* **trusted** -- per apparent key, keep only the tuples asserted at the
+  *maximal* visible tuple class (higher sources are more trustworthy);
+  this is cautious overriding applied at tuple rather than attribute
+  granularity, so every trusted fact is cautiously believed whenever the
+  maximal source is unique.
+
+``tests/belief/test_cuppens.py`` verifies the subsumption relationships.
+"""
+
+from __future__ import annotations
+
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import MLSTuple
+
+
+def suspicious(relation: MLSRelation, level: Level) -> MLSRelation:
+    """Only own-level assertions (coincides with the firm mode)."""
+    relation.schema.lattice.check_level(level)
+    return MLSRelation(relation.schema, (t for t in relation if t.tc == level))
+
+
+def additive(relation: MLSRelation, level: Level) -> MLSRelation:
+    """Everything visible, source tuple classes preserved."""
+    lattice = relation.schema.lattice
+    lattice.check_level(level)
+    return MLSRelation(
+        relation.schema, (t for t in relation if lattice.leq(t.tc, level))
+    )
+
+
+def trusted(relation: MLSRelation, level: Level) -> MLSRelation:
+    """Per key, only the tuples from the maximal visible source level(s)."""
+    lattice = relation.schema.lattice
+    lattice.check_level(level)
+    visible = [t for t in relation if lattice.leq(t.tc, level)]
+    groups: dict[tuple[object, ...], list[MLSTuple]] = {}
+    for t in visible:
+        groups.setdefault(t.key_values(), []).append(t)
+    kept: list[MLSTuple] = []
+    for group in groups.values():
+        maximal_tcs = lattice.maximal({t.tc for t in group})
+        kept.extend(t for t in group if t.tc in maximal_tcs)
+    return MLSRelation(relation.schema, kept)

@@ -1,0 +1,134 @@
+"""The Jukic-Vrbsky belief-assertion model (Figures 4 and 5).
+
+Jukic and Vrbsky [16] replace single classifications with richer *belief
+labels*: every tuple records the set of levels that assert it as true, the
+levels that explicitly disbelieve it, and (implicitly, through the update
+history) which tuple superseded it.  The interpretation of a tuple at a
+level is then *fixed* by the model -- one of::
+
+    true | cover story | mirage | irrelevant | invisible
+
+The paper reproduces their encoding of the Mission relation (Figure 4) and
+the induced interpretation table (Figure 5), and criticizes the model as
+"too restrictive ... the interpretations are already given".
+
+Reconstruction note (documented deviation): the 1999 text reproduces
+Figure 4 with OCR-damaged labels, so this module rebuilds the model from
+its definitional ingredients restated in the paper:
+
+* ``believed_at`` -- the levels asserting the tuple (rendered as the
+  familiar range strings ``U-S`` / ``UCS`` on chains);
+* ``successor`` -- the tuple that superseded this one in the update
+  lineage (set by the polyinstantiating update that created the newer
+  version);
+* ``disbelieved_at`` -- levels that explicitly marked the tuple false.
+
+Interpretation of tuple ``t`` at level ``l``:
+
+1. ``INVISIBLE`` when ``l`` dominates no asserting level (it cannot even
+   see the data).
+2. ``TRUE`` when ``l`` asserts ``t``.
+3. ``COVER_STORY`` when a lineage successor of ``t`` is true at ``l``
+   (``l`` holds the real story, so ``t`` is a deliberate fabrication).
+4. ``MIRAGE`` when ``l`` (or a level it dominates) explicitly disbelieves
+   ``t`` with no replacement.
+5. ``IRRELEVANT`` otherwise -- visible, not believed, not contradicted.
+
+This reproduces every entry of Figure 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lattice import Level, SecurityLattice
+from repro.mls.tuples import MLSTuple
+
+
+class Interpretation(str, enum.Enum):
+    """The five fixed tuple interpretations of the Jukic-Vrbsky model."""
+
+    TRUE = "true"
+    COVER_STORY = "cover story"
+    MIRAGE = "mirage"
+    IRRELEVANT = "irrelevant"
+    INVISIBLE = "invisible"
+
+
+@dataclass
+class JVTuple:
+    """A tuple annotated with Jukic-Vrbsky belief assertions."""
+
+    tid: str
+    data: MLSTuple
+    believed_at: frozenset[Level]
+    disbelieved_at: frozenset[Level] = frozenset()
+    successor: "JVTuple | None" = field(default=None, repr=False)
+
+    def label(self, lattice: SecurityLattice) -> str:
+        """Render ``believed_at`` in the figure's compact chain notation.
+
+        Contiguous runs on a chain print as ``U-S``; full enumerations as
+        concatenated level initials (``UCS``); singletons as the level.
+        """
+        ordered = [lvl for lvl in lattice.topological() if lvl in self.believed_at]
+        if not ordered:
+            return "-"
+        if len(ordered) == 1:
+            return ordered[0].upper()
+        chain_positions = lattice.topological()
+        indices = [chain_positions.index(lvl) for lvl in ordered]
+        contiguous = indices == list(range(indices[0], indices[-1] + 1))
+        if contiguous and len(ordered) > 2:
+            return "".join(lvl.upper() for lvl in ordered)
+        if contiguous or len(ordered) == 2:
+            return f"{ordered[0].upper()}-{ordered[-1].upper()}"
+        return "".join(lvl.upper() for lvl in ordered)
+
+
+@dataclass
+class JVRelation:
+    """A Jukic-Vrbsky annotated relation: tuples plus the lattice."""
+
+    lattice: SecurityLattice
+    tuples: list[JVTuple] = field(default_factory=list)
+
+    def add(self, jv: JVTuple) -> JVTuple:
+        self.tuples.append(jv)
+        return jv
+
+    def by_tid(self, tid: str) -> JVTuple:
+        for jv in self.tuples:
+            if jv.tid == tid:
+                return jv
+        raise KeyError(tid)
+
+    # ------------------------------------------------------------------
+    def interpret(self, jv: JVTuple, level: Level) -> Interpretation:
+        """The model's fixed interpretation of ``jv`` at ``level``."""
+        self.lattice.check_level(level)
+        if not any(self.lattice.leq(src, level) for src in jv.believed_at):
+            return Interpretation.INVISIBLE
+        if level in jv.believed_at:
+            return Interpretation.TRUE
+        successor = jv.successor
+        while successor is not None:
+            if level in successor.believed_at:
+                return Interpretation.COVER_STORY
+            successor = successor.successor
+        if any(self.lattice.leq(src, level) for src in jv.disbelieved_at):
+            return Interpretation.MIRAGE
+        return Interpretation.IRRELEVANT
+
+    def interpretation_table(self, levels: list[Level] | None = None) -> dict[str, dict[Level, Interpretation]]:
+        """The Figure 5 table: tid -> level -> interpretation."""
+        columns = levels if levels is not None else self.lattice.topological()
+        return {
+            jv.tid: {level: self.interpret(jv, level) for level in columns}
+            for jv in self.tuples
+        }
+
+    def believed_view(self, level: Level) -> list[JVTuple]:
+        """Tuples interpreted as true at ``level`` (the J-V user view)."""
+        return [jv for jv in self.tuples if self.interpret(jv, level) is Interpretation.TRUE]

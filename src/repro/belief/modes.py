@@ -1,0 +1,96 @@
+"""Belief modes and the mode registry.
+
+The paper fixes three built-in modes ``mu = {fir, opt, cau}`` (Section 3.2)
+and promises user-defined modes as a Section 7 extension.  The registry
+below carries both: built-ins are pre-registered, and any callable
+``(relation, level) -> MLSRelation`` can be added as a custom mode (the
+relational analogue of the USER-BELIEF proof rule).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+from repro.errors import UnknownModeError
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+
+ModeFunction = Callable[[MLSRelation, Level], MLSRelation]
+
+
+class BeliefMode(str, enum.Enum):
+    """The built-in belief modes with the paper's short names."""
+
+    FIRM = "fir"
+    OPTIMISTIC = "opt"
+    CAUTIOUS = "cau"
+
+    @classmethod
+    def parse(cls, name: str) -> "BeliefMode":
+        """Accept both short (``cau``) and long (``cautiously``) spellings."""
+        normalized = name.strip().lower()
+        aliases = {
+            "fir": cls.FIRM, "firm": cls.FIRM, "firmly": cls.FIRM,
+            "strict": cls.FIRM,
+            "opt": cls.OPTIMISTIC, "optimistic": cls.OPTIMISTIC,
+            "optimistically": cls.OPTIMISTIC, "greedy": cls.OPTIMISTIC,
+            "cau": cls.CAUTIOUS, "cautious": cls.CAUTIOUS,
+            "cautiously": cls.CAUTIOUS, "conservative": cls.CAUTIOUS,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise UnknownModeError(f"unknown belief mode {name!r}") from None
+
+
+class ModeRegistry:
+    """Named belief modes available to a session / query front-end."""
+
+    def __init__(self) -> None:
+        self._modes: dict[str, ModeFunction] = {}
+
+    def register(self, name: str, fn: ModeFunction) -> None:
+        """Register (or replace) a mode under ``name`` (lower-cased)."""
+        self._modes[name.strip().lower()] = fn
+
+    def resolve(self, name: str) -> ModeFunction:
+        """Look a mode up; built-in aliases are honoured before customs."""
+        normalized = name.strip().lower()
+        if normalized in self._modes:
+            return self._modes[normalized]
+        raise UnknownModeError(
+            f"unknown belief mode {name!r}; registered: {sorted(self._modes)}"
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._modes)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._modes
+
+
+def default_registry() -> ModeRegistry:
+    """A registry pre-loaded with fir/opt/cau under every alias, plus the
+    three Cuppens views (additive / suspicious / trusted) the paper claims
+    its modes subsume (Section 3.1)."""
+    from repro.belief.beta import belief  # local import to avoid a cycle
+    from repro.belief.cuppens import additive, suspicious, trusted
+
+    registry = ModeRegistry()
+    for mode in BeliefMode:
+        def fn(relation: MLSRelation, level: Level, _mode: BeliefMode = mode) -> MLSRelation:
+            return belief(relation, level, _mode)
+        registry.register(mode.value, fn)
+    for alias in ("firm", "firmly", "strict"):
+        registry.register(alias, registry.resolve("fir"))
+    for alias in ("optimistic", "optimistically", "greedy"):
+        registry.register(alias, registry.resolve("opt"))
+    for alias in ("cautious", "cautiously", "conservative"):
+        registry.register(alias, registry.resolve("cau"))
+    registry.register("additive", additive)
+    registry.register("additively", additive)
+    registry.register("suspicious", suspicious)
+    registry.register("suspiciously", suspicious)
+    registry.register("trusted", trusted)
+    return registry

@@ -1,0 +1,212 @@
+"""An interactive MultiLog shell.
+
+Run ``python -m repro.cli [program.mlog] [--clearance LEVEL]`` (or the
+``multilog`` console script) and type clauses, queries and commands::
+
+    mlog(s)> u[acct(alice : balance -u-> 100)].
+    asserted.
+    mlog(s)> ?- u[acct(K : balance -C-> B)] << cau.
+    K = alice, C = u, B = 100
+    mlog(s)> :prove u[acct(alice : balance -u-> 100)] << opt
+    (BELIEF) ...
+    mlog(s)> :clearance u
+
+Commands: ``:help``, ``:load FILE``, ``:clearance LEVEL``, ``:engine
+operational|reduction``, ``:modes``, ``:lattice``, ``:cells``,
+``:believe MODE [LEVEL]``, ``:consistency``, ``:prove QUERY``,
+``:quit``.
+
+The shell logic lives in :class:`Shell` with a pure
+``execute_line(text) -> str`` interface so it is fully unit-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.multilog.ast import MultiLogDatabase
+from repro.multilog.session import MultiLogSession
+from repro.reporting.tables import render_table
+
+PROMPT = "mlog({level})> "
+
+_HELP = """\
+Enter MultiLog clauses (ending with '.') to assert them, or queries
+('?- goal.' or a bare goal) to evaluate them.  Commands:
+  :help                     this text
+  :load FILE                assert every clause/query in FILE
+  :clearance LEVEL          switch the session clearance
+  :engine NAME              'operational' (default) or 'reduction'
+  :modes                    list available belief modes
+  :lattice                  show the security lattice
+  :cells                    list every derivable m-cell
+  :believe MODE [LEVEL]     show the believed cells in MODE
+  :consistency              run the Definition 5.4 checks
+  :prove QUERY              print a proof tree for QUERY
+  :quit                     leave"""
+
+
+class ShellExit(Exception):
+    """Raised by ``:quit`` so the surrounding loop can stop."""
+
+
+class Shell:
+    """State + command dispatch for the interactive shell."""
+
+    def __init__(self, source: str | MultiLogDatabase = "", clearance: str | None = None):
+        self.session = MultiLogSession(source or "level(system).", clearance)
+        self.engine_name = "operational"
+        self._pristine = not source
+
+    @property
+    def clearance(self) -> str:
+        return self.session.clearance
+
+    # ------------------------------------------------------------------
+    def execute_line(self, line: str) -> str:
+        """Process one input line and return the text to display."""
+        text = line.strip()
+        if not text or text.startswith("%"):
+            return ""
+        try:
+            if text.startswith(":"):
+                return self._command(text[1:])
+            if text.startswith("?-"):
+                return self._query(text)
+            if text.endswith("."):
+                self.session.assert_clause(text)
+                return "asserted."
+            return self._query(text)
+        except ShellExit:
+            raise
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    # ------------------------------------------------------------------
+    def _command(self, text: str) -> str:
+        parts = text.split(None, 1)
+        name = parts[0].lower()
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if name in ("q", "quit", "exit"):
+            raise ShellExit
+        if name == "help":
+            return _HELP
+        if name == "load":
+            return self._load(argument)
+        if name == "clearance":
+            if not argument:
+                return f"clearance is {self.clearance!r}"
+            self.session = self.session.with_clearance(argument)
+            return f"clearance set to {argument!r}"
+        if name == "engine":
+            if argument not in ("operational", "reduction"):
+                return "error: engine must be 'operational' or 'reduction'"
+            self.engine_name = argument
+            return f"engine set to {argument!r}"
+        if name == "modes":
+            return ", ".join(sorted(self.session.modes))
+        if name == "lattice":
+            lattice = self.session.lattice
+            pairs = ", ".join(f"{lo} < {hi}" for lo, hi in sorted(lattice.cover_pairs))
+            return f"levels: {', '.join(sorted(lattice.levels))}\norders: {pairs or '(none)'}"
+        if name == "cells":
+            rows = [list(row) for row in self.session.cells()]
+            if not rows:
+                return "(no derivable cells)"
+            return render_table(["pred", "key", "attr", "value", "class", "level"], rows)
+        if name == "believe":
+            return self._believe(argument)
+        if name == "consistency":
+            report = self.session.check_consistency()
+            if report.ok:
+                return "consistent (Definition 5.4 satisfied)."
+            return "\n".join(report.all_messages())
+        if name == "prove":
+            tree = self.session.prove(argument)
+            return tree.pretty() if tree is not None else "no proof."
+        return f"error: unknown command :{name} (try :help)"
+
+    def _load(self, argument: str) -> str:
+        if not argument:
+            return "error: usage :load FILE"
+        path = Path(argument)
+        if not path.exists():
+            return f"error: no such file {argument!r}"
+        source = path.read_text()
+        from repro.multilog.parser import parse_database
+
+        loaded = parse_database(source)
+        if self._pristine:
+            # Nothing asserted yet: adopt the file wholesale, including
+            # its lattice, and re-derive the clearance from its top.
+            self.session = MultiLogSession(parse_database(source))
+            self._pristine = False
+        else:
+            database = self.session.database
+            for clause in loaded.clauses():
+                database.add(clause)
+            for query in loaded.queries:
+                database.add_query(query)
+            self.session = MultiLogSession(database, self.clearance)
+        counts = (f"{len(loaded.lattice_clauses)} lattice, "
+                  f"{len(loaded.secured_clauses)} secured, "
+                  f"{len(loaded.plain_clauses)} plain clause(s)")
+        lines = [f"loaded {counts} from {argument}"]
+        for query in loaded.queries:
+            lines.append(f"{query}")
+            lines.append(self._query(str(query)))
+        return "\n".join(lines)
+
+    def _believe(self, argument: str) -> str:
+        if not argument:
+            return "error: usage :believe MODE [LEVEL]"
+        parts = argument.split()
+        mode = parts[0]
+        level = parts[1] if len(parts) > 1 else None
+        rows = [list(row) for row in self.session.believed_cells(mode, level)]
+        if not rows:
+            return "(nothing believed)"
+        return render_table(["pred", "key", "attr", "value", "class", "source"], rows)
+
+    def _query(self, text: str) -> str:
+        answers = self.session.ask(text, engine=self.engine_name)
+        if not answers:
+            return "no."
+        lines = []
+        for answer in answers:
+            if not answer:
+                lines.append("yes.")
+            else:
+                lines.append(", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
+        return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``multilog`` console script."""
+    parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
+    parser.add_argument("program", nargs="?", help="MultiLog source file to load")
+    parser.add_argument("--clearance", help="session clearance (default: lattice top)")
+    args = parser.parse_args(argv)
+
+    source = Path(args.program).read_text() if args.program else ""
+    shell = Shell(source, args.clearance)
+    print("MultiLog shell -- :help for commands")
+    while True:
+        try:
+            line = input(PROMPT.format(level=shell.clearance))
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = shell.execute_line(line)
+        except ShellExit:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""A from-scratch Datalog engine: the paper's CORAL back-end stand-in.
+
+Pipeline: :mod:`terms` / :mod:`atoms` / :mod:`rules` define the language;
+:mod:`stratify` checks negation; :mod:`engine` evaluates bottom-up (naive
+and semi-naive); :mod:`topdown` evaluates on demand; :mod:`magic` rewrites
+queries for tuple-level demand; :mod:`parse` provides a concrete syntax.
+"""
+
+from repro.datalog.atoms import BUILTIN_PREDICATES, Atom, Literal, atom, neg, pos
+from repro.datalog.database import Database, Row
+from repro.datalog.engine import (
+    answer_rows,
+    evaluate,
+    greedy_join_order,
+    query,
+    query_database,
+    reorder_body,
+)
+from repro.datalog.magic import MagicProgram, magic_query, magic_transform
+from repro.datalog.parse import parse_atom, parse_program
+from repro.datalog.rules import Program, Rule
+from repro.datalog.stratify import dependencies, strata, stratify
+from repro.datalog.terms import Constant, Term, Variable, fresh_variable, make_term
+from repro.datalog.topdown import TopDownEngine
+from repro.datalog.unify import (
+    Substitution,
+    apply_to_atom,
+    apply_to_literal,
+    match_atom,
+    unify_atoms,
+    unify_terms,
+)
+
+__all__ = [
+    "Atom",
+    "BUILTIN_PREDICATES",
+    "Constant",
+    "Database",
+    "Literal",
+    "MagicProgram",
+    "Program",
+    "Row",
+    "Rule",
+    "Substitution",
+    "Term",
+    "TopDownEngine",
+    "Variable",
+    "answer_rows",
+    "apply_to_atom",
+    "apply_to_literal",
+    "atom",
+    "dependencies",
+    "evaluate",
+    "fresh_variable",
+    "greedy_join_order",
+    "magic_query",
+    "magic_transform",
+    "make_term",
+    "match_atom",
+    "neg",
+    "parse_atom",
+    "parse_program",
+    "pos",
+    "query",
+    "query_database",
+    "reorder_body",
+    "strata",
+    "stratify",
+    "unify_atoms",
+    "unify_terms",
+]

@@ -1,0 +1,107 @@
+"""Atoms and literals.
+
+An :class:`Atom` is ``predicate(t1, ..., tn)``; a :class:`Literal` is an
+atom with a polarity (negated literals implement stratified negation as
+failure).  Comparison predicates (``=``, ``!=``, ``<``, ``<=``, ``>``,
+``>=``) are recognized as built-ins and evaluated natively by the engine
+rather than looked up in the fact store.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.datalog.terms import Constant, Term, Variable, make_term
+
+BUILTIN_PREDICATES = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+
+class Atom:
+    """``predicate(args...)`` over constants and variables."""
+
+    __slots__ = ("predicate", "args")
+
+    def __init__(self, predicate: str, args: Iterable[object] = ()):
+        self.predicate = predicate
+        self.args: tuple[Term, ...] = tuple(make_term(a) for a in args)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def is_builtin(self) -> bool:
+        return self.predicate in BUILTIN_PREDICATES
+
+    def is_ground(self) -> bool:
+        return all(isinstance(a, Constant) for a in self.args)
+
+    def variables(self) -> set[Variable]:
+        return {a for a in self.args if isinstance(a, Variable)}
+
+    def key(self) -> tuple[str, int]:
+        """Predicate identity: name and arity."""
+        return (self.predicate, len(self.args))
+
+    def ground_tuple(self) -> tuple[object, ...]:
+        """The fact-store row for a ground atom."""
+        if not self.is_ground():
+            raise ValueError(f"atom {self!r} is not ground")
+        return tuple(a.value for a in self.args)  # type: ignore[union-attr]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.predicate == other.predicate and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.args))
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.predicate
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+class Literal:
+    """An atom with a polarity; ``~`` on an atom via :func:`neg`."""
+
+    __slots__ = ("atom", "positive")
+
+    def __init__(self, atom: Atom, positive: bool = True):
+        self.atom = atom
+        self.positive = positive
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.predicate
+
+    def variables(self) -> set[Variable]:
+        return self.atom.variables()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return self.atom == other.atom and self.positive == other.positive
+
+    def __hash__(self) -> int:
+        return hash((self.atom, self.positive))
+
+    def __repr__(self) -> str:
+        return repr(self.atom) if self.positive else f"not {self.atom!r}"
+
+
+def pos(predicate: str, *args: object) -> Literal:
+    """A positive literal (convenience constructor)."""
+    return Literal(Atom(predicate, args), positive=True)
+
+
+def neg(predicate: str, *args: object) -> Literal:
+    """A negated literal (negation as failure)."""
+    return Literal(Atom(predicate, args), positive=False)
+
+
+def atom(predicate: str, *args: object) -> Atom:
+    """Bare atom constructor mirroring :func:`pos` / :func:`neg`."""
+    return Atom(predicate, args)

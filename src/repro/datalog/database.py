@@ -1,0 +1,92 @@
+"""The fact store used by the bottom-up engine.
+
+Facts are rows (tuples of Python values) grouped per predicate.  A lazy
+single-column hash index accelerates matching when a literal arrives with
+at least one bound argument -- the engine picks the first bound position
+and probes the index instead of scanning the extension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant
+from repro.datalog.unify import Substitution, walk
+
+Row = tuple[object, ...]
+
+
+class Database:
+    """Mutable set of ground facts with per-column indexes."""
+
+    def __init__(self) -> None:
+        self._facts: dict[str, set[Row]] = {}
+        self._indexes: dict[tuple[str, int], dict[object, list[Row]]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, predicate: str, row: Row) -> bool:
+        """Insert a fact; returns True when it was new."""
+        rows = self._facts.setdefault(predicate, set())
+        if row in rows:
+            return False
+        rows.add(row)
+        for (pred, position), index in self._indexes.items():
+            if pred == predicate and position < len(row):
+                index.setdefault(row[position], []).append(row)
+        return True
+
+    def add_atom(self, atom: Atom) -> bool:
+        return self.add(atom.predicate, atom.ground_tuple())
+
+    def rows(self, predicate: str) -> set[Row]:
+        return self._facts.get(predicate, set())
+
+    def contains(self, predicate: str, row: Row) -> bool:
+        return row in self._facts.get(predicate, ())
+
+    def predicates(self) -> list[str]:
+        return sorted(self._facts)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._facts.values())
+
+    def copy(self) -> "Database":
+        out = Database()
+        for predicate, rows in self._facts.items():
+            out._facts[predicate] = set(rows)
+        return out
+
+    def merge(self, other: "Database") -> None:
+        for predicate in other._facts:
+            for row in other._facts[predicate]:
+                self.add(predicate, row)
+
+    # ------------------------------------------------------------------
+    def _index(self, predicate: str, position: int) -> dict[object, list[Row]]:
+        key = (predicate, position)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in self._facts.get(predicate, ()):
+                if position < len(row):
+                    index.setdefault(row[position], []).append(row)
+            self._indexes[key] = index
+        return index
+
+    def candidates(self, atom: Atom, subst: Substitution) -> Iterable[Row]:
+        """Rows that could match ``atom`` under ``subst``.
+
+        Probes the hash index on the first bound argument position; falls
+        back to the full extension when every argument is free.
+        """
+        for position, term in enumerate(atom.args):
+            term = walk(term, subst)
+            if isinstance(term, Constant):
+                return self._index(atom.predicate, position).get(term.value, ())
+        return self._facts.get(atom.predicate, ())
+
+    def as_atoms(self) -> Iterator[Atom]:
+        for predicate in sorted(self._facts):
+            for row in sorted(self._facts[predicate], key=repr):
+                yield Atom(predicate, tuple(Constant(v) for v in row))

@@ -1,0 +1,160 @@
+"""A small concrete syntax for Datalog programs.
+
+Used by tests, examples and the Proposition 6.1 bench (classical Datalog
+programs pushed through MultiLog).  Grammar::
+
+    program  := clause*
+    clause   := atom ( ":-" literal ("," literal)* )? "."
+    literal  := ("not" | "\\+")? atom | term op term
+    atom     := name ( "(" term ("," term)* ")" )?
+    term     := name | Variable | number | quoted string
+    op       := = | != | < | <= | > | >=
+
+Names starting with an upper-case letter (or ``_``) are variables;
+``%`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.rules import Program, Rule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import DatalogError
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<implies>:-)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),.])
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>'[^']*'|"[^"]*")
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise DatalogError(f"unexpected character {text[position]!r} at offset {position}")
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise DatalogError("unexpected end of program text")
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text = self._next()
+        if text != value:
+            raise DatalogError(f"expected {value!r}, found {text!r}")
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self._peek() is not None:
+            program.add_rule(self.parse_clause())
+        return program
+
+    def parse_clause(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Literal] = []
+        kind, text = self._next()
+        if text == ":-":
+            body.append(self.parse_literal())
+            while True:
+                kind, text = self._next()
+                if text == ".":
+                    break
+                if text != ",":
+                    raise DatalogError(f"expected ',' or '.', found {text!r}")
+                body.append(self.parse_literal())
+        elif text != ".":
+            raise DatalogError(f"expected ':-' or '.', found {text!r}")
+        return Rule(head, tuple(body))
+
+    def parse_literal(self) -> Literal:
+        token = self._peek()
+        if token is not None and token[1] in ("not", "\\+"):
+            self._next()
+            return Literal(self.parse_atom(), positive=False)
+        # Could be an atom or an infix comparison.
+        left = self.parse_term()
+        token = self._peek()
+        if token is not None and token[0] == "op":
+            op = self._next()[1]
+            right = self.parse_term()
+            return Literal(Atom(op, (left, right)))
+        if isinstance(left, Constant) and isinstance(left.value, str):
+            return Literal(self._finish_atom(left.value))
+        raise DatalogError(f"expected a literal, found bare term {left!r}")
+
+    def parse_atom(self) -> Atom:
+        kind, text = self._next()
+        if kind != "name":
+            raise DatalogError(f"expected a predicate name, found {text!r}")
+        return self._finish_atom(text)
+
+    def _finish_atom(self, name: str) -> Atom:
+        token = self._peek()
+        if token is None or token[1] != "(":
+            return Atom(name, ())
+        self._expect("(")
+        args = [self.parse_term()]
+        while True:
+            kind, text = self._next()
+            if text == ")":
+                break
+            if text != ",":
+                raise DatalogError(f"expected ',' or ')', found {text!r}")
+            args.append(self.parse_term())
+        return Atom(name, tuple(args))
+
+    def parse_term(self) -> Term:
+        kind, text = self._next()
+        if kind == "name":
+            if text[0].isupper() or text[0] == "_":
+                return Variable(text)
+            return Constant(text)
+        if kind == "number":
+            value = float(text) if "." in text else int(text)
+            return Constant(value)
+        if kind == "string":
+            return Constant(text[1:-1])
+        raise DatalogError(f"expected a term, found {text!r}")
+
+
+def parse_program(text: str) -> Program:
+    """Parse program text into a :class:`~repro.datalog.rules.Program`."""
+    return _Parser(_tokenize(text)).parse_program()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single (query) atom like ``ancestor(adam, X)``."""
+    parser = _Parser(_tokenize(text.rstrip(". ")))
+    atom = parser.parse_atom()
+    if parser._peek() is not None:
+        raise DatalogError(f"trailing tokens after atom in {text!r}")
+    return atom

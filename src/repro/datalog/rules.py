@@ -1,0 +1,143 @@
+"""Rules, programs and the safety (range-restriction) check.
+
+A rule is ``head :- body`` with a single head atom and a conjunctive body
+of positive, negative and built-in literals.  A program bundles rules and
+ground facts.
+
+Safety (the classical Datalog condition, which Figure 12's literal axioms
+violate -- see DESIGN.md):
+
+* every head variable occurs in a positive, non-built-in body literal;
+* every variable of a negated literal occurs in a positive one;
+* every variable of a built-in comparison occurs in a positive literal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.terms import Variable
+from repro.errors import UnsafeRuleError
+
+
+class Rule:
+    """``head :- body`` (facts are rules with an empty body)."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Atom, body: Iterable[Literal] = ()):
+        self.head = head
+        self.body: tuple[Literal, ...] = tuple(body)
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def variables(self) -> set[Variable]:
+        out = self.head.variables()
+        for literal in self.body:
+            out |= literal.variables()
+        return out
+
+    def positive_body(self) -> list[Literal]:
+        return [l for l in self.body if l.positive and not l.atom.is_builtin]
+
+    def negative_body(self) -> list[Literal]:
+        return [l for l in self.body if not l.positive]
+
+    def check_safety(self) -> None:
+        """Raise :class:`UnsafeRuleError` when the rule is not range-restricted."""
+        bound: set[Variable] = set()
+        for literal in self.positive_body():
+            bound |= literal.variables()
+        unbound_head = self.head.variables() - bound
+        if unbound_head:
+            raise UnsafeRuleError(
+                f"head variable(s) {sorted(v.name for v in unbound_head)} of rule "
+                f"{self!r} do not occur in a positive body literal"
+            )
+        for literal in self.body:
+            if literal.positive and not literal.atom.is_builtin:
+                continue
+            unbound = literal.variables() - bound
+            if unbound:
+                kind = "negated" if not literal.positive else "built-in"
+                raise UnsafeRuleError(
+                    f"variable(s) {sorted(v.name for v in unbound)} of {kind} literal "
+                    f"{literal!r} in rule {self!r} do not occur in a positive literal"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        body = ", ".join(repr(l) for l in self.body)
+        return f"{self.head!r} :- {body}."
+
+
+class Program:
+    """A set of rules plus extensional facts."""
+
+    def __init__(self, rules: Iterable[Rule] = (), facts: Iterable[Atom] = ()):
+        self.rules: list[Rule] = []
+        self.facts: list[Atom] = []
+        for rule in rules:
+            self.add_rule(rule)
+        for fact in facts:
+            self.add_fact(fact)
+
+    def add_rule(self, rule: Rule) -> None:
+        if rule.is_fact and rule.head.is_ground():
+            self.facts.append(rule.head)
+        else:
+            self.rules.append(rule)
+
+    def add_fact(self, fact: Atom) -> None:
+        if not fact.is_ground():
+            raise UnsafeRuleError(f"fact {fact!r} is not ground")
+        self.facts.append(fact)
+
+    def extend(self, other: "Program") -> "Program":
+        """A new program containing both rule/fact sets."""
+        return Program(self.rules + other.rules, self.facts + other.facts)
+
+    def check_safety(self) -> None:
+        for rule in self.rules:
+            rule.check_safety()
+        for fact in self.facts:
+            if fact.is_builtin:
+                raise UnsafeRuleError(f"built-in predicate {fact.predicate!r} cannot be asserted")
+
+    def predicates(self) -> set[str]:
+        preds = {fact.predicate for fact in self.facts}
+        for rule in self.rules:
+            preds.add(rule.head.predicate)
+            preds.update(l.predicate for l in rule.body if not l.atom.is_builtin)
+        return preds
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by at least one proper rule."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.head.predicate == predicate]
+
+    def __len__(self) -> int:
+        return len(self.rules) + len(self.facts)
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.rules)} rules, {len(self.facts)} facts)"
+
+    def pretty(self) -> str:
+        """Human-readable listing, facts first."""
+        lines = [f"{fact!r}." for fact in self.facts]
+        lines += [repr(rule) for rule in self.rules]
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Predicate dependency analysis and stratification.
+
+The MultiLog engine axioms (Figure 12) use negation; the paper notes "the
+axioms are actually stratified".  This module builds the predicate
+dependency graph, computes a stratification (least fixpoint of stratum
+numbers), and rejects programs with recursion through negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.rules import Program
+from repro.errors import StratificationError
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """An edge ``head depends on body_pred`` with its polarity."""
+
+    head: str
+    body: str
+    negative: bool
+
+
+def dependencies(program: Program) -> list[Dependency]:
+    """All predicate-level dependency edges of the program."""
+    edges: set[Dependency] = set()
+    for rule in program.rules:
+        for literal in rule.body:
+            if literal.atom.is_builtin:
+                continue
+            edges.add(Dependency(rule.head.predicate, literal.predicate, not literal.positive))
+    return sorted(edges, key=lambda e: (e.head, e.body, e.negative))
+
+
+def stratify(program: Program) -> dict[str, int]:
+    """Assign a stratum number to every predicate; raise when impossible.
+
+    Strata satisfy: positive dependency -> stratum(head) >= stratum(body);
+    negative dependency -> stratum(head) > stratum(body).  The algorithm
+    iterates to a fixpoint; a stratum exceeding the predicate count means
+    a cycle through negation exists.
+    """
+    predicates = program.predicates()
+    stratum = {p: 0 for p in predicates}
+    edges = dependencies(program)
+    limit = len(predicates) + 1
+    changed = True
+    while changed:
+        changed = False
+        for edge in edges:
+            required = stratum[edge.body] + (1 if edge.negative else 0)
+            if stratum[edge.head] < required:
+                stratum[edge.head] = required
+                if stratum[edge.head] > limit:
+                    cycle = _negative_cycle_hint(edges)
+                    raise StratificationError(
+                        "program is not stratifiable: recursion through negation"
+                        + (f" involving {cycle}" if cycle else "")
+                    )
+                changed = True
+    return stratum
+
+
+def _negative_cycle_hint(edges: list[Dependency]) -> str:
+    """Best-effort description of a predicate on a negative cycle."""
+    adjacency: dict[str, list[Dependency]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.head, []).append(edge)
+
+    def reaches(start: str, target: str, used_negative: bool, seen: frozenset[str]) -> bool:
+        if start == target and used_negative:
+            return True
+        for edge in adjacency.get(start, ()):
+            if edge.body in seen and not (edge.body == target and (used_negative or edge.negative)):
+                continue
+            if edge.body == target and (used_negative or edge.negative):
+                return True
+            if edge.body not in seen:
+                if reaches(edge.body, target, used_negative or edge.negative, seen | {edge.body}):
+                    return True
+        return False
+
+    for edge in edges:
+        if edge.negative and reaches(edge.body, edge.head, False, frozenset({edge.body})):
+            return repr(edge.head)
+    return ""
+
+
+def strata(program: Program) -> list[list[str]]:
+    """Predicates grouped by stratum, lowest first."""
+    assignment = stratify(program)
+    if not assignment:
+        return []
+    grouped: dict[int, list[str]] = {}
+    for predicate, level in assignment.items():
+        grouped.setdefault(level, []).append(predicate)
+    return [sorted(grouped[level]) for level in sorted(grouped)]

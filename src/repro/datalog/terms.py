@@ -1,0 +1,82 @@
+"""Terms of the Datalog language: constants and variables.
+
+The reduction (Section 6) only ever produces flat terms -- the translation
+``tau`` maps every MultiLog construct to atoms over constants and
+variables -- so function symbols are not needed by the engine.  Constants
+wrap arbitrary hashable Python values (strings, numbers, tuples), which
+lets the MultiLog reducer reuse predicate names and security labels as
+ordinary constants (the ``rel(p, k, a, v, c, l)`` encoding is
+higher-order-ish: the predicate name ``p`` becomes a term).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_COUNTER = itertools.count()
+
+
+class Variable:
+    """A logic variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def renamed(self, suffix: str) -> "Variable":
+        return Variable(f"{self.name}#{suffix}")
+
+
+class Constant:
+    """A ground term wrapping a hashable Python value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return repr(self.value) if not isinstance(self.value, str) else self.value
+
+
+Term = Variable | Constant
+
+
+def fresh_variable(prefix: str = "V") -> Variable:
+    """A variable guaranteed not to clash with user-written ones."""
+    return Variable(f"_{prefix}{next(_COUNTER)}")
+
+
+def is_ground(term: Term) -> bool:
+    """True for constants."""
+    return isinstance(term, Constant)
+
+
+def make_term(value: object) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings beginning with an upper-case letter or ``_`` become variables
+    (the usual Datalog convention); everything else becomes a constant.
+    Existing terms pass through unchanged.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)

@@ -1,0 +1,156 @@
+"""Demand-driven (top-down, memoized) evaluation.
+
+A goal-directed alternative to the bottom-up engine: only predicates
+*reachable* from the query are evaluated, with per-predicate memo tables.
+Recursive cliques are detected as strongly connected components of the
+dependency graph and evaluated to a local fixpoint, so left recursion
+terminates (plain SLD would loop).
+
+This is predicate-granularity demand; :mod:`repro.datalog.magic` pushes
+demand down to the tuple level.  The three strategies (bottom-up,
+demand-driven, magic) answer identical queries -- a property test and an
+ablation bench rely on that.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.builtins import evaluate_builtin
+from repro.datalog.database import Database, Row
+from repro.datalog.engine import reorder_body
+from repro.datalog.rules import Program, Rule
+from repro.datalog.stratify import stratify
+from repro.datalog.unify import Substitution, apply_to_atom, match_atom
+from repro.errors import DatalogError
+
+
+class TopDownEngine:
+    """Memoizing goal-directed evaluator over one program."""
+
+    def __init__(self, program: Program):
+        program.check_safety()
+        stratify(program)  # reject unstratifiable programs up front
+        self._program = program
+        self._rules: dict[str, list[Rule]] = {}
+        for rule in program.rules:
+            reordered = Rule(rule.head, reorder_body(rule.body))
+            self._rules.setdefault(rule.head.predicate, []).append(reordered)
+        self._facts = Database()
+        for fact in program.facts:
+            self._facts.add_atom(fact)
+        self._memo: dict[str, set[Row]] = {}
+        self._complete: set[str] = set()
+        self._in_progress: list[str] = []
+
+    # ------------------------------------------------------------------
+    def extension(self, predicate: str) -> set[Row]:
+        """The full extension of ``predicate``, computed on demand."""
+        if predicate in self._complete:
+            return self._memo[predicate]
+        if predicate in self._in_progress:
+            # Recursive call inside a clique: return what is known so far;
+            # the clique driver iterates to a fixpoint.
+            return self._memo.setdefault(predicate, set())
+        clique = self._recursive_clique(predicate)
+        for member in clique:
+            self._memo.setdefault(member, set())
+            self._memo[member] |= self._facts.rows(member)
+        self._in_progress.extend(clique)
+        try:
+            changed = True
+            while changed:
+                changed = False
+                for member in clique:
+                    for rule in self._rules.get(member, ()):
+                        for row in self._derive(rule):
+                            if row not in self._memo[member]:
+                                self._memo[member].add(row)
+                                changed = True
+        finally:
+            for member in clique:
+                self._in_progress.remove(member)
+        self._complete.update(clique)
+        return self._memo[predicate]
+
+    def _recursive_clique(self, predicate: str) -> list[str]:
+        """The SCC of ``predicate`` in the positive dependency graph."""
+        edges: dict[str, set[str]] = {}
+        for pred, rules in self._rules.items():
+            for rule in rules:
+                for literal in rule.body:
+                    if literal.atom.is_builtin:
+                        continue
+                    edges.setdefault(pred, set()).add(literal.predicate)
+
+        def reachable(start: str) -> set[str]:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nxt in edges.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            return seen
+
+        forward = reachable(predicate)
+        return sorted(p for p in forward if predicate in reachable(p))
+
+    def _derive(self, rule: Rule) -> list[Row]:
+        rows: list[Row] = []
+        for subst in self._solve_body(rule.body, 0, {}):
+            head = apply_to_atom(rule.head, subst)
+            if not head.is_ground():
+                raise DatalogError(f"derived non-ground head {head!r}")
+            rows.append(head.ground_tuple())
+        return rows
+
+    def _solve_body(self, body: tuple[Literal, ...], index: int,
+                    subst: Substitution) -> list[Substitution]:
+        if index == len(body):
+            return [subst]
+        literal = body[index]
+        atom = literal.atom
+        if atom.is_builtin:
+            if evaluate_builtin(atom, subst):
+                return self._solve_body(body, index + 1, subst)
+            return []
+        if not literal.positive:
+            grounded = apply_to_atom(atom, subst)
+            if not grounded.is_ground():
+                raise DatalogError(f"negated literal {grounded!r} not ground")
+            rows = self._predicate_rows(grounded.predicate)
+            if grounded.ground_tuple() in rows:
+                return []
+            return self._solve_body(body, index + 1, subst)
+        results: list[Substitution] = []
+        for row in self._predicate_rows(atom.predicate):
+            extended = match_atom(atom, row, subst)
+            if extended is not None:
+                results.extend(self._solve_body(body, index + 1, extended))
+        return results
+
+    def _predicate_rows(self, predicate: str) -> set[Row]:
+        if predicate in self._rules:
+            if predicate in self._in_progress:
+                base = set(self._memo.get(predicate, set()))
+                base |= self._facts.rows(predicate)
+                return base
+            return self.extension(predicate)
+        return self._facts.rows(predicate)
+
+    # ------------------------------------------------------------------
+    def query(self, goal: Atom) -> list[Substitution]:
+        """Answer substitutions for a goal atom."""
+        rows = self._predicate_rows(goal.predicate)
+        answers = []
+        for row in rows:
+            subst = match_atom(goal, row, {})
+            if subst is not None:
+                answers.append(subst)
+        return answers
+
+    def answer_rows(self, goal: Atom) -> set[Row]:
+        return {
+            apply_to_atom(goal, subst).ground_tuple() for subst in self.query(goal)
+        }

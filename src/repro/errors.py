@@ -1,0 +1,100 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.  Subsystems refine it:
+
+* :class:`LatticeError` -- malformed security lattices.
+* :class:`MLSError` -- MLS relational model violations (integrity,
+  Bell-LaPadula access violations, schema misuse).
+* :class:`DatalogError` -- engine-level problems (unsafe rules,
+  unstratifiable negation).
+* :class:`MultiLogError` -- language-level problems (parse errors,
+  inadmissible or inconsistent databases).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class LatticeError(ReproError):
+    """A security lattice is malformed or was used incorrectly."""
+
+
+class CycleError(LatticeError):
+    """The declared ordering contains a cycle (violates antisymmetry)."""
+
+
+class UnknownLevelError(LatticeError):
+    """A security level was referenced that the lattice does not declare."""
+
+
+class NotALatticeError(LatticeError):
+    """The partial order lacks a required least upper / greatest lower bound."""
+
+
+class MLSError(ReproError):
+    """Base class for MLS relational model errors."""
+
+
+class SchemaError(MLSError):
+    """A relation scheme is malformed or a tuple does not match it."""
+
+
+class IntegrityError(MLSError):
+    """An MLS integrity property (entity/null/polyinstantiation) is violated."""
+
+
+class AccessDeniedError(MLSError):
+    """A subject attempted an access forbidden by Bell-LaPadula."""
+
+
+class DatalogError(ReproError):
+    """Base class for Datalog engine errors."""
+
+
+class UnsafeRuleError(DatalogError):
+    """A rule is not range-restricted (unsafe head or negated variables)."""
+
+
+class StratificationError(DatalogError):
+    """The program has negation that cannot be stratified."""
+
+
+class MultiLogError(ReproError):
+    """Base class for MultiLog language errors."""
+
+
+class MultiLogSyntaxError(MultiLogError):
+    """The MultiLog source text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class AdmissibilityError(MultiLogError):
+    """The database violates Definition 5.3 (admissibility)."""
+
+
+class ConsistencyError(MultiLogError):
+    """The database violates Definition 5.4 (consistency)."""
+
+
+class UnknownModeError(MultiLogError):
+    """A belief mode was used that is not declared in the session."""
+
+
+class BeliefRecursionError(MultiLogError):
+    """Belief recursion is not level-stratified (the fixpoint oscillates).
+
+    Arises from m-clauses whose heads feed back into the beliefs their own
+    bodies consult (e.g. a clause at level ``l`` depending on a cautious
+    belief at a level dominating ``l``) -- the non-monotonic analogue of
+    recursion through negation.
+    """

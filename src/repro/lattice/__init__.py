@@ -1,0 +1,39 @@
+"""Security lattices: the access-class partial orders of Section 2.
+
+Public surface:
+
+* :class:`~repro.lattice.lattice.SecurityLattice` -- the order itself.
+* :mod:`~repro.lattice.builders` -- chains, diamonds, products,
+  category powersets, random orders.
+* :mod:`~repro.lattice.parse` -- ``"u < c < s"`` / ``order(u, c).`` parsing.
+"""
+
+from repro.lattice.builders import (
+    access_class_lattice,
+    antichain_with_bounds,
+    category_lattice,
+    chain,
+    diamond,
+    military_chain,
+    product,
+    random_lattice,
+)
+from repro.lattice.lattice import Level, SecurityLattice
+from repro.lattice.parse import format_facts, parse_chain_spec, parse_fact_spec, parse_lattice
+
+__all__ = [
+    "Level",
+    "SecurityLattice",
+    "access_class_lattice",
+    "antichain_with_bounds",
+    "category_lattice",
+    "chain",
+    "diamond",
+    "format_facts",
+    "military_chain",
+    "parse_chain_spec",
+    "parse_fact_spec",
+    "parse_lattice",
+    "product",
+    "random_lattice",
+]

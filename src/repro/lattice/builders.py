@@ -1,0 +1,125 @@
+"""Constructors for the lattice shapes used throughout the paper and benches.
+
+The paper works with the military chain U < C < S < T (Section 2) and
+repeatedly notes that everything generalizes to partial orders; categories
+turn the chain into a product lattice.  The benchmark workloads sweep over
+chains, diamonds, powerset-of-categories products, and random lattices.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Sequence
+
+from repro.lattice.lattice import Level, SecurityLattice
+
+
+def chain(levels: Sequence[Level]) -> SecurityLattice:
+    """A totally ordered lattice, lowest level first.
+
+    >>> chain(["u", "c", "s", "t"]).leq("u", "t")
+    True
+    """
+    if not levels:
+        raise ValueError("a chain needs at least one level")
+    orders = [(levels[i], levels[i + 1]) for i in range(len(levels) - 1)]
+    return SecurityLattice(levels, orders)
+
+
+def military_chain() -> SecurityLattice:
+    """The paper's running lattice: Unclassified < Classified < Secret < TopSecret."""
+    return chain(["u", "c", "s", "t"])
+
+
+def diamond(bottom: Level = "lo", left: Level = "a", right: Level = "b", top: Level = "hi") -> SecurityLattice:
+    """The four-point diamond: the smallest order with incomparable levels.
+
+    Cautious belief over a diamond exercises the paper's "multiple
+    incomparable sources" case (Section 3.1).
+    """
+    return SecurityLattice(
+        [bottom, left, right, top],
+        [(bottom, left), (bottom, right), (left, top), (right, top)],
+    )
+
+
+def antichain_with_bounds(middles: Sequence[Level], bottom: Level = "lo", top: Level = "hi") -> SecurityLattice:
+    """``bottom`` below ``len(middles)`` mutually incomparable levels below ``top``."""
+    if not middles:
+        raise ValueError("need at least one middle level")
+    orders = [(bottom, m) for m in middles] + [(m, top) for m in middles]
+    return SecurityLattice([bottom, top, *middles], orders)
+
+
+def product(left: SecurityLattice, right: SecurityLattice, sep: str = "*") -> SecurityLattice:
+    """The product order; labels are ``f"{a}{sep}{b}"``.
+
+    ``(a1, b1) <= (a2, b2)`` iff ``a1 <= a2`` and ``b1 <= b2`` -- exactly
+    the access-class order of Section 2 when the right factor is a
+    powerset-of-categories lattice.
+    """
+    labels = {
+        (a, b): f"{a}{sep}{b}" for a in left.levels for b in right.levels
+    }
+    orders = []
+    for (a, b), label in labels.items():
+        for a2 in left.levels:
+            if (a, a2) in left.cover_pairs:
+                orders.append((label, labels[(a2, b)]))
+        for b2 in right.levels:
+            if (b, b2) in right.cover_pairs:
+                orders.append((label, labels[(a, b2)]))
+    return SecurityLattice(labels.values(), orders)
+
+
+def category_lattice(categories: Iterable[str], empty_label: str = "none", sep: str = "+") -> SecurityLattice:
+    """The powerset of ``categories`` ordered by inclusion.
+
+    The empty set is labelled ``empty_label``; other sets join their sorted
+    members with ``sep`` (e.g. ``army+navy``).
+    """
+    cats = sorted(set(categories))
+
+    def label(subset: tuple[str, ...]) -> str:
+        return sep.join(subset) if subset else empty_label
+
+    subsets = [
+        tuple(sorted(combo))
+        for size in range(len(cats) + 1)
+        for combo in itertools.combinations(cats, size)
+    ]
+    orders = []
+    for subset in subsets:
+        present = set(subset)
+        for extra in cats:
+            if extra not in present:
+                bigger = tuple(sorted(present | {extra}))
+                orders.append((label(subset), label(bigger)))
+    return SecurityLattice([label(s) for s in subsets], orders)
+
+
+def access_class_lattice(hierarchy: Sequence[Level], categories: Iterable[str]) -> SecurityLattice:
+    """Full Bell-LaPadula access classes: hierarchy level x category set."""
+    return product(chain(hierarchy), category_lattice(categories), sep="/")
+
+
+def random_lattice(n_levels: int, edge_probability: float = 0.3, seed: int | None = None,
+                   prefix: str = "l") -> SecurityLattice:
+    """A random partial order on ``n_levels`` levels with a guaranteed bottom.
+
+    Levels are ``l0 .. l{n-1}``; edges only go from lower to higher index,
+    so the result is always acyclic.  ``l0`` is placed below every other
+    level so the order is connected (mirrors "system low").
+    """
+    if n_levels < 1:
+        raise ValueError("need at least one level")
+    rng = random.Random(seed)
+    names = [f"{prefix}{i}" for i in range(n_levels)]
+    orders: list[tuple[Level, Level]] = []
+    for j in range(1, n_levels):
+        parents = [i for i in range(j) if rng.random() < edge_probability]
+        if not parents:
+            parents = [0]
+        orders.extend((names[i], names[j]) for i in parents)
+    return SecurityLattice(names, orders)

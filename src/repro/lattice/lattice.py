@@ -1,0 +1,305 @@
+"""Finite security lattices (access-class partial orders).
+
+The paper (Section 2) models access classes as a partial order -- in full
+generality a lattice whose elements combine a hierarchy level with a
+category set.  MultiLog (Section 5) only needs the abstract structure: a
+finite set of labels ``S`` with a partial order induced by immediate
+``order(l, h)`` cover edges (h-atoms) and ``level(s)`` declarations
+(l-atoms).
+
+:class:`SecurityLattice` is that structure.  It is immutable after
+construction; dominance queries are answered from a precomputed transitive
+closure, so ``leq`` is O(1).
+
+Conventions (matching the paper):
+
+* ``order(l, h)`` declares that ``l`` is *immediately below* ``h``.
+* ``leq(a, b)`` is the paper's ``a`` :math:`\\preceq` ``b``;
+  ``dominates(b, a)`` is the same fact viewed from above.
+* ``lub``/``glb`` raise :class:`~repro.errors.NotALatticeError` when the
+  bound does not exist or is not unique; use
+  :meth:`minimal_upper_bounds` for partial orders that are not lattices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.errors import CycleError, NotALatticeError, UnknownLevelError
+
+Level = str
+
+
+class SecurityLattice:
+    """A finite partial order of security levels.
+
+    Parameters
+    ----------
+    levels:
+        Every declared level (the paper's l-atoms).  Levels mentioned in
+        ``orders`` are added implicitly.
+    orders:
+        Immediate ``(lower, higher)`` cover pairs (the paper's h-atoms).
+
+    The declared order must be acyclic; reflexivity and transitivity are
+    computed, not declared (the REFLEXIVITY / TRANSITIVITY proof rules of
+    Figure 9).
+    """
+
+    __slots__ = ("_levels", "_covers", "_cover_pairs", "_descendants", "_frozen_key")
+
+    def __init__(self, levels: Iterable[Level] = (), orders: Iterable[tuple[Level, Level]] = ()):
+        self._levels: frozenset[Level] = frozenset()
+        self._covers: dict[Level, frozenset[Level]] = {}
+        self._cover_pairs: frozenset[tuple[Level, Level]] = frozenset()
+        self._descendants: dict[Level, frozenset[Level]] = {}
+        self._build(levels, orders)
+
+    def _build(self, levels: Iterable[Level], orders: Iterable[tuple[Level, Level]]) -> None:
+        order_pairs = [(str(lo), str(hi)) for lo, hi in orders]
+        all_levels = set(str(level) for level in levels)
+        for lo, hi in order_pairs:
+            all_levels.add(lo)
+            all_levels.add(hi)
+        covers: dict[Level, set[Level]] = {level: set() for level in all_levels}
+        for lo, hi in order_pairs:
+            if lo == hi:
+                raise CycleError(f"order({lo}, {hi}) relates a level to itself")
+            covers[lo].add(hi)
+        self._levels = frozenset(all_levels)
+        self._covers = {level: frozenset(ups) for level, ups in covers.items()}
+        self._cover_pairs = frozenset((lo, hi) for lo in covers for hi in covers[lo])
+        self._descendants = self._transitive_closure()
+        self._frozen_key = (self._levels, self._cover_pairs)
+
+    def _transitive_closure(self) -> dict[Level, frozenset[Level]]:
+        """Compute, for each level, the set of levels it is ``<=`` to.
+
+        The result maps ``l`` to its principal up-set (including ``l``).
+        A cycle in the cover graph is detected during the traversal.
+        """
+        up_sets: dict[Level, frozenset[Level]] = {}
+        state: dict[Level, int] = {}  # 0 absent, 1 in progress, 2 done
+
+        def visit(level: Level) -> frozenset[Level]:
+            if state.get(level) == 2:
+                return up_sets[level]
+            if state.get(level) == 1:
+                raise CycleError(f"level ordering contains a cycle through {level!r}")
+            state[level] = 1
+            reached = {level}
+            for parent in self._covers[level]:
+                reached.update(visit(parent))
+            state[level] = 2
+            up_sets[level] = frozenset(reached)
+            return up_sets[level]
+
+        for level in self._levels:
+            visit(level)
+        return up_sets
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> frozenset[Level]:
+        """All declared security levels."""
+        return self._levels
+
+    @property
+    def cover_pairs(self) -> frozenset[tuple[Level, Level]]:
+        """The immediate ``(lower, higher)`` pairs (paper's ``order/2`` facts)."""
+        return self._cover_pairs
+
+    def __contains__(self, level: object) -> bool:
+        return level in self._levels
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self) -> Iterator[Level]:
+        return iter(sorted(self._levels))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SecurityLattice):
+            return NotImplemented
+        return self._frozen_key == other._frozen_key
+
+    def __hash__(self) -> int:
+        return hash(self._frozen_key)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{lo}<{hi}" for lo, hi in sorted(self._cover_pairs))
+        return f"SecurityLattice(levels={sorted(self._levels)}, orders=[{pairs}])"
+
+    def check_level(self, level: Level) -> Level:
+        """Return ``level`` if declared, else raise :class:`UnknownLevelError`."""
+        if level not in self._levels:
+            raise UnknownLevelError(f"security level {level!r} is not declared in the lattice")
+        return level
+
+    # ------------------------------------------------------------------
+    # Order queries
+    # ------------------------------------------------------------------
+    def leq(self, low: Level, high: Level) -> bool:
+        """The paper's ``low`` :math:`\\preceq` ``high`` (reflexive, transitive)."""
+        self.check_level(low)
+        self.check_level(high)
+        return high in self._descendants[low]
+
+    def lt(self, low: Level, high: Level) -> bool:
+        """Strict dominance: ``low`` :math:`\\prec` ``high``."""
+        return low != high and self.leq(low, high)
+
+    def dominates(self, high: Level, low: Level) -> bool:
+        """True when ``high`` dominates ``low`` (``low`` :math:`\\preceq` ``high``)."""
+        return self.leq(low, high)
+
+    def comparable(self, a: Level, b: Level) -> bool:
+        """True when the two levels are related either way."""
+        return self.leq(a, b) or self.leq(b, a)
+
+    def up_set(self, level: Level) -> frozenset[Level]:
+        """Every level that dominates ``level`` (including itself)."""
+        self.check_level(level)
+        return self._descendants[level]
+
+    def down_set(self, level: Level) -> frozenset[Level]:
+        """Every level dominated by ``level`` (including itself).
+
+        This is exactly the set of tuple classes visible to a subject
+        cleared at ``level`` under the simple security property.
+        """
+        self.check_level(level)
+        return frozenset(lo for lo in self._levels if level in self._descendants[lo])
+
+    def strict_down_set(self, level: Level) -> frozenset[Level]:
+        """Every level strictly dominated by ``level``."""
+        return self.down_set(level) - {level}
+
+    # ------------------------------------------------------------------
+    # Extremes and bounds
+    # ------------------------------------------------------------------
+    def maximal(self, subset: Iterable[Level]) -> frozenset[Level]:
+        """The maximal elements of ``subset`` under the lattice order."""
+        members = [self.check_level(level) for level in set(subset)]
+        return frozenset(
+            a for a in members if not any(self.lt(a, b) for b in members if b != a)
+        )
+
+    def minimal(self, subset: Iterable[Level]) -> frozenset[Level]:
+        """The minimal elements of ``subset`` under the lattice order."""
+        members = [self.check_level(level) for level in set(subset)]
+        return frozenset(
+            a for a in members if not any(self.lt(b, a) for b in members if b != a)
+        )
+
+    def tops(self) -> frozenset[Level]:
+        """The maximal levels of the whole order."""
+        return self.maximal(self._levels)
+
+    def bottoms(self) -> frozenset[Level]:
+        """The minimal levels of the whole order."""
+        return self.minimal(self._levels)
+
+    def minimal_upper_bounds(self, levels: Iterable[Level]) -> frozenset[Level]:
+        """Minimal common upper bounds of ``levels`` (may be several)."""
+        members = [self.check_level(level) for level in levels]
+        if not members:
+            return self.bottoms()
+        common: set[Level] = set(self._descendants[members[0]])
+        for level in members[1:]:
+            common &= self._descendants[level]
+        return self.minimal(common)
+
+    def maximal_lower_bounds(self, levels: Iterable[Level]) -> frozenset[Level]:
+        """Maximal common lower bounds of ``levels`` (may be several)."""
+        members = [self.check_level(level) for level in levels]
+        if not members:
+            return self.tops()
+        common: set[Level] = set(self.down_set(members[0]))
+        for level in members[1:]:
+            common &= self.down_set(level)
+        return self.maximal(common)
+
+    def lub(self, *levels: Level) -> Level:
+        """The least upper bound (the paper's ``lub``); raises if non-unique."""
+        bounds = self.minimal_upper_bounds(levels)
+        if len(bounds) != 1:
+            raise NotALatticeError(
+                f"levels {sorted(levels)} have {len(bounds)} minimal upper bounds: "
+                f"{sorted(bounds)}"
+            )
+        return next(iter(bounds))
+
+    def glb(self, *levels: Level) -> Level:
+        """The greatest lower bound; raises if non-unique."""
+        bounds = self.maximal_lower_bounds(levels)
+        if len(bounds) != 1:
+            raise NotALatticeError(
+                f"levels {sorted(levels)} have {len(bounds)} maximal lower bounds: "
+                f"{sorted(bounds)}"
+            )
+        return next(iter(bounds))
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+    def is_chain(self) -> bool:
+        """True when the order is total (every pair comparable)."""
+        ordered = sorted(self._levels)
+        return all(
+            self.comparable(a, b)
+            for i, a in enumerate(ordered)
+            for b in ordered[i + 1:]
+        )
+
+    def is_lattice(self) -> bool:
+        """True when every pair has a unique lub and a unique glb."""
+        ordered = sorted(self._levels)
+        for i, a in enumerate(ordered):
+            for b in ordered[i:]:
+                if len(self.minimal_upper_bounds((a, b))) != 1:
+                    return False
+                if len(self.maximal_lower_bounds((a, b))) != 1:
+                    return False
+        return bool(ordered)
+
+    def incomparable_pairs(self) -> frozenset[tuple[Level, Level]]:
+        """All unordered incomparable pairs, each reported as a sorted tuple."""
+        ordered = sorted(self._levels)
+        pairs = set()
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if not self.comparable(a, b):
+                    pairs.add((a, b))
+        return frozenset(pairs)
+
+    def topological(self) -> list[Level]:
+        """Levels ordered bottom-up (every level after all it dominates).
+
+        Ties are broken alphabetically so the result is deterministic.
+        """
+        indegree = {level: 0 for level in self._levels}
+        for _lo, hi in self._cover_pairs:
+            indegree[hi] += 1
+        ready = deque(sorted(level for level, deg in indegree.items() if deg == 0))
+        result: list[Level] = []
+        while ready:
+            level = ready.popleft()
+            result.append(level)
+            newly_ready = []
+            for parent in self._covers[level]:
+                indegree[parent] -= 1
+                if indegree[parent] == 0:
+                    newly_ready.append(parent)
+            for parent in sorted(newly_ready):
+                ready.append(parent)
+        return result
+
+    def interval(self, low: Level, high: Level) -> frozenset[Level]:
+        """The sub-lattice range ``[low, high]`` used for attribute domains."""
+        if not self.leq(low, high):
+            raise NotALatticeError(f"[{low}, {high}] is empty: {low!r} is not below {high!r}")
+        return self.up_set(low) & self.down_set(high)

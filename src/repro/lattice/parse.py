@@ -1,0 +1,67 @@
+"""Textual lattice specifications.
+
+Two small formats are supported:
+
+* **chain syntax** -- ``"u < c < s < t"`` declares a total order; several
+  chains may be separated by ``;`` and share levels, which is enough to
+  draw any finite Hasse diagram:
+
+  ``"lo < a < hi; lo < b < hi"`` is the diamond.
+
+* **fact syntax** -- the paper's own l-/h-atom notation, one fact per
+  line or separated by ``.``: ``level(u). order(u, c).``
+
+:func:`parse_lattice` auto-detects the format.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import LatticeError
+from repro.lattice.lattice import Level, SecurityLattice
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_+/*-]*"
+_LEVEL_FACT = re.compile(rf"level\(\s*({_NAME})\s*\)")
+_ORDER_FACT = re.compile(rf"order\(\s*({_NAME})\s*,\s*({_NAME})\s*\)")
+
+
+def parse_chain_spec(text: str) -> SecurityLattice:
+    """Parse ``"a < b < c; a < d < c"`` into a lattice."""
+    levels: set[Level] = set()
+    orders: list[tuple[Level, Level]] = []
+    for chain_text in text.split(";"):
+        chain_text = chain_text.strip()
+        if not chain_text:
+            continue
+        names = [name.strip() for name in chain_text.split("<")]
+        if any(not re.fullmatch(_NAME, name) for name in names):
+            raise LatticeError(f"bad level name in chain spec: {chain_text!r}")
+        levels.update(names)
+        orders.extend((names[i], names[i + 1]) for i in range(len(names) - 1))
+    if not levels:
+        raise LatticeError("empty lattice specification")
+    return SecurityLattice(levels, orders)
+
+
+def parse_fact_spec(text: str) -> SecurityLattice:
+    """Parse ``level(u). order(u, c).`` style declarations into a lattice."""
+    levels = [match.group(1) for match in _LEVEL_FACT.finditer(text)]
+    orders = [(m.group(1), m.group(2)) for m in _ORDER_FACT.finditer(text)]
+    if not levels and not orders:
+        raise LatticeError("no level/order facts found in specification")
+    return SecurityLattice(levels, orders)
+
+
+def parse_lattice(text: str) -> SecurityLattice:
+    """Parse either supported lattice syntax (auto-detected)."""
+    if "level(" in text or "order(" in text:
+        return parse_fact_spec(text)
+    return parse_chain_spec(text)
+
+
+def format_facts(lattice: SecurityLattice) -> str:
+    """Render a lattice back into the paper's l-/h-atom fact syntax."""
+    lines = [f"level({level})." for level in sorted(lattice.levels)]
+    lines += [f"order({lo}, {hi})." for lo, hi in sorted(lattice.cover_pairs)]
+    return "\n".join(lines)

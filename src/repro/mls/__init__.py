@@ -1,0 +1,76 @@
+"""The MLS relational substrate (Jajodia-Sandhu model, Sections 2-3).
+
+Everything the paper's figures are computed from: schemes, classified
+tuples, per-level views with subsumption, the three core integrity
+properties, a polyinstantiating update engine, and the surprise-story
+detector.
+"""
+
+from repro.mls.algebra import (
+    declassified_level,
+    difference,
+    intersection,
+    join,
+    project,
+    select_where,
+    union,
+)
+from repro.mls.integrity import (
+    Violation,
+    assert_consistent,
+    check_entity_integrity,
+    check_null_integrity,
+    check_polyinstantiation_integrity,
+    check_relation,
+    is_consistent,
+)
+from repro.mls.relation import MLSRelation
+from repro.mls.schema import MLSchema
+from repro.mls.surprise import (
+    SurpriseStory,
+    is_surprise_free,
+    surprise_stories,
+    surprise_stories_at,
+)
+from repro.mls.tuples import NULL, Cell, MLSTuple, is_null
+from repro.mls.updates import SessionCursor
+from repro.mls.views import (
+    mask_tuple,
+    minimize_by_subsumption,
+    strictly_subsumes,
+    subsumes,
+    view_at,
+)
+
+__all__ = [
+    "Cell",
+    "declassified_level",
+    "difference",
+    "intersection",
+    "join",
+    "project",
+    "select_where",
+    "union",
+    "MLSRelation",
+    "MLSTuple",
+    "MLSchema",
+    "NULL",
+    "SessionCursor",
+    "SurpriseStory",
+    "Violation",
+    "assert_consistent",
+    "check_entity_integrity",
+    "check_null_integrity",
+    "check_polyinstantiation_integrity",
+    "check_relation",
+    "is_consistent",
+    "is_null",
+    "is_surprise_free",
+    "mask_tuple",
+    "minimize_by_subsumption",
+    "strictly_subsumes",
+    "subsumes",
+    "surprise_stories",
+    "surprise_stories_at",
+    "view_at",
+]

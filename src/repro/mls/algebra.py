@@ -1,0 +1,146 @@
+"""Multilevel relational algebra (the Jajodia-Sandhu operator family).
+
+The SQL front-end and the belief function both consume whole relations;
+this module provides the composable classified operators underneath:
+
+* :func:`select_where` -- classification-preserving selection;
+* :func:`project` -- projection with the tuple class recomputed as the
+  lub of the retained cell classifications (dropping a high column can
+  legitimately *lower* a tuple's class);
+* :func:`join` -- natural join on shared attributes; matching requires
+  equal *classified* cells (value and classification), and the result's
+  tuple class is ``lub(tc1, tc2)``;
+* :func:`union` / :func:`difference` / :func:`intersection` -- set
+  operations over identically-shaped relations.
+
+All operators are pure: inputs are never mutated, results are fresh
+relations over derived schemes.  Classification propagation follows the
+conservative reading of the multilevel algebra: derived data is at least
+as classified as everything it was computed from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import SchemaError
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.schema import MLSchema
+from repro.mls.tuples import MLSTuple
+
+
+def select_where(relation: MLSRelation,
+                 predicate: Callable[[MLSTuple], bool]) -> MLSRelation:
+    """Selection: tuples satisfying ``predicate``, classifications intact."""
+    return relation.select(predicate)
+
+
+def _projected_schema(relation: MLSRelation, attributes: Sequence[str]) -> MLSchema:
+    kept = [a for a in relation.schema.attributes if a in set(attributes)]
+    if not kept:
+        raise SchemaError("projection must retain at least one attribute")
+    if all(k in kept for k in relation.schema.key):
+        key: Sequence[str] = relation.schema.key
+    else:
+        # The apparent key was projected away: every retained attribute
+        # becomes part of the (candidate) key, the classical fallback.
+        key = tuple(kept)
+    return MLSchema(
+        f"{relation.schema.name}_proj", kept, key=key, lattice=relation.schema.lattice,
+    )
+
+
+def project(relation: MLSRelation, attributes: Sequence[str]) -> MLSRelation:
+    """Projection with recomputed tuple classes.
+
+    The result's TC is the lub of the retained cell classifications --
+    dropping the only high column declassifies the remaining tuple, which
+    is exactly how a projection can be released at a lower level.
+    Duplicate projected tuples collapse.
+    """
+    schema = _projected_schema(relation, attributes)
+    out = MLSRelation(schema)
+    for t in relation:
+        cells = {attr: t.cell(attr) for attr in schema.attributes}
+        out.add(MLSTuple(schema, cells))  # tc = lub of retained cells
+    return out
+
+
+def join(left: MLSRelation, right: MLSRelation,
+         name: str | None = None) -> MLSRelation:
+    """Natural join on the shared attributes.
+
+    Two tuples match only when every shared attribute agrees on *both*
+    value and classification (a U-classified "mars" is not the same
+    evidence as an S-classified "mars").  The joined tuple carries every
+    cell of both sides and ``tc = lub(tc_left, tc_right)``.
+    """
+    if left.schema.lattice != right.schema.lattice:
+        raise SchemaError("cannot join relations over different lattices")
+    shared = [a for a in left.schema.attributes if a in right.schema.attributes]
+    right_only = [a for a in right.schema.attributes if a not in shared]
+    attributes = list(left.schema.attributes) + right_only
+    schema = MLSchema(
+        name or f"{left.schema.name}_{right.schema.name}",
+        attributes,
+        key=left.schema.key,
+        lattice=left.schema.lattice,
+    )
+    lattice = schema.lattice
+    out = MLSRelation(schema)
+    for lt in left:
+        for rt in right:
+            if any(lt.cell(a) != rt.cell(a) for a in shared):
+                continue
+            cells = {a: lt.cell(a) for a in left.schema.attributes}
+            cells.update({a: rt.cell(a) for a in right_only})
+            tc = lattice.lub(lt.tc, rt.tc)
+            out.add(MLSTuple(schema, cells, tc=tc))
+    return out
+
+
+def _check_compatible(a: MLSRelation, b: MLSRelation) -> None:
+    if a.schema.attributes != b.schema.attributes or a.schema.lattice != b.schema.lattice:
+        raise SchemaError(
+            f"set operation over incompatible schemes "
+            f"{a.schema.attributes} / {b.schema.attributes}"
+        )
+
+
+def union(a: MLSRelation, b: MLSRelation) -> MLSRelation:
+    """Set union (duplicates collapse; classifications distinguish rows)."""
+    _check_compatible(a, b)
+    out = MLSRelation(a.schema, a.tuples)
+    for t in b:
+        out.add(MLSTuple(a.schema, dict(zip(a.schema.attributes, t.cells)), tc=t.tc))
+    return out
+
+
+def difference(a: MLSRelation, b: MLSRelation) -> MLSRelation:
+    """Tuples of ``a`` not present (cell-and-TC identical) in ``b``."""
+    _check_compatible(a, b)
+    exclude = {(t.cells, t.tc) for t in b}
+    return MLSRelation(
+        a.schema, (t for t in a if (t.cells, t.tc) not in exclude)
+    )
+
+
+def intersection(a: MLSRelation, b: MLSRelation) -> MLSRelation:
+    """Tuples present in both relations."""
+    _check_compatible(a, b)
+    keep = {(t.cells, t.tc) for t in b}
+    return MLSRelation(
+        a.schema, (t for t in a if (t.cells, t.tc) in keep)
+    )
+
+
+def declassified_level(relation: MLSRelation) -> Level | None:
+    """The lowest level at which the *whole* relation could be released:
+    the lub of every cell classification and tuple class (None if empty)."""
+    lattice = relation.schema.lattice
+    levels = [t.tc for t in relation]
+    levels.extend(cell.cls for t in relation for cell in t.cells)
+    if not levels:
+        return None
+    return lattice.lub(*levels)

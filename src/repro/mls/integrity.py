@@ -1,0 +1,137 @@
+"""MLS integrity properties (Definition 5.4, after Jajodia-Sandhu).
+
+Three core properties every consistent multilevel relation must satisfy:
+
+* **entity integrity** -- key values are non-null, the key is uniformly
+  classified, and every non-key classification dominates ``C_AK``;
+* **null integrity** -- nulls are classified at the key level, and no two
+  distinct stored tuples subsume each other;
+* **polyinstantiation integrity** -- the functional dependency
+  ``AK, C_AK, Ci -> Ai`` holds.
+
+Checks report *all* violations (not just the first) so databases can be
+repaired; :func:`check_relation` aggregates them, and
+:func:`assert_consistent` raises :class:`~repro.errors.IntegrityError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IntegrityError
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import MLSTuple, NULL
+from repro.mls.views import subsumes
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One integrity violation: which property, where, and why."""
+
+    property_name: str
+    message: str
+    tuples: tuple[MLSTuple, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.property_name}] {self.message}"
+
+
+def check_entity_integrity(relation: MLSRelation) -> list[Violation]:
+    """Key non-null + uniformly classified; non-key classes dominate C_AK."""
+    lattice = relation.schema.lattice
+    violations: list[Violation] = []
+    for t in relation:
+        key_cells = t.key_cells()
+        if any(cell.value is NULL for cell in key_cells):
+            violations.append(Violation(
+                "entity", f"apparent key of {t!r} contains a null", (t,)))
+            continue
+        key_classes = {cell.cls for cell in key_cells}
+        if len(key_classes) != 1:
+            violations.append(Violation(
+                "entity", f"apparent key of {t!r} is not uniformly classified "
+                          f"({sorted(key_classes)})", (t,)))
+            continue
+        c_ak = t.key_classification()
+        for attr in relation.schema.non_key_attributes:
+            if not lattice.leq(c_ak, t.cls(attr)):
+                violations.append(Violation(
+                    "entity",
+                    f"classification {t.cls(attr)!r} of {attr!r} in {t!r} does not "
+                    f"dominate the key classification {c_ak!r}", (t,)))
+    return violations
+
+
+def check_null_integrity(relation: MLSRelation) -> list[Violation]:
+    """Nulls classified at key level; no mutual (or any strict) subsumption."""
+    violations: list[Violation] = []
+    for t in relation:
+        c_ak = t.key_cells()[0].cls
+        for attr in relation.schema.attributes:
+            cell = t.cell(attr)
+            if cell.value is NULL and cell.cls != c_ak:
+                violations.append(Violation(
+                    "null",
+                    f"null {attr!r} in {t!r} is classified {cell.cls!r}, "
+                    f"not at the key level {c_ak!r}", (t,)))
+    # Subsumption-freeness.  Tuple-level polyinstantiation (identical cells
+    # under different TCs, e.g. t2/t6/t7 of Figure 1) is legal, so the check
+    # applies between tuples stored at the same tuple class.
+    tuples = list(relation)
+    for i, u in enumerate(tuples):
+        for v in tuples[i + 1:]:
+            if u.tc != v.tc or u.cells == v.cells:
+                continue
+            if subsumes(u, v) or subsumes(v, u):
+                violations.append(Violation(
+                    "null",
+                    "two distinct stored tuples at the same tuple class "
+                    f"subsume each other ({u!r} / {v!r})", (u, v)))
+    return violations
+
+
+def check_polyinstantiation_integrity(relation: MLSRelation) -> list[Violation]:
+    """The functional dependency ``AK, C_AK, Ci -> Ai`` for every attribute."""
+    violations: list[Violation] = []
+    witnesses: dict[tuple, MLSTuple] = {}
+    for t in relation:
+        key = t.key_values()
+        c_ak = t.key_cells()[0].cls
+        for attr in relation.schema.attributes:
+            cell = t.cell(attr)
+            fd_lhs = (key, c_ak, attr, cell.cls)
+            prior = witnesses.get(fd_lhs)
+            if prior is None:
+                witnesses[fd_lhs] = t
+            elif prior.cell(attr).value != cell.value:
+                violations.append(Violation(
+                    "polyinstantiation",
+                    f"AK,C_AK,C_{attr} -> {attr} violated: key {key!r} at "
+                    f"({c_ak!r}, {cell.cls!r}) maps to both "
+                    f"{prior.cell(attr).value!r} and {cell.value!r}",
+                    (prior, t)))
+    return violations
+
+
+def check_relation(relation: MLSRelation) -> list[Violation]:
+    """All violations of all three core properties."""
+    return (
+        check_entity_integrity(relation)
+        + check_null_integrity(relation)
+        + check_polyinstantiation_integrity(relation)
+    )
+
+
+def is_consistent(relation: MLSRelation) -> bool:
+    """True when the instance satisfies every core integrity property."""
+    return not check_relation(relation)
+
+
+def assert_consistent(relation: MLSRelation) -> None:
+    """Raise :class:`IntegrityError` listing every violation, if any."""
+    violations = check_relation(relation)
+    if violations:
+        summary = "; ".join(str(v) for v in violations)
+        raise IntegrityError(
+            f"relation {relation.schema.name!r} violates MLS integrity: {summary}"
+        )

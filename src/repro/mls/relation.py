@@ -1,0 +1,152 @@
+"""Multilevel relation instances.
+
+An :class:`MLSRelation` is a set of :class:`~repro.mls.tuples.MLSTuple`
+over one scheme.  It is the object every other subsystem consumes: views
+(:mod:`repro.mls.views`), the belief function (:mod:`repro.belief.beta`),
+the update engine (:mod:`repro.mls.updates`) and the MultiLog bridge.
+
+Insertion order is preserved (the figures list tuples in a fixed order);
+duplicate tuples are collapsed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.lattice import Level
+from repro.mls.schema import MLSchema
+from repro.mls.tuples import Cell, MLSTuple, NULL
+
+
+class MLSRelation:
+    """A multilevel relation instance (scheme + tuples)."""
+
+    __slots__ = ("schema", "_tuples")
+
+    def __init__(self, schema: MLSchema, tuples: Iterable[MLSTuple] = ()):
+        self.schema = schema
+        self._tuples: list[MLSTuple] = []
+        seen: set[MLSTuple] = set()
+        for t in tuples:
+            self._check_tuple(t)
+            if t not in seen:
+                seen.add(t)
+                self._tuples.append(t)
+
+    def _check_tuple(self, t: MLSTuple) -> None:
+        if t.schema.name != self.schema.name or t.schema.attributes != self.schema.attributes:
+            raise SchemaError(
+                f"tuple over {t.schema.name!r} does not match relation {self.schema.name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[MLSTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, t: object) -> bool:
+        return t in set(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MLSRelation):
+            return NotImplemented
+        return self.schema == other.schema and set(self._tuples) == set(other._tuples)
+
+    def __hash__(self) -> int:
+        return hash((self.schema, frozenset(self._tuples)))
+
+    def __repr__(self) -> str:
+        return f"MLSRelation({self.schema.name}, {len(self._tuples)} tuples)"
+
+    @property
+    def tuples(self) -> tuple[MLSTuple, ...]:
+        return tuple(self._tuples)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add(self, t: MLSTuple) -> None:
+        """Append a tuple (idempotent)."""
+        self._check_tuple(t)
+        if t not in set(self._tuples):
+            self._tuples.append(t)
+
+    def remove(self, t: MLSTuple) -> None:
+        """Remove a tuple; raises ``ValueError`` when absent."""
+        self._tuples.remove(t)
+
+    def copy(self) -> "MLSRelation":
+        return MLSRelation(self.schema, self._tuples)
+
+    def row(self, values_and_classes: Iterable[tuple[object, Level]], tc: Level | None = None) -> MLSTuple:
+        """Build and add a tuple from ``(value, class)`` pairs in scheme order.
+
+        Returns the tuple so figure-building code can keep a handle on it.
+        """
+        cells = [Cell(value, cls) for value, cls in values_and_classes]
+        t = MLSTuple(self.schema, cells, tc=tc)
+        self.add(t)
+        return t
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[MLSTuple], bool]) -> "MLSRelation":
+        """Tuples satisfying ``predicate`` (classifications travel along)."""
+        return MLSRelation(self.schema, (t for t in self._tuples if predicate(t)))
+
+    def where(self, **equalities: object) -> "MLSRelation":
+        """Shorthand selection on data-value equality, e.g. ``where(destination="mars")``."""
+        for attr in equalities:
+            self.schema.position(attr)
+
+        def matches(t: MLSTuple) -> bool:
+            return all(t.value(attr) == value for attr, value in equalities.items())
+
+        return self.select(matches)
+
+    def project_values(self, attributes: Iterable[str]) -> list[tuple[object, ...]]:
+        """Distinct data-value rows over ``attributes`` (order-preserving)."""
+        attrs = list(attributes)
+        for attr in attrs:
+            self.schema.position(attr)
+        seen: set[tuple[object, ...]] = set()
+        rows: list[tuple[object, ...]] = []
+        for t in self._tuples:
+            row = tuple(t.value(a) for a in attrs)
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return rows
+
+    def with_key(self, *key_values: object) -> "MLSRelation":
+        """Tuples whose apparent-key values equal ``key_values``."""
+        if len(key_values) != len(self.schema.key):
+            raise SchemaError(
+                f"relation {self.schema.name!r} has a {len(self.schema.key)}-attribute key"
+            )
+        return self.select(lambda t: t.key_values() == tuple(key_values))
+
+    def keys(self) -> list[tuple[object, ...]]:
+        """Distinct apparent-key value combinations, in first-seen order."""
+        seen: set[tuple[object, ...]] = set()
+        result = []
+        for t in self._tuples:
+            k = t.key_values()
+            if k not in seen:
+                seen.add(k)
+                result.append(k)
+        return result
+
+    def tuple_classes(self) -> set[Level]:
+        """The set of TC levels present in the instance."""
+        return {t.tc for t in self._tuples}
+
+    def has_nulls(self) -> bool:
+        """True when any stored cell is the distinguished null."""
+        return any(cell.value is NULL for t in self._tuples for cell in t.cells)

@@ -1,0 +1,142 @@
+"""Multilevel relation schemes (Definition 2.1).
+
+A scheme ``R(A1, C1, ..., An, Cn, TC)`` pairs every data attribute with a
+classification attribute and adds the tuple-class attribute ``TC``.  The
+classification attribute of ``Ai`` ranges over a sub-lattice ``[Li, Hi]``;
+``TC`` ranges over ``[lub Li, lub Hi]``.
+
+:class:`MLSchema` carries the attribute list, the apparent key (Section 2
+discusses why the user key is only "apparent"), the security lattice the
+classifications are drawn from, and the optional per-attribute ranges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.lattice import Level, SecurityLattice
+
+
+class MLSchema:
+    """Scheme of a multilevel relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name (``mission`` in the running example).
+    attributes:
+        Ordered data attribute names ``A1..An``.
+    key:
+        The apparent key ``AK`` -- one or more attribute names.  The paper
+        mostly assumes a single-attribute key; multi-attribute keys are the
+        Section 7 extension and are fully supported here.
+    lattice:
+        The security lattice classifications are drawn from.
+    ranges:
+        Optional ``{attribute: (low, high)}`` classification ranges
+        ``[Li, Hi]``; attributes without an entry may take any level.
+    """
+
+    __slots__ = ("name", "attributes", "key", "lattice", "ranges", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        key: str | Sequence[str],
+        lattice: SecurityLattice,
+        ranges: Mapping[str, tuple[Level, Level]] | None = None,
+    ):
+        if not attributes:
+            raise SchemaError(f"relation {name!r} needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names")
+        key_attrs = (key,) if isinstance(key, str) else tuple(key)
+        if not key_attrs:
+            raise SchemaError(f"relation {name!r} needs an apparent key")
+        for attr in key_attrs:
+            if attr not in attributes:
+                raise SchemaError(f"key attribute {attr!r} is not in the scheme of {name!r}")
+        self.name = name
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        self.key: tuple[str, ...] = key_attrs
+        self.lattice = lattice
+        self.ranges: dict[str, tuple[Level, Level]] = dict(ranges or {})
+        for attr, (low, high) in self.ranges.items():
+            if attr not in self.attributes:
+                raise SchemaError(f"range given for unknown attribute {attr!r}")
+            if not lattice.leq(low, high):
+                raise SchemaError(f"empty classification range [{low}, {high}] for {attr!r}")
+        self._positions = {attr: i for i, attr in enumerate(self.attributes)}
+
+    # ------------------------------------------------------------------
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` in the scheme (raises on unknown names)."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def is_key(self, attribute: str) -> bool:
+        """True when ``attribute`` belongs to the apparent key ``AK``."""
+        return attribute in self.key
+
+    @property
+    def non_key_attributes(self) -> tuple[str, ...]:
+        """Data attributes outside the apparent key."""
+        return tuple(a for a in self.attributes if a not in self.key)
+
+    def classification_range(self, attribute: str) -> tuple[Level, Level] | None:
+        """The declared ``[Li, Hi]`` range of ``attribute``, if any."""
+        self.position(attribute)
+        return self.ranges.get(attribute)
+
+    def check_classification(self, attribute: str, level: Level) -> None:
+        """Validate that ``level`` lies inside the attribute's range."""
+        self.lattice.check_level(level)
+        bounds = self.ranges.get(attribute)
+        if bounds is None:
+            return
+        low, high = bounds
+        if not (self.lattice.leq(low, level) and self.lattice.leq(level, high)):
+            raise SchemaError(
+                f"classification {level!r} of {self.name}.{attribute} is outside "
+                f"its declared range [{low}, {high}]"
+            )
+
+    def column_names(self) -> tuple[str, ...]:
+        """The full column list ``A1, C1, ..., An, Cn, TC`` of Definition 2.1."""
+        columns: list[str] = []
+        for attr in self.attributes:
+            columns.append(attr)
+            columns.append(f"C_{attr}")
+        columns.append("TC")
+        return tuple(columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MLSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self.key == other.key
+            and self.lattice == other.lattice
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes, self.key))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(self.attributes)
+        return f"MLSchema({self.name}({attrs}), key={'+'.join(self.key)})"
+
+
+def project_columns(schema: MLSchema, attributes: Iterable[str]) -> tuple[str, ...]:
+    """Validate and normalize an attribute subset in scheme order."""
+    wanted = set(attributes)
+    for attr in wanted:
+        schema.position(attr)
+    return tuple(a for a in schema.attributes if a in wanted)

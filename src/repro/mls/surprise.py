@@ -1,0 +1,85 @@
+"""Surprise-story detection (the security leak the paper identifies).
+
+Section 3: when a higher-level subject polyinstantiates a lower tuple but
+leaves the key classification unchanged, and the lower tuple is later
+deleted, the higher tuple's low-classified key keeps the tuple *visible*
+below while its payload filters to nulls.  The low observer then learns
+that (a) a higher-level tuple about this key exists and (b) she was being
+given a cover story -- without learning the content.  The paper calls such
+tuples **surprise stories** (t4 and t5 of Figure 1 at the C view).
+
+A tuple ``t`` is a surprise story *at level l* when:
+
+* it is visible at ``l`` (key classification <= l),
+* at least one of its cells filters to null at ``l`` (so the observer sees
+  the gap), and
+* no other visible tuple subsumes the filtered remnant (otherwise the gap
+  is papered over and nothing leaks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import MLSTuple, NULL
+from repro.mls.views import mask_tuple, strictly_subsumes
+
+
+@dataclass(frozen=True)
+class SurpriseStory:
+    """A detected leak: the stored tuple, the level it leaks at, the gaps."""
+
+    stored: MLSTuple
+    level: Level
+    leaked_attributes: tuple[str, ...]
+
+    def __str__(self) -> str:
+        attrs = ", ".join(self.leaked_attributes)
+        return (
+            f"surprise story at level {self.level!r}: key "
+            f"{self.stored.key_values()!r} reveals hidden attribute(s) {attrs}"
+        )
+
+
+def surprise_stories_at(relation: MLSRelation, level: Level) -> list[SurpriseStory]:
+    """All surprise stories ``relation`` leaks to a subject cleared at ``level``."""
+    lattice = relation.schema.lattice
+    lattice.check_level(level)
+    masked_pairs: list[tuple[MLSTuple, MLSTuple]] = []
+    for stored in relation:
+        filtered = mask_tuple(stored, level)
+        if filtered is not None:
+            masked_pairs.append((stored, filtered))
+    stories: list[SurpriseStory] = []
+    for stored, filtered in masked_pairs:
+        nulled = tuple(
+            attr for attr in relation.schema.attributes
+            if filtered.value(attr) is NULL and stored.value(attr) is not NULL
+        )
+        if not nulled:
+            continue
+        covered = any(
+            strictly_subsumes(other_filtered, filtered)
+            for other_stored, other_filtered in masked_pairs
+            if other_stored is not stored
+        )
+        if not covered:
+            stories.append(SurpriseStory(stored, level, nulled))
+    return stories
+
+
+def surprise_stories(relation: MLSRelation) -> dict[Level, list[SurpriseStory]]:
+    """Surprise stories at every level of the lattice (only non-empty entries)."""
+    result: dict[Level, list[SurpriseStory]] = {}
+    for level in sorted(relation.schema.lattice.levels):
+        found = surprise_stories_at(relation, level)
+        if found:
+            result[level] = found
+    return result
+
+
+def is_surprise_free(relation: MLSRelation) -> bool:
+    """True when no level of the lattice observes a surprise story."""
+    return not surprise_stories(relation)

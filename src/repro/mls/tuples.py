@@ -1,0 +1,203 @@
+"""Multilevel tuples (Definition 2.2) and the distinguished null.
+
+A multilevel tuple is ``(a1, c1, ..., an, cn, tc)``: every data value
+carries its own classification, and ``TC`` records the access class the
+tuple was inserted/updated at.
+
+The paper's Definition 2.2 states ``tc = lub{ci}``, but its own Figure 1
+violates that reading (t2/t6/t7 hold identical all-U data with TC = S/C/U:
+tuple-level polyinstantiation).  We therefore treat ``TC`` as an explicit
+attribute constrained by ``tc >= lub{ci}``, defaulting to the lub when not
+given -- this reproduces every figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.lattice import Level
+from repro.mls.schema import MLSchema
+
+
+class _Null:
+    """The distinguished null value (the paper's bottom symbol)."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_Null, ())
+
+
+NULL = _Null()
+
+
+def is_null(value: object) -> bool:
+    """True when ``value`` is the distinguished MLS null."""
+    return value is NULL
+
+
+class Cell:
+    """A classified data element: ``(value, classification)``."""
+
+    __slots__ = ("value", "cls")
+
+    def __init__(self, value: object, cls: Level):
+        self.value = value
+        self.cls = cls
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cell):
+            return NotImplemented
+        return self.value == other.value and self.cls == other.cls
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.cls))
+
+    def __repr__(self) -> str:
+        return f"Cell({self.value!r}, {self.cls!r})"
+
+    def __iter__(self) -> Iterator[object]:
+        return iter((self.value, self.cls))
+
+    @property
+    def is_null(self) -> bool:
+        return self.value is NULL
+
+
+class MLSTuple:
+    """An immutable multilevel tuple over a given scheme.
+
+    Cells are stored in scheme attribute order.  Attribute access goes
+    through the scheme, e.g. ``t.value("objective")`` / ``t.cls("objective")``.
+    """
+
+    __slots__ = ("schema", "cells", "tc")
+
+    def __init__(self, schema: MLSchema, cells: Mapping[str, Cell] | list[Cell] | tuple[Cell, ...],
+                 tc: Level | None = None):
+        if isinstance(cells, Mapping):
+            missing = [a for a in schema.attributes if a not in cells]
+            if missing:
+                raise SchemaError(f"tuple over {schema.name!r} is missing cells for {missing}")
+            extra = [a for a in cells if a not in schema.attributes]
+            if extra:
+                raise SchemaError(f"tuple over {schema.name!r} has unknown attributes {extra}")
+            ordered = tuple(cells[a] for a in schema.attributes)
+        else:
+            ordered = tuple(cells)
+            if len(ordered) != len(schema.attributes):
+                raise SchemaError(
+                    f"tuple over {schema.name!r} needs {len(schema.attributes)} cells, "
+                    f"got {len(ordered)}"
+                )
+        for attr, cell in zip(schema.attributes, ordered):
+            schema.lattice.check_level(cell.cls)
+        self.schema = schema
+        self.cells: tuple[Cell, ...] = ordered
+        lattice = schema.lattice
+        if tc is None:
+            tc = lattice.lub(*(cell.cls for cell in ordered))
+        else:
+            lattice.check_level(tc)
+            offending = [
+                cell.cls for cell in ordered if not lattice.leq(cell.cls, tc)
+            ]
+            if offending:
+                raise SchemaError(
+                    f"tuple class {tc!r} does not dominate cell classification(s) "
+                    f"{sorted(set(offending))}"
+                )
+        self.tc: Level = tc
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def make(cls, schema: MLSchema, values: Mapping[str, object],
+             classes: Mapping[str, Level] | Level, tc: Level | None = None) -> "MLSTuple":
+        """Convenience constructor from separate value / classification maps.
+
+        ``classes`` may be a single level (uniform classification, the
+        normal result of an insert at that level) or a per-attribute map.
+        """
+        if isinstance(classes, str):
+            class_map: Mapping[str, Level] = {a: classes for a in schema.attributes}
+        else:
+            class_map = classes
+        cell_map = {
+            attr: Cell(values.get(attr, NULL), class_map[attr])
+            for attr in schema.attributes
+        }
+        return cls(schema, cell_map, tc=tc)
+
+    def cell(self, attribute: str) -> Cell:
+        """The classified cell of ``attribute``."""
+        return self.cells[self.schema.position(attribute)]
+
+    def value(self, attribute: str) -> object:
+        """The data value of ``attribute`` (possibly :data:`NULL`)."""
+        return self.cell(attribute).value
+
+    def cls(self, attribute: str) -> Level:
+        """The classification ``Ci`` of ``attribute``."""
+        return self.cell(attribute).cls
+
+    def key_cells(self) -> tuple[Cell, ...]:
+        """The cells of the apparent key ``AK`` in key order."""
+        return tuple(self.cell(a) for a in self.schema.key)
+
+    def key_values(self) -> tuple[object, ...]:
+        """The apparent-key values ``t[AK]``."""
+        return tuple(cell.value for cell in self.key_cells())
+
+    def key_classification(self) -> Level:
+        """``C_AK`` -- entity integrity forces the key to be uniformly classified."""
+        return self.key_cells()[0].cls
+
+    def replace(self, cells: Mapping[str, Cell] | None = None, tc: Level | None = None) -> "MLSTuple":
+        """A copy with some cells and/or the tuple class replaced."""
+        new_cells = {attr: self.cell(attr) for attr in self.schema.attributes}
+        if cells:
+            new_cells.update(cells)
+        return MLSTuple(self.schema, new_cells, tc=tc if tc is not None else self.tc)
+
+    def as_row(self) -> tuple[object, ...]:
+        """Flatten to ``(a1, c1, ..., an, cn, tc)`` -- Definition 2.2's shape."""
+        row: list[object] = []
+        for cell in self.cells:
+            row.append(cell.value)
+            row.append(cell.cls)
+        row.append(self.tc)
+        return tuple(row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MLSTuple):
+            return NotImplemented
+        return (
+            self.schema.name == other.schema.name
+            and self.cells == other.cells
+            and self.tc == other.tc
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, self.cells, self.tc))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{attr}={cell.value!r}/{cell.cls}"
+            for attr, cell in zip(self.schema.attributes, self.cells)
+        )
+        return f"<{self.schema.name}({parts}) TC={self.tc}>"

@@ -1,0 +1,156 @@
+"""Polyinstantiating update engine (Section 3's "series of updates").
+
+Subjects interact with a multilevel relation only through a
+:class:`SessionCursor` bound to their clearance; the cursor enforces
+Bell-LaPadula:
+
+* **insert at c** -- every cell classified ``c``, TC = ``c``; rejected when
+  a tuple with the same apparent key already exists *at* ``c``.
+* **update at c** -- targets tuples visible at ``c`` (key class <= c).
+  When the target lives at exactly ``c`` and only ``c``-classified cells
+  change, the update happens in place.  Otherwise *required
+  polyinstantiation* kicks in: the stored tuple is left untouched (lower
+  subjects must not notice) and a new tuple is created that keeps the key
+  cell verbatim, carries the updated cells at class ``c``, copies the rest,
+  and gets TC = ``c``.
+* **delete at c** -- removes tuples with a matching key stored at exactly
+  ``c`` (the *-property forbids destroying higher or lower data).
+
+Replaying insert/update/delete with these rules generates the t4/t5
+"surprise stories" of Figure 1 -- see
+:func:`repro.workloads.mission.mission_via_updates`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import AccessDeniedError, IntegrityError
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import Cell, MLSTuple
+from repro.mls.views import view_at
+
+
+class SessionCursor:
+    """A subject's handle on a relation, bound to one clearance level."""
+
+    def __init__(self, relation: MLSRelation, clearance: Level):
+        relation.schema.lattice.check_level(clearance)
+        self.relation = relation
+        self.clearance = clearance
+
+    # ------------------------------------------------------------------
+    def read(self, apply_subsumption: bool = True) -> MLSRelation:
+        """``select *`` under the simple security property (Definition 2.3)."""
+        return view_at(self.relation, self.clearance, apply_subsumption=apply_subsumption)
+
+    # ------------------------------------------------------------------
+    def insert(self, values: Mapping[str, object]) -> MLSTuple:
+        """Insert a tuple wholly classified at the session clearance."""
+        schema = self.relation.schema
+        missing = [a for a in schema.key if a not in values]
+        if missing:
+            raise IntegrityError(f"insert must supply key attribute(s) {missing}")
+        new = MLSTuple.make(schema, dict(values), self.clearance, tc=self.clearance)
+        # The key is taken at this classification when ANY stored tuple
+        # carries it with C_AK = clearance -- including higher
+        # polyinstantiated tuples that inherited the (now possibly
+        # deleted) low original.  Allowing the insert would let fresh
+        # low cells contradict the stale inherited ones and break the FD
+        # AK, C_AK, Ci -> Ai.
+        for existing in self.relation:
+            if (existing.key_values() == new.key_values()
+                    and existing.key_classification() == self.clearance):
+                raise IntegrityError(
+                    f"key {new.key_values()!r} already exists with classification "
+                    f"{self.clearance!r} (tuple class {existing.tc!r})"
+                )
+        self.relation.add(new)
+        return new
+
+    # ------------------------------------------------------------------
+    def update(self, key: Mapping[str, object], changes: Mapping[str, object],
+               key_classification: Level | None = None) -> list[MLSTuple]:
+        """Update visible tuples matching ``key``; polyinstantiate as needed.
+
+        ``key_classification`` restricts the target to tuples whose key is
+        classified exactly so (needed when the same key value is
+        polyinstantiated across levels, as with the two Phantom tuples).
+        Returns the tuples now carrying the update.
+        """
+        schema = self.relation.schema
+        lattice = schema.lattice
+        for attr in changes:
+            if schema.is_key(attr):
+                raise IntegrityError(
+                    f"cannot update key attribute {attr!r}; delete and reinsert instead"
+                )
+            schema.position(attr)
+        targets = [
+            t for t in self.relation
+            if all(t.value(a) == v for a, v in key.items())
+            and lattice.leq(t.key_classification(), self.clearance)
+            and lattice.leq(t.tc, self.clearance)
+            and (key_classification is None or t.key_classification() == key_classification)
+        ]
+        if not targets:
+            raise IntegrityError(
+                f"no tuple with key {dict(key)!r} is visible at {self.clearance!r}"
+            )
+        results: list[MLSTuple] = []
+        for target in targets:
+            results.append(self._apply_update(target, changes))
+        return results
+
+    def _apply_update(self, target: MLSTuple, changes: Mapping[str, object]) -> MLSTuple:
+        clearance = self.clearance
+        in_place = target.tc == clearance and all(
+            target.cls(attr) == clearance for attr in changes
+        )
+        new_cells = {attr: Cell(value, clearance) for attr, value in changes.items()}
+        if in_place:
+            updated = target.replace(cells=new_cells, tc=clearance)
+            self.relation.remove(target)
+            self.relation.add(updated)
+            # Element semantics: higher polyinstantiated tuples that
+            # inherited this tuple's clearance-classified cells reference
+            # the same data elements, so the change propagates to them
+            # (otherwise the FD AK,C_AK,Ci -> Ai breaks between the fresh
+            # low cell and the stale inherited copy).
+            for other in list(self.relation):
+                if other is updated or other.key_values() != target.key_values():
+                    continue
+                if other.key_classification() != target.key_classification():
+                    continue
+                shared = {
+                    attr: cell for attr, cell in new_cells.items()
+                    if other.cls(attr) == clearance and other.cell(attr) != cell
+                }
+                if shared:
+                    self.relation.remove(other)
+                    self.relation.add(other.replace(cells=shared))
+            return updated
+        # Required polyinstantiation: the lower tuple stays; a new tuple at
+        # the subject's level carries the change, keeping the key cell (and
+        # hence the lower key classification) verbatim.
+        poly = target.replace(cells=new_cells, tc=clearance)
+        if poly == target:
+            return target
+        self.relation.add(poly)
+        return poly
+
+    # ------------------------------------------------------------------
+    def delete(self, key: Mapping[str, object]) -> list[MLSTuple]:
+        """Delete tuples matching ``key`` stored at exactly this clearance."""
+        victims = [
+            t for t in self.relation
+            if all(t.value(a) == v for a, v in key.items()) and t.tc == self.clearance
+        ]
+        if not victims:
+            raise AccessDeniedError(
+                f"no tuple with key {dict(key)!r} is stored at level {self.clearance!r}"
+            )
+        for t in victims:
+            self.relation.remove(t)
+        return victims

@@ -1,0 +1,111 @@
+"""Per-level views of multilevel relations (Definition 2.3, figures 2-3).
+
+The view of relation ``r`` at access class ``c`` under the Jajodia-Sandhu
+reading:
+
+* tuples whose apparent-key classification is not dominated by ``c`` are
+  invisible;
+* in the remaining tuples, every cell with classification not dominated by
+  ``c`` is masked to ``(NULL, C_AK)`` (null integrity classifies nulls at
+  the key level);
+* the displayed tuple class is the stored ``TC`` when visible, otherwise
+  ``c`` itself (this is the reading that reproduces Figures 2 and 3: t4
+  shows ``TC = U`` at the U view and ``TC = C`` at the C view);
+* finally *subsumption* removes tuples made redundant by more complete
+  ones, hiding the existence of higher-level data where possible.
+
+Subsumption (Definition 5.4 restated relationally): ``u`` subsumes ``v``
+when for every attribute either the ``(value, class)`` pairs coincide or
+``u`` holds a non-null where ``v`` holds null.  Among otherwise identical
+tuples that differ only in TC the one with the dominating TC is kept.
+"""
+
+from __future__ import annotations
+
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import Cell, MLSTuple, NULL
+
+
+def mask_tuple(t: MLSTuple, level: Level) -> MLSTuple | None:
+    """Apply Definition 2.3 to a single tuple; ``None`` when invisible."""
+    lattice = t.schema.lattice
+    key_cls = t.key_classification()
+    if not lattice.leq(key_cls, level):
+        return None
+    new_cells: dict[str, Cell] = {}
+    for attr in t.schema.attributes:
+        cell = t.cell(attr)
+        if lattice.leq(cell.cls, level):
+            new_cells[attr] = cell
+        else:
+            new_cells[attr] = Cell(NULL, key_cls)
+    displayed_tc = t.tc if lattice.leq(t.tc, level) else level
+    return MLSTuple(t.schema, new_cells, tc=displayed_tc)
+
+
+def subsumes(u: MLSTuple, v: MLSTuple) -> bool:
+    """True when ``u`` subsumes ``v`` (u at least as informative, cell-wise).
+
+    Tuples t4/t5 of the running example do *not* subsume each other: their
+    key cells carry different classifications, so neither clause of the
+    definition applies to the key attribute.
+    """
+    if u.schema.name != v.schema.name:
+        return False
+    for uc, vc in zip(u.cells, v.cells):
+        if uc == vc:
+            continue
+        if uc.value is not NULL and vc.value is NULL:
+            continue
+        return False
+    return True
+
+
+def strictly_subsumes(u: MLSTuple, v: MLSTuple) -> bool:
+    """Subsumption between tuples with distinct cell contents."""
+    return u.cells != v.cells and subsumes(u, v)
+
+
+def minimize_by_subsumption(relation: MLSRelation) -> MLSRelation:
+    """Drop every tuple strictly subsumed by another; collapse TC-duplicates.
+
+    Among tuples with identical cells the one whose TC is maximal (when
+    comparable) is kept; incomparable TCs are all kept.
+    """
+    lattice = relation.schema.lattice
+    tuples = list(relation)
+    survivors: list[MLSTuple] = []
+    for t in tuples:
+        dominated = False
+        for other in tuples:
+            if other is t:
+                continue
+            if strictly_subsumes(other, t):
+                dominated = True
+                break
+            if other.cells == t.cells and other.tc != t.tc and lattice.lt(t.tc, other.tc):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(t)
+    return MLSRelation(relation.schema, survivors)
+
+
+def view_at(relation: MLSRelation, level: Level, apply_subsumption: bool = True) -> MLSRelation:
+    """The Jajodia-Sandhu view of ``relation`` at clearance ``level``.
+
+    This is what ``select * from mission`` returns to a ``level`` subject
+    (figures 2 and 3 of the paper).  Set ``apply_subsumption=False`` to see
+    the raw filtered instance before redundancy removal.
+    """
+    relation.schema.lattice.check_level(level)
+    masked = []
+    for t in relation:
+        filtered = mask_tuple(t, level)
+        if filtered is not None:
+            masked.append(filtered)
+    view = MLSRelation(relation.schema, masked)
+    if apply_subsumption:
+        view = minimize_by_subsumption(view)
+    return view

@@ -1,0 +1,37 @@
+"""The extended SQL front-end with ``BELIEVED <mode>`` (Section 3.2)."""
+
+from repro.msql.ast import (
+    And,
+    Comparison,
+    Condition,
+    InSubquery,
+    Not,
+    Or,
+    Select,
+    SetExpression,
+    UserContext,
+)
+from repro.msql.executor import (
+    WITHOUT_DOUBT_QUERY,
+    Catalog,
+    ResultSet,
+    SqlSession,
+)
+from repro.msql.parser import parse_sql
+
+__all__ = [
+    "And",
+    "Catalog",
+    "Comparison",
+    "Condition",
+    "InSubquery",
+    "Not",
+    "Or",
+    "ResultSet",
+    "Select",
+    "SetExpression",
+    "SqlSession",
+    "UserContext",
+    "WITHOUT_DOUBT_QUERY",
+    "parse_sql",
+]

@@ -1,0 +1,86 @@
+"""AST of the extended SQL dialect (the Section 3.2 surface syntax).
+
+The dialect is deliberately small: single-table SELECTs with boolean
+WHERE conditions, the ``BELIEVED <mode>`` clause the paper proposes, and
+the set operations (INTERSECT / UNION / EXCEPT) its headline query uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Condition:
+    """Base class of WHERE conditions."""
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``attribute <op> literal`` with op in = <> < <= > >=."""
+
+    attribute: str
+    op: str
+    literal: object
+
+
+@dataclass(frozen=True)
+class InSubquery(Condition):
+    """``attribute [NOT] IN ( <set expression> )``."""
+
+    attribute: str
+    query: "SetExpression | Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    operand: Condition
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT cols FROM table [WHERE cond] [BELIEVED mode] [AT level]
+    [ORDER BY col [DESC]] [LIMIT n]``.
+
+    ``columns`` is ``None`` for ``SELECT *``.  ``believed`` is the belief
+    mode name (``cautiously`` etc.) or ``None`` for the plain
+    Jajodia-Sandhu view.  ``at_level`` lets a query speculate about the
+    belief of a *lower* level ("theorize about the belief of others").
+    """
+
+    table: str
+    columns: tuple[str, ...] | None
+    where: Condition | None = None
+    believed: str | None = None
+    at_level: str | None = None
+    order_by: tuple[str, bool] | None = None  # (column, descending)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class SetExpression:
+    """``left (INTERSECT|UNION|EXCEPT) right`` over row sets."""
+
+    op: str
+    left: "SetExpression | Select"
+    right: "SetExpression | Select"
+
+
+@dataclass(frozen=True)
+class UserContext:
+    """``USER CONTEXT <level>`` -- the session-level preamble the paper's
+    Section 3.2 example opens with; switches the evaluation clearance."""
+
+    level: str

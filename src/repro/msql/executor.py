@@ -1,0 +1,233 @@
+"""Executor for the extended SQL dialect.
+
+A :class:`Catalog` holds named multilevel relations; a :class:`SqlSession`
+binds a catalog to a user context (clearance).  Execution semantics:
+
+* no ``BELIEVED`` clause -- the statement sees the ordinary
+  Jajodia-Sandhu view at the session clearance (what ``select * from
+  mission`` returns in Section 3);
+* ``BELIEVED <mode>`` -- the statement sees ``beta(r, level, mode)``;
+  built-in modes accept every paper alias (``cautiously``, ``firmly``,
+  ``optimistically``, ...), and custom modes registered on the session's
+  :class:`~repro.belief.modes.ModeRegistry` work the same way;
+* ``AT LEVEL l`` -- evaluates the belief at a *dominated* level ``l``
+  (belief speculation about other users); read-up is refused;
+* set operations compare projected data rows (classifications do not
+  participate, matching the paper's query which intersects starship
+  names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.belief.modes import ModeRegistry, default_registry
+from repro.errors import AccessDeniedError, MLSError, SchemaError
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import MLSTuple
+from repro.mls.views import view_at
+from repro.msql.ast import (
+    And,
+    Comparison,
+    Condition,
+    InSubquery,
+    Not,
+    Or,
+    Select,
+    SetExpression,
+    UserContext,
+)
+from repro.msql.parser import parse_sql
+
+Row = tuple[object, ...]
+
+
+@dataclass
+class ResultSet:
+    """Ordered, de-duplicated rows plus their column names."""
+
+    columns: tuple[str, ...]
+    rows: list[Row] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_set(self) -> set[Row]:
+        return set(self.rows)
+
+    def column(self, name: str) -> list[object]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+class Catalog:
+    """Named multilevel relations visible to SQL sessions."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, MLSRelation] = {}
+
+    def register(self, relation: MLSRelation, name: str | None = None) -> None:
+        self._tables[(name or relation.schema.name).lower()] = relation
+
+    def table(self, name: str) -> MLSRelation:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+
+class SqlSession:
+    """One user's SQL interface: catalog + clearance + belief modes."""
+
+    def __init__(self, catalog: Catalog, clearance: Level,
+                 registry: ModeRegistry | None = None):
+        self.catalog = catalog
+        self.clearance = clearance
+        self.registry = registry if registry is not None else default_registry()
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str | Select | SetExpression | UserContext) -> ResultSet:
+        """Run one statement and return its rows.
+
+        ``USER CONTEXT l`` switches the session clearance (upward moves
+        require that the catalog's lattices actually declare the level;
+        the *data* guard stays per-relation) and yields an empty result.
+        """
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, UserContext):
+            self.clearance = statement.level
+            return ResultSet(("context",), [(statement.level,)])
+        return self._evaluate(statement)
+
+    def execute_script(self, sql: str) -> list[ResultSet]:
+        """Run a ``;``-separated script (the paper's example opens with a
+        ``user context u`` line followed by the query)."""
+        results = []
+        for piece in sql.split(";"):
+            if piece.strip():
+                results.append(self.execute(piece))
+        return results
+
+    def _evaluate(self, node: Select | SetExpression) -> ResultSet:
+        if isinstance(node, SetExpression):
+            left = self._evaluate(node.left)
+            right = self._evaluate(node.right)
+            if len(left.columns) != len(right.columns):
+                raise SchemaError(
+                    "set operation over results with different column counts"
+                )
+            if node.op == "intersect":
+                keep = [row for row in left.rows if row in right.as_set()]
+            elif node.op == "union":
+                keep = left.rows + [row for row in right.rows if row not in left.as_set()]
+            else:  # except
+                keep = [row for row in left.rows if row not in right.as_set()]
+            deduped: list[Row] = []
+            seen: set[Row] = set()
+            for row in keep:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            return ResultSet(left.columns, deduped)
+        return self._evaluate_select(node)
+
+    def _evaluate_select(self, select: Select) -> ResultSet:
+        relation = self.catalog.table(select.table)
+        lattice = relation.schema.lattice
+        level = select.at_level or self.clearance
+        lattice.check_level(level)
+        if not lattice.leq(level, self.clearance):
+            raise AccessDeniedError(
+                f"no read-up: cannot evaluate at level {level!r} from clearance "
+                f"{self.clearance!r}"
+            )
+        if select.believed is None:
+            source = view_at(relation, level)
+        else:
+            mode_fn = self.registry.resolve(select.believed)
+            source = mode_fn(relation, level)
+        if select.where is not None:
+            source = source.select(lambda t: self._condition(select.where, t, level))
+        columns = select.columns or relation.schema.attributes
+        for column in columns:
+            relation.schema.position(column)
+        rows: list[Row] = []
+        seen: set[Row] = set()
+        for t in source:
+            row = tuple(t.value(c) for c in columns)
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        if select.order_by is not None:
+            column, descending = select.order_by
+            if column not in columns:
+                raise SchemaError(f"ORDER BY column {column!r} not in the select list")
+            index = columns.index(column)
+            rows.sort(key=lambda r: repr(r[index]), reverse=descending)
+        if select.limit is not None:
+            rows = rows[:select.limit]
+        return ResultSet(tuple(columns), rows)
+
+    # ------------------------------------------------------------------
+    def _condition(self, condition: Condition, t: MLSTuple, level: Level) -> bool:
+        if isinstance(condition, Comparison):
+            value = t.value(condition.attribute)
+            other = condition.literal
+            try:
+                if condition.op == "=":
+                    return value == other
+                if condition.op == "!=":
+                    return value != other
+                if condition.op == "<":
+                    return value < other       # type: ignore[operator]
+                if condition.op == "<=":
+                    return value <= other      # type: ignore[operator]
+                if condition.op == ">":
+                    return value > other       # type: ignore[operator]
+                if condition.op == ">=":
+                    return value >= other      # type: ignore[operator]
+            except TypeError:
+                return False
+            raise MLSError(f"unknown comparison operator {condition.op!r}")
+        if isinstance(condition, InSubquery):
+            result = self._evaluate(condition.query)
+            if len(result.columns) != 1:
+                raise SchemaError("IN subquery must produce exactly one column")
+            members = {row[0] for row in result.rows}
+            found = t.value(condition.attribute) in members
+            return not found if condition.negated else found
+        if isinstance(condition, And):
+            return (self._condition(condition.left, t, level)
+                    and self._condition(condition.right, t, level))
+        if isinstance(condition, Or):
+            return (self._condition(condition.left, t, level)
+                    or self._condition(condition.right, t, level))
+        if isinstance(condition, Not):
+            return not self._condition(condition.operand, t, level)
+        raise MLSError(f"unknown condition node {condition!r}")
+
+
+#: The paper's headline query (Section 3.2): starships spying on Mars
+#: "without any doubt" -- believed in every mode at the user's level.
+WITHOUT_DOUBT_QUERY = """
+select starship from mission where starship in (
+    (select starship from mission
+       where destination = mars and objective = spying
+       believed cautiously)
+    intersect
+    (select starship from mission
+       where destination = mars and objective = spying
+       believed firmly)
+    intersect
+    (select starship from mission
+       where destination = mars and objective = spying
+       believed optimistically)
+)
+"""

@@ -1,0 +1,260 @@
+"""Lexer and parser for the extended SQL dialect.
+
+Keywords are case-insensitive; identifiers are lower-cased.  The grammar::
+
+    statement   := set_expr
+    set_expr    := primary ((INTERSECT | UNION | EXCEPT) primary)*
+    primary     := select | "(" set_expr ")"
+    select      := SELECT cols FROM name [WHERE cond]
+                   [BELIEVED mode] [AT LEVEL name]
+                   [ORDER BY name [ASC|DESC]] [LIMIT int]
+    cols        := "*" | name ("," name)*
+    cond        := or_term
+    or_term     := and_term (OR and_term)*
+    and_term    := unary (AND unary)*
+    unary       := NOT unary | "(" cond ")" | predicate
+    predicate   := name op literal
+                 | name [NOT] IN "(" set_expr ")"
+    op          := = | <> | != | < | <= | > | >=
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import MultiLogSyntaxError
+from repro.msql.ast import (
+    And,
+    Comparison,
+    Condition,
+    InSubquery,
+    Not,
+    Or,
+    Select,
+    SetExpression,
+    UserContext,
+)
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<op><>|<=|>=|!=|=|<|>)
+  | (?P<punct>[(),;*])
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>'[^']*')
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "and", "or", "not", "in", "believed",
+    "intersect", "union", "except", "at", "level", "user", "context",
+    "order", "by", "desc", "asc", "limit",
+})
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise MultiLogSyntaxError(
+                f"unexpected character {text[position]!r} in SQL at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "name":
+                value = value.lower()
+            tokens.append((kind, value))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise MultiLogSyntaxError("unexpected end of SQL text")
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        kind, value = self._next()
+        if value != text:
+            raise MultiLogSyntaxError(f"expected {text!r}, found {value!r}")
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token[0] == "name" and token[1] == word
+
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Select | SetExpression | UserContext:
+        if self._at_keyword("user"):
+            self._next()
+            if not self._at_keyword("context"):
+                raise MultiLogSyntaxError("expected CONTEXT after USER")
+            self._next()
+            level = self._identifier("security level")
+            if self._peek() is not None and self._peek()[1] == ";":
+                self._next()
+            if self._peek() is not None:
+                raise MultiLogSyntaxError("trailing tokens after USER CONTEXT")
+            return UserContext(level)
+        expr = self.parse_set_expr()
+        if self._peek() is not None and self._peek()[1] == ";":
+            self._next()
+        if self._peek() is not None:
+            raise MultiLogSyntaxError(f"trailing tokens after statement: {self._peek()[1]!r}")
+        return expr
+
+    def parse_set_expr(self) -> Select | SetExpression:
+        left = self.parse_primary()
+        while self._peek() is not None and self._peek()[1] in ("intersect", "union", "except"):
+            op = self._next()[1]
+            right = self.parse_primary()
+            left = SetExpression(op, left, right)
+        return left
+
+    def parse_primary(self) -> Select | SetExpression:
+        token = self._peek()
+        if token is not None and token[1] == "(":
+            self._next()
+            inner = self.parse_set_expr()
+            self._expect(")")
+            return inner
+        return self.parse_select()
+
+    def parse_select(self) -> Select:
+        kind, value = self._next()
+        if value != "select":
+            raise MultiLogSyntaxError(f"expected SELECT, found {value!r}")
+        columns: tuple[str, ...] | None
+        if self._peek() is not None and self._peek()[1] == "*":
+            self._next()
+            columns = None
+        else:
+            names = [self._identifier("column name")]
+            while self._peek() is not None and self._peek()[1] == ",":
+                self._next()
+                names.append(self._identifier("column name"))
+            columns = tuple(names)
+        self._expect("from")
+        table = self._identifier("table name")
+        where: Condition | None = None
+        if self._at_keyword("where"):
+            self._next()
+            where = self.parse_condition()
+        believed: str | None = None
+        if self._at_keyword("believed"):
+            self._next()
+            believed = self._identifier("belief mode")
+        at_level: str | None = None
+        if self._at_keyword("at"):
+            self._next()
+            if self._at_keyword("level"):
+                self._next()
+            at_level = self._identifier("security level")
+        order_by: tuple[str, bool] | None = None
+        if self._at_keyword("order"):
+            self._next()
+            if not self._at_keyword("by"):
+                raise MultiLogSyntaxError("expected BY after ORDER")
+            self._next()
+            column = self._identifier("column name")
+            descending = False
+            if self._at_keyword("desc"):
+                self._next()
+                descending = True
+            elif self._at_keyword("asc"):
+                self._next()
+            order_by = (column, descending)
+        limit: int | None = None
+        if self._at_keyword("limit"):
+            self._next()
+            kind, value = self._next()
+            if kind != "number" or "." in value:
+                raise MultiLogSyntaxError(f"expected an integer LIMIT, found {value!r}")
+            limit = int(value)
+        return Select(table, columns, where, believed, at_level, order_by, limit)
+
+    def _identifier(self, what: str) -> str:
+        kind, value = self._next()
+        if kind != "name" or value in KEYWORDS:
+            raise MultiLogSyntaxError(f"expected a {what}, found {value!r}")
+        return value
+
+    # -- conditions ------------------------------------------------------
+    def parse_condition(self) -> Condition:
+        left = self._and_term()
+        while self._at_keyword("or"):
+            self._next()
+            left = Or(left, self._and_term())
+        return left
+
+    def _and_term(self) -> Condition:
+        left = self._unary()
+        while self._at_keyword("and"):
+            self._next()
+            left = And(left, self._unary())
+        return left
+
+    def _unary(self) -> Condition:
+        if self._at_keyword("not"):
+            self._next()
+            return Not(self._unary())
+        token = self._peek()
+        if token is not None and token[1] == "(":
+            # Either a parenthesized condition or a subquery used by a
+            # preceding IN -- here it can only be a condition group.
+            self._next()
+            inner = self.parse_condition()
+            self._expect(")")
+            return inner
+        return self._predicate()
+
+    def _predicate(self) -> Condition:
+        attribute = self._identifier("attribute name")
+        negated = False
+        if self._at_keyword("not"):
+            self._next()
+            negated = True
+            if not self._at_keyword("in"):
+                raise MultiLogSyntaxError("expected IN after NOT")
+        if self._at_keyword("in"):
+            self._next()
+            self._expect("(")
+            query = self.parse_set_expr()
+            self._expect(")")
+            return InSubquery(attribute, query, negated)
+        if negated:
+            raise MultiLogSyntaxError("NOT must be followed by IN here")
+        kind, op = self._next()
+        if kind != "op":
+            raise MultiLogSyntaxError(f"expected a comparison operator, found {op!r}")
+        literal = self._literal()
+        return Comparison(attribute, "!=" if op == "<>" else op, literal)
+
+    def _literal(self) -> object:
+        kind, value = self._next()
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            return value[1:-1]
+        if kind == "name" and value not in KEYWORDS:
+            return value
+        raise MultiLogSyntaxError(f"expected a literal, found {value!r}")
+
+
+def parse_sql(text: str) -> Select | SetExpression | UserContext:
+    """Parse one extended-SQL statement."""
+    return _Parser(_tokenize(text)).parse_statement()

@@ -1,0 +1,131 @@
+"""MultiLog: the paper's core contribution (Sections 5-7).
+
+* :mod:`~repro.multilog.ast` / :mod:`~repro.multilog.parser` -- the
+  language (five atom kinds, molecules, databases ``<Lambda, Sigma, Pi,
+  Q>``).
+* :mod:`~repro.multilog.admissibility` / :mod:`~repro.multilog.consistency`
+  -- Definitions 5.3 and 5.4.
+* :mod:`~repro.multilog.proof` -- operational semantics with Figure 11
+  proof trees.
+* :mod:`~repro.multilog.reduction` -- the tau translation and the Figure
+  12 inference engine over the Datalog back-end.
+* :mod:`~repro.multilog.equivalence` -- Theorem 6.1, measured.
+* :mod:`~repro.multilog.datalog_case` -- Proposition 6.1.
+* :mod:`~repro.multilog.extensions` -- Section 7 (FILTER / FILTER-NULL /
+  user-defined modes).
+* :mod:`~repro.multilog.session` -- the high-level API.
+* :mod:`~repro.multilog.bridge` -- MLS relations <-> MultiLog databases.
+"""
+
+from repro.multilog.admissibility import (
+    LatticeContext,
+    check_admissibility,
+    is_admissible,
+    lambda_meaning,
+)
+from repro.multilog.ast import (
+    BAtom,
+    BMolecule,
+    Clause,
+    HAtom,
+    LAtom,
+    LeqGoal,
+    MAtom,
+    MMolecule,
+    MultiLogDatabase,
+    PAtom,
+    Query,
+)
+from repro.multilog.bridge import believed_relation, cells_to_relation, relation_to_multilog
+from repro.multilog.consistency import (
+    ConsistencyReport,
+    assert_consistent,
+    check_consistency,
+    derivable_cells,
+    is_consistent,
+    molecules,
+)
+from repro.multilog.datalog_case import as_pure_datalog_database, proposition_holds, run_both
+from repro.multilog.equivalence import EquivalenceReport, assert_equivalent, check_equivalence
+from repro.multilog.fixpoint import HeightStepPair, fixpoint_steps, height_step_report
+from repro.multilog.extensions import (
+    USER_MODE_EXAMPLE,
+    filter_proof,
+    filtered_cells,
+    surprise_cells,
+)
+from repro.multilog.parser import parse_clause, parse_database, parse_query
+from repro.multilog.proof import (
+    BUILTIN_MODES,
+    CellRow,
+    OperationalEngine,
+    ProofTree,
+    Prover,
+)
+from repro.multilog.reduction import (
+    ReducedProgram,
+    compare_cautious_axiomatizations,
+    engine_axioms,
+    faithful_figure12_axioms,
+    figure12_axioms,
+    needs_specialization,
+    translate,
+)
+from repro.multilog.session import SYSTEM_LEVEL, MultiLogSession
+
+__all__ = [
+    "BAtom",
+    "BMolecule",
+    "BUILTIN_MODES",
+    "CellRow",
+    "Clause",
+    "ConsistencyReport",
+    "EquivalenceReport",
+    "HeightStepPair",
+    "HAtom",
+    "LAtom",
+    "LatticeContext",
+    "LeqGoal",
+    "MAtom",
+    "MMolecule",
+    "MultiLogDatabase",
+    "MultiLogSession",
+    "OperationalEngine",
+    "PAtom",
+    "ProofTree",
+    "Prover",
+    "Query",
+    "ReducedProgram",
+    "SYSTEM_LEVEL",
+    "USER_MODE_EXAMPLE",
+    "as_pure_datalog_database",
+    "assert_consistent",
+    "assert_equivalent",
+    "believed_relation",
+    "cells_to_relation",
+    "check_admissibility",
+    "check_consistency",
+    "check_equivalence",
+    "compare_cautious_axiomatizations",
+    "derivable_cells",
+    "engine_axioms",
+    "faithful_figure12_axioms",
+    "figure12_axioms",
+    "height_step_report",
+    "filter_proof",
+    "fixpoint_steps",
+    "filtered_cells",
+    "is_admissible",
+    "is_consistent",
+    "lambda_meaning",
+    "molecules",
+    "needs_specialization",
+    "parse_clause",
+    "parse_database",
+    "parse_query",
+    "proposition_holds",
+    "relation_to_multilog",
+    "run_both",
+    "surprise_cells",
+    "translate",
+]

@@ -1,0 +1,148 @@
+"""Bridging MLS relations and MultiLog databases (Example 5.1).
+
+Both directions are supported:
+
+* :func:`relation_to_multilog` encodes an :class:`~repro.mls.MLSRelation`
+  as a MultiLog database -- one m-molecule per stored tuple, plus the
+  l-/h-clauses of the relation's lattice.
+* :func:`cells_to_relation` re-assembles derived/believed cells into an
+  MLS relation.  Cell granularity loses tuple boundaries (two same-key
+  molecules at one level merge), so when the originating database is
+  available its molecule facts are used to recover the boundaries --
+  the same device :mod:`repro.multilog.consistency` uses.
+
+:func:`believed_relation` closes the loop: the cell-level MultiLog
+beliefs re-assembled as relations, cross-checked against the tuple-level
+beta in ``tests/multilog/test_bridge.py``.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.terms import Constant
+from repro.lattice import Level
+from repro.mls.relation import MLSRelation
+from repro.mls.schema import MLSchema
+from repro.mls.tuples import NULL, Cell, MLSTuple
+from repro.multilog.ast import (
+    NULL_VALUE,
+    Clause,
+    HAtom,
+    LAtom,
+    MMolecule,
+    MultiLogDatabase,
+)
+from repro.multilog.proof import CellRow, OperationalEngine
+
+
+def _encode_value(value: object) -> object:
+    return NULL_VALUE if value is NULL else value
+
+
+def _decode_value(value: object) -> object:
+    return NULL if value == NULL_VALUE else value
+
+
+def relation_to_multilog(relation: MLSRelation) -> MultiLogDatabase:
+    """Encode a multilevel relation as a MultiLog database.
+
+    The apparent key value serves as the molecule key ``k``; every
+    attribute (including the key attribute itself, satisfying the
+    ``s[p(k : a -c-> k)]`` requirement of Section 5.1) becomes one
+    labelled arrow.
+    """
+    db = MultiLogDatabase()
+    lattice = relation.schema.lattice
+    for level in sorted(lattice.levels):
+        db.add(Clause(LAtom(Constant(level))))
+    for low, high in sorted(lattice.cover_pairs):
+        db.add(Clause(HAtom(Constant(low), Constant(high))))
+    if len(relation.schema.key) != 1:
+        raise ValueError(
+            "relation_to_multilog expects a single-attribute apparent key; "
+            "encode multi-attribute keys as value tuples first"
+        )
+    for t in relation:
+        key_value = t.key_values()[0]
+        assignments = tuple(
+            (attr, Constant(t.cls(attr)), Constant(_encode_value(t.value(attr))))
+            for attr in relation.schema.attributes
+        )
+        molecule = MMolecule(
+            Constant(t.tc), relation.schema.name, Constant(_encode_value(key_value)),
+            assignments,
+        )
+        db.add(Clause(molecule))
+    return db
+
+
+def _tuple_from_cells(cells: list[CellRow], schema: MLSchema, tc: Level) -> MLSTuple:
+    """Assemble one MLS tuple from one molecule's cells (null-filling)."""
+    by_attr = {cell[2]: cell for cell in cells}
+    key_attr = schema.key[0]
+    key_cell = by_attr.get(key_attr)
+    key_cls = key_cell[4] if key_cell is not None else cells[0][4]
+    tuple_cells: dict[str, Cell] = {}
+    for attr in schema.attributes:
+        cell = by_attr.get(attr)
+        if cell is None:
+            tuple_cells[attr] = Cell(NULL, key_cls)
+        else:
+            tuple_cells[attr] = Cell(_decode_value(cell[3]), cell[4])
+    return MLSTuple(schema, tuple_cells, tc=tc)
+
+
+def cells_to_relation(cells: list[CellRow], schema: MLSchema,
+                      tc: Level | None = None,
+                      group_by_level: bool = True,
+                      db: MultiLogDatabase | None = None) -> MLSRelation:
+    """Re-assemble cells into an MLS relation.
+
+    Grouping:
+
+    * with ``db`` -- the database's ground molecule facts recover tuple
+      boundaries exactly (remaining rule-derived cells group by
+      ``(key, level)``);
+    * otherwise by ``(key, source level)``, or by key alone when
+      ``group_by_level`` is false (the shape of a cautious view, where a
+      single merged tuple per key remains).
+
+    ``tc`` overrides the tuple class (beta stamps the believing level).
+    """
+    relevant = [cell for cell in cells if cell[0] == schema.name]
+    relation = MLSRelation(schema)
+    if db is not None:
+        from repro.multilog.consistency import molecules  # deferred: cycle
+
+        for molecule in molecules(set(relevant), db):
+            tuple_tc = tc if tc is not None else molecule.level
+            relation.add(_tuple_from_cells(list(molecule.cells), schema, tuple_tc))
+        return relation
+    groups: dict[tuple, list[CellRow]] = {}
+    for cell in relevant:
+        group_key = (cell[1], cell[5]) if group_by_level else (cell[1],)
+        groups.setdefault(group_key, []).append(cell)
+    for group_key, group in sorted(groups.items(), key=repr):
+        if group_by_level:
+            tuple_tc = tc if tc is not None else group_key[1]
+        else:
+            tuple_tc = tc if tc is not None else group[0][4]
+        relation.add(_tuple_from_cells(group, schema, tuple_tc))
+    return relation
+
+
+def believed_relation(engine: OperationalEngine, mode: str, level: Level,
+                      schema: MLSchema) -> MLSRelation:
+    """The believed view at ``level`` as a relation (tuple re-assembly).
+
+    Firm and optimistic beliefs select whole molecules (every cell of a
+    visible molecule is believed), so tuple boundaries are recovered from
+    the database; firm keeps source tuple classes, optimistic restamps to
+    the believing level exactly as beta does.  Cautious cells merge into
+    one tuple per key (inheritance with overriding already happened
+    cell-wise).
+    """
+    cells = list(engine.believed_cells(mode, level))
+    if mode == "cau":
+        return cells_to_relation(cells, schema, tc=level, group_by_level=False)
+    stamp = level if mode == "opt" else None
+    return cells_to_relation(cells, schema, tc=stamp, db=engine.db)

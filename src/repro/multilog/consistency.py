@@ -1,0 +1,248 @@
+"""Consistency of MultiLog databases (Definition 5.4).
+
+The checks operate on ``[[Sigma]]`` -- the derivable m-cells -- grouped
+into *m-predicate instances*: all cells sharing ``(pred, key, level)``
+form one molecule, the deductive image of one MLS tuple.
+
+* **Entity integrity** -- each molecule contains at least one key cell
+  (a cell whose value equals the molecule key, the paper's
+  ``s[p(k : a -c-> k)]`` requirement); key cells are uniformly
+  classified; key values are non-null; every non-key classification
+  dominates ``C_AK``.
+* **Null integrity** -- null cells are classified at ``C_AK``; no two
+  distinct molecules at the same level subsume each other (tuple-class
+  polyinstantiation is legal, mirroring the relational reading -- see
+  :mod:`repro.mls.integrity`).
+* **Polyinstantiation integrity** -- the FD ``k, C_AK, Ci -> Ai`` holds
+  across molecules of the same predicate.
+
+Note: the paper's own D1 (Figure 10) does *not* satisfy entity integrity
+read literally (its molecule has no key cell), so consistency checking is
+offered as an explicit call rather than forced at load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConsistencyError
+from repro.multilog.admissibility import LatticeContext, check_admissibility
+from repro.multilog.ast import NULL_VALUE, MultiLogDatabase
+from repro.multilog.proof import CellRow, OperationalEngine
+
+
+@dataclass(frozen=True)
+class Molecule:
+    """One m-predicate instance: the cells of ``(pred, key, level)``."""
+
+    pred: str
+    key: object
+    level: str
+    cells: tuple[CellRow, ...]
+
+    def key_cells(self) -> tuple[CellRow, ...]:
+        return tuple(c for c in self.cells if c[3] == self.key)
+
+    def attribute_map(self) -> dict[str, list[CellRow]]:
+        out: dict[str, list[CellRow]] = {}
+        for cell in self.cells:
+            out.setdefault(cell[2], []).append(cell)
+        return out
+
+
+@dataclass
+class ConsistencyReport:
+    """All violations found, grouped by property."""
+
+    entity: list[str] = field(default_factory=list)
+    null: list[str] = field(default_factory=list)
+    polyinstantiation: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.entity or self.null or self.polyinstantiation)
+
+    def all_messages(self) -> list[str]:
+        return (
+            [f"[entity] {m}" for m in self.entity]
+            + [f"[null] {m}" for m in self.null]
+            + [f"[polyinstantiation] {m}" for m in self.polyinstantiation]
+        )
+
+
+def derivable_cells(db: MultiLogDatabase, context: LatticeContext | None = None) -> set[CellRow]:
+    """``[[Sigma]]`` -- cells derivable at some maximal lattice level."""
+    resolved = context if context is not None else check_admissibility(db)
+    cells: set[CellRow] = set()
+    for top in sorted(resolved.lattice.tops()):
+        engine = OperationalEngine(db, top, resolved)
+        cells |= set(engine.cells())
+    return cells
+
+
+def molecules(cells: set[CellRow], db: MultiLogDatabase | None = None) -> list[Molecule]:
+    """Group cells into m-predicate instances.
+
+    Ground molecular facts in Sigma keep their syntactic tuple boundaries
+    (the two polyinstantiated Phantom molecules of Figure 1 both live at
+    level s with key ``phantom``; only the stored grouping tells them
+    apart).  Remaining -- rule-derived -- cells are grouped by
+    ``(pred, key, level)``.
+    """
+    remaining = set(cells)
+    out: list[Molecule] = []
+    if db is not None:
+        for clause in db.secured_clauses:
+            from repro.multilog.ast import MMolecule  # local to avoid cycle
+
+            if not clause.is_fact or not isinstance(clause.head, MMolecule):
+                continue
+            try:
+                rows = tuple(
+                    (
+                        atom.pred,
+                        atom.key.value,        # type: ignore[union-attr]
+                        atom.attr,
+                        atom.value.value,      # type: ignore[union-attr]
+                        str(atom.cls.value),   # type: ignore[union-attr]
+                        str(atom.level.value),  # type: ignore[union-attr]
+                    )
+                    for atom in clause.head.atoms()
+                )
+            except AttributeError:
+                continue  # non-ground molecule fact: handled by grouping below
+            # Match against the full cell set: two molecules may share
+            # cells (e.g. the same key cell asserted by both), so sharing
+            # must not disqualify the second one.
+            if all(row in cells for row in rows):
+                head = clause.head
+                out.append(Molecule(
+                    head.pred,
+                    head.key.value,              # type: ignore[union-attr]
+                    str(head.level.value),       # type: ignore[union-attr]
+                    tuple(sorted(rows, key=repr)),
+                ))
+                remaining -= set(rows)
+    grouped: dict[tuple[str, object, str], list[CellRow]] = {}
+    for cell in remaining:
+        grouped.setdefault((cell[0], cell[1], cell[5]), []).append(cell)
+    out.extend(
+        Molecule(pred, key, level, tuple(sorted(group, key=repr)))
+        for (pred, key, level), group in sorted(grouped.items(), key=repr)
+    )
+    return out
+
+
+def _subsumes(a: Molecule, b: Molecule) -> bool:
+    """Molecule-level subsumption (Definition 5.4, null integrity)."""
+    if a.pred != b.pred or a.key != b.key:
+        return False
+    map_a, map_b = a.attribute_map(), b.attribute_map()
+    if set(map_a) != set(map_b):
+        return False
+    for attr in map_b:
+        pairs_a = {(c[3], c[4]) for c in map_a[attr]}
+        for cell in map_b[attr]:
+            value, cls = cell[3], cell[4]
+            if (value, cls) in pairs_a:
+                continue
+            if value == NULL_VALUE and any(v != NULL_VALUE for v, _c in pairs_a):
+                continue
+            return False
+    return True
+
+
+def check_consistency(db: MultiLogDatabase,
+                      context: LatticeContext | None = None) -> ConsistencyReport:
+    """Run every Definition 5.4 check; returns the full violation report."""
+    resolved = context if context is not None else check_admissibility(db)
+    lattice = resolved.lattice
+    cells = derivable_cells(db, resolved)
+    report = ConsistencyReport()
+    mols = molecules(cells, db)
+
+    # -- entity integrity ---------------------------------------------------
+    # C_AK per molecule *instance* (same-level polyinstantiated molecules
+    # share (pred, key, level), so a dict keyed on those would collide).
+    key_class: dict[int, str] = {}
+    for index, mol in enumerate(mols):
+        label = f"{mol.level}[{mol.pred}({mol.key!r} : ...)]"
+        if mol.key == NULL_VALUE:
+            report.entity.append(f"{label}: apparent key is null")
+            continue
+        key_cells = mol.key_cells()
+        if not key_cells:
+            report.entity.append(
+                f"{label}: no key cell (requires an m-atom "
+                f"{mol.level}[{mol.pred}({mol.key} : a -c-> {mol.key})])"
+            )
+            continue
+        classes = {c[4] for c in key_cells}
+        if len(classes) != 1:
+            report.entity.append(
+                f"{label}: key cells are not uniformly classified ({sorted(classes)})"
+            )
+            continue
+        c_ak = next(iter(classes))
+        key_class[index] = c_ak
+        for cell in mol.cells:
+            if cell in key_cells:
+                continue
+            if not lattice.leq(c_ak, cell[4]):
+                report.entity.append(
+                    f"{label}: classification {cell[4]!r} of attribute {cell[2]!r} "
+                    f"does not dominate C_AK = {c_ak!r}"
+                )
+
+    # -- null integrity -------------------------------------------------------
+    for index, mol in enumerate(mols):
+        c_ak = key_class.get(index)
+        if c_ak is None:
+            continue
+        for cell in mol.cells:
+            if cell[3] == NULL_VALUE and cell[4] != c_ak:
+                report.null.append(
+                    f"{mol.level}[{mol.pred}({mol.key!r})]: null {cell[2]!r} is "
+                    f"classified {cell[4]!r}, not at the key level {c_ak!r}"
+                )
+    for i, a in enumerate(mols):
+        for b in mols[i + 1:]:
+            if a.level != b.level or a.cells == b.cells:
+                continue
+            if _subsumes(a, b) or _subsumes(b, a):
+                report.null.append(
+                    f"molecules {a.level}[{a.pred}({a.key!r})] subsume each other"
+                )
+
+    # -- polyinstantiation integrity ------------------------------------------
+    witnesses: dict[tuple, CellRow] = {}
+    for index, mol in enumerate(mols):
+        c_ak = key_class.get(index)
+        if c_ak is None:
+            continue
+        for cell in mol.cells:
+            fd_lhs = (mol.pred, mol.key, c_ak, cell[2], cell[4])
+            prior = witnesses.get(fd_lhs)
+            if prior is None:
+                witnesses[fd_lhs] = cell
+            elif prior[3] != cell[3]:
+                report.polyinstantiation.append(
+                    f"FD k,C_AK,C_i -> A_i violated for {mol.pred}.{cell[2]}: key "
+                    f"{mol.key!r} at ({c_ak!r}, {cell[4]!r}) maps to both "
+                    f"{prior[3]!r} and {cell[3]!r}"
+                )
+    return report
+
+
+def is_consistent(db: MultiLogDatabase, context: LatticeContext | None = None) -> bool:
+    """Predicate form of :func:`check_consistency`."""
+    return check_consistency(db, context).ok
+
+
+def assert_consistent(db: MultiLogDatabase, context: LatticeContext | None = None) -> None:
+    """Raise :class:`ConsistencyError` listing every violation, if any."""
+    report = check_consistency(db, context)
+    if not report.ok:
+        raise ConsistencyError(
+            "database violates Definition 5.4: " + "; ".join(report.all_messages())
+        )

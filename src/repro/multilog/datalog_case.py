@@ -1,0 +1,76 @@
+"""Proposition 6.1: Datalog is a special case of MultiLog.
+
+A MultiLog database ``<{}, {}, P, {<- G}>`` with a classical Datalog
+program ``P`` behaves exactly like Datalog: the only proof rules that fire
+are EMPTY, AND and DEDUCTION-G, and the answers coincide with a native
+Datalog engine's.
+
+:func:`run_both` pushes the same program through (a) the MultiLog
+operational engine (as a pure-Pi database under the implicit ``system``
+level) and (b) the native bottom-up Datalog engine, and returns both
+answer sets so tests/benches can assert they agree.
+"""
+
+from __future__ import annotations
+
+from repro.datalog import answer_rows, evaluate
+from repro.datalog.parse import parse_atom as parse_datalog_atom
+from repro.datalog.parse import parse_program as parse_datalog_program
+from repro.errors import MultiLogError
+from repro.multilog.ast import Query
+from repro.multilog.parser import parse_query
+from repro.multilog.session import MultiLogSession
+
+
+def as_pure_datalog_database(source: str) -> MultiLogSession:
+    """Load Datalog text as a pure-Pi MultiLog database.
+
+    Positive Datalog syntax is a subset of MultiLog's p-clause syntax, so
+    the MultiLog parser handles it directly.  A program that sneaks in
+    m-/l-/h-clauses is rejected: Proposition 6.1 is about the degenerate
+    case with empty Lambda and Sigma.
+    """
+    session = MultiLogSession(source)
+    db = session.database
+    if db.secured_clauses:
+        raise MultiLogError("not a pure Datalog program: Sigma is non-empty")
+    declared = [
+        c for c in db.lattice_clauses
+        if str(c.head) != "level(system)"
+    ]
+    if declared:
+        raise MultiLogError("not a pure Datalog program: Lambda is non-empty")
+    return session
+
+
+def run_both(program_text: str, query_text: str) -> tuple[set[tuple], set[tuple]]:
+    """Answers of ``query_text`` via MultiLog and via native Datalog.
+
+    Both are returned as sets of ground argument tuples of the goal atom.
+    """
+    # Native Datalog.
+    native_program = parse_datalog_program(program_text)
+    goal = parse_datalog_atom(query_text)
+    native = answer_rows(evaluate(native_program), goal)
+
+    # Through MultiLog.
+    session = as_pure_datalog_database(program_text)
+    query: Query = parse_query(query_text)
+    goal_args = goal.args
+    multilog: set[tuple] = set()
+    for answer in session.ask(query):
+        row = []
+        for arg in goal_args:
+            name = getattr(arg, "name", None)
+            if name is not None:
+                row.append(answer[name])
+            else:
+                row.append(arg.value)  # type: ignore[union-attr]
+        multilog.add(tuple(row))
+    return multilog, native
+
+
+def proposition_holds(program_text: str, query_text: str) -> bool:
+    """True when both engines return identical answers (Proposition 6.1)."""
+    multilog, native = run_both(program_text, query_text)
+    return multilog == native

@@ -1,0 +1,192 @@
+"""Section 7 extensions: FILTER, FILTER-NULL and the sigma'd views.
+
+The core MultiLog semantics deliberately omits the Jajodia-Sandhu filter
+function sigma (it is what manufactures surprise stories).  Section 7
+shows how to add it back orthogonally with two proof rules:
+
+* **FILTER** -- a lower level inherits the part of a higher-level tuple
+  whose data elements are classified at or below it;
+* **FILTER-NULL** -- elements classified *above* the observing level are
+  inherited as nulls (classified at the key level, per null integrity).
+
+:func:`filtered_cells` implements both rules on top of a computed
+:class:`~repro.multilog.proof.OperationalEngine`, which makes the
+J-S views of Figures 2-3 reproducible from the deductive side; the
+``bench_fig13_extensions`` bench cross-checks them against the
+relational :func:`repro.mls.views.view_at`.
+
+User-defined belief modes (the USER-BELIEF rule) need no extension code:
+they are ordinary ``bel/7`` clauses in Pi -- see
+:data:`USER_MODE_EXAMPLE` for the pattern.
+"""
+
+from __future__ import annotations
+
+from repro.multilog.ast import NULL_VALUE
+from repro.multilog.proof import CellRow, OperationalEngine
+
+
+def filtered_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
+    """The sigma-filtered cell view at ``level`` (FILTER + FILTER-NULL).
+
+    A molecule ``(pred, key, tc)`` contributes at ``level`` when its key
+    cell is classified at or below ``level`` -- even when ``tc`` itself is
+    higher (that is precisely the downward inheritance the core semantics
+    refuses to do).  Visible cells keep value and classification (FILTER);
+    hidden cells surface as nulls classified at the key level
+    (FILTER-NULL).  The reported level of every inherited cell is
+    ``min(tc, level)`` -- i.e. ``level`` when the tuple descends.
+    """
+    lattice = engine.lattice
+    lattice.check_level(level)
+    if not lattice.leq(level, engine.clearance):
+        # No read-up: a session may only compute filtered views at or
+        # below its own clearance.
+        raise PermissionError(
+            f"cannot compute the filtered view at {level!r} from a session "
+            f"cleared at {engine.clearance!r}"
+        )
+    from repro.multilog.consistency import molecules  # deferred: avoids a cycle
+
+    out: set[CellRow] = set()
+    for molecule in molecules(set(engine.cells()), engine.db):
+        key_cells = molecule.key_cells()
+        if not key_cells:
+            continue
+        key_cls = sorted(c[4] for c in key_cells)[0]
+        if not lattice.leq(key_cls, level):
+            continue  # the key itself is invisible: the molecule vanishes
+        tc = molecule.level
+        shown_level = tc if lattice.leq(tc, level) else level
+        for cell in molecule.cells:
+            if lattice.leq(cell[4], level):
+                out.add((molecule.pred, molecule.key, cell[2], cell[3],
+                         cell[4], shown_level))                              # FILTER
+            else:
+                out.add((molecule.pred, molecule.key, cell[2], NULL_VALUE,
+                         key_cls, shown_level))                              # FILTER-NULL
+    return out
+
+
+def surprise_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
+    """Null cells of filtered molecules no other molecule papers over.
+
+    These are the deductive image of the paper's surprise stories: the
+    observer at ``level`` sees that a value exists above her but cannot
+    see it.  A null-bearing filtered molecule is *covered* (no surprise)
+    when another filtered molecule with the same key strictly subsumes it
+    cell-for-cell -- the relational subsumption rule recast on cells.
+    """
+    from repro.multilog.consistency import molecules  # deferred: cycle
+
+    lattice = engine.lattice
+    lattice.check_level(level)
+    filtered_by_molecule: list[dict[str, CellRow]] = []
+    for molecule in molecules(set(engine.cells()), engine.db):
+        key_cells = molecule.key_cells()
+        if not key_cells:
+            continue
+        key_cls = sorted(c[4] for c in key_cells)[0]
+        if not lattice.leq(key_cls, level):
+            continue
+        tc = molecule.level
+        shown_level = tc if lattice.leq(tc, level) else level
+        per_attr: dict[str, CellRow] = {}
+        for cell in molecule.cells:
+            if lattice.leq(cell[4], level):
+                per_attr[cell[2]] = (molecule.pred, molecule.key, cell[2],
+                                     cell[3], cell[4], shown_level)
+            else:
+                per_attr[cell[2]] = (molecule.pred, molecule.key, cell[2],
+                                     NULL_VALUE, key_cls, shown_level)
+        filtered_by_molecule.append(per_attr)
+
+    def covers(a: dict[str, CellRow], b: dict[str, CellRow]) -> bool:
+        """a strictly subsumes b (same key, cell-wise more informative)."""
+        if a is b or set(a) != set(b):
+            return False
+        sample_a, sample_b = next(iter(a.values())), next(iter(b.values()))
+        if (sample_a[0], sample_a[1]) != (sample_b[0], sample_b[1]):
+            return False
+        for attr in b:
+            va, ca = a[attr][3], a[attr][4]
+            vb, cb = b[attr][3], b[attr][4]
+            if (va, ca) == (vb, cb):
+                continue
+            if vb == NULL_VALUE and va != NULL_VALUE:
+                continue
+            return False
+        return True
+
+    surprises: set[CellRow] = set()
+    for molecule_cells in filtered_by_molecule:
+        nulls = [c for c in molecule_cells.values() if c[3] == NULL_VALUE]
+        if not nulls:
+            continue
+        if any(covers(other, molecule_cells) for other in filtered_by_molecule):
+            continue
+        surprises.update(nulls)
+    return surprises
+
+
+def filter_proof(engine: OperationalEngine, filtered: CellRow,
+                 level: str) -> "ProofTree":
+    """A Figure 13 proof tree for one sigma-filtered cell at ``level``.
+
+    FILTER inherits a visible cell from a dominating molecule (premises:
+    ``level <= R`` and ``c <= level`` plus the source cell's own
+    DEDUCTION-G' derivation); FILTER-NULL inherits a null when the source
+    cell's classification strictly dominates the observing level.
+    """
+    from repro.multilog.consistency import molecules  # deferred: cycle
+    from repro.multilog.proof import Prover, ProofTree
+
+    lattice = engine.lattice
+    prover = Prover(engine)
+    pred, key, attr, value, cls, shown = filtered
+    for molecule in molecules(set(engine.cells()), engine.db):
+        if molecule.pred != pred or molecule.key != key:
+            continue
+        key_cells = molecule.key_cells()
+        if not key_cells:
+            continue
+        key_cls = sorted(c[4] for c in key_cells)[0]
+        if not lattice.leq(key_cls, level):
+            continue
+        for cell in molecule.cells:
+            if cell[2] != attr:
+                continue
+            source_visible = lattice.leq(cell[4], level)
+            if value != NULL_VALUE:
+                if not source_visible or cell[3] != value or cell[4] != cls:
+                    continue
+                rule, note = "FILTER", "inherit the dominated part of the tuple"
+            else:
+                if source_visible or cls != key_cls:
+                    continue
+                rule, note = "FILTER-NULL", "element classified above the observer"
+            if lattice.leq(molecule.level, level):
+                # Not a downward inheritance at all: the molecule is
+                # ordinarily visible, so the plain derivation suffices.
+                return prover._explain_cell(cell)
+            conclusion = (f"<D, {engine.clearance}> |- "
+                          f"{level}[{pred}({key} : {attr} -{cls}-> {value})]")
+            premises = (
+                prover.leq_tree(level, molecule.level),   # l <= R (descend)
+                prover._explain_cell(cell),               # the source cell
+            )
+            return ProofTree(rule, conclusion, premises, note=note)
+    raise ValueError(f"{filtered!r} is not a sigma-filtered cell at {level!r}")
+
+
+#: A worked example of a user-defined belief mode (Section 7):
+#: "corroborated" believes a cell at H only when it is firmly asserted at
+#: H *and* also visible at some strictly lower level -- i.e. higher data
+#: confirmed by a lower source.  User modes are plain bel/7 rules in Pi
+#: that may build on the built-in modes.
+USER_MODE_EXAMPLE = """
+bel(P, K, A, V, C, H, corroborated) :-
+    bel(P, K, A, V, C, H, fir),
+    bel(P, K, A, V, C, L, opt),
+    order(L, H).
+"""

@@ -1,0 +1,324 @@
+"""Concrete syntax for MultiLog programs.
+
+The syntax follows the paper's notation as closely as ASCII allows::
+
+    % Lambda: the security lattice
+    level(u).  level(c).  level(s).
+    order(u, c).  order(c, s).
+
+    % Sigma: secured data, atomic or molecular
+    u[p(k : a -u-> v)].
+    s[mission(avenger : starship -s-> avenger; objective -s-> shipping;
+              destination -s-> pluto)].
+    c[p(k : a -c-> t)] :- q(j).
+    s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau.
+
+    % Pi: ordinary clauses
+    q(j).
+
+    % Queries
+    ?- c[p(k : a -u-> v)] << opt.
+
+Details:
+
+* ``a -c-> v`` writes the paper's labelled arrow; ``a -> v`` uses a
+  *don't-care* classification (Section 7), which parses as a fresh
+  variable.
+* Identifiers starting upper-case (or ``_``) are variables; a bare ``_``
+  is an anonymous (fresh) variable.
+* ``<< mode`` builds a b-atom; the mode may be a variable.
+* ``%`` starts a comment; molecule separators may be ``;`` or ``,``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import MultiLogSyntaxError
+from repro.multilog.ast import (
+    BAtom,
+    BMolecule,
+    BodyAtom,
+    Clause,
+    HAtom,
+    HeadAtom,
+    LAtom,
+    MAtom,
+    MMolecule,
+    MultiLogDatabase,
+    PAtom,
+    Query,
+)
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<query>\?-)
+  | (?P<implies>:-)
+  | (?P<believes><<)
+  | (?P<arrow>->)
+  | (?P<punct>[\[\]():;,.\-])
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>'[^']*')
+    """,
+    re.VERBOSE,
+)
+
+_ANON = itertools.count()
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(source):
+        match = _TOKEN.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise MultiLogSyntaxError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        text = match.group()
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, text, line, position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self, offset: int = 0) -> _Token | None:
+        index = self._index + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            raise MultiLogSyntaxError(
+                "unexpected end of input",
+                last.line if last else 1,
+                last.column if last else 1,
+            )
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise MultiLogSyntaxError(
+                f"expected {text!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _error(self, message: str, token: _Token) -> MultiLogSyntaxError:
+        return MultiLogSyntaxError(message, token.line, token.column)
+
+    # -- terms ----------------------------------------------------------
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "name":
+            if token.text == "_":
+                return Variable(f"_Anon{next(_ANON)}")
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        if token.kind == "number":
+            return Constant(float(token.text) if "." in token.text else int(token.text))
+        if token.kind == "string":
+            return Constant(token.text[1:-1])
+        raise self._error(f"expected a term, found {token.text!r}", token)
+
+    # -- atoms ----------------------------------------------------------
+    def _is_m_start(self) -> bool:
+        first = self._peek()
+        second = self._peek(1)
+        return (
+            first is not None and first.kind in ("name", "number", "string")
+            and second is not None and second.text == "["
+        )
+
+    def _m_atom_or_molecule(self) -> MAtom | MMolecule:
+        level = self._term()
+        self._expect("[")
+        pred_token = self._next()
+        if pred_token.kind != "name" or pred_token.text[0].isupper():
+            raise self._error(
+                f"expected a predicate name, found {pred_token.text!r}", pred_token
+            )
+        pred = pred_token.text
+        self._expect("(")
+        key = self._term()
+        self._expect(":")
+        assignments: list[tuple[str, Term, Term]] = []
+        while True:
+            attr_token = self._next()
+            if attr_token.kind != "name" or attr_token.text[0].isupper():
+                raise self._error(
+                    f"expected an attribute name, found {attr_token.text!r}", attr_token
+                )
+            cls, value = self._arrow_tail()
+            assignments.append((attr_token.text, cls, value))
+            separator = self._next()
+            if separator.text == ")":
+                break
+            if separator.text not in (";", ","):
+                raise self._error(
+                    f"expected ';', ',' or ')', found {separator.text!r}", separator
+                )
+        self._expect("]")
+        if len(assignments) == 1:
+            attr, cls, value = assignments[0]
+            return MAtom(level, pred, key, attr, cls, value)
+        return MMolecule(level, pred, key, tuple(assignments))
+
+    def _arrow_tail(self) -> tuple[Term, Term]:
+        """Parse ``-c-> v`` or the don't-care ``-> v`` after an attribute."""
+        token = self._next()
+        if token.text == "->":
+            return Variable(f"_Care{next(_ANON)}"), self._term()
+        if token.text == "-":
+            cls = self._term()
+            self._expect("->")
+            return cls, self._term()
+        raise self._error(
+            f"expected '-level->' or '->', found {token.text!r}", token
+        )
+
+    def _p_atom(self) -> PAtom | LAtom | HAtom:
+        name_token = self._next()
+        if name_token.kind != "name" or name_token.text[0].isupper() or name_token.text[0] == "_":
+            raise self._error(
+                f"expected a predicate name, found {name_token.text!r}", name_token
+            )
+        name = name_token.text
+        args: list[Term] = []
+        if self._peek() is not None and self._peek().text == "(":
+            self._expect("(")
+            args.append(self._term())
+            while True:
+                token = self._next()
+                if token.text == ")":
+                    break
+                if token.text != ",":
+                    raise self._error(f"expected ',' or ')', found {token.text!r}", token)
+                args.append(self._term())
+        if name == "level" and len(args) == 1:
+            return LAtom(args[0])
+        if name == "order" and len(args) == 2:
+            return HAtom(args[0], args[1])
+        return PAtom(name, tuple(args))
+
+    def _body_atom(self) -> BodyAtom:
+        if self._is_m_start():
+            matom = self._m_atom_or_molecule()
+            token = self._peek()
+            if token is not None and token.text == "<<":
+                self._next()
+                mode = self._term()
+                if isinstance(matom, MMolecule):
+                    return BMolecule(matom, mode)
+                return BAtom(matom, mode)
+            return matom
+        return self._p_atom()
+
+    def _head_atom(self) -> HeadAtom:
+        if self._is_m_start():
+            matom = self._m_atom_or_molecule()
+            token = self._peek()
+            if token is not None and token.text == "<<":
+                raise self._error("b-atoms may not appear in clause heads", token)
+            return matom
+        return self._p_atom()
+
+    # -- clauses ----------------------------------------------------------
+    def _body(self) -> tuple[BodyAtom, ...]:
+        atoms = [self._body_atom()]
+        while True:
+            token = self._next()
+            if token.text == ".":
+                return tuple(atoms)
+            if token.text != ",":
+                raise self._error(f"expected ',' or '.', found {token.text!r}", token)
+            atoms.append(self._body_atom())
+
+    def parse_clause_or_query(self) -> Clause | Query:
+        token = self._peek()
+        if token is not None and token.text == "?-":
+            self._next()
+            return Query(self._body())
+        head = self._head_atom()
+        token = self._next()
+        if token.text == ".":
+            return Clause(head, ())
+        if token.text != ":-":
+            raise self._error(f"expected ':-' or '.', found {token.text!r}", token)
+        return Clause(head, self._body())
+
+    def parse_database(self) -> MultiLogDatabase:
+        database = MultiLogDatabase()
+        while self._peek() is not None:
+            item = self.parse_clause_or_query()
+            if isinstance(item, Query):
+                database.add_query(item)
+            else:
+                database.add(item)
+        return database
+
+
+def parse_database(source: str) -> MultiLogDatabase:
+    """Parse MultiLog source text into a database ``<Lambda, Sigma, Pi, Q>``."""
+    return _Parser(_tokenize(source)).parse_database()
+
+
+def parse_query(source: str) -> Query:
+    """Parse a single query (with or without the leading ``?-``)."""
+    text = source.strip()
+    if not text.startswith("?-"):
+        text = "?- " + text
+    if not text.rstrip().endswith("."):
+        text = text + "."
+    parser = _Parser(_tokenize(text))
+    item = parser.parse_clause_or_query()
+    if parser._peek() is not None:
+        token = parser._peek()
+        raise MultiLogSyntaxError("trailing tokens after query", token.line, token.column)
+    assert isinstance(item, Query)
+    return item
+
+
+def parse_clause(source: str) -> Clause:
+    """Parse a single clause."""
+    parser = _Parser(_tokenize(source.strip()))
+    item = parser.parse_clause_or_query()
+    if not isinstance(item, Clause):
+        raise MultiLogSyntaxError("expected a clause, found a query")
+    if parser._peek() is not None:
+        token = parser._peek()
+        raise MultiLogSyntaxError("trailing tokens after clause", token.line, token.column)
+    return item

@@ -1,0 +1,161 @@
+"""The high-level MultiLog API: sessions bound to a clearance.
+
+A :class:`MultiLogSession` wraps one database at one database level
+(Definition 5.5) and exposes querying through either semantics:
+
+>>> from repro.multilog import MultiLogSession
+>>> session = MultiLogSession('''
+...     level(u). level(s). order(u, s).
+...     u[acct(alice : balance -u-> 100)].
+...     s[acct(alice : balance -s-> 900)].
+... ''', clearance="s")
+>>> session.ask("s[acct(alice : balance -C-> B)] << cau")
+[{'B': 900, 'C': 's'}]
+
+Queries default to the operational engine; ``engine="reduction"`` runs
+the same query through the tau translation and the Datalog back-end
+(Theorem 6.1 says the answers agree -- the test suite checks it).
+"""
+
+from __future__ import annotations
+
+from repro.datalog.terms import Constant
+from repro.errors import MultiLogError, UnknownModeError
+from repro.multilog.admissibility import LatticeContext, check_admissibility
+from repro.multilog.ast import Clause, LAtom, MultiLogDatabase, Query
+from repro.multilog.consistency import ConsistencyReport, check_consistency
+from repro.multilog.parser import parse_clause, parse_database, parse_query
+from repro.multilog.proof import (
+    BUILTIN_MODES,
+    CellRow,
+    OperationalEngine,
+    ProofTree,
+    Prover,
+)
+from repro.multilog.reduction import ReducedProgram, translate
+
+#: Level injected when a program declares no lattice at all -- the
+#: degenerate Datalog case of Proposition 6.1 ("perhaps system").
+SYSTEM_LEVEL = "system"
+
+
+class MultiLogSession:
+    """One user's view of a MultiLog database at a fixed clearance."""
+
+    def __init__(self, source: str | MultiLogDatabase, clearance: str | None = None):
+        if isinstance(source, str):
+            self.database = parse_database(source)
+        else:
+            self.database = source
+        if not self.database.lattice_clauses:
+            self.database.add(Clause(LAtom(Constant(SYSTEM_LEVEL))))
+        self.context: LatticeContext = check_admissibility(self.database)
+        if clearance is None:
+            tops = sorted(self.context.lattice.tops())
+            if len(tops) != 1:
+                raise MultiLogError(
+                    "clearance not given and the lattice has no unique top; "
+                    f"choose one of {tops}"
+                )
+            clearance = tops[0]
+        self.clearance = self.context.lattice.check_level(clearance)
+        self._engine: OperationalEngine | None = None
+        self._reduced: ReducedProgram | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def lattice(self):
+        return self.context.lattice
+
+    @property
+    def engine(self) -> OperationalEngine:
+        if self._engine is None:
+            self._engine = OperationalEngine(self.database, self.clearance, self.context)
+        return self._engine
+
+    @property
+    def reduced(self) -> ReducedProgram:
+        """The tau-translated Datalog program (Section 6), cached."""
+        if self._reduced is None:
+            self._reduced = translate(self.database, self.clearance, self.context)
+        return self._reduced
+
+    @property
+    def modes(self) -> frozenset[str]:
+        return self.engine.modes
+
+    def with_clearance(self, clearance: str) -> "MultiLogSession":
+        """A sibling session over the same database at another level."""
+        return MultiLogSession(self.database, clearance)
+
+    # ------------------------------------------------------------------
+    def ask(self, query: str | Query, engine: str = "operational") -> list[dict[str, object]]:
+        """Answer a query; one ``{variable: value}`` dict per answer."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if engine == "operational":
+            return self.engine.solve(parsed)
+        if engine == "reduction":
+            return self.reduced.query(parsed)
+        raise MultiLogError(f"unknown engine {engine!r}; use 'operational' or 'reduction'")
+
+    def holds(self, query: str | Query, engine: str = "operational") -> bool:
+        """True when the (possibly ground) query has at least one answer."""
+        return bool(self.ask(query, engine))
+
+    def prove(self, query: str | Query) -> ProofTree | None:
+        """A Figure 11-style proof tree for the query, or ``None``."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return Prover(self.engine).prove(parsed)
+
+    def proofs(self, query: str | Query) -> list[tuple[dict[str, object], ProofTree]]:
+        """All answers, each with a proof tree."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return Prover(self.engine).prove_query(parsed)
+
+    # ------------------------------------------------------------------
+    def believed_cells(self, mode: str, level: str | None = None) -> list[CellRow]:
+        """Cells believed in ``mode`` at ``level`` (default: own clearance)."""
+        at = self.clearance if level is None else level
+        if not self.lattice.leq(at, self.clearance):
+            raise MultiLogError(
+                f"no read-up: cannot ask for beliefs at {at!r} from clearance "
+                f"{self.clearance!r}"
+            )
+        if mode not in self.modes:
+            raise UnknownModeError(f"unknown belief mode {mode!r}; have {sorted(self.modes)}")
+        if mode in BUILTIN_MODES:
+            return self.engine.believed_cells(mode, at)
+        rows = []
+        for (pred, args), _round in self.engine.pfacts().items():
+            if pred == "bel" and len(args) == 7 and args[5] == at and args[6] == mode:
+                rows.append((args[0], args[1], args[2], args[3], args[4], at))
+        return rows
+
+    def cells(self) -> list[CellRow]:
+        """Every m-cell derivable at this session's clearance."""
+        return sorted(self.engine.cells(), key=repr)
+
+    def check_consistency(self) -> ConsistencyReport:
+        """Run the Definition 5.4 checks over ``[[Sigma]]``."""
+        return check_consistency(self.database, self.context)
+
+    def run_stored_queries(self, engine: str = "operational") -> list[tuple[Query, list[dict[str, object]]]]:
+        """Answer every query stored in the database's Q component.
+
+        Definition 5.1 makes queries part of the database
+        ``<Lambda, Sigma, Pi, Q>``; this evaluates them all at the session
+        clearance, in order.
+        """
+        return [
+            (query, self.ask(query, engine=engine))
+            for query in self.database.queries
+        ]
+
+    # ------------------------------------------------------------------
+    def assert_clause(self, clause: str | Clause) -> None:
+        """Add a clause and invalidate the cached engines."""
+        parsed = parse_clause(clause) if isinstance(clause, str) else clause
+        self.database.add(parsed)
+        self.context = check_admissibility(self.database)
+        self._engine = None
+        self._reduced = None

@@ -1,0 +1,20 @@
+"""Figure regeneration and table rendering (the evaluation artifacts)."""
+
+from repro.reporting.figures import Figure, all_figures
+from repro.reporting.tables import (
+    relation_headers,
+    relation_table,
+    render_table,
+    rows_signature,
+    tuple_row,
+)
+
+__all__ = [
+    "Figure",
+    "all_figures",
+    "relation_headers",
+    "relation_table",
+    "render_table",
+    "rows_signature",
+    "tuple_row",
+]

@@ -1,0 +1,79 @@
+"""ASCII rendering of multilevel relations in the paper's figure layout.
+
+Figures 1-3 and 6-8 all share one shape: a Tid column, ``value  class``
+column pairs for each attribute, and a TC column.  :func:`relation_table`
+reproduces it; :func:`render_table` is the generic grid renderer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.mls.relation import MLSRelation
+from repro.mls.tuples import MLSTuple, NULL
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A plain ASCII grid with a header rule."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(list(headers)), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _display(value: object) -> str:
+    return "⊥" if value is NULL else str(value)
+
+
+def tuple_row(t: MLSTuple, tid: str = "") -> list[str]:
+    """One figure-style row: tid, value/class pairs, TC."""
+    row = [tid] if tid else []
+    for attr in t.schema.attributes:
+        cell = t.cell(attr)
+        row.append(_display(cell.value))
+        row.append(cell.cls.upper())
+    row.append(t.tc.upper())
+    return row
+
+
+def relation_headers(relation: MLSRelation, with_tid: bool = True) -> list[str]:
+    headers = ["Tid"] if with_tid else []
+    for attr in relation.schema.attributes:
+        headers.append(attr.capitalize())
+        headers.append("C")
+    headers.append("TC")
+    return headers
+
+
+def relation_table(relation: MLSRelation,
+                   tids: dict[str, MLSTuple] | None = None,
+                   order: Sequence[str] | None = None) -> str:
+    """Render a relation the way the paper's figures do.
+
+    ``tids`` maps tuple ids to tuples (tuples not covered get blank ids);
+    ``order`` fixes the row order by tid (default: relation order).
+    """
+    inverse: dict[MLSTuple, str] = {}
+    if tids:
+        for tid, t in tids.items():
+            inverse[t] = tid
+    ordered: list[MLSTuple]
+    if order and tids:
+        ordered = [tids[tid] for tid in order if tid in tids and tids[tid] in set(relation)]
+        remaining = [t for t in relation if t not in set(ordered)]
+        ordered.extend(remaining)
+    else:
+        ordered = list(relation)
+    rows = [tuple_row(t, inverse.get(t, "")) for t in ordered]
+    return render_table(relation_headers(relation), rows)
+
+
+def rows_signature(relation: MLSRelation) -> set[tuple]:
+    """A hashable signature of a relation's contents (for figure asserts)."""
+    return {t.as_row() for t in relation}

@@ -1,0 +1,53 @@
+"""Canonical and synthetic workloads.
+
+* :mod:`~repro.workloads.mission` -- the paper's Mission relation
+  (Figure 1), its update history, and the Jukic-Vrbsky annotation.
+* :mod:`~repro.workloads.d1` -- database D1 (Figure 10) and the MultiLog
+  encoding of Mission (Example 5.1).
+* :mod:`~repro.workloads.generator` -- seeded random relations, lattices,
+  MultiLog databases and Datalog programs for scaling benches.
+"""
+
+from repro.workloads.d1 import (
+    D1_SOURCE,
+    d1_database,
+    d1_query,
+    mission_multilog,
+    mission_multilog_source,
+)
+from repro.workloads.generator import (
+    make_lattice,
+    random_datalog_program,
+    random_mls_relation,
+    random_multilog_database,
+)
+from repro.workloads.mission import (
+    FIGURE5_EXPECTED,
+    MISSION_ATTRIBUTES,
+    MISSION_ROWS,
+    jv_mission,
+    mission_lattice,
+    mission_relation,
+    mission_schema,
+    mission_via_updates,
+)
+
+__all__ = [
+    "D1_SOURCE",
+    "FIGURE5_EXPECTED",
+    "MISSION_ATTRIBUTES",
+    "MISSION_ROWS",
+    "d1_database",
+    "d1_query",
+    "jv_mission",
+    "make_lattice",
+    "mission_lattice",
+    "mission_multilog",
+    "mission_multilog_source",
+    "mission_relation",
+    "mission_schema",
+    "mission_via_updates",
+    "random_datalog_program",
+    "random_mls_relation",
+    "random_multilog_database",
+]

@@ -1,0 +1,90 @@
+"""Database D1 (Figure 10) and the MultiLog encoding of Mission (Example 5.1).
+
+D1 source (verbatim modulo ASCII arrows)::
+
+    r1-r5:  level(u). level(c). level(s). order(u,c). order(c,s).
+    r6:     u[p(k : a -u-> v)].
+    r7:     c[p(k : a -c-> t)] :- q(j).
+    r8:     s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau.
+    r9:     q(j).
+    r10:    ?- c[p(k : a -u-> v)] << opt.
+
+Example 5.2 proves r10 at database level c; the proof tree is Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.multilog.ast import MultiLogDatabase, Query
+from repro.multilog.parser import parse_database, parse_query
+
+D1_SOURCE = """
+% Lambda
+level(u).
+level(c).
+level(s).
+order(u, c).
+order(c, s).
+
+% Sigma
+u[p(k : a -u-> v)].
+c[p(k : a -c-> t)] :- q(j).
+s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau.
+
+% Pi
+q(j).
+
+% Query r10
+?- c[p(k : a -u-> v)] << opt.
+"""
+
+
+def d1_database() -> MultiLogDatabase:
+    """Figure 10's D1, parsed from its source text."""
+    return parse_database(D1_SOURCE)
+
+
+def d1_query() -> Query:
+    """The r10 query of Example 5.2."""
+    return parse_query("c[p(k : a -u-> v)] << opt")
+
+
+def mission_multilog_source() -> str:
+    """The Mission relation of Figure 1 encoded in MultiLog molecules.
+
+    Example 5.1 shows t1's encoding; this extends it to the whole
+    relation.  Tuple-class polyinstantiation (t2/t6/t7) becomes three
+    molecules differing only in the head level.
+    """
+    rows = [
+        ("s", "avenger", [("starship", "s", "avenger"), ("objective", "s", "shipping"),
+                          ("destination", "s", "pluto")]),
+        ("s", "atlantis", [("starship", "u", "atlantis"), ("objective", "u", "diplomacy"),
+                           ("destination", "u", "vulcan")]),
+        ("s", "voyager", [("starship", "u", "voyager"), ("objective", "s", "spying"),
+                          ("destination", "u", "mars")]),
+        ("s", "phantom", [("starship", "u", "phantom"), ("objective", "s", "spying"),
+                          ("destination", "u", "omega")]),
+        ("s", "phantom", [("starship", "c", "phantom"), ("objective", "s", "supply"),
+                          ("destination", "s", "venus")]),
+        ("c", "atlantis", [("starship", "u", "atlantis"), ("objective", "u", "diplomacy"),
+                           ("destination", "u", "vulcan")]),
+        ("u", "atlantis", [("starship", "u", "atlantis"), ("objective", "u", "diplomacy"),
+                           ("destination", "u", "vulcan")]),
+        ("u", "voyager", [("starship", "u", "voyager"), ("objective", "u", "training"),
+                          ("destination", "u", "mars")]),
+        ("u", "falcon", [("starship", "u", "falcon"), ("objective", "u", "piracy"),
+                         ("destination", "u", "venus")]),
+        ("u", "eagle", [("starship", "u", "eagle"), ("objective", "u", "patrolling"),
+                        ("destination", "u", "degoba")]),
+    ]
+    lines = ["level(u).", "level(c).", "level(s).", "level(t).",
+             "order(u, c).", "order(c, s).", "order(s, t)."]
+    for level, key, cells in rows:
+        inner = "; ".join(f"{attr} -{cls}-> {value}" for attr, cls, value in cells)
+        lines.append(f"{level}[mission({key} : {inner})].")
+    return "\n".join(lines)
+
+
+def mission_multilog() -> MultiLogDatabase:
+    """The Mission relation as a MultiLog database."""
+    return parse_database(mission_multilog_source())

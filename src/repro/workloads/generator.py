@@ -1,0 +1,167 @@
+"""Seeded synthetic workload generators for tests and benchmarks.
+
+The paper evaluates by worked example only; the scaling benches (the
+comparison the paper defers to future work) need larger inputs.  All
+generators take a ``seed`` and are deterministic given it.
+
+* :func:`random_mls_relation` -- integrity-respecting multilevel
+  relations with controllable polyinstantiation and classification skew;
+* :func:`random_multilog_database` -- MultiLog databases: lattice +
+  molecule facts + optional level-acyclic belief rules (kept acyclic so
+  both semantics are defined -- see DESIGN.md);
+* :func:`random_datalog_program` -- classical graph/ancestor programs for
+  the engine ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lattice import SecurityLattice, chain, diamond, random_lattice
+from repro.mls.relation import MLSRelation
+from repro.mls.schema import MLSchema
+from repro.mls.tuples import Cell, MLSTuple
+from repro.multilog.ast import MultiLogDatabase
+from repro.multilog.bridge import relation_to_multilog
+from repro.multilog.parser import parse_clause
+
+
+def make_lattice(shape: str, n_levels: int = 4, seed: int | None = None) -> SecurityLattice:
+    """A lattice of the requested shape: ``chain``, ``diamond`` or ``random``."""
+    if shape == "chain":
+        return chain([f"l{i}" for i in range(n_levels)])
+    if shape == "diamond":
+        return diamond()
+    if shape == "random":
+        return random_lattice(n_levels, seed=seed)
+    raise ValueError(f"unknown lattice shape {shape!r}")
+
+
+def random_mls_relation(
+    n_tuples: int,
+    lattice: SecurityLattice | None = None,
+    n_attributes: int = 3,
+    n_keys: int | None = None,
+    polyinstantiation_rate: float = 0.3,
+    seed: int = 0,
+    name: str = "r",
+) -> MLSRelation:
+    """A random multilevel relation satisfying the core integrity properties.
+
+    ``polyinstantiation_rate`` controls how often a new tuple reuses an
+    existing apparent key at a different (key classification, tuple class)
+    -- the ingredient that makes belief modes disagree.  The FD
+    ``AK, C_AK, Ci -> Ai`` is enforced by witness reuse.
+    """
+    rng = random.Random(seed)
+    resolved = lattice if lattice is not None else chain(["u", "c", "s", "t"])
+    attributes = ["k"] + [f"a{i}" for i in range(1, n_attributes)]
+    schema = MLSchema(name, attributes, key="k", lattice=resolved)
+    levels = sorted(resolved.levels)
+    key_budget = n_keys if n_keys is not None else max(1, n_tuples // 2)
+    keys = [f"key{i}" for i in range(key_budget)]
+    relation = MLSRelation(schema)
+    fd_witness: dict[tuple, object] = {}
+    used_keys: list[str] = []
+
+    for index in range(n_tuples):
+        if used_keys and rng.random() < polyinstantiation_rate:
+            key = rng.choice(used_keys)
+        else:
+            key = keys[index % len(keys)]
+        if key not in used_keys:
+            used_keys.append(key)
+        key_cls = rng.choice(levels)
+        # Picking TC first keeps every choice valid on arbitrary partial
+        # orders: cell classes come from the interval [key_cls, tc].
+        tc = rng.choice(sorted(resolved.up_set(key_cls)))
+        interval = sorted(resolved.up_set(key_cls) & resolved.down_set(tc))
+        cells: dict[str, Cell] = {"k": Cell(key, key_cls)}
+        for attr in attributes[1:]:
+            cls = rng.choice(interval)
+            fd_lhs = (key, key_cls, attr, cls)
+            if fd_lhs in fd_witness:
+                value = fd_witness[fd_lhs]
+            else:
+                value = f"v{rng.randrange(10 * max(1, n_tuples))}"
+                fd_witness[fd_lhs] = value
+            cells[attr] = Cell(value, cls)
+        relation.add(MLSTuple(schema, cells, tc=tc))
+    return relation
+
+
+def random_multilog_database(
+    n_tuples: int,
+    lattice: SecurityLattice | None = None,
+    n_attributes: int = 3,
+    polyinstantiation_rate: float = 0.3,
+    belief_rules: int = 0,
+    plain_facts: int = 0,
+    seed: int = 0,
+) -> MultiLogDatabase:
+    """A random MultiLog database: molecule facts + optional belief rules.
+
+    Belief rules have the shape
+    ``h[p(K : a -C-> V)] :- l[p(K : a -C-> V)] << mode`` with the head
+    level ``h`` strictly dominating the believed level ``l``, which keeps
+    the belief recursion level-acyclic (both semantics are total).
+    """
+    rng = random.Random(seed)
+    resolved = lattice if lattice is not None else chain(["u", "c", "s", "t"])
+    relation = random_mls_relation(
+        n_tuples, resolved, n_attributes,
+        polyinstantiation_rate=polyinstantiation_rate, seed=seed, name="p",
+    )
+    db = relation_to_multilog(relation)
+    attributes = relation.schema.attributes
+    ordered_pairs = [
+        (low, high)
+        for low in sorted(resolved.levels)
+        for high in sorted(resolved.levels)
+        if resolved.lt(low, high)
+    ]
+    for index in range(belief_rules):
+        if not ordered_pairs:
+            break
+        low, high = rng.choice(ordered_pairs)
+        mode = rng.choice(["fir", "opt", "cau"])
+        attr = rng.choice(attributes)
+        derived = f"derived{index}"
+        db.add(parse_clause(
+            f"{high}[p(K : {attr} -{high}-> {derived})] :- "
+            f"{low}[p(K : {attr} -C-> V)] << {mode}."
+        ))
+    for index in range(plain_facts):
+        db.add(parse_clause(f"aux(c{index}, c{rng.randrange(max(1, plain_facts))})."))
+    return db
+
+
+def random_datalog_program(
+    n_nodes: int,
+    shape: str = "chain",
+    seed: int = 0,
+) -> str:
+    """Source text of a classical transitive-closure workload.
+
+    Shapes: ``chain`` (worst case for naive evaluation), ``tree`` (fan-out
+    2), ``random`` (G(n, 2/n) digraph).
+    """
+    rng = random.Random(seed)
+    lines = []
+    if shape == "chain":
+        edges = [(i, i + 1) for i in range(n_nodes - 1)]
+    elif shape == "tree":
+        edges = [((i - 1) // 2, i) for i in range(1, n_nodes)]
+    elif shape == "random":
+        edges = []
+        for i in range(n_nodes):
+            for _ in range(2):
+                j = rng.randrange(n_nodes)
+                if i != j:
+                    edges.append((i, j))
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    lines.extend(f"edge(n{a}, n{b})." for a, b in sorted(set(edges)))
+    lines.append("path(X, Y) :- edge(X, Y).")
+    lines.append("path(X, Y) :- path(X, Z), edge(Z, Y).")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Unit tests for the parametric belief function beta (Figures 6-8)."""
+
+import pytest
+
+from repro.belief import (
+    BeliefMode,
+    belief,
+    believed_without_doubt,
+    cautious,
+    cautious_conflicts,
+    firm,
+    optimistic,
+)
+from repro.mls import MLSRelation, MLSchema, SessionCursor
+from repro.mls.views import view_at
+
+
+class TestFirm:
+    def test_figure6(self, mission_rel, mission_tids):
+        view = firm(mission_rel, "c")
+        assert set(view) == {mission_tids["t6"]}
+
+    def test_firm_at_u(self, mission_rel):
+        ships = sorted(t.value("starship") for t in firm(mission_rel, "u"))
+        assert ships == ["atlantis", "eagle", "falcon", "voyager"]
+
+    def test_firm_at_t_is_empty(self, mission_rel):
+        assert len(firm(mission_rel, "t")) == 0
+
+    def test_firm_keeps_original_tc(self, mission_rel):
+        assert all(t.tc == "c" for t in firm(mission_rel, "c"))
+
+
+class TestOptimistic:
+    def test_figure7_beta_variant(self, mission_rel):
+        """beta omits the filter-generated t4/t5 (Section 3.2)."""
+        view = optimistic(mission_rel, "c")
+        ships = sorted(t.value("starship") for t in view)
+        assert ships == ["atlantis", "eagle", "falcon", "voyager"]
+
+    def test_tc_restamped(self, mission_rel):
+        assert view_at(mission_rel, "c").tuple_classes() != {"c"}
+        assert optimistic(mission_rel, "c").tuple_classes() == {"c"}
+
+    def test_restamping_merges_tc_polyinstantiation(self, mission_rel):
+        atlantis = optimistic(mission_rel, "s").with_key("atlantis")
+        assert len(atlantis) == 1  # t2/t6/t7 collapse
+
+    def test_optimistic_at_top_sees_everything(self, mission_rel):
+        assert len(optimistic(mission_rel, "t")) == 8  # 10 minus 2 merges
+
+
+class TestCautious:
+    def test_figure8_beta_variant(self, mission_rel):
+        """beta omits t5: no Phantom group is visible at C."""
+        view = cautious(mission_rel, "c")
+        ships = sorted(t.value("starship") for t in view)
+        assert ships == ["atlantis", "eagle", "falcon", "voyager"]
+
+    def test_overriding_at_s(self, mission_rel):
+        view = cautious(mission_rel, "s")
+        voyager = view.with_key("voyager").tuples
+        assert len(voyager) == 1
+        assert voyager[0].value("objective") == "spying"  # S overrides U
+
+    def test_phantom_multiple_models_at_s(self, mission_rel):
+        """Two S-classified objectives (spying/supply) are both maximal."""
+        phantoms = cautious(mission_rel, "s").with_key("phantom")
+        objectives = {t.value("objective") for t in phantoms}
+        assert objectives == {"spying", "supply"}
+        # but destination and key resolve uniquely
+        assert {t.value("destination") for t in phantoms} == {"venus"}
+        assert {t.key_classification() for t in phantoms} == {"c"}
+
+    def test_conflicts_reported(self, mission_rel):
+        conflicts = cautious_conflicts(mission_rel, "s")
+        assert len(conflicts) == 1
+        conflict = conflicts[0]
+        assert conflict.key == ("phantom",)
+        assert conflict.attribute == "objective"
+        assert {c.value for c in conflict.candidates} == {"spying", "supply"}
+
+    def test_no_conflicts_at_c(self, mission_rel):
+        assert cautious_conflicts(mission_rel, "c") == []
+
+    def test_tc_stamped_to_level(self, mission_rel):
+        assert cautious(mission_rel, "s").tuple_classes() == {"s"}
+
+    def test_incomparable_sources_fork(self, diamond_lattice):
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=diamond_lattice)
+        relation = MLSRelation(schema)
+        SessionCursor(relation, "lo").insert({"k": "x", "a": "base"})
+        SessionCursor(relation, "a").update({"k": "x"}, {"a": "left"})
+        SessionCursor(relation, "b").update({"k": "x"}, {"a": "right"})
+        views = cautious(relation, "hi").with_key("x")
+        assert {t.value("a") for t in views} == {"left", "right"}
+        conflicts = cautious_conflicts(relation, "hi")
+        assert any(c.attribute == "a" for c in conflicts)
+
+
+class TestDispatch:
+    def test_belief_by_enum(self, mission_rel):
+        assert set(belief(mission_rel, "c", BeliefMode.FIRM)) == set(firm(mission_rel, "c"))
+
+    @pytest.mark.parametrize("alias, reference", [
+        ("fir", firm), ("firmly", firm), ("strict", firm),
+        ("opt", optimistic), ("optimistically", optimistic),
+        ("cau", cautious), ("cautiously", cautious), ("conservative", cautious),
+    ])
+    def test_belief_by_alias(self, mission_rel, alias, reference):
+        assert set(belief(mission_rel, "c", alias)) == set(reference(mission_rel, "c"))
+
+    def test_unknown_mode_raises(self, mission_rel):
+        from repro.errors import UnknownModeError
+        with pytest.raises(UnknownModeError):
+            belief(mission_rel, "c", "wishful")
+
+
+class TestWithoutDoubt:
+    def test_section32_at_s(self, mission_rel):
+        certain = believed_without_doubt(
+            mission_rel.where(destination="mars", objective="spying"), "s")
+        assert {t.value("starship") for t in certain} == {"voyager"}
+
+    def test_section32_below_s_is_empty(self, mission_rel):
+        for level in ("u", "c"):
+            certain = believed_without_doubt(
+                mission_rel.where(destination="mars", objective="spying"), level)
+            assert len(certain) == 0

@@ -1,0 +1,103 @@
+"""Property-based tests for beta over random integrity-respecting relations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.belief import cautious, cautious_conflicts, firm, optimistic
+from repro.mls import check_relation
+from repro.workloads.generator import make_lattice, random_mls_relation
+
+
+@st.composite
+def relations(draw):
+    shape = draw(st.sampled_from(["chain", "diamond", "random"]))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    lattice = make_lattice(shape, n_levels=draw(st.integers(2, 5)), seed=seed)
+    n = draw(st.integers(min_value=0, max_value=25))
+    poly = draw(st.floats(min_value=0.0, max_value=0.8))
+    return random_mls_relation(n, lattice, n_attributes=3,
+                               polyinstantiation_rate=poly, seed=seed)
+
+
+def data_rows(view):
+    return {t.cells for t in view}
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_generator_respects_integrity(relation):
+    assert check_relation(relation) == []
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_firm_subset_of_optimistic(relation, data):
+    level = data.draw(st.sampled_from(sorted(relation.schema.lattice.levels)))
+    assert data_rows(firm(relation, level)) <= data_rows(optimistic(relation, level))
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_cautious_cells_are_visible(relation, data):
+    """Every cautiously believed cell exists in some visible stored tuple."""
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    visible_cells = {
+        (t.key_values(), attr, t.cell(attr))
+        for t in relation if lattice.leq(t.tc, level)
+        for attr in relation.schema.attributes
+    }
+    for t in cautious(relation, level):
+        for attr in relation.schema.attributes:
+            assert (t.key_values(), attr, t.cell(attr)) in visible_cells
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_cautious_keys_equal_optimistic_keys(relation, data):
+    """Cautious merges per key but never invents or drops keys."""
+    level = data.draw(st.sampled_from(sorted(relation.schema.lattice.levels)))
+    assert {t.key_values() for t in cautious(relation, level)} == \
+        {t.key_values() for t in optimistic(relation, level)}
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_cautious_maximality(relation, data):
+    """No visible same-key cell strictly outranks a believed cell."""
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    visible = [t for t in relation if lattice.leq(t.tc, level)]
+    for believed in cautious(relation, level):
+        for attr in relation.schema.attributes:
+            cls = believed.cls(attr)
+            for other in visible:
+                if other.key_values() == believed.key_values():
+                    assert not lattice.lt(cls, other.cls(attr))
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_chain_without_polyinstantiated_keys_is_functional(relation, data):
+    """On a chain, conflicts require same-key tuples with equal maximal
+    cell classes -- absent those, cautious is one tuple per key."""
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    conflicts = cautious_conflicts(relation, level)
+    by_key: dict[tuple, int] = {}
+    for t in cautious(relation, level):
+        by_key[t.key_values()] = by_key.get(t.key_values(), 0) + 1
+    for key, count in by_key.items():
+        if count > 1:
+            assert any(c.key == key for c in conflicts)
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_belief_monotone_in_level_for_optimistic(relation, data):
+    """Optimistic belief grows monotonically up the lattice."""
+    lattice = relation.schema.lattice
+    levels = sorted(lattice.levels)
+    low = data.draw(st.sampled_from(levels))
+    high = data.draw(st.sampled_from(sorted(lattice.up_set(low))))
+    assert data_rows(optimistic(relation, low)) <= data_rows(optimistic(relation, high))

@@ -1,0 +1,67 @@
+"""Tests for Cuppens' views and the paper's subsumption claim (Section 3.1)."""
+
+from repro.belief import additive, cautious, firm, optimistic, suspicious, trusted
+
+
+def data_rows(view):
+    return {tuple(cell for cell in t.cells) for t in view}
+
+
+class TestSuspicious:
+    def test_coincides_with_firm(self, mission_rel):
+        for level in ("u", "c", "s", "t"):
+            assert set(suspicious(mission_rel, level)) == set(firm(mission_rel, level))
+
+
+class TestAdditive:
+    def test_same_data_as_optimistic(self, mission_rel):
+        """Additive == optimistic up to the optimistic TC restamping."""
+        for level in ("u", "c", "s"):
+            assert data_rows(additive(mission_rel, level)) == \
+                data_rows(optimistic(mission_rel, level))
+
+    def test_keeps_source_tuple_classes(self, mission_rel):
+        tcs = additive(mission_rel, "s").tuple_classes()
+        assert tcs == {"u", "c", "s"}
+
+
+class TestTrusted:
+    def test_keeps_only_maximal_sources(self, mission_rel):
+        view = trusted(mission_rel, "s")
+        voyager = view.with_key("voyager")
+        # t3 (TC=s) wins over t8 (TC=u).
+        assert {t.tc for t in voyager} == {"s"}
+        assert {t.value("objective") for t in voyager} == {"spying"}
+
+    def test_unique_source_passes_through(self, mission_rel):
+        view = trusted(mission_rel, "u")
+        assert len(view.with_key("eagle")) == 1
+
+    def test_trusted_tuples_are_cautiously_supported(self, mission_rel):
+        """Every trusted cell value also appears in some cautious tuple
+        whenever the maximal source is unique (the subsumption claim)."""
+        for level in ("u", "c", "s"):
+            cau = cautious(mission_rel, level)
+            cau_cells = {
+                (t.value("starship"), attr, t.value(attr))
+                for t in cau for attr in t.schema.attributes
+            }
+            for t in trusted(mission_rel, level):
+                key = t.value("starship")
+                group = trusted(mission_rel, level).with_key(key)
+                if len(group) != 1:
+                    continue  # forked: cautious forks too
+                for attr in t.schema.attributes:
+                    # The trusted value comes from the maximal TC; the
+                    # cautious value from the maximal cell class -- at the
+                    # cell level the maximal-TC tuple's cells are either
+                    # chosen or outranked by an even higher cell.
+                    classes = {
+                        other.cls(attr)
+                        for other in mission_rel
+                        if other.key_values() == t.key_values()
+                        and mission_rel.schema.lattice.leq(other.tc, level)
+                    }
+                    lattice = mission_rel.schema.lattice
+                    if all(lattice.leq(c, t.cls(attr)) for c in classes):
+                        assert (key, attr, t.value(attr)) in cau_cells

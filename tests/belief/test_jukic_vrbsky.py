@@ -1,0 +1,91 @@
+"""Unit tests for the Jukic-Vrbsky model (Figures 4-5)."""
+
+import pytest
+
+from repro.belief import Interpretation, JVRelation, JVTuple
+from repro.workloads.mission import FIGURE5_EXPECTED, jv_mission
+
+
+class TestFigure5:
+    @pytest.mark.parametrize("tid", sorted(FIGURE5_EXPECTED))
+    def test_every_row_matches_paper(self, tid):
+        jv = jv_mission()
+        table = jv.interpretation_table(["u", "c", "s"])
+        got = tuple(table[tid][level].value for level in ("u", "c", "s"))
+        assert got == FIGURE5_EXPECTED[tid]
+
+    def test_all_thirty_entries(self):
+        jv = jv_mission()
+        table = jv.interpretation_table(["u", "c", "s"])
+        assert sum(len(row) for row in table.values()) == 30
+
+
+class TestInterpretationRules:
+    def test_invisible_below_all_sources(self, ucst):
+        jv = JVRelation(ucst)
+        t = jv.add(JVTuple("x", None, believed_at=frozenset({"s"})))
+        assert jv.interpret(t, "u") is Interpretation.INVISIBLE
+
+    def test_true_at_asserting_level(self, ucst):
+        jv = JVRelation(ucst)
+        t = jv.add(JVTuple("x", None, believed_at=frozenset({"c"})))
+        assert jv.interpret(t, "c") is Interpretation.TRUE
+
+    def test_cover_story_via_successor(self, ucst):
+        jv = JVRelation(ucst)
+        real = JVTuple("real", None, believed_at=frozenset({"s"}))
+        cover = JVTuple("cover", None, believed_at=frozenset({"u"}), successor=real)
+        jv.add(real)
+        jv.add(cover)
+        assert jv.interpret(cover, "s") is Interpretation.COVER_STORY
+
+    def test_cover_story_follows_successor_chain(self, ucst):
+        jv = JVRelation(ucst)
+        v3 = JVTuple("v3", None, believed_at=frozenset({"s"}))
+        v2 = JVTuple("v2", None, believed_at=frozenset({"c"}), successor=v3)
+        v1 = JVTuple("v1", None, believed_at=frozenset({"u"}), successor=v2)
+        for t in (v3, v2, v1):
+            jv.add(t)
+        assert jv.interpret(v1, "s") is Interpretation.COVER_STORY
+
+    def test_mirage_via_explicit_disbelief(self, ucst):
+        jv = JVRelation(ucst)
+        t = jv.add(JVTuple("x", None, believed_at=frozenset({"u"}),
+                           disbelieved_at=frozenset({"s"})))
+        assert jv.interpret(t, "s") is Interpretation.MIRAGE
+        # the disbelief does not leak downward
+        assert jv.interpret(t, "c") is Interpretation.IRRELEVANT
+
+    def test_irrelevant_otherwise(self, ucst):
+        jv = JVRelation(ucst)
+        t = jv.add(JVTuple("x", None, believed_at=frozenset({"u"})))
+        assert jv.interpret(t, "c") is Interpretation.IRRELEVANT
+
+    def test_believed_view(self, ucst):
+        jv = jv_mission()
+        tids = {t.tid for t in jv.believed_view("u")}
+        assert tids == {"t2", "t4", "t8", "t9", "t10"}
+
+    def test_by_tid_lookup(self):
+        jv = jv_mission()
+        assert jv.by_tid("t9").disbelieved_at == {"s"}
+        with pytest.raises(KeyError):
+            jv.by_tid("ghost")
+
+
+class TestLabels:
+    def test_full_range_label(self, ucst):
+        jv = jv_mission()
+        assert jv.by_tid("t2").label(ucst) == "UCS"
+
+    def test_singleton_label(self, ucst):
+        jv = jv_mission()
+        assert jv.by_tid("t1").label(ucst) == "S"
+
+    def test_empty_label(self, ucst):
+        t = JVTuple("x", None, believed_at=frozenset())
+        assert t.label(ucst) == "-"
+
+    def test_pair_label(self, ucst):
+        t = JVTuple("x", None, believed_at=frozenset({"u", "c"}))
+        assert t.label(ucst) == "U-C"

@@ -1,0 +1,57 @@
+"""Unit tests for the mode registry and aliases."""
+
+import pytest
+
+from repro.belief import BeliefMode, ModeRegistry, default_registry, firm
+from repro.errors import UnknownModeError
+
+
+class TestBeliefMode:
+    @pytest.mark.parametrize("name, expected", [
+        ("fir", BeliefMode.FIRM), ("FIRMLY", BeliefMode.FIRM),
+        ("opt", BeliefMode.OPTIMISTIC), ("greedy", BeliefMode.OPTIMISTIC),
+        ("Cautiously", BeliefMode.CAUTIOUS), ("conservative", BeliefMode.CAUTIOUS),
+    ])
+    def test_parse_aliases(self, name, expected):
+        assert BeliefMode.parse(name) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(UnknownModeError):
+            BeliefMode.parse("wishful")
+
+    def test_values_are_paper_short_names(self):
+        assert {m.value for m in BeliefMode} == {"fir", "opt", "cau"}
+
+
+class TestRegistry:
+    def test_default_registry_has_all_aliases(self):
+        registry = default_registry()
+        for name in ("fir", "firm", "opt", "optimistically", "cau", "cautious"):
+            assert name in registry
+
+    def test_default_registry_functions_work(self, mission_rel):
+        registry = default_registry()
+        assert set(registry.resolve("firmly")(mission_rel, "c")) == \
+            set(firm(mission_rel, "c"))
+
+    def test_custom_mode_registration(self, mission_rel):
+        registry = ModeRegistry()
+        registry.register("everything", lambda r, level: r)
+        assert set(registry.resolve("everything")(mission_rel, "c")) == set(mission_rel)
+
+    def test_resolution_is_case_insensitive(self):
+        registry = ModeRegistry()
+        registry.register("MyMode", lambda r, level: r)
+        assert "mymode" in registry
+
+    def test_unknown_mode_lists_registered(self):
+        registry = ModeRegistry()
+        registry.register("a", lambda r, level: r)
+        with pytest.raises(UnknownModeError, match="registered"):
+            registry.resolve("b")
+
+    def test_names(self):
+        registry = ModeRegistry()
+        registry.register("z", lambda r, level: r)
+        registry.register("a", lambda r, level: r)
+        assert registry.names() == ["a", "z"]

@@ -1,0 +1,56 @@
+"""Shared fixtures: the paper's canonical objects plus common lattices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattice import SecurityLattice, diamond, military_chain
+from repro.workloads.d1 import d1_database, mission_multilog
+from repro.workloads.mission import mission_relation, mission_schema
+
+
+@pytest.fixture()
+def ucst() -> SecurityLattice:
+    """The military chain u < c < s < t."""
+    return military_chain()
+
+
+@pytest.fixture()
+def diamond_lattice() -> SecurityLattice:
+    """lo < {a, b} < hi."""
+    return diamond()
+
+
+@pytest.fixture()
+def mission():
+    """The Figure 1 relation and its tid map."""
+    return mission_relation()
+
+
+@pytest.fixture()
+def mission_rel(mission):
+    relation, _tids = mission
+    return relation
+
+
+@pytest.fixture()
+def mission_tids(mission):
+    _relation, tids = mission
+    return tids
+
+
+@pytest.fixture()
+def schema():
+    return mission_schema()
+
+
+@pytest.fixture()
+def d1():
+    """Database D1 of Figure 10 (fresh parse per test)."""
+    return d1_database()
+
+
+@pytest.fixture()
+def mission_db():
+    """The MultiLog encoding of Mission (fresh parse per test)."""
+    return mission_multilog()

@@ -1,0 +1,90 @@
+"""Unit tests for the Datalog concrete syntax."""
+
+import pytest
+
+from repro.datalog import Constant, Variable, parse_atom, parse_program
+from repro.errors import DatalogError
+
+
+class TestFacts:
+    def test_simple_fact(self):
+        program = parse_program("p(a).")
+        assert len(program.facts) == 1
+        assert program.facts[0].ground_tuple() == ("a",)
+
+    def test_numbers_and_strings(self):
+        program = parse_program("p(1, 2.5, 'hello world').")
+        assert program.facts[0].ground_tuple() == (1, 2.5, "hello world")
+
+    def test_zero_arity(self):
+        program = parse_program("flag.")
+        assert program.facts[0].predicate == "flag"
+
+    def test_comments_ignored(self):
+        program = parse_program("% comment\np(a). % trailing\n")
+        assert len(program.facts) == 1
+
+
+class TestRules:
+    def test_variables_capitalized(self):
+        program = parse_program("p(X) :- q(X).")
+        rule = program.rules[0]
+        assert isinstance(rule.head.args[0], Variable)
+
+    def test_underscore_is_variable(self):
+        program = parse_program("p(X) :- q(X, _rest).")
+        body_vars = {v.name for v in program.rules[0].body[0].variables()}
+        assert "_rest" in body_vars
+
+    def test_negation(self):
+        program = parse_program("p(X) :- q(X), not r(X).")
+        assert not program.rules[0].body[1].positive
+
+    def test_comparison_literals(self):
+        program = parse_program("p(X) :- q(X), X < 5, X != 2.")
+        predicates = [l.predicate for l in program.rules[0].body]
+        assert predicates == ["q", "<", "!="]
+
+    def test_multi_line_program(self):
+        text = """
+        edge(a, b).
+        edge(b, c).
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        """
+        program = parse_program(text)
+        assert len(program.facts) == 2
+        assert len(program.rules) == 2
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(a)")
+
+    def test_bad_character(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(@).")
+
+    def test_bare_term_literal(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- 42.")
+
+    def test_dangling_comma(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- q(X),.")
+
+
+class TestParseAtom:
+    def test_goal_with_variables(self):
+        goal = parse_atom("path(a, X)")
+        assert goal.predicate == "path"
+        assert goal.args[0] == Constant("a")
+        assert goal.args[1] == Variable("X")
+
+    def test_trailing_period_tolerated(self):
+        assert parse_atom("p(a).").predicate == "p"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_atom("p(a) q(b)")

@@ -1,0 +1,105 @@
+"""Unit tests for rules, programs and the safety (range-restriction) check."""
+
+import pytest
+
+from repro.datalog import Program, Rule, atom, neg, pos
+from repro.errors import UnsafeRuleError
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert Rule(atom("p", "a")).is_fact
+        assert not Rule(atom("p", "X"), (pos("q", "X"),)).is_fact
+
+    def test_body_partitions(self):
+        rule = Rule(atom("p", "X"), (pos("q", "X"), neg("r", "X"), pos("<", "X", 3)))
+        assert [l.predicate for l in rule.positive_body()] == ["q"]
+        assert [l.predicate for l in rule.negative_body()] == ["r"]
+
+    def test_variables(self):
+        rule = Rule(atom("p", "X"), (pos("q", "X", "Y"),))
+        assert {v.name for v in rule.variables()} == {"X", "Y"}
+
+    def test_repr(self):
+        rule = Rule(atom("p", "X"), (pos("q", "X"),))
+        assert ":-" in repr(rule)
+
+
+class TestSafety:
+    def test_safe_rule_passes(self):
+        Rule(atom("p", "X"), (pos("q", "X"),)).check_safety()
+
+    def test_unbound_head_variable(self):
+        with pytest.raises(UnsafeRuleError, match="head variable"):
+            Rule(atom("p", "X", "Y"), (pos("q", "X"),)).check_safety()
+
+    def test_unbound_negated_variable(self):
+        with pytest.raises(UnsafeRuleError, match="negated"):
+            Rule(atom("p", "X"), (pos("q", "X"), neg("r", "X", "Z"))).check_safety()
+
+    def test_unbound_builtin_variable(self):
+        with pytest.raises(UnsafeRuleError, match="built-in"):
+            Rule(atom("p", "X"), (pos("q", "X"), pos("<", "X", "Z"))).check_safety()
+
+    def test_negated_ground_literal_is_safe(self):
+        Rule(atom("p", "X"), (pos("q", "X"), neg("r", "a"))).check_safety()
+
+    def test_constants_in_head_are_safe(self):
+        Rule(atom("p", "a")).check_safety()
+
+    def test_figure12_literal_axioms_rejected(self):
+        from repro.multilog import figure12_axioms
+        with pytest.raises(UnsafeRuleError):
+            Program(figure12_axioms()).check_safety()
+
+    def test_repaired_axioms_pass(self):
+        from repro.multilog import engine_axioms
+        Program(engine_axioms()).check_safety()
+
+
+class TestProgram:
+    def test_ground_empty_body_rules_become_facts(self):
+        program = Program([Rule(atom("p", "a"))])
+        assert len(program.facts) == 1
+        assert len(program.rules) == 0
+
+    def test_non_ground_fact_rejected(self):
+        program = Program()
+        with pytest.raises(UnsafeRuleError):
+            program.add_fact(atom("p", "X"))
+
+    def test_builtin_fact_rejected(self):
+        program = Program(facts=[atom("<", 1, 2)])
+        with pytest.raises(UnsafeRuleError):
+            program.check_safety()
+
+    def test_predicates(self):
+        program = Program(
+            [Rule(atom("p", "X"), (pos("q", "X"), neg("r", "X")))],
+            [atom("q", "a")],
+        )
+        assert program.predicates() == {"p", "q", "r"}
+
+    def test_idb_predicates(self):
+        program = Program(
+            [Rule(atom("p", "X"), (pos("q", "X"),))], [atom("q", "a")])
+        assert program.idb_predicates() == {"p"}
+
+    def test_rules_for(self):
+        rule = Rule(atom("p", "X"), (pos("q", "X"),))
+        program = Program([rule])
+        assert program.rules_for("p") == [rule]
+        assert program.rules_for("q") == []
+
+    def test_extend(self):
+        a = Program(facts=[atom("p", "a")])
+        b = Program(facts=[atom("q", "b")])
+        merged = a.extend(b)
+        assert len(merged) == 2
+        assert len(a) == 1
+
+    def test_pretty_lists_facts_first(self):
+        program = Program(
+            [Rule(atom("p", "X"), (pos("q", "X"),))], [atom("q", "a")])
+        text = program.pretty()
+        assert text.index("q(a)") < text.index(":-")

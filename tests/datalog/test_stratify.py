@@ -1,0 +1,84 @@
+"""Unit tests for dependency analysis and stratification."""
+
+import pytest
+
+from repro.datalog import Program, Rule, atom, dependencies, neg, pos, strata, stratify
+from repro.errors import StratificationError
+
+
+def program(*rules):
+    return Program(rules)
+
+
+class TestDependencies:
+    def test_edges_with_polarity(self):
+        prog = program(Rule(atom("p", "X"), (pos("q", "X"), neg("r", "X"))))
+        edges = {(d.head, d.body, d.negative) for d in dependencies(prog)}
+        assert edges == {("p", "q", False), ("p", "r", True)}
+
+    def test_builtins_excluded(self):
+        prog = program(Rule(atom("p", "X"), (pos("q", "X"), pos("<", "X", 3))))
+        assert {d.body for d in dependencies(prog)} == {"q"}
+
+
+class TestStratify:
+    def test_positive_recursion_single_stratum(self):
+        prog = program(
+            Rule(atom("path", "X", "Y"), (pos("edge", "X", "Y"),)),
+            Rule(atom("path", "X", "Y"), (pos("path", "X", "Z"), pos("edge", "Z", "Y"))),
+        )
+        assignment = stratify(prog)
+        assert assignment["path"] == assignment["edge"] == 0
+
+    def test_negation_bumps_stratum(self):
+        prog = program(
+            Rule(atom("p", "X"), (pos("base", "X"), neg("q", "X"))),
+            Rule(atom("q", "X"), (pos("base", "X"),)),
+        )
+        assignment = stratify(prog)
+        assert assignment["q"] < assignment["p"]
+
+    def test_chain_of_negations(self):
+        prog = program(
+            Rule(atom("a", "X"), (pos("base", "X"), neg("b", "X"))),
+            Rule(atom("b", "X"), (pos("base", "X"), neg("c", "X"))),
+            Rule(atom("c", "X"), (pos("base", "X"),)),
+        )
+        assignment = stratify(prog)
+        assert assignment["c"] < assignment["b"] < assignment["a"]
+
+    def test_negative_self_loop_rejected(self):
+        prog = program(Rule(atom("p", "X"), (pos("base", "X"), neg("p", "X"))))
+        with pytest.raises(StratificationError):
+            stratify(prog)
+
+    def test_negative_cycle_through_positive_edges_rejected(self):
+        prog = program(
+            Rule(atom("p", "X"), (pos("q", "X"),)),
+            Rule(atom("q", "X"), (pos("base", "X"), neg("p", "X"))),
+        )
+        with pytest.raises(StratificationError):
+            stratify(prog)
+
+    def test_error_names_a_predicate(self):
+        prog = program(Rule(atom("p", "X"), (pos("base", "X"), neg("p", "X"))))
+        with pytest.raises(StratificationError, match="p"):
+            stratify(prog)
+
+    def test_strata_grouping(self):
+        prog = program(
+            Rule(atom("p", "X"), (pos("base", "X"), neg("q", "X"))),
+            Rule(atom("q", "X"), (pos("base", "X"),)),
+        )
+        groups = strata(prog)
+        assert groups[0] == ["base", "q"]
+        assert groups[1] == ["p"]
+
+    def test_facts_only_program(self):
+        prog = Program(facts=[atom("p", "a")])
+        assert stratify(prog) == {"p": 0}
+
+    def test_multilog_engine_axioms_are_stratified(self):
+        from repro.multilog import engine_axioms
+        assignment = stratify(Program(engine_axioms()))
+        assert assignment["outranked"] < assignment["bel"]

@@ -1,0 +1,97 @@
+"""Unit tests for terms, atoms and literals."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Variable,
+    atom,
+    fresh_variable,
+    make_term,
+    neg,
+    pos,
+)
+
+
+class TestTerms:
+    def test_variable_identity(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+        assert hash(Variable("X")) == hash(Variable("X"))
+
+    def test_constant_identity(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_variable_constant_disjoint(self):
+        assert Variable("a") != Constant("a")
+
+    def test_fresh_variables_unique(self):
+        assert fresh_variable() != fresh_variable()
+
+    def test_renamed(self):
+        assert Variable("X").renamed("7") == Variable("X#7")
+
+    def test_make_term_convention(self):
+        assert isinstance(make_term("X"), Variable)
+        assert isinstance(make_term("_foo"), Variable)
+        assert isinstance(make_term("abc"), Constant)
+        assert isinstance(make_term(42), Constant)
+        assert make_term(Variable("Z")) == Variable("Z")
+
+
+class TestAtoms:
+    def test_args_coerced(self):
+        a = Atom("p", ("X", "abc", 3))
+        assert isinstance(a.args[0], Variable)
+        assert isinstance(a.args[1], Constant)
+        assert a.args[2] == Constant(3)
+
+    def test_arity_and_key(self):
+        a = atom("p", "x", "y")
+        assert a.arity == 2
+        assert a.key() == ("p", 2)
+
+    def test_is_ground(self):
+        assert atom("p", "a").is_ground()
+        assert not atom("p", "X").is_ground()
+
+    def test_ground_tuple(self):
+        assert atom("p", "a", 1).ground_tuple() == ("a", 1)
+        with pytest.raises(ValueError):
+            atom("p", "X").ground_tuple()
+
+    def test_variables(self):
+        assert atom("p", "X", "a", "Y").variables() == {Variable("X"), Variable("Y")}
+
+    def test_builtin_recognition(self):
+        assert atom("<", "X", "Y").is_builtin
+        assert not atom("lt", "X", "Y").is_builtin
+
+    def test_equality_and_hash(self):
+        assert atom("p", "X") == atom("p", "X")
+        assert hash(atom("p", "X")) == hash(atom("p", "X"))
+        assert atom("p", "X") != atom("q", "X")
+
+    def test_zero_arity_repr(self):
+        assert repr(atom("flag")) == "flag"
+
+
+class TestLiterals:
+    def test_polarity(self):
+        assert pos("p", "X").positive
+        assert not neg("p", "X").positive
+
+    def test_repr_shows_not(self):
+        assert repr(neg("p", "a")).startswith("not ")
+
+    def test_equality_includes_polarity(self):
+        assert pos("p", "a") != neg("p", "a")
+
+    def test_predicate_shortcut(self):
+        assert neg("p", "a").predicate == "p"
+
+    def test_variables_delegate(self):
+        assert neg("p", "X").variables() == {Variable("X")}

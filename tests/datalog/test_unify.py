@@ -1,0 +1,96 @@
+"""Unit tests for substitutions, matching and unification."""
+
+from repro.datalog import (
+    Constant,
+    Variable,
+    apply_to_atom,
+    atom,
+    match_atom,
+    unify_atoms,
+    unify_terms,
+)
+from repro.datalog.unify import walk
+
+
+class TestWalk:
+    def test_resolves_chains(self):
+        subst = {Variable("X"): Variable("Y"), Variable("Y"): Constant(1)}
+        assert walk(Variable("X"), subst) == Constant(1)
+
+    def test_unbound_variable_unchanged(self):
+        assert walk(Variable("X"), {}) == Variable("X")
+
+
+class TestUnifyTerms:
+    def test_var_binds_constant(self):
+        subst = unify_terms(Variable("X"), Constant("a"), {})
+        assert subst == {Variable("X"): Constant("a")}
+
+    def test_constant_binds_var(self):
+        subst = unify_terms(Constant("a"), Variable("X"), {})
+        assert subst == {Variable("X"): Constant("a")}
+
+    def test_equal_constants(self):
+        assert unify_terms(Constant("a"), Constant("a"), {}) == {}
+
+    def test_distinct_constants_fail(self):
+        assert unify_terms(Constant("a"), Constant("b"), {}) is None
+
+    def test_var_var_aliasing(self):
+        subst = unify_terms(Variable("X"), Variable("Y"), {})
+        extended = unify_terms(Variable("X"), Constant(1), subst)
+        assert walk(Variable("Y"), extended) == Constant(1)
+
+    def test_input_not_mutated(self):
+        base = {}
+        unify_terms(Variable("X"), Constant("a"), base)
+        assert base == {}
+
+    def test_respects_existing_bindings(self):
+        subst = {Variable("X"): Constant("a")}
+        assert unify_terms(Variable("X"), Constant("b"), subst) is None
+        assert unify_terms(Variable("X"), Constant("a"), subst) == subst
+
+
+class TestUnifyAtoms:
+    def test_basic(self):
+        subst = unify_atoms(atom("p", "X", "b"), atom("p", "a", "Y"))
+        assert walk(Variable("X"), subst) == Constant("a")
+        assert walk(Variable("Y"), subst) == Constant("b")
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(atom("p", "X"), atom("q", "X")) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(atom("p", "X"), atom("p", "X", "Y")) is None
+
+    def test_shared_variable_consistency(self):
+        assert unify_atoms(atom("p", "X", "X"), atom("p", "a", "b")) is None
+        assert unify_atoms(atom("p", "X", "X"), atom("p", "a", "a")) is not None
+
+
+class TestMatchAtom:
+    def test_binds_pattern_variables(self):
+        subst = match_atom(atom("p", "X", "b"), ("a", "b"), {})
+        assert subst == {Variable("X"): Constant("a")}
+
+    def test_constant_mismatch(self):
+        assert match_atom(atom("p", "a"), ("b",), {}) is None
+
+    def test_arity_mismatch(self):
+        assert match_atom(atom("p", "X"), ("a", "b"), {}) is None
+
+    def test_repeated_variable(self):
+        assert match_atom(atom("p", "X", "X"), ("a", "a"), {}) is not None
+        assert match_atom(atom("p", "X", "X"), ("a", "b"), {}) is None
+
+    def test_prebound_variable(self):
+        subst = {Variable("X"): Constant("a")}
+        assert match_atom(atom("p", "X"), ("a",), subst) is not None
+        assert match_atom(atom("p", "X"), ("b",), subst) is None
+
+
+class TestApply:
+    def test_apply_to_atom(self):
+        subst = {Variable("X"): Constant("a")}
+        assert apply_to_atom(atom("p", "X", "Y"), subst) == atom("p", "a", "Y")

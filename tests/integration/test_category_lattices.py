@@ -1,0 +1,92 @@
+"""Full Bell-LaPadula access classes (hierarchy x categories) end to end.
+
+Section 2 defines access classes as pairs of a hierarchy level and a
+category set, ordered component-wise; the paper then drops categories
+"without the loss of any generality".  These tests put them back: the
+product lattice flows through the MLS layer, beta, MultiLog (its labels
+contain '/' and '+', exercising the quoted-term path) and both
+semantics.
+"""
+
+import pytest
+
+from repro.belief import cautious, optimistic
+from repro.lattice import access_class_lattice
+from repro.mls import MLSRelation, MLSchema, SessionCursor
+from repro.multilog import (
+    MultiLogSession,
+    check_equivalence,
+    relation_to_multilog,
+)
+
+
+@pytest.fixture()
+def access_classes():
+    # u/none < u/army < s/army ; u/none < s/none < s/army
+    return access_class_lattice(["u", "s"], ["army"])
+
+
+@pytest.fixture()
+def intel(access_classes):
+    schema = MLSchema("intel", ["topic", "assessment"], key="topic",
+                      lattice=access_classes)
+    relation = MLSRelation(schema)
+    public = SessionCursor(relation, "u/none")
+    army_secret = SessionCursor(relation, "s/army")
+    public.insert({"topic": "border", "assessment": "calm"})
+    army_secret.update({"topic": "border"}, {"assessment": "mobilizing"})
+    return relation
+
+
+class TestLatticeShape:
+    def test_component_wise_order(self, access_classes):
+        assert access_classes.leq("u/none", "s/army")
+        assert not access_classes.comparable("u/army", "s/none")
+
+    def test_is_lattice(self, access_classes):
+        assert access_classes.is_lattice()
+
+
+class TestRelationalLayer:
+    def test_category_compartmentalization(self, intel):
+        """s/none dominates neither cell of the army assessment."""
+        beliefs = cautious(intel, "s/none")
+        assert {t.value("assessment") for t in beliefs} == {"calm"}
+
+    def test_full_clearance_sees_override(self, intel):
+        beliefs = cautious(intel, "s/army")
+        assert {t.value("assessment") for t in beliefs} == {"mobilizing"}
+
+    def test_optimistic_across_compartments(self, intel):
+        assert len(optimistic(intel, "s/army")) == 2
+
+
+class TestMultiLogOverProductLabels:
+    def test_bridge_round_trip_with_slash_labels(self, intel):
+        db = relation_to_multilog(intel)
+        session = MultiLogSession(db, "s/army")
+        answers = session.ask(
+            "'s/army'[intel(border : assessment -C-> V)] << cau")
+        assert answers == [{"C": "s/army", "V": "mobilizing"}]
+
+    def test_quoted_labels_survive_serialization(self, intel):
+        from repro.multilog import parse_database
+        db = relation_to_multilog(intel)
+        reparsed = parse_database(str(db))
+        session = MultiLogSession(reparsed, "s/army")
+        assert session.holds(
+            "'u/none'[intel(border : assessment -'u/none'-> calm)] << fir")
+
+    def test_equivalence_on_product_lattice(self, intel):
+        db = relation_to_multilog(intel)
+        for level in ("u/none", "u/army", "s/none", "s/army"):
+            report = check_equivalence(db, level)
+            assert report.equivalent, report.all_messages()
+
+    def test_belief_speculation_across_compartments(self, intel):
+        db = relation_to_multilog(intel)
+        session = MultiLogSession(db, "s/army")
+        # What does the uncompartmented secret analyst believe?
+        answers = session.ask(
+            "'s/none'[intel(border : assessment -C-> V)] << cau")
+        assert {a["V"] for a in answers} == {"calm"}

@@ -1,0 +1,122 @@
+"""Cross-layer integration: the paper's claims exercised end to end."""
+
+import pytest
+
+from repro.belief import belief
+from repro.mls import SessionCursor, surprise_stories_at, view_at
+from repro.msql import WITHOUT_DOUBT_QUERY, Catalog, SqlSession
+from repro.multilog import (
+    MultiLogSession,
+    check_equivalence,
+    parse_query,
+    relation_to_multilog,
+)
+from repro.workloads import mission_relation, mission_multilog
+
+
+class TestThreePipelinesAgree:
+    """Relational beta, the MultiLog operational engine and the Datalog
+    reduction answer the same question identically."""
+
+    @pytest.mark.parametrize("mode, sql_mode", [
+        ("fir", "firmly"), ("opt", "optimistically"), ("cau", "cautiously")])
+    @pytest.mark.parametrize("level", ["u", "c", "s"])
+    def test_spies_on_mars(self, mode, sql_mode, level):
+        relation, _ = mission_relation()
+
+        # 1. Relational beta + python filtering.
+        via_beta = {
+            t.value("starship")
+            for t in belief(relation, level, mode)
+            if t.value("objective") == "spying" and t.value("destination") == "mars"
+        }
+
+        # 2. SQL front-end.
+        catalog = Catalog()
+        catalog.register(relation)
+        result = SqlSession(catalog, level).execute(
+            f"select starship from mission where objective = spying "
+            f"and destination = mars believed {sql_mode}")
+        via_sql = {row[0] for row in result}
+
+        # 3. MultiLog (both engines).
+        session = MultiLogSession(mission_multilog(), clearance=level)
+        query = (f"{level}[mission(K : objective -C1-> spying)] << {mode}, "
+                 f"{level}[mission(K : destination -C2-> mars)] << {mode}")
+        via_operational = {a["K"] for a in session.ask(query)}
+        via_reduction = {a["K"] for a in session.ask(query, engine="reduction")}
+
+        assert via_beta == via_sql == via_operational == via_reduction
+
+
+class TestSurpriseStoryLifecycle:
+    """Insert -> covert update -> delete: the leak appears everywhere."""
+
+    def test_end_to_end(self, ucst):
+        from repro.mls import MLSRelation, MLSchema
+        schema = MLSchema("ops", ["mission", "payload"], key="mission", lattice=ucst)
+        relation = MLSRelation(schema)
+        SessionCursor(relation, "u").insert({"mission": "m1", "payload": "food"})
+        SessionCursor(relation, "s").update({"mission": "m1"}, {"payload": "arms"})
+        SessionCursor(relation, "u").delete({"mission": "m1"})
+
+        # Relational: U sees the gap.
+        u_view = view_at(relation, "u")
+        assert u_view.has_nulls()
+        assert len(surprise_stories_at(relation, "u")) == 1
+
+        # beta never shows the gap (no surprise stories by construction).
+        for mode in ("fir", "opt", "cau"):
+            assert not belief(relation, "u", mode).has_nulls()
+
+        # MultiLog: the same database through the bridge agrees.
+        db = relation_to_multilog(relation)
+        session = MultiLogSession(db, "u")
+        assert session.ask("u[ops(m1 : payload -C-> V)] << opt") == []
+        high = MultiLogSession(db, "s")
+        answers = high.ask("s[ops(m1 : payload -C-> V)] << cau")
+        assert answers == [{"C": "s", "V": "arms"}]
+
+
+class TestBeliefSpeculation:
+    """An S analyst reconstructs lower-level beliefs (the paper's pitch)."""
+
+    def test_cover_story_detected_via_multilog(self):
+        session = MultiLogSession(mission_multilog(), clearance="s")
+        u_belief = session.ask("u[mission(voyager : objective -C-> V)] << cau")
+        s_belief = session.ask("s[mission(voyager : objective -C-> V)] << cau")
+        assert {a["V"] for a in u_belief} == {"training"}
+        assert {a["V"] for a in s_belief} == {"spying"}
+
+    def test_speculation_is_read_down_only(self):
+        session = MultiLogSession(mission_multilog(), clearance="c")
+        assert session.ask("s[mission(K : objective -C-> V)] << cau") == []
+
+
+class TestEquivalenceOnTheRunningExample:
+    def test_theorem_61_holds_with_headline_queries(self):
+        queries = [
+            parse_query("s[mission(K : objective -C-> spying)] << cau"),
+            parse_query("c[mission(K : objective -C-> V)] << fir"),
+            parse_query("L[mission(atlantis : objective -C-> diplomacy)] << opt"),
+        ]
+        report = check_equivalence(mission_multilog(), "s", queries)
+        assert report.equivalent, report.all_messages()
+
+
+class TestHeadlineQueryMatchesMultiLog:
+    def test_without_doubt_equals_mode_intersection(self):
+        relation, _ = mission_relation()
+        catalog = Catalog()
+        catalog.register(relation)
+        sql_answer = {
+            row[0] for row in SqlSession(catalog, "s").execute(WITHOUT_DOUBT_QUERY)
+        }
+        session = MultiLogSession(mission_multilog(), clearance="s")
+        multilog_answer = set.intersection(*[
+            {a["K"] for a in session.ask(
+                f"s[mission(K : objective -C1-> spying)] << {mode}, "
+                f"s[mission(K : destination -C2-> mars)] << {mode}")}
+            for mode in ("fir", "opt", "cau")
+        ])
+        assert sql_answer == multilog_answer == {"voyager"}

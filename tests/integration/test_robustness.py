@@ -1,0 +1,156 @@
+"""Failure injection and adversarial inputs across every layer."""
+
+import pytest
+
+from repro.errors import (
+    AdmissibilityError,
+    CycleError,
+    DatalogError,
+    MultiLogError,
+    MultiLogSyntaxError,
+    ReproError,
+    StratificationError,
+    UnknownLevelError,
+    UnsafeRuleError,
+)
+from repro.lattice import SecurityLattice, chain
+from repro.multilog import MultiLogSession, parse_database
+
+
+class TestErrorHierarchy:
+    """Every library error is catchable as ReproError at API boundaries."""
+
+    @pytest.mark.parametrize("exc_type", [
+        AdmissibilityError, CycleError, DatalogError, MultiLogError,
+        MultiLogSyntaxError, StratificationError, UnknownLevelError,
+        UnsafeRuleError,
+    ])
+    def test_subclassing(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_syntax_error_position_attributes(self):
+        err = MultiLogSyntaxError("bad", line=3, column=7)
+        assert err.line == 3
+        assert "line 3" in str(err)
+
+
+class TestAdversarialLattices:
+    def test_deep_chain(self):
+        lattice = chain([f"l{i}" for i in range(200)])
+        assert lattice.leq("l0", "l199")
+        assert len(lattice.down_set("l199")) == 200
+
+    def test_wide_antichain_visibility(self):
+        lattice = SecurityLattice([f"a{i}" for i in range(100)])
+        assert lattice.incomparable_pairs()
+        assert lattice.down_set("a0") == {"a0"}
+
+    def test_long_cycle_detected(self):
+        names = [f"n{i}" for i in range(50)]
+        orders = list(zip(names, names[1:])) + [(names[-1], names[0])]
+        with pytest.raises(CycleError):
+            SecurityLattice(names, orders)
+
+
+class TestAdversarialPrograms:
+    def test_deep_rule_chain_terminates(self):
+        lines = ["level(u)."]
+        lines.append("u[p(k0 : a -u-> v0)].")
+        for i in range(60):
+            lines.append(
+                f"u[p(k{i + 1} : a -u-> v{i + 1})] :- u[p(k{i} : a -u-> v{i})].")
+        session = MultiLogSession("\n".join(lines), clearance="u")
+        assert len(session.cells()) == 61
+
+    def test_unicode_values_round_trip(self):
+        session = MultiLogSession(
+            "level(u). u[note(n1 : text -u-> 'héllo wörld — ünïcode')].",
+            clearance="u")
+        answers = session.ask("u[note(n1 : text -u-> V)]")
+        assert answers[0]["V"] == "héllo wörld — ünïcode"
+        reparsed = parse_database(str(session.database))
+        assert MultiLogSession(reparsed, "u").ask("u[note(n1 : text -u-> V)]") == answers
+
+    def test_numeric_values(self):
+        session = MultiLogSession(
+            "level(u). u[acct(a : balance -u-> 100)]. u[acct(b : balance -u-> 2.5)].",
+            clearance="u")
+        values = {a["B"] for a in session.ask("u[acct(K : balance -u-> B)]")}
+        assert values == {100, 2.5}
+
+    def test_empty_program(self):
+        session = MultiLogSession("")
+        assert session.cells() == []
+        assert session.ask("level(L)") == [{"L": "system"}]
+
+    def test_garbage_source_rejected_with_position(self):
+        with pytest.raises(MultiLogSyntaxError):
+            MultiLogSession("level(u). u[p(k : a => v)].")
+
+    def test_many_levels_many_modes(self):
+        levels = [f"l{i}" for i in range(12)]
+        lines = [f"level({name})." for name in levels]
+        lines += [f"order({a}, {b})." for a, b in zip(levels, levels[1:])]
+        lines += [f"{name}[p(k : a -{name}-> v_{name})]." for name in levels]
+        session = MultiLogSession("\n".join(lines), clearance="l11")
+        assert len(session.believed_cells("opt")) == 12
+        assert len(session.believed_cells("cau")) == 1
+        assert len(session.believed_cells("fir")) == 1
+
+
+class TestDatalogAdversarial:
+    def test_large_fact_base(self):
+        from repro.datalog import evaluate, parse_program
+        facts = "\n".join(f"p(c{i})." for i in range(2000))
+        db = evaluate(parse_program(facts))
+        assert len(db.rows("p")) == 2000
+
+    def test_rule_with_empty_relation(self):
+        from repro.datalog import evaluate, parse_program
+        db = evaluate(parse_program("q(X) :- missing(X). seed(a)."))
+        assert db.rows("q") == set()
+
+    def test_self_join_blowup_bounded(self):
+        from repro.datalog import evaluate, parse_program
+        program = parse_program(
+            "n(1). n(2). n(3). n(4). n(5).\n"
+            "pair(X, Y) :- n(X), n(Y).\n")
+        assert len(evaluate(program).rows("pair")) == 25
+
+
+class TestNoReadUpEverywhere:
+    """Bell-LaPadula cannot be bypassed through any public surface."""
+
+    SOURCE = """
+        level(u). level(s). order(u, s).
+        s[vault(gold : amount -s-> 999)].
+    """
+
+    def test_query_surface(self):
+        low = MultiLogSession(self.SOURCE, clearance="u")
+        assert low.ask("s[vault(gold : amount -C-> V)] << opt") == []
+        assert low.ask("L[vault(gold : amount -C-> V)] << opt") == []
+        assert low.ask("u[vault(gold : amount -C-> V)] << cau") == []
+
+    def test_reduction_surface(self):
+        low = MultiLogSession(self.SOURCE, clearance="u")
+        assert low.ask("s[vault(gold : amount -C-> V)] << opt",
+                       engine="reduction") == []
+
+    def test_cells_surface(self):
+        low = MultiLogSession(self.SOURCE, clearance="u")
+        assert low.cells() == []
+
+    def test_believed_cells_surface(self):
+        low = MultiLogSession(self.SOURCE, clearance="u")
+        with pytest.raises(MultiLogError, match="read-up"):
+            low.believed_cells("opt", "s")
+
+    def test_proof_surface(self):
+        low = MultiLogSession(self.SOURCE, clearance="u")
+        assert low.prove("s[vault(gold : amount -s-> 999)] << fir") is None
+
+    def test_high_session_sees_it_all(self):
+        high = MultiLogSession(self.SOURCE, clearance="s")
+        assert high.ask("s[vault(gold : amount -C-> V)] << fir") == [
+            {"C": "s", "V": 999}]

@@ -1,0 +1,90 @@
+"""Every code path shown in docs/TUTORIAL.md actually works as written."""
+
+from repro.belief import cautious, firm, optimistic
+from repro.lattice import military_chain
+from repro.mls import (
+    MLSRelation,
+    MLSchema,
+    SessionCursor,
+    surprise_stories_at,
+    view_at,
+)
+from repro.msql import WITHOUT_DOUBT_QUERY, Catalog, SqlSession
+from repro.multilog import MultiLogSession
+from repro.workloads import d1_database
+
+SESSION_SOURCE = """
+    level(u). level(c). level(s). order(u, c). order(c, s).
+
+    u[mission(voyager : starship -u-> voyager; objective -u-> training;
+              destination -u-> mars)].
+    s[mission(voyager : starship -u-> voyager; objective -s-> spying;
+              destination -u-> mars)].
+"""
+
+
+def test_section_1_views_and_surprise():
+    schema = MLSchema("mission", ["starship", "objective", "destination"],
+                      key="starship", lattice=military_chain())
+    relation = MLSRelation(schema)
+    at_u = SessionCursor(relation, "u")
+    at_s = SessionCursor(relation, "s")
+    at_u.insert({"starship": "voyager", "objective": "training",
+                 "destination": "mars"})
+    at_s.update({"starship": "voyager"}, {"objective": "spying"})
+
+    assert [t.value("objective") for t in view_at(relation, "u")] == ["training"]
+    assert sorted(t.value("objective") for t in view_at(relation, "s")) == \
+        ["spying", "training"]
+
+    at_u.delete({"starship": "voyager"})
+    stories = surprise_stories_at(relation, "u")
+    assert "voyager" in str(stories[0])
+    assert "objective" in str(stories[0])
+
+
+def test_section_2_beta(mission_rel):
+    assert len(firm(mission_rel, "s")) == 5
+    assert optimistic(mission_rel, "s").tuple_classes() == {"s"}
+    assert len(cautious(mission_rel, "s")) >= 6
+
+
+def test_section_3_language():
+    session = MultiLogSession(SESSION_SOURCE, clearance="s")
+    assert session.ask("s[mission(voyager : objective -C-> V)] << cau") == \
+        [{"C": "s", "V": "spying"}]
+    assert session.ask("u[mission(voyager : objective -C-> V)] << cau") == \
+        [{"C": "u", "V": "training"}]
+    variable_mode = session.ask("s[mission(voyager : objective -C-> V)] << M")
+    assert {a["M"] for a in variable_mode} >= {"opt", "cau"}
+
+
+def test_section_4_proof_tree():
+    session = MultiLogSession(d1_database(), clearance="c")
+    tree = session.prove("c[p(k : a -u-> v)] << opt")
+    text = tree.pretty()
+    for fragment in ("(BELIEF)", "(DESCEND-O)", "(DEDUCTION-G')",
+                     "order(u, c)"):
+        assert fragment in text
+
+
+def test_section_5_reduction_agrees():
+    session = MultiLogSession(SESSION_SOURCE, clearance="s")
+    query = "s[mission(voyager : objective -C-> V)] << cau"
+    assert session.ask(query) == session.ask(query, engine="reduction")
+    assert "rel(" in session.reduced.program.pretty()
+
+
+def test_section_6_user_mode_and_sql(mission_rel):
+    session = MultiLogSession(SESSION_SOURCE, clearance="s")
+    session.assert_clause(
+        "bel(P, K, A, V, C, H, corroborated) :- "
+        "bel(P, K, A, V, C, H, fir), bel(P, K, A, V, C, L, opt), order(L, H).")
+    assert "corroborated" in session.modes
+    session.ask("s[mission(K : objective -C-> V)] << corroborated")
+
+    catalog = Catalog()
+    catalog.register(mission_rel)
+    sql = SqlSession(catalog, "s")
+    results = sql.execute_script("user context s; " + WITHOUT_DOUBT_QUERY)
+    assert results[-1].rows == [("voyager",)]

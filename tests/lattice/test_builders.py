@@ -1,0 +1,118 @@
+"""Unit tests for the lattice constructors."""
+
+import pytest
+
+from repro.lattice import (
+    access_class_lattice,
+    antichain_with_bounds,
+    category_lattice,
+    chain,
+    diamond,
+    military_chain,
+    product,
+    random_lattice,
+)
+
+
+class TestChain:
+    def test_order_follows_sequence(self):
+        lattice = chain(["a", "b", "c"])
+        assert lattice.leq("a", "c")
+        assert not lattice.leq("c", "a")
+
+    def test_single_level(self):
+        lattice = chain(["only"])
+        assert lattice.levels == {"only"}
+        assert lattice.is_chain()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chain([])
+
+    def test_military_chain(self):
+        lattice = military_chain()
+        assert lattice.leq("u", "t")
+        assert lattice.is_chain()
+        assert len(lattice) == 4
+
+
+class TestDiamond:
+    def test_shape(self):
+        lattice = diamond()
+        assert lattice.incomparable_pairs() == {("a", "b")}
+        assert lattice.lub("a", "b") == "hi"
+
+    def test_custom_names(self):
+        lattice = diamond("bot", "left", "right", "top")
+        assert lattice.leq("bot", "top")
+        assert not lattice.comparable("left", "right")
+
+
+class TestAntichain:
+    def test_middles_incomparable(self):
+        lattice = antichain_with_bounds(["x", "y", "z"])
+        assert len(lattice.incomparable_pairs()) == 3
+
+    def test_empty_middles_rejected(self):
+        with pytest.raises(ValueError):
+            antichain_with_bounds([])
+
+
+class TestProduct:
+    def test_size(self):
+        left = chain(["u", "s"])
+        right = chain(["1", "2", "3"])
+        assert len(product(left, right)) == 6
+
+    def test_componentwise_order(self):
+        prod = product(chain(["u", "s"]), chain(["1", "2"]))
+        assert prod.leq("u*1", "s*2")
+        assert not prod.leq("s*1", "u*2")
+        assert not prod.comparable("s*1", "u*2")
+
+    def test_is_lattice(self):
+        prod = product(chain(["u", "s"]), chain(["1", "2"]))
+        assert prod.is_lattice()
+
+
+class TestCategories:
+    def test_powerset_size(self):
+        lattice = category_lattice(["army", "navy"])
+        assert len(lattice) == 4
+
+    def test_inclusion_order(self):
+        lattice = category_lattice(["army", "navy"])
+        assert lattice.leq("none", "army")
+        assert lattice.leq("army", "army+navy")
+        assert not lattice.comparable("army", "navy")
+
+    def test_lub_is_union(self):
+        lattice = category_lattice(["army", "navy", "nato"])
+        assert lattice.lub("army", "navy") == "army+navy"
+
+    def test_access_classes(self):
+        lattice = access_class_lattice(["u", "s"], ["army"])
+        # (u, {}) <= (s, {army}) -- the Section 2 dominance definition.
+        assert lattice.leq("u/none", "s/army")
+        assert not lattice.leq("u/army", "s/none")
+
+
+class TestRandomLattice:
+    def test_deterministic_given_seed(self):
+        assert random_lattice(8, seed=42) == random_lattice(8, seed=42)
+
+    def test_different_seeds_differ(self):
+        assert random_lattice(10, seed=1) != random_lattice(10, seed=2)
+
+    def test_l0_is_bottom(self):
+        lattice = random_lattice(10, seed=7)
+        assert all(lattice.leq("l0", level) for level in lattice.levels)
+
+    def test_always_acyclic(self):
+        for seed in range(20):
+            lattice = random_lattice(12, edge_probability=0.5, seed=seed)
+            assert lattice.topological()  # construction would raise on cycles
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            random_lattice(0)

@@ -1,0 +1,176 @@
+"""Unit tests for the security-lattice core."""
+
+import pytest
+
+from repro.errors import CycleError, NotALatticeError, UnknownLevelError
+from repro.lattice import SecurityLattice, antichain_with_bounds, chain
+
+
+class TestConstruction:
+    def test_levels_from_orders_are_implicit(self):
+        lattice = SecurityLattice(orders=[("u", "c")])
+        assert lattice.levels == {"u", "c"}
+
+    def test_explicit_levels_without_orders(self):
+        lattice = SecurityLattice(["x", "y"])
+        assert lattice.levels == {"x", "y"}
+        assert not lattice.comparable("x", "y")
+
+    def test_self_order_rejected(self):
+        with pytest.raises(CycleError):
+            SecurityLattice(orders=[("u", "u")])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            SecurityLattice(orders=[("u", "c"), ("c", "u")])
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            SecurityLattice(orders=[("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_equality_and_hash(self):
+        assert chain(["u", "c"]) == chain(["u", "c"])
+        assert hash(chain(["u", "c"])) == hash(chain(["u", "c"]))
+        assert chain(["u", "c"]) != chain(["c", "u"])
+
+    def test_repr_mentions_orders(self):
+        assert "u<c" in repr(chain(["u", "c"]))
+
+    def test_contains_and_len(self):
+        lattice = chain(["u", "c", "s"])
+        assert "u" in lattice
+        assert "x" not in lattice
+        assert len(lattice) == 3
+
+    def test_iteration_is_sorted(self):
+        assert list(chain(["u", "c", "a"])) == ["a", "c", "u"]
+
+
+class TestOrderQueries:
+    def test_leq_reflexive(self, ucst):
+        assert ucst.leq("c", "c")
+
+    def test_leq_transitive(self, ucst):
+        assert ucst.leq("u", "t")
+
+    def test_leq_antisymmetric(self, ucst):
+        assert not ucst.leq("t", "u")
+
+    def test_lt_strict(self, ucst):
+        assert ucst.lt("u", "c")
+        assert not ucst.lt("c", "c")
+
+    def test_dominates_is_flipped_leq(self, ucst):
+        assert ucst.dominates("s", "u")
+        assert not ucst.dominates("u", "s")
+
+    def test_unknown_level_raises(self, ucst):
+        with pytest.raises(UnknownLevelError):
+            ucst.leq("u", "zz")
+
+    def test_comparable_in_diamond(self, diamond_lattice):
+        assert diamond_lattice.comparable("lo", "a")
+        assert not diamond_lattice.comparable("a", "b")
+
+    def test_up_set(self, ucst):
+        assert ucst.up_set("c") == {"c", "s", "t"}
+
+    def test_down_set(self, ucst):
+        assert ucst.down_set("c") == {"u", "c"}
+
+    def test_strict_down_set_excludes_self(self, ucst):
+        assert ucst.strict_down_set("c") == {"u"}
+
+    def test_diamond_down_set_of_top(self, diamond_lattice):
+        assert diamond_lattice.down_set("hi") == {"lo", "a", "b", "hi"}
+
+
+class TestBounds:
+    def test_lub_of_chain_pair(self, ucst):
+        assert ucst.lub("u", "s") == "s"
+
+    def test_lub_of_incomparable(self, diamond_lattice):
+        assert diamond_lattice.lub("a", "b") == "hi"
+
+    def test_glb_of_incomparable(self, diamond_lattice):
+        assert diamond_lattice.glb("a", "b") == "lo"
+
+    def test_lub_of_single(self, ucst):
+        assert ucst.lub("c") == "c"
+
+    def test_lub_of_empty_is_bottom(self, ucst):
+        assert ucst.lub() == "u"
+
+    def test_lub_missing_raises(self):
+        lattice = SecurityLattice(["x", "y"])
+        with pytest.raises(NotALatticeError):
+            lattice.lub("x", "y")
+
+    def test_lub_non_unique_raises(self):
+        # lo below two incomparable maximal elements: two minimal upper bounds.
+        lattice = SecurityLattice(
+            ["lo", "m1", "m2", "t1", "t2"],
+            [("lo", "m1"), ("lo", "m2"), ("m1", "t1"), ("m2", "t1"),
+             ("m1", "t2"), ("m2", "t2")],
+        )
+        with pytest.raises(NotALatticeError):
+            lattice.lub("m1", "m2")
+
+    def test_minimal_upper_bounds_multiple(self):
+        lattice = SecurityLattice(
+            ["m1", "m2", "t1", "t2"],
+            [("m1", "t1"), ("m2", "t1"), ("m1", "t2"), ("m2", "t2")],
+        )
+        assert lattice.minimal_upper_bounds(["m1", "m2"]) == {"t1", "t2"}
+
+    def test_maximal_lower_bounds(self, diamond_lattice):
+        assert diamond_lattice.maximal_lower_bounds(["a", "b"]) == {"lo"}
+
+    def test_maximal_and_minimal_of_subset(self, ucst):
+        assert ucst.maximal(["u", "c", "s"]) == {"s"}
+        assert ucst.minimal(["u", "c", "s"]) == {"u"}
+
+    def test_maximal_of_antichain(self, diamond_lattice):
+        assert diamond_lattice.maximal(["a", "b"]) == {"a", "b"}
+
+    def test_tops_and_bottoms(self, diamond_lattice):
+        assert diamond_lattice.tops() == {"hi"}
+        assert diamond_lattice.bottoms() == {"lo"}
+
+
+class TestStructure:
+    def test_chain_is_chain(self, ucst):
+        assert ucst.is_chain()
+
+    def test_diamond_is_not_chain(self, diamond_lattice):
+        assert not diamond_lattice.is_chain()
+
+    def test_diamond_is_lattice(self, diamond_lattice):
+        assert diamond_lattice.is_lattice()
+
+    def test_antichain_with_bounds_is_lattice_for_two(self):
+        assert antichain_with_bounds(["a", "b"]).is_lattice()
+
+    def test_bare_antichain_is_not_lattice(self):
+        assert not SecurityLattice(["x", "y"]).is_lattice()
+
+    def test_incomparable_pairs(self, diamond_lattice):
+        assert diamond_lattice.incomparable_pairs() == {("a", "b")}
+
+    def test_chain_has_no_incomparable_pairs(self, ucst):
+        assert ucst.incomparable_pairs() == frozenset()
+
+    def test_topological_respects_order(self, diamond_lattice):
+        order = diamond_lattice.topological()
+        assert order.index("lo") < order.index("a") < order.index("hi")
+        assert order.index("lo") < order.index("b") < order.index("hi")
+
+    def test_topological_deterministic(self, diamond_lattice):
+        assert diamond_lattice.topological() == diamond_lattice.topological()
+
+    def test_interval(self, ucst):
+        assert ucst.interval("u", "s") == {"u", "c", "s"}
+
+    def test_empty_interval_raises(self, ucst):
+        with pytest.raises(NotALatticeError):
+            ucst.interval("s", "u")

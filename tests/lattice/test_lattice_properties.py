@@ -1,0 +1,84 @@
+"""Property-based tests: partial-order and lattice laws on random orders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import random_lattice
+
+lattices = st.builds(
+    random_lattice,
+    n_levels=st.integers(min_value=1, max_value=10),
+    edge_probability=st.floats(min_value=0.0, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(lattices)
+def test_leq_reflexive(lattice):
+    assert all(lattice.leq(level, level) for level in lattice.levels)
+
+
+@given(lattices, st.data())
+def test_leq_antisymmetric(lattice, data):
+    a = data.draw(st.sampled_from(sorted(lattice.levels)))
+    b = data.draw(st.sampled_from(sorted(lattice.levels)))
+    if lattice.leq(a, b) and lattice.leq(b, a):
+        assert a == b
+
+
+@given(lattices, st.data())
+@settings(max_examples=60)
+def test_leq_transitive(lattice, data):
+    levels = sorted(lattice.levels)
+    a = data.draw(st.sampled_from(levels))
+    b = data.draw(st.sampled_from(levels))
+    c = data.draw(st.sampled_from(levels))
+    if lattice.leq(a, b) and lattice.leq(b, c):
+        assert lattice.leq(a, c)
+
+
+@given(lattices, st.data())
+def test_minimal_upper_bounds_are_upper_bounds(lattice, data):
+    levels = sorted(lattice.levels)
+    a = data.draw(st.sampled_from(levels))
+    b = data.draw(st.sampled_from(levels))
+    for bound in lattice.minimal_upper_bounds((a, b)):
+        assert lattice.leq(a, bound)
+        assert lattice.leq(b, bound)
+
+
+@given(lattices, st.data())
+def test_minimal_upper_bounds_are_minimal(lattice, data):
+    levels = sorted(lattice.levels)
+    a = data.draw(st.sampled_from(levels))
+    b = data.draw(st.sampled_from(levels))
+    bounds = lattice.minimal_upper_bounds((a, b))
+    for x in bounds:
+        for y in bounds:
+            if x != y:
+                assert not lattice.lt(x, y)
+
+
+@given(lattices, st.data())
+def test_up_set_down_set_duality(lattice, data):
+    levels = sorted(lattice.levels)
+    a = data.draw(st.sampled_from(levels))
+    b = data.draw(st.sampled_from(levels))
+    assert (b in lattice.up_set(a)) == (a in lattice.down_set(b))
+
+
+@given(lattices)
+def test_topological_is_linear_extension(lattice):
+    order = lattice.topological()
+    assert sorted(order) == sorted(lattice.levels)
+    position = {level: i for i, level in enumerate(order)}
+    for low, high in lattice.cover_pairs:
+        assert position[low] < position[high]
+
+
+@given(lattices, st.data())
+def test_down_set_is_visibility_closed(lattice, data):
+    """Everything below a visible level is itself visible (no read-up)."""
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    for visible in lattice.down_set(level):
+        assert lattice.down_set(visible) <= lattice.down_set(level)

@@ -1,0 +1,65 @@
+"""Unit tests for lattice spec parsing/formatting."""
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice import (
+    format_facts,
+    military_chain,
+    parse_chain_spec,
+    parse_fact_spec,
+    parse_lattice,
+)
+
+
+class TestChainSpec:
+    def test_single_chain(self):
+        lattice = parse_chain_spec("u < c < s < t")
+        assert lattice == military_chain()
+
+    def test_multiple_chains_form_diamond(self):
+        lattice = parse_chain_spec("lo < a < hi; lo < b < hi")
+        assert lattice.incomparable_pairs() == {("a", "b")}
+
+    def test_whitespace_tolerant(self):
+        assert parse_chain_spec("  u<c ;") .levels == {"u", "c"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            parse_chain_spec("   ;  ")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(LatticeError):
+            parse_chain_spec("u < c$ < s")
+
+
+class TestFactSpec:
+    def test_paper_syntax(self):
+        lattice = parse_fact_spec("level(u). level(c). order(u, c).")
+        assert lattice.leq("u", "c")
+
+    def test_orders_only_still_declares_levels(self):
+        lattice = parse_fact_spec("order(u, c). order(c, s). level(u). level(c). level(s).")
+        assert lattice.leq("u", "s")
+
+    def test_no_facts_rejected(self):
+        with pytest.raises(LatticeError):
+            parse_fact_spec("nothing here")
+
+
+class TestAutoDetect:
+    def test_detects_fact_syntax(self):
+        assert parse_lattice("level(u). order(u, c). level(c).").leq("u", "c")
+
+    def test_detects_chain_syntax(self):
+        assert parse_lattice("u < c").leq("u", "c")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_is_identity(self):
+        original = military_chain()
+        assert parse_fact_spec(format_facts(original)) == original
+
+    def test_diamond_round_trip(self):
+        original = parse_chain_spec("lo < a < hi; lo < b < hi")
+        assert parse_fact_spec(format_facts(original)) == original

@@ -1,0 +1,140 @@
+"""Unit tests for the multilevel relational algebra."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.mls import MLSRelation, MLSchema, view_at
+from repro.mls.algebra import (
+    declassified_level,
+    difference,
+    intersection,
+    join,
+    project,
+    select_where,
+    union,
+)
+
+
+@pytest.fixture()
+def crews(ucst):
+    schema = MLSchema("crews", ["starship", "captain"], key="starship", lattice=ucst)
+    relation = MLSRelation(schema)
+    relation.row([("voyager", "u"), ("janeway", "u")], tc="u")
+    relation.row([("phantom", "u"), ("ghost", "s")], tc="s")
+    relation.row([("avenger", "s"), ("fury", "s")], tc="s")
+    return relation
+
+
+class TestSelect:
+    def test_predicate_filtering(self, mission_rel):
+        spies = select_where(mission_rel, lambda t: t.value("objective") == "spying")
+        assert len(spies) == 2
+
+    def test_classifications_preserved(self, mission_rel):
+        spies = select_where(mission_rel, lambda t: t.value("objective") == "spying")
+        assert all(t.cls("objective") == "s" for t in spies)
+
+
+class TestProject:
+    def test_key_retained(self, mission_rel):
+        projected = project(mission_rel, ["starship", "destination"])
+        assert projected.schema.key == ("starship",)
+        assert projected.schema.attributes == ("starship", "destination")
+
+    def test_tc_recomputed_downward(self, mission_rel):
+        """Projecting away the S objective declassifies t3 to U."""
+        projected = project(mission_rel, ["starship", "destination"])
+        voyager = projected.where(starship="voyager")
+        assert {t.tc for t in voyager} == {"u"}
+
+    def test_duplicates_collapse(self, mission_rel):
+        projected = project(mission_rel, ["starship"])
+        assert len(projected.where(starship="atlantis")) == 1
+
+    def test_key_fallback_when_projected_away(self, mission_rel):
+        projected = project(mission_rel, ["objective"])
+        assert projected.schema.key == ("objective",)
+
+    def test_empty_projection_rejected(self, mission_rel):
+        with pytest.raises(SchemaError):
+            project(mission_rel, ["nonexistent"])
+
+    def test_projection_enables_lower_release(self, mission_rel):
+        """Projecting away the classified column removes the blind spot:
+        the U view of the projection is null-free while the original U
+        view leaks a masked cell (the surprise story)."""
+        projected = project(mission_rel, ["starship", "destination"])
+        assert view_at(mission_rel, "u").has_nulls()
+        assert not view_at(projected, "u").has_nulls()
+
+
+class TestJoin:
+    def test_natural_join(self, mission_rel, crews):
+        joined = join(mission_rel, crews)
+        voyager = joined.where(starship="voyager")
+        assert {t.value("captain") for t in voyager} == {"janeway"}
+        assert set(joined.schema.attributes) == {
+            "starship", "objective", "destination", "captain"}
+
+    def test_classified_cells_must_match(self, mission_rel, crews):
+        """crews' phantom has a U key; mission's two phantom tuples have U
+        and C keys -- only the U one joins."""
+        joined = join(mission_rel, crews)
+        phantom = joined.where(starship="phantom")
+        assert {t.key_classification() for t in phantom} == {"u"}
+
+    def test_tc_is_lub(self, mission_rel, crews):
+        joined = join(mission_rel, crews)
+        voyager_rows = joined.where(starship="voyager")
+        # t3 (TC s) x crews voyager (TC u) -> s; t8 (TC u) x (u) -> u
+        assert {t.tc for t in voyager_rows} == {"u", "s"}
+
+    def test_join_across_lattices_rejected(self, mission_rel, diamond_lattice):
+        other = MLSRelation(
+            MLSchema("x", ["starship"], key="starship", lattice=diamond_lattice))
+        with pytest.raises(SchemaError):
+            join(mission_rel, other)
+
+    def test_disjoint_attributes_is_cross_product(self, ucst):
+        a = MLSRelation(MLSchema("a", ["x"], key="x", lattice=ucst))
+        b = MLSRelation(MLSchema("b", ["y"], key="y", lattice=ucst))
+        a.row([("1", "u")])
+        a.row([("2", "u")])
+        b.row([("p", "u")])
+        assert len(join(a, b)) == 2
+
+
+class TestSetOperations:
+    def test_union(self, crews, ucst):
+        more = MLSRelation(crews.schema)
+        more.row([("eagle", "u"), ("hawk", "u")], tc="u")
+        assert len(union(crews, more)) == 4
+
+    def test_union_deduplicates(self, crews):
+        assert len(union(crews, crews)) == len(crews)
+
+    def test_difference(self, crews):
+        only_low = select_where(crews, lambda t: t.tc == "u")
+        rest = difference(crews, only_low)
+        assert {t.tc for t in rest} == {"s"}
+
+    def test_intersection(self, crews):
+        low = select_where(crews, lambda t: t.tc == "u")
+        assert set(intersection(crews, low)) == set(low)
+
+    def test_incompatible_schemas_rejected(self, crews, mission_rel):
+        with pytest.raises(SchemaError):
+            union(crews, mission_rel)
+
+
+class TestDeclassification:
+    def test_level_of_mixed_relation(self, crews):
+        assert declassified_level(crews) == "s"
+
+    def test_level_of_low_relation(self, crews):
+        low = select_where(crews, lambda t: t.tc == "u")
+        assert declassified_level(low) == "u"
+
+    def test_empty_relation(self, crews):
+        empty = select_where(crews, lambda t: False)
+        assert declassified_level(empty) is None

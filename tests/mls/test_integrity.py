@@ -1,0 +1,120 @@
+"""Unit tests for the three core integrity properties (Definition 5.4)."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.mls import (
+    NULL,
+    Cell,
+    MLSRelation,
+    MLSTuple,
+    MLSchema,
+    assert_consistent,
+    check_entity_integrity,
+    check_null_integrity,
+    check_polyinstantiation_integrity,
+    check_relation,
+    is_consistent,
+)
+
+
+@pytest.fixture()
+def schema2(ucst):
+    return MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+
+
+def rel(schema, *tuples):
+    return MLSRelation(schema, tuples)
+
+
+class TestEntityIntegrity:
+    def test_mission_passes(self, mission_rel):
+        assert check_entity_integrity(mission_rel) == []
+
+    def test_null_key_flagged(self, schema2):
+        t = MLSTuple(schema2, {"k": Cell(NULL, "u"), "a": Cell("1", "u")})
+        violations = check_entity_integrity(rel(schema2, t))
+        assert len(violations) == 1
+        assert "null" in violations[0].message
+
+    def test_non_uniform_key_flagged(self, ucst):
+        schema = MLSchema("r", ["k1", "k2", "a"], key=["k1", "k2"], lattice=ucst)
+        t = MLSTuple(schema, {"k1": Cell("x", "u"), "k2": Cell("y", "s"),
+                              "a": Cell("1", "s")})
+        violations = check_entity_integrity(rel(schema, t))
+        assert any("uniformly" in v.message for v in violations)
+
+    def test_attribute_below_key_class_flagged(self, schema2):
+        t = MLSTuple(schema2, {"k": Cell("x", "s"), "a": Cell("1", "u")})
+        violations = check_entity_integrity(rel(schema2, t))
+        assert any("dominate" in v.message for v in violations)
+
+    def test_violation_str(self, schema2):
+        t = MLSTuple(schema2, {"k": Cell(NULL, "u"), "a": Cell("1", "u")})
+        violation = check_entity_integrity(rel(schema2, t))[0]
+        assert str(violation).startswith("[entity]")
+
+
+class TestNullIntegrity:
+    def test_mission_passes(self, mission_rel):
+        assert check_null_integrity(mission_rel) == []
+
+    def test_null_not_at_key_level_flagged(self, ucst):
+        schema = MLSchema("r", ["k", "a", "b"], key="k", lattice=ucst)
+        t = MLSTuple(schema, {"k": Cell("x", "u"), "a": Cell(NULL, "c"),
+                              "b": Cell("1", "u")})
+        violations = check_null_integrity(rel(schema, t))
+        assert any("key level" in v.message for v in violations)
+
+    def test_same_tc_subsumption_flagged(self, schema2):
+        full = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "u")}, tc="u")
+        holey = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell(NULL, "u")}, tc="u")
+        violations = check_null_integrity(rel(schema2, full, holey))
+        assert any("subsume" in v.message for v in violations)
+
+    def test_cross_tc_duplicates_allowed(self, schema2):
+        """Tuple-class polyinstantiation (t2/t6/t7 of Figure 1) is legal."""
+        a = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "u")}, tc="u")
+        b = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "u")}, tc="s")
+        assert check_null_integrity(rel(schema2, a, b)) == []
+
+
+class TestPolyinstantiationIntegrity:
+    def test_mission_passes(self, mission_rel):
+        assert check_polyinstantiation_integrity(mission_rel) == []
+
+    def test_fd_violation_flagged(self, schema2):
+        a = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "s")}, tc="s")
+        b = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("2", "s")}, tc="s")
+        violations = check_polyinstantiation_integrity(rel(schema2, a, b))
+        assert len(violations) == 1
+        assert "violated" in violations[0].message
+
+    def test_different_key_class_no_violation(self, schema2):
+        """Figure 1's two Phantom tuples: same Ci, different C_AK."""
+        a = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "s")}, tc="s")
+        b = MLSTuple(schema2, {"k": Cell("x", "c"), "a": Cell("2", "s")}, tc="s")
+        assert check_polyinstantiation_integrity(rel(schema2, a, b)) == []
+
+    def test_different_cell_class_no_violation(self, schema2):
+        a = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "c")}, tc="c")
+        b = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("2", "s")}, tc="s")
+        assert check_polyinstantiation_integrity(rel(schema2, a, b)) == []
+
+
+class TestAggregation:
+    def test_mission_is_consistent(self, mission_rel):
+        assert is_consistent(mission_rel)
+        assert_consistent(mission_rel)  # must not raise
+
+    def test_check_relation_aggregates(self, schema2):
+        bad = MLSTuple(schema2, {"k": Cell(NULL, "u"), "a": Cell(NULL, "c")})
+        violations = check_relation(rel(schema2, bad))
+        properties = {v.property_name for v in violations}
+        assert "entity" in properties
+
+    def test_assert_consistent_raises_with_all_messages(self, schema2):
+        a = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("1", "s")}, tc="s")
+        b = MLSTuple(schema2, {"k": Cell("x", "u"), "a": Cell("2", "s")}, tc="s")
+        with pytest.raises(IntegrityError, match="polyinstantiation"):
+            assert_consistent(rel(schema2, a, b))

@@ -1,0 +1,83 @@
+"""Section 7: multi-attribute apparent keys at the relational layer.
+
+The paper assumes single-attribute keys "for the sake of simplicity" and
+notes the restriction "can be relaxed in an actual implementation without
+much difficulty" -- the MLS substrate does relax it: schemes, integrity,
+views, updates and beta all work with composite keys.
+"""
+
+import pytest
+
+from repro.belief import cautious, firm, optimistic
+from repro.mls import (
+    MLSRelation,
+    MLSchema,
+    SessionCursor,
+    check_entity_integrity,
+    is_consistent,
+    view_at,
+)
+
+
+@pytest.fixture()
+def flights(ucst):
+    schema = MLSchema(
+        "flights", ["carrier", "number", "route"],
+        key=["carrier", "number"], lattice=ucst,
+    )
+    relation = MLSRelation(schema)
+    at_u = SessionCursor(relation, "u")
+    at_s = SessionCursor(relation, "s")
+    at_u.insert({"carrier": "ua", "number": 1, "route": "jfk-lax"})
+    at_u.insert({"carrier": "ba", "number": 1, "route": "lhr-jfk"})
+    at_s.update({"carrier": "ua", "number": 1}, {"route": "jfk-area51"})
+    return relation
+
+
+class TestCompositeKeys:
+    def test_same_number_different_carrier_coexist(self, flights):
+        assert len(flights.with_key("ua", 1)) == 2  # base + polyinstantiated
+        assert len(flights.with_key("ba", 1)) == 1
+
+    def test_consistency_holds(self, flights):
+        assert is_consistent(flights)
+
+    def test_key_uniformity_enforced_across_all_key_attributes(self, ucst):
+        from repro.mls import Cell, MLSTuple
+        schema = MLSchema("r", ["k1", "k2", "a"], key=["k1", "k2"], lattice=ucst)
+        bad = MLSTuple(schema, {"k1": Cell("x", "u"), "k2": Cell("y", "c"),
+                                "a": Cell("1", "c")})
+        violations = check_entity_integrity(MLSRelation(schema, [bad]))
+        assert violations
+
+    def test_view_masks_by_composite_key_class(self, flights):
+        view = view_at(flights, "u")
+        ua = view.with_key("ua", 1)
+        # the polyinstantiated S route filters to null; the base survives
+        routes = {t.value("route") for t in ua}
+        assert "jfk-lax" in routes
+
+    def test_firm_and_optimistic(self, flights):
+        assert len(firm(flights, "s")) == 1
+        assert len(optimistic(flights, "s")) == 3
+
+    def test_cautious_overrides_per_composite_key(self, flights):
+        believed = cautious(flights, "s")
+        ua = believed.with_key("ua", 1).tuples
+        assert len(ua) == 1
+        assert ua[0].value("route") == "jfk-area51"
+        ba = believed.with_key("ba", 1).tuples
+        assert ba[0].value("route") == "lhr-jfk"
+
+    def test_update_targets_full_key(self, flights):
+        at_s = SessionCursor(flights, "s")
+        results = at_s.update({"carrier": "ba", "number": 1},
+                              {"route": "lhr-gib"})
+        assert len(results) == 1
+        assert results[0].key_values() == ("ba", 1)
+
+    def test_delete_by_full_key(self, flights):
+        at_u = SessionCursor(flights, "u")
+        at_u.delete({"carrier": "ba", "number": 1})
+        assert len(flights.with_key("ba", 1)) == 0
+        assert len(flights.with_key("ua", 1)) == 2

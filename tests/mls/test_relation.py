@@ -1,0 +1,105 @@
+"""Unit tests for MLS relation instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.mls import MLSRelation, MLSTuple, MLSchema
+
+
+@pytest.fixture()
+def small(ucst):
+    schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+    relation = MLSRelation(schema)
+    relation.row([("x", "u"), ("1", "u")], tc="u")
+    relation.row([("x", "u"), ("2", "s")], tc="s")
+    relation.row([("y", "c"), ("3", "c")], tc="c")
+    return relation
+
+
+class TestContainer:
+    def test_len_and_iter(self, small):
+        assert len(small) == 3
+        assert len(list(small)) == 3
+
+    def test_duplicates_collapse(self, small):
+        t = small.tuples[0]
+        small.add(t)
+        assert len(small) == 3
+
+    def test_contains(self, small):
+        assert small.tuples[0] in small
+
+    def test_remove(self, small):
+        t = small.tuples[0]
+        small.remove(t)
+        assert t not in small
+        with pytest.raises(ValueError):
+            small.remove(t)
+
+    def test_copy_is_independent(self, small):
+        clone = small.copy()
+        clone.remove(clone.tuples[0])
+        assert len(small) == 3
+        assert len(clone) == 2
+
+    def test_equality_is_set_based(self, small):
+        reordered = MLSRelation(small.schema, reversed(small.tuples))
+        assert reordered == small
+
+    def test_schema_mismatch_rejected(self, small, ucst):
+        other_schema = MLSchema("other", ["k", "a"], key="k", lattice=ucst)
+        alien = MLSTuple.make(other_schema, {"k": "x", "a": "1"}, "u")
+        with pytest.raises(SchemaError):
+            small.add(alien)
+
+
+class TestQueries:
+    def test_where(self, small):
+        assert len(small.where(k="x")) == 2
+
+    def test_where_unknown_attribute(self, small):
+        with pytest.raises(SchemaError):
+            small.where(bogus=1)
+
+    def test_select_predicate(self, small):
+        high = small.select(lambda t: t.tc == "s")
+        assert len(high) == 1
+
+    def test_project_values_dedup(self, small):
+        assert small.project_values(["k"]) == [("x",), ("y",)]
+
+    def test_project_preserves_order(self, small):
+        assert small.project_values(["k", "a"])[0] == ("x", "1")
+
+    def test_with_key(self, small):
+        assert len(small.with_key("x")) == 2
+        with pytest.raises(SchemaError):
+            small.with_key("x", "extra")
+
+    def test_keys(self, small):
+        assert small.keys() == [("x",), ("y",)]
+
+    def test_tuple_classes(self, small):
+        assert small.tuple_classes() == {"u", "s", "c"}
+
+    def test_has_nulls(self, small, ucst):
+        assert not small.has_nulls()
+        schema = small.schema
+        small.add(MLSTuple.make(schema, {"k": "z"}, "u"))
+        assert small.has_nulls()
+
+
+class TestMissionFixture:
+    def test_ten_tuples(self, mission_rel):
+        assert len(mission_rel) == 10
+
+    def test_phantom_polyinstantiated(self, mission_rel):
+        phantoms = mission_rel.with_key("phantom")
+        assert len(phantoms) == 2
+        assert {t.key_classification() for t in phantoms} == {"u", "c"}
+
+    def test_atlantis_tuple_class_polyinstantiation(self, mission_rel):
+        atlantis = mission_rel.with_key("atlantis")
+        assert {t.tc for t in atlantis} == {"u", "c", "s"}
+        cells = {t.cells for t in atlantis}
+        assert len(cells) == 1  # identical data, three assertions

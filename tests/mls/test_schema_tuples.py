@@ -1,0 +1,161 @@
+"""Unit tests for MLS schemes and classified tuples."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.lattice import diamond
+from repro.mls import NULL, Cell, MLSTuple, MLSchema, is_null
+
+
+class TestSchema:
+    def test_basic_construction(self, ucst):
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+        assert schema.key == ("k",)
+        assert schema.non_key_attributes == ("a",)
+
+    def test_multi_attribute_key(self, ucst):
+        schema = MLSchema("r", ["k1", "k2", "a"], key=["k1", "k2"], lattice=ucst)
+        assert schema.key == ("k1", "k2")
+        assert schema.is_key("k2")
+
+    def test_duplicate_attributes_rejected(self, ucst):
+        with pytest.raises(SchemaError):
+            MLSchema("r", ["a", "a"], key="a", lattice=ucst)
+
+    def test_key_must_be_attribute(self, ucst):
+        with pytest.raises(SchemaError):
+            MLSchema("r", ["a"], key="zz", lattice=ucst)
+
+    def test_empty_attributes_rejected(self, ucst):
+        with pytest.raises(SchemaError):
+            MLSchema("r", [], key="a", lattice=ucst)
+
+    def test_position_lookup(self, schema):
+        assert schema.position("objective") == 1
+        with pytest.raises(SchemaError):
+            schema.position("nope")
+
+    def test_column_names_shape(self, schema):
+        columns = schema.column_names()
+        assert columns[0] == "starship"
+        assert columns[1] == "C_starship"
+        assert columns[-1] == "TC"
+        assert len(columns) == 2 * 3 + 1
+
+    def test_ranges_validated(self, ucst):
+        with pytest.raises(SchemaError):
+            MLSchema("r", ["k"], key="k", lattice=ucst, ranges={"k": ("s", "u")})
+        schema = MLSchema("r", ["k"], key="k", lattice=ucst, ranges={"k": ("u", "s")})
+        schema.check_classification("k", "c")
+        with pytest.raises(SchemaError):
+            schema.check_classification("k", "t")
+
+    def test_range_for_unknown_attribute_rejected(self, ucst):
+        with pytest.raises(SchemaError):
+            MLSchema("r", ["k"], key="k", lattice=ucst, ranges={"zz": ("u", "s")})
+
+
+class TestNull:
+    def test_singleton(self):
+        assert NULL is type(NULL)()
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null("null")
+
+    def test_str(self):
+        assert str(NULL) == "⊥"
+
+
+class TestTuple:
+    def test_make_uniform_classification(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"}, "u")
+        assert t.tc == "u"
+        assert t.cls("objective") == "u"
+
+    def test_tc_defaults_to_lub(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"},
+                          {"starship": "u", "objective": "s", "destination": "u"})
+        assert t.tc == "s"
+
+    def test_explicit_tc_must_dominate(self, schema):
+        with pytest.raises(SchemaError):
+            MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"}, "s", tc="u")
+
+    def test_tc_above_lub_is_legal(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"}, "u", tc="s")
+        assert t.tc == "s"
+
+    def test_missing_cells_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            MLSTuple(schema, {"starship": Cell("x", "u")})
+
+    def test_unknown_attribute_rejected(self, schema):
+        cells = {a: Cell("x", "u") for a in schema.attributes}
+        cells["bogus"] = Cell("y", "u")
+        with pytest.raises(SchemaError):
+            MLSTuple(schema, cells)
+
+    def test_wrong_arity_list_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            MLSTuple(schema, [Cell("x", "u")])
+
+    def test_unknown_classification_rejected(self, schema):
+        from repro.errors import UnknownLevelError
+        with pytest.raises(UnknownLevelError):
+            MLSTuple.make(schema, {"starship": "x"}, "zz")
+
+    def test_key_accessors(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"}, "c")
+        assert t.key_values() == ("x",)
+        assert t.key_classification() == "c"
+
+    def test_as_row_layout(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"}, "u")
+        row = t.as_row()
+        assert row == ("x", "u", "y", "u", "z", "u", "u")
+
+    def test_replace_cells(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x", "objective": "y",
+                                   "destination": "z"}, "u")
+        t2 = t.replace(cells={"objective": Cell("w", "s")}, tc="s")
+        assert t2.value("objective") == "w"
+        assert t2.tc == "s"
+        assert t.value("objective") == "y"  # original untouched
+
+    def test_equality_includes_tc(self, schema):
+        base = {"starship": "x", "objective": "y", "destination": "z"}
+        t1 = MLSTuple.make(schema, base, "u", tc="u")
+        t2 = MLSTuple.make(schema, base, "u", tc="s")
+        assert t1 != t2
+        assert hash(t1) != hash(t2)
+
+    def test_missing_values_become_null(self, schema):
+        t = MLSTuple.make(schema, {"starship": "x"}, "u")
+        assert t.value("objective") is NULL
+
+    def test_partial_order_tc_check(self):
+        lattice = diamond()
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=lattice)
+        # cells at incomparable a/b: tc must dominate both -> only "hi".
+        with pytest.raises(SchemaError):
+            MLSTuple.make(schema, {"k": "x", "a": "y"},
+                          {"k": "a", "a": "b"}, tc="a")
+        t = MLSTuple.make(schema, {"k": "x", "a": "y"},
+                          {"k": "a", "a": "b"}, tc="hi")
+        assert t.tc == "hi"
+
+    def test_cell_iteration_and_repr(self):
+        cell = Cell("v", "u")
+        assert tuple(cell) == ("v", "u")
+        assert "v" in repr(cell)

@@ -1,0 +1,65 @@
+"""Unit tests for surprise-story detection (the paper's new observation)."""
+
+from repro.mls import (
+    MLSRelation,
+    MLSchema,
+    SessionCursor,
+    is_surprise_free,
+    surprise_stories,
+    surprise_stories_at,
+)
+
+
+class TestMissionSurprises:
+    def test_t4_surprises_u(self, mission_rel):
+        stories = surprise_stories_at(mission_rel, "u")
+        assert len(stories) == 1
+        story = stories[0]
+        assert story.stored.key_values() == ("phantom",)
+        assert story.leaked_attributes == ("objective",)
+
+    def test_t4_and_t5_surprise_c(self, mission_rel):
+        stories = surprise_stories_at(mission_rel, "c")
+        assert len(stories) == 2
+        leaked = {s.leaked_attributes for s in stories}
+        assert ("objective",) in leaked
+        assert ("objective", "destination") in leaked
+
+    def test_no_surprises_at_s(self, mission_rel):
+        assert surprise_stories_at(mission_rel, "s") == []
+
+    def test_summary_map(self, mission_rel):
+        by_level = surprise_stories(mission_rel)
+        assert set(by_level) == {"u", "c"}
+
+    def test_str_is_informative(self, mission_rel):
+        story = surprise_stories_at(mission_rel, "u")[0]
+        assert "phantom" in str(story)
+        assert "objective" in str(story)
+
+
+class TestLifecycle:
+    def test_cover_story_alone_is_not_a_surprise(self, ucst):
+        """While the low original lives, subsumption hides the gap."""
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+        relation = MLSRelation(schema)
+        SessionCursor(relation, "u").insert({"k": "x", "a": "benign"})
+        SessionCursor(relation, "s").update({"k": "x"}, {"a": "covert"})
+        assert is_surprise_free(relation)
+
+    def test_deleting_original_creates_the_surprise(self, ucst):
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+        relation = MLSRelation(schema)
+        SessionCursor(relation, "u").insert({"k": "x", "a": "benign"})
+        SessionCursor(relation, "s").update({"k": "x"}, {"a": "covert"})
+        SessionCursor(relation, "u").delete({"k": "x"})
+        stories = surprise_stories_at(relation, "u")
+        assert len(stories) == 1
+        assert stories[0].leaked_attributes == ("a",)
+
+    def test_uniformly_classified_relation_is_surprise_free(self, ucst):
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+        relation = MLSRelation(schema)
+        for level in ("u", "c", "s"):
+            SessionCursor(relation, level).insert({"k": f"k{level}", "a": "v"})
+        assert is_surprise_free(relation)

@@ -1,0 +1,129 @@
+"""Property tests: random update histories preserve MLS integrity.
+
+The paper's t4/t5 surprise stories arise from legal insert/update/delete
+sequences; these tests generate arbitrary such sequences and check that
+(a) the three core integrity properties survive every step, and (b) the
+Bell-LaPadula surfaces never leak.
+"""
+
+import random as random_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MLSError
+from repro.lattice import chain, diamond
+from repro.mls import MLSRelation, MLSchema, SessionCursor, check_relation, view_at
+from repro.belief import belief
+
+
+@st.composite
+def histories(draw):
+    """A random sequence of (level, op, key, payload) actions."""
+    shape = draw(st.sampled_from(["chain", "diamond"]))
+    lattice = chain(["u", "c", "s", "t"]) if shape == "chain" else diamond()
+    levels = sorted(lattice.levels)
+    n_actions = draw(st.integers(min_value=1, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random_module.Random(seed)
+    actions = []
+    for _ in range(n_actions):
+        op = rng.choice(["insert", "insert", "update", "update", "delete"])
+        actions.append((
+            rng.choice(levels),
+            op,
+            f"k{rng.randrange(5)}",
+            f"v{rng.randrange(8)}",
+        ))
+    return lattice, actions
+
+
+def _apply(relation, lattice, actions):
+    applied = 0
+    for level, op, key, payload in actions:
+        cursor = SessionCursor(relation, level)
+        try:
+            if op == "insert":
+                cursor.insert({"k": key, "a": payload, "b": payload + "x"})
+            elif op == "update":
+                cursor.update({"k": key}, {"a": payload})
+            else:
+                cursor.delete({"k": key})
+            applied += 1
+        except MLSError:
+            continue  # rejected operations are fine; silent corruption is not
+    return applied
+
+
+@given(histories())
+@settings(max_examples=60, deadline=None)
+def test_integrity_survives_any_history(bundle):
+    lattice, actions = bundle
+    schema = MLSchema("r", ["k", "a", "b"], key="k", lattice=lattice)
+    relation = MLSRelation(schema)
+    _apply(relation, lattice, actions)
+    assert check_relation(relation) == []
+
+
+@given(histories())
+@settings(max_examples=40, deadline=None)
+def test_integrity_holds_after_every_single_step(bundle):
+    lattice, actions = bundle
+    schema = MLSchema("r", ["k", "a", "b"], key="k", lattice=lattice)
+    relation = MLSRelation(schema)
+    for action in actions:
+        _apply(relation, lattice, [action])
+        assert check_relation(relation) == []
+
+
+@given(histories(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_views_never_leak_high_data(bundle, data):
+    """No value classified above the observer ever appears in a view or a
+    belief, whatever the history."""
+    lattice, actions = bundle
+    schema = MLSchema("r", ["k", "a", "b"], key="k", lattice=lattice)
+    relation = MLSRelation(schema)
+    _apply(relation, lattice, actions)
+    observer = data.draw(st.sampled_from(sorted(lattice.levels)))
+    high_values = {
+        cell.value for t in relation for cell in t.cells
+        if not lattice.leq(cell.cls, observer)
+    }
+    low_values = {
+        cell.value for t in relation for cell in t.cells
+        if lattice.leq(cell.cls, observer)
+    }
+    secret = high_values - low_values  # values with no low occurrence
+    for source in [view_at(relation, observer),
+                   belief(relation, observer, "fir"),
+                   belief(relation, observer, "opt"),
+                   belief(relation, observer, "cau")]:
+        for t in source:
+            for cell in t.cells:
+                assert cell.value not in secret
+
+
+@given(histories())
+@settings(max_examples=40, deadline=None)
+def test_updates_only_grow_or_shrink_at_own_level(bundle):
+    """A delete at level l removes only TC=l tuples; an update never
+    destroys data below the updater (required polyinstantiation)."""
+    lattice, actions = bundle
+    schema = MLSchema("r", ["k", "a", "b"], key="k", lattice=lattice)
+    relation = MLSRelation(schema)
+    for level, op, key, payload in actions:
+        strictly_other = {t for t in relation if t.tc != level}
+        cursor = SessionCursor(relation, level)
+        try:
+            if op == "insert":
+                cursor.insert({"k": key, "a": payload, "b": payload + "x"})
+            elif op == "update":
+                cursor.update({"k": key}, {"a": payload})
+            else:
+                cursor.delete({"k": key})
+        except MLSError:
+            continue
+        after = set(relation)
+        # tuples stored at other levels are never removed
+        assert strictly_other <= after

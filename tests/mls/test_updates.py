@@ -1,0 +1,174 @@
+"""Unit tests for the polyinstantiating update engine."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, IntegrityError
+from repro.mls import MLSRelation, MLSchema, SessionCursor, is_consistent
+from repro.workloads.mission import mission_relation, mission_via_updates
+
+
+@pytest.fixture()
+def fresh(ucst):
+    schema = MLSchema("r", ["k", "a", "b"], key="k", lattice=ucst)
+    return MLSRelation(schema)
+
+
+class TestInsert:
+    def test_insert_classifies_at_clearance(self, fresh):
+        t = SessionCursor(fresh, "c").insert({"k": "x", "a": "1", "b": "2"})
+        assert t.tc == "c"
+        assert {t.cls(attr) for attr in fresh.schema.attributes} == {"c"}
+
+    def test_insert_requires_key(self, fresh):
+        with pytest.raises(IntegrityError):
+            SessionCursor(fresh, "c").insert({"a": "1"})
+
+    def test_duplicate_key_same_level_rejected(self, fresh):
+        cursor = SessionCursor(fresh, "c")
+        cursor.insert({"k": "x", "a": "1", "b": "2"})
+        with pytest.raises(IntegrityError):
+            cursor.insert({"k": "x", "a": "9", "b": "9"})
+
+    def test_same_key_different_level_allowed(self, fresh):
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "c").insert({"k": "x", "a": "9", "b": "9"})
+        assert len(fresh) == 2
+
+
+class TestUpdate:
+    def test_in_place_at_own_level(self, fresh):
+        cursor = SessionCursor(fresh, "c")
+        cursor.insert({"k": "x", "a": "1", "b": "2"})
+        cursor.update({"k": "x"}, {"a": "99"})
+        assert len(fresh) == 1
+        assert fresh.tuples[0].value("a") == "99"
+
+    def test_higher_level_polyinstantiates(self, fresh):
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "s").update({"k": "x"}, {"a": "covert"})
+        assert len(fresh) == 2
+        poly = [t for t in fresh if t.tc == "s"][0]
+        assert poly.value("a") == "covert"
+        assert poly.cls("a") == "s"
+        assert poly.key_classification() == "u"  # key cell kept verbatim
+        assert poly.value("b") == "2"
+
+    def test_lower_tuple_unchanged(self, fresh):
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "s").update({"k": "x"}, {"a": "covert"})
+        low = [t for t in fresh if t.tc == "u"][0]
+        assert low.value("a") == "1"
+
+    def test_update_key_rejected(self, fresh):
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        with pytest.raises(IntegrityError):
+            SessionCursor(fresh, "u").update({"k": "x"}, {"k": "y"})
+
+    def test_invisible_target_rejected(self, fresh):
+        SessionCursor(fresh, "s").insert({"k": "x", "a": "1", "b": "2"})
+        with pytest.raises(IntegrityError):
+            SessionCursor(fresh, "u").update({"k": "x"}, {"a": "9"})
+
+    def test_key_classification_selector(self, fresh):
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "c").insert({"k": "x", "a": "3", "b": "4"})
+        results = SessionCursor(fresh, "s").update(
+            {"k": "x"}, {"a": "only-c"}, key_classification="c")
+        assert len(results) == 1
+        assert results[0].key_classification() == "c"
+
+    def test_reassertion_with_empty_changes(self, fresh):
+        """Tuple-class polyinstantiation: same data, higher TC."""
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "c").update({"k": "x"}, {})
+        tcs = {t.tc for t in fresh}
+        assert tcs == {"u", "c"}
+        cells = {t.cells for t in fresh}
+        assert len(cells) == 1
+
+
+class TestDelete:
+    def test_delete_own_level_only(self, fresh):
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "s").update({"k": "x"}, {"a": "covert"})
+        SessionCursor(fresh, "u").delete({"k": "x"})
+        assert len(fresh) == 1
+        assert fresh.tuples[0].tc == "s"
+
+    def test_delete_above_level_refused(self, fresh):
+        SessionCursor(fresh, "s").insert({"k": "x", "a": "1", "b": "2"})
+        with pytest.raises(AccessDeniedError):
+            SessionCursor(fresh, "u").delete({"k": "x"})
+
+    def test_delete_missing_refused(self, fresh):
+        with pytest.raises(AccessDeniedError):
+            SessionCursor(fresh, "u").delete({"k": "ghost"})
+
+
+class TestRead:
+    def test_read_is_js_view(self, mission_rel):
+        cursor = SessionCursor(mission_rel, "u")
+        assert len(cursor.read()) == 5
+
+    def test_read_without_subsumption(self, mission_rel):
+        cursor = SessionCursor(mission_rel, "u")
+        assert len(cursor.read(apply_subsumption=False)) >= 5
+
+    def test_unknown_clearance_rejected(self, mission_rel):
+        from repro.errors import UnknownLevelError
+        with pytest.raises(UnknownLevelError):
+            SessionCursor(mission_rel, "zz")
+
+
+class TestHistoryReplay:
+    def test_replay_reproduces_figure1(self):
+        relation, _ = mission_relation()
+        assert set(mission_via_updates()) == set(relation)
+
+    def test_replay_result_is_consistent(self):
+        assert is_consistent(mission_via_updates())
+
+    def test_replay_stays_consistent_throughout(self, fresh):
+        """Every individual operation preserves the integrity properties."""
+        at_u = SessionCursor(fresh, "u")
+        at_s = SessionCursor(fresh, "s")
+        at_u.insert({"k": "x", "a": "1", "b": "2"})
+        assert is_consistent(fresh)
+        at_s.update({"k": "x"}, {"a": "covert"})
+        assert is_consistent(fresh)
+        at_u.delete({"k": "x"})
+        assert is_consistent(fresh)
+
+
+class TestElementSemantics:
+    """Regressions for FD-preserving element semantics (found by the
+    random-history property tests): stale low cells inside higher
+    polyinstantiated tuples must never contradict fresh low data."""
+
+    def test_reinsert_after_delete_with_high_remnant_refused(self, fresh):
+        SessionCursor(fresh, "c").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "t").update({"k": "x"}, {"a": "covert"})
+        SessionCursor(fresh, "c").delete({"k": "x"})
+        # The t-level remnant still carries the c-classified key/b cells.
+        with pytest.raises(IntegrityError, match="already exists"):
+            SessionCursor(fresh, "c").insert({"k": "x", "a": "9", "b": "9"})
+        from repro.mls import check_relation
+        assert check_relation(fresh) == []
+
+    def test_in_place_update_propagates_to_inherited_cells(self, fresh):
+        SessionCursor(fresh, "c").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "t").update({"k": "x"}, {"a": "covert"})
+        SessionCursor(fresh, "c").update({"k": "x"}, {"b": "99"})
+        # Both the c tuple and the t remnant now agree on the c-cell b.
+        values = {t.value("b") for t in fresh.with_key("x")}
+        assert values == {"99"}
+        from repro.mls import check_relation
+        assert check_relation(fresh) == []
+
+    def test_propagation_respects_lineage(self, fresh):
+        """A different-C_AK tuple with the same key value is untouched."""
+        SessionCursor(fresh, "u").insert({"k": "x", "a": "1", "b": "2"})
+        SessionCursor(fresh, "c").insert({"k": "x", "a": "3", "b": "4"})
+        SessionCursor(fresh, "u").update({"k": "x"}, {"b": "42"})
+        by_cak = {t.key_classification(): t.value("b") for t in fresh.with_key("x")}
+        assert by_cak == {"u": "42", "c": "4"}

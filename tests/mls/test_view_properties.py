@@ -1,0 +1,113 @@
+"""Property tests on the Jajodia-Sandhu view machinery (Definition 2.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mls import NULL, mask_tuple, subsumes, view_at
+from repro.workloads.generator import make_lattice, random_mls_relation
+
+
+@st.composite
+def relations(draw):
+    shape = draw(st.sampled_from(["chain", "diamond", "random"]))
+    seed = draw(st.integers(min_value=0, max_value=4_000))
+    lattice = make_lattice(shape, n_levels=draw(st.integers(2, 5)), seed=seed)
+    return random_mls_relation(
+        draw(st.integers(min_value=0, max_value=20)), lattice,
+        polyinstantiation_rate=draw(st.floats(min_value=0.0, max_value=0.7)),
+        seed=seed)
+
+
+def visible_values(relation, level):
+    """Non-null data values an observer at ``level`` can extract."""
+    return {
+        cell.value for t in view_at(relation, level, apply_subsumption=False)
+        for cell in t.cells if cell.value is not NULL
+    }
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_masking_never_reveals_high_cells(relation, data):
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    for t in view_at(relation, level, apply_subsumption=False):
+        for attr in relation.schema.attributes:
+            cell = t.cell(attr)
+            if cell.value is not NULL:
+                assert lattice.leq(cell.cls, level)
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_visible_information_monotone_in_level(relation, data):
+    lattice = relation.schema.lattice
+    low = data.draw(st.sampled_from(sorted(lattice.levels)))
+    high = data.draw(st.sampled_from(sorted(lattice.up_set(low))))
+    assert visible_values(relation, low) <= visible_values(relation, high)
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_masking_idempotent(relation, data):
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    for t in relation:
+        once = mask_tuple(t, level)
+        if once is None:
+            continue
+        twice = mask_tuple(once, level)
+        assert twice == once
+
+
+@given(relations(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_subsumption_reflexive_and_transitive(relation, data):
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    masked = [mask_tuple(t, level) for t in relation]
+    masked = [t for t in masked if t is not None]
+    for t in masked:
+        assert subsumes(t, t)
+    for a in masked[:6]:
+        for b in masked[:6]:
+            for c in masked[:6]:
+                if subsumes(a, b) and subsumes(b, c):
+                    assert subsumes(a, c)
+
+
+@given(relations(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_subsumption_minimization_loses_no_information(relation, data):
+    """Every cell value visible before minimization survives in some
+    subsuming tuple afterwards."""
+    lattice = relation.schema.lattice
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    raw = view_at(relation, level, apply_subsumption=False)
+    minimal = view_at(relation, level, apply_subsumption=True)
+    raw_cells = {
+        (t.key_values(), attr, t.cell(attr))
+        for t in raw for attr in relation.schema.attributes
+        if t.cell(attr).value is not NULL
+    }
+    minimal_cells = {
+        (t.key_values(), attr, t.cell(attr))
+        for t in minimal for attr in relation.schema.attributes
+        if t.cell(attr).value is not NULL
+    }
+    assert raw_cells == minimal_cells
+
+
+@given(relations())
+@settings(max_examples=40, deadline=None)
+def test_unique_top_view_without_subsumption_is_everything(relation):
+    """A unique top dominates every level, so nothing filters there.
+
+    (With multiple incomparable tops, each top misses the others' data.)
+    """
+    lattice = relation.schema.lattice
+    tops = lattice.tops()
+    if len(tops) != 1:
+        return
+    view = view_at(relation, next(iter(tops)), apply_subsumption=False)
+    assert set(view) == set(relation)

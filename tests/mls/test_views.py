@@ -1,0 +1,122 @@
+"""Unit tests for per-level views, masking and subsumption (Figures 2-3)."""
+
+import pytest
+
+from repro.mls import (
+    NULL,
+    mask_tuple,
+    minimize_by_subsumption,
+    strictly_subsumes,
+    subsumes,
+    view_at,
+)
+from repro.mls.relation import MLSRelation
+
+
+class TestMasking:
+    def test_invisible_key_drops_tuple(self, mission_tids):
+        assert mask_tuple(mission_tids["t1"], "u") is None
+
+    def test_visible_tuple_passes_through(self, mission_tids):
+        masked = mask_tuple(mission_tids["t8"], "u")
+        assert masked == mission_tids["t8"]
+
+    def test_hidden_cell_masked_to_null_at_key_class(self, mission_tids):
+        masked = mask_tuple(mission_tids["t4"], "u")
+        assert masked.value("objective") is NULL
+        assert masked.cls("objective") == "u"  # key classification
+        assert masked.value("destination") == "omega"
+
+    def test_tc_capped_at_view_level(self, mission_tids):
+        assert mask_tuple(mission_tids["t4"], "u").tc == "u"
+        assert mask_tuple(mission_tids["t4"], "c").tc == "c"
+        assert mask_tuple(mission_tids["t4"], "s").tc == "s"
+
+    def test_visible_tc_preserved(self, mission_tids):
+        assert mask_tuple(mission_tids["t8"], "c").tc == "u"
+
+
+class TestSubsumption:
+    def test_identical_subsume(self, mission_tids):
+        assert subsumes(mission_tids["t8"], mission_tids["t8"])
+
+    def test_non_null_over_null(self, mission_tids):
+        filtered_t3 = mask_tuple(mission_tids["t3"], "u")
+        assert subsumes(mission_tids["t8"], filtered_t3)
+        assert not subsumes(filtered_t3, mission_tids["t8"])
+
+    def test_t4_t5_do_not_subsume_each_other(self, mission_tids):
+        """The paper calls this out explicitly (Section 3)."""
+        t4c = mask_tuple(mission_tids["t4"], "c")
+        t5c = mask_tuple(mission_tids["t5"], "c")
+        assert not subsumes(t4c, t5c)
+        assert not subsumes(t5c, t4c)
+
+    def test_strict_subsumption_requires_difference(self, mission_tids):
+        assert not strictly_subsumes(mission_tids["t8"], mission_tids["t8"])
+
+    def test_different_keys_never_subsume(self, mission_tids):
+        assert not subsumes(mission_tids["t8"], mission_tids["t9"])
+
+
+class TestMinimize:
+    def test_drops_strictly_subsumed(self, mission_rel, mission_tids):
+        masked = [mask_tuple(t, "u") for t in mission_rel]
+        raw = MLSRelation(mission_rel.schema, [t for t in masked if t])
+        minimal = minimize_by_subsumption(raw)
+        values = {t.value("objective") for t in minimal.with_key("voyager")}
+        assert values == {"training"}
+
+    def test_tc_duplicates_keep_highest(self, mission_rel):
+        view = view_at(mission_rel, "c")
+        atlantis = view.with_key("atlantis")
+        assert len(atlantis) == 1
+        assert atlantis.tuples[0].tc == "c"
+
+
+class TestFigure2:
+    def test_u_view_contents(self, mission_rel):
+        view = view_at(mission_rel, "u")
+        assert len(view) == 5
+        ships = sorted(t.value("starship") for t in view)
+        assert ships == ["atlantis", "eagle", "falcon", "phantom", "voyager"]
+
+    def test_u_view_surprise_story(self, mission_rel):
+        view = view_at(mission_rel, "u")
+        phantom = view.with_key("phantom").tuples[0]
+        assert phantom.value("objective") is NULL
+        assert phantom.tc == "u"
+
+    def test_u_view_all_tc_u(self, mission_rel):
+        assert view_at(mission_rel, "u").tuple_classes() == {"u"}
+
+
+class TestFigure3:
+    def test_c_view_contents(self, mission_rel):
+        view = view_at(mission_rel, "c")
+        assert len(view) == 6
+        assert len(view.with_key("phantom")) == 2
+
+    def test_both_phantom_tuples_survive(self, mission_rel):
+        """t4 and t5 do not subsume each other, so both remain at C."""
+        phantoms = view_at(mission_rel, "c").with_key("phantom")
+        key_classes = {t.key_classification() for t in phantoms}
+        assert key_classes == {"u", "c"}
+
+    def test_c_view_tc_values(self, mission_rel):
+        view = view_at(mission_rel, "c")
+        by_ship = {
+            (t.value("starship"), t.key_classification()): t.tc for t in view
+        }
+        assert by_ship[("phantom", "u")] == "c"
+        assert by_ship[("phantom", "c")] == "c"
+        assert by_ship[("voyager", "u")] == "u"
+
+    def test_s_view_is_whole_relation(self, mission_rel):
+        view = view_at(mission_rel, "s", apply_subsumption=False)
+        assert len(view) == 10
+
+    def test_unknown_level_rejected(self, mission_rel):
+        from repro.errors import UnknownLevelError
+        with pytest.raises(UnknownLevelError):
+            view_at(mission_rel, "zz")

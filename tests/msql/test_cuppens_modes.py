@@ -1,0 +1,41 @@
+"""Cuppens' views at the SQL surface, and the paper's subsumption claim."""
+
+import pytest
+
+from repro.msql import Catalog, SqlSession
+
+
+@pytest.fixture()
+def sql(mission_rel):
+    catalog = Catalog()
+    catalog.register(mission_rel)
+    return SqlSession(catalog, "s")
+
+
+class TestCuppensModes:
+    def test_suspicious_equals_firmly(self, sql):
+        suspicious = sql.execute("select starship from mission believed suspiciously")
+        firmly = sql.execute("select starship from mission believed firmly")
+        assert suspicious.as_set() == firmly.as_set()
+
+    def test_additive_equals_optimistically_on_data(self, sql):
+        additive = sql.execute(
+            "select starship, objective from mission believed additively")
+        optimistic = sql.execute(
+            "select starship, objective from mission believed optimistically")
+        assert additive.as_set() == optimistic.as_set()
+
+    def test_trusted_prefers_maximal_sources(self, sql):
+        trusted = sql.execute(
+            "select starship, objective from mission believed trusted")
+        assert ("voyager", "spying") in trusted.as_set()
+        assert ("voyager", "training") not in trusted.as_set()
+
+    def test_subsumption_claim_as_set_algebra(self, sql):
+        """Every trusted starship is cautiously believed (subsumption)."""
+        leftover = sql.execute("""
+            (select starship from mission believed trusted)
+            except
+            (select starship from mission believed cautiously)
+        """)
+        assert leftover.rows == []

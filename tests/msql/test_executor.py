@@ -1,0 +1,205 @@
+"""Unit tests for the extended SQL executor."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, SchemaError, UnknownModeError
+from repro.msql import WITHOUT_DOUBT_QUERY, Catalog, SqlSession
+
+
+@pytest.fixture()
+def catalog(mission_rel):
+    cat = Catalog()
+    cat.register(mission_rel)
+    return cat
+
+
+def session(catalog, level):
+    return SqlSession(catalog, level)
+
+
+class TestPlainSelect:
+    def test_star_uses_js_view(self, catalog):
+        result = session(catalog, "u").execute("select * from mission")
+        assert len(result) == 5
+        assert result.columns == ("starship", "objective", "destination")
+
+    def test_projection(self, catalog):
+        result = session(catalog, "u").execute("select starship from mission")
+        assert ("falcon",) in result.as_set()
+
+    def test_dedup(self, catalog):
+        result = session(catalog, "s").execute("select starship from mission")
+        assert len(result.rows) == len(result.as_set())
+
+    def test_where_filter(self, catalog):
+        result = session(catalog, "s").execute(
+            "select starship from mission where destination = mars")
+        assert result.as_set() == {("voyager",)}
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SchemaError):
+            session(catalog, "u").execute("select * from nothing")
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SchemaError):
+            session(catalog, "u").execute("select warp from mission")
+
+
+class TestBelieved:
+    def test_firm(self, catalog):
+        result = session(catalog, "c").execute(
+            "select starship from mission believed firmly")
+        assert result.as_set() == {("atlantis",)}
+
+    def test_cautious(self, catalog):
+        result = session(catalog, "s").execute(
+            "select starship, objective from mission believed cautiously")
+        assert ("voyager", "spying") in result.as_set()
+        assert ("voyager", "training") not in result.as_set()
+
+    def test_optimistic(self, catalog):
+        result = session(catalog, "c").execute(
+            "select starship from mission believed optimistically")
+        assert ("eagle",) in result.as_set()
+
+    def test_unknown_mode(self, catalog):
+        with pytest.raises(UnknownModeError):
+            session(catalog, "c").execute(
+                "select * from mission believed wishfully")
+
+    def test_custom_mode_through_registry(self, catalog, mission_rel):
+        sql = session(catalog, "s")
+        sql.registry.register("everything", lambda r, level: r)
+        result = sql.execute("select starship from mission believed everything")
+        assert len(result.as_set()) == 6  # six distinct starships stored
+
+
+class TestAtLevel:
+    def test_speculate_downward(self, catalog):
+        result = session(catalog, "s").execute(
+            "select starship, objective from mission believed cautiously at level u")
+        assert ("voyager", "training") in result.as_set()
+
+    def test_read_up_refused(self, catalog):
+        with pytest.raises(AccessDeniedError):
+            session(catalog, "u").execute(
+                "select * from mission believed firmly at level s")
+
+
+class TestSetOperations:
+    def test_intersect(self, catalog):
+        result = session(catalog, "s").execute("""
+            (select starship from mission believed cautiously)
+            intersect
+            (select starship from mission believed firmly)
+        """)
+        assert ("avenger",) in result.as_set()
+
+    def test_union(self, catalog):
+        result = session(catalog, "c").execute("""
+            (select starship from mission believed firmly)
+            union
+            (select starship from mission believed cautiously)
+        """)
+        assert len(result) == 4
+
+    def test_except(self, catalog):
+        result = session(catalog, "c").execute("""
+            (select starship from mission believed cautiously)
+            except
+            (select starship from mission believed firmly)
+        """)
+        assert ("atlantis",) not in result.as_set()
+        assert ("eagle",) in result.as_set()
+
+    def test_column_count_mismatch(self, catalog):
+        with pytest.raises(SchemaError):
+            session(catalog, "s").execute("""
+                (select starship from mission)
+                intersect
+                (select starship, objective from mission)
+            """)
+
+
+class TestSubqueries:
+    def test_in(self, catalog):
+        result = session(catalog, "s").execute("""
+            select starship, destination from mission
+            where starship in (select starship from mission
+                               where objective = spying believed cautiously)
+        """)
+        assert {row[0] for row in result} == {"voyager", "phantom"}
+
+    def test_not_in(self, catalog):
+        result = session(catalog, "u").execute("""
+            select starship from mission
+            where starship not in (select starship from mission
+                                   where objective = piracy)
+        """)
+        assert ("falcon",) not in result.as_set()
+
+    def test_multi_column_subquery_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            session(catalog, "u").execute("""
+                select * from mission
+                where starship in (select starship, objective from mission)
+            """)
+
+
+class TestHeadlineQuery:
+    def test_only_s_concludes_voyager(self, catalog):
+        assert session(catalog, "s").execute(WITHOUT_DOUBT_QUERY).rows == [("voyager",)]
+
+    @pytest.mark.parametrize("level", ["u", "c"])
+    def test_lower_levels_get_nothing(self, catalog, level):
+        assert session(catalog, level).execute(WITHOUT_DOUBT_QUERY).rows == []
+
+
+class TestResultSet:
+    def test_column_accessor(self, catalog):
+        result = session(catalog, "u").execute("select starship, objective from mission")
+        assert "piracy" in result.column("objective")
+
+    def test_iteration(self, catalog):
+        result = session(catalog, "u").execute("select starship from mission")
+        assert all(isinstance(row, tuple) for row in result)
+
+
+class TestOrderByLimit:
+    def test_order_by_ascending(self, catalog):
+        result = session(catalog, "u").execute(
+            "select starship from mission order by starship")
+        assert result.rows == sorted(result.rows)
+
+    def test_order_by_descending(self, catalog):
+        result = session(catalog, "u").execute(
+            "select starship from mission order by starship desc")
+        assert result.rows == sorted(result.rows, reverse=True)
+
+    def test_limit(self, catalog):
+        result = session(catalog, "u").execute(
+            "select starship from mission order by starship limit 2")
+        assert result.rows == [("atlantis",), ("eagle",)]
+
+    def test_limit_zero(self, catalog):
+        result = session(catalog, "u").execute(
+            "select starship from mission limit 0")
+        assert result.rows == []
+
+    def test_order_by_unselected_column_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            session(catalog, "u").execute(
+                "select starship from mission order by objective")
+
+    def test_order_with_believed(self, catalog):
+        result = session(catalog, "s").execute(
+            "select starship, objective from mission "
+            "believed cautiously order by starship limit 3")
+        assert len(result.rows) == 3
+        ships = [row[0] for row in result.rows]
+        assert ships == sorted(ships)
+
+    def test_non_integer_limit_rejected(self, catalog):
+        from repro.errors import MultiLogSyntaxError
+        with pytest.raises(MultiLogSyntaxError):
+            session(catalog, "u").execute("select starship from mission limit 2.5")

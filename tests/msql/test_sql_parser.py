@@ -1,0 +1,138 @@
+"""Unit tests for the extended SQL grammar."""
+
+import pytest
+
+from repro.errors import MultiLogSyntaxError
+from repro.msql import (
+    And,
+    Comparison,
+    InSubquery,
+    Not,
+    Or,
+    Select,
+    SetExpression,
+    parse_sql,
+)
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("select * from mission")
+        assert isinstance(stmt, Select)
+        assert stmt.columns is None
+        assert stmt.table == "mission"
+
+    def test_column_list(self):
+        stmt = parse_sql("select starship, objective from mission")
+        assert stmt.columns == ("starship", "objective")
+
+    def test_keywords_case_insensitive(self):
+        stmt = parse_sql("SELECT Starship FROM Mission WHERE destination = Mars")
+        assert stmt.table == "mission"
+        assert stmt.columns == ("starship",)
+
+    def test_believed_clause(self):
+        stmt = parse_sql("select * from mission believed cautiously")
+        assert stmt.believed == "cautiously"
+
+    def test_at_level_clause(self):
+        stmt = parse_sql("select * from mission believed firmly at level c")
+        assert stmt.at_level == "c"
+
+    def test_at_without_level_keyword(self):
+        stmt = parse_sql("select * from mission believed firmly at c")
+        assert stmt.at_level == "c"
+
+    def test_trailing_semicolon(self):
+        assert parse_sql("select * from mission;").table == "mission"
+
+
+class TestConditions:
+    def test_comparison(self):
+        stmt = parse_sql("select * from m where a = b")
+        assert stmt.where == Comparison("a", "=", "b")
+
+    def test_diamond_op_normalized(self):
+        stmt = parse_sql("select * from m where a <> b")
+        assert stmt.where.op == "!="
+
+    def test_numeric_literal(self):
+        stmt = parse_sql("select * from m where x >= 10")
+        assert stmt.where.literal == 10
+
+    def test_string_literal(self):
+        stmt = parse_sql("select * from m where x = 'two words'")
+        assert stmt.where.literal == "two words"
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("select * from m where a = 1 and b = 2 or c = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.left, And)
+
+    def test_parentheses_override(self):
+        stmt = parse_sql("select * from m where a = 1 and (b = 2 or c = 3)")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.right, Or)
+
+    def test_not(self):
+        stmt = parse_sql("select * from m where not a = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_in_subquery(self):
+        stmt = parse_sql(
+            "select * from m where x in (select x from n believed firmly)")
+        cond = stmt.where
+        assert isinstance(cond, InSubquery)
+        assert not cond.negated
+        assert cond.query.believed == "firmly"
+
+    def test_not_in_subquery(self):
+        stmt = parse_sql("select * from m where x not in (select x from n)")
+        assert stmt.where.negated
+
+
+class TestSetExpressions:
+    def test_intersect(self):
+        stmt = parse_sql(
+            "(select x from m) intersect (select x from n)")
+        assert isinstance(stmt, SetExpression)
+        assert stmt.op == "intersect"
+
+    def test_chained_set_ops_left_associative(self):
+        stmt = parse_sql(
+            "(select x from a) union (select x from b) except (select x from c)")
+        assert stmt.op == "except"
+        assert stmt.left.op == "union"
+
+    def test_nested_in_subquery(self):
+        stmt = parse_sql("""
+            select s from m where s in (
+                (select s from m believed cautiously)
+                intersect
+                (select s from m believed firmly)
+            )""")
+        inner = stmt.where.query
+        assert isinstance(inner, SetExpression)
+        assert inner.op == "intersect"
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("select x")
+
+    def test_keyword_as_identifier(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("select from from mission")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("select x from m garbage")
+
+    def test_bad_character(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("select x from m where a = @")
+
+    def test_unterminated_subquery(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("select x from m where x in (select x from n")

@@ -1,0 +1,87 @@
+"""Property tests: the SQL executor is a faithful surface over beta."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.belief import belief
+from repro.mls.views import view_at
+from repro.msql import Catalog, SqlSession
+from repro.workloads.generator import make_lattice, random_mls_relation
+
+
+@st.composite
+def catalogs(draw):
+    shape = draw(st.sampled_from(["chain", "diamond"]))
+    seed = draw(st.integers(min_value=0, max_value=2_000))
+    lattice = make_lattice(shape, n_levels=4, seed=seed)
+    relation = random_mls_relation(
+        draw(st.integers(min_value=0, max_value=20)), lattice,
+        polyinstantiation_rate=draw(st.floats(min_value=0.0, max_value=0.7)),
+        seed=seed)
+    catalog = Catalog()
+    catalog.register(relation)
+    return catalog, relation, lattice
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_believed_select_equals_beta(bundle, data):
+    catalog, relation, lattice = bundle
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    mode, sql_mode = data.draw(st.sampled_from(
+        [("fir", "firmly"), ("opt", "optimistically"), ("cau", "cautiously")]))
+    result = SqlSession(catalog, level).execute(
+        f"select k, a1 from r believed {sql_mode}")
+    expected = {
+        (t.value("k"), t.value("a1")) for t in belief(relation, level, mode)
+    }
+    assert result.as_set() == expected
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_plain_select_equals_js_view(bundle, data):
+    catalog, relation, lattice = bundle
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    result = SqlSession(catalog, level).execute("select k, a1 from r")
+    expected = {(t.value("k"), t.value("a1")) for t in view_at(relation, level)}
+    assert result.as_set() == expected
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_set_operation_laws(bundle, data):
+    catalog, _relation, lattice = bundle
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    session = SqlSession(catalog, level)
+    cau = session.execute("select k from r believed cautiously").as_set()
+    fir = session.execute("select k from r believed firmly").as_set()
+    inter = session.execute(
+        "(select k from r believed cautiously) intersect "
+        "(select k from r believed firmly)").as_set()
+    union = session.execute(
+        "(select k from r believed cautiously) union "
+        "(select k from r believed firmly)").as_set()
+    diff = session.execute(
+        "(select k from r believed cautiously) except "
+        "(select k from r believed firmly)").as_set()
+    assert inter == cau & fir
+    assert union == cau | fir
+    assert diff == cau - fir
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_where_is_a_filter(bundle, data):
+    catalog, relation, lattice = bundle
+    level = data.draw(st.sampled_from(sorted(lattice.levels)))
+    session = SqlSession(catalog, level)
+    everything = session.execute("select k, a1 from r believed optimistically")
+    values = sorted({row[1] for row in everything if row[1] is not None},
+                    key=repr)
+    if not values:
+        return
+    target = data.draw(st.sampled_from(values))
+    filtered = session.execute(
+        f"select k, a1 from r where a1 = {target} believed optimistically")
+    assert filtered.as_set() == {row for row in everything.as_set() if row[1] == target}

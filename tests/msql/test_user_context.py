@@ -1,0 +1,58 @@
+"""The USER CONTEXT statement (the Section 3.2 example's preamble)."""
+
+import pytest
+
+from repro.errors import MultiLogSyntaxError
+from repro.msql import Catalog, SqlSession, UserContext, parse_sql
+
+
+@pytest.fixture()
+def session(mission_rel):
+    catalog = Catalog()
+    catalog.register(mission_rel)
+    return SqlSession(catalog, "s")
+
+
+class TestParsing:
+    def test_parse(self):
+        statement = parse_sql("user context u")
+        assert statement == UserContext("u")
+
+    def test_trailing_semicolon(self):
+        assert parse_sql("user context c;") == UserContext("c")
+
+    def test_missing_context_keyword(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("user u")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_sql("user context u extra")
+
+
+class TestExecution:
+    def test_switches_clearance(self, session):
+        session.execute("user context u")
+        assert session.clearance == "u"
+        result = session.execute("select starship from mission believed firmly")
+        assert ("avenger",) not in result.as_set()
+
+    def test_paper_example_script(self, session):
+        """The Section 3.2 example: context line, then the query."""
+        results = session.execute_script("""
+            user context u;
+            select starship from mission
+            where destination = mars and objective = spying
+            believed cautiously
+        """)
+        assert len(results) == 2
+        assert results[1].rows == []  # U believes no such thing
+
+    def test_script_at_s(self, session):
+        results = session.execute_script("""
+            user context s;
+            select starship from mission
+            where destination = mars and objective = spying
+            believed cautiously
+        """)
+        assert results[1].rows == [("voyager",)]

@@ -1,0 +1,103 @@
+"""Unit tests for Definition 5.3 (admissibility)."""
+
+import pytest
+
+from repro.errors import AdmissibilityError
+from repro.multilog import (
+    check_admissibility,
+    is_admissible,
+    lambda_meaning,
+    parse_database,
+)
+
+
+class TestLambdaMeaning:
+    def test_basic_facts(self):
+        db = parse_database("level(u). level(c). order(u, c).")
+        context = lambda_meaning(db)
+        assert context.lattice.leq("u", "c")
+        assert ("u", "c") in context.order_rows
+
+    def test_lambda_rules_evaluated(self):
+        """Lambda clauses may have (l-/h-atom) bodies; [[Lambda]] is the
+        least model, not the raw fact list."""
+        db = parse_database("""
+            level(u). level(c). level(s).
+            order(u, c).
+            order(c, s) :- order(u, c).
+        """)
+        context = lambda_meaning(db)
+        assert context.lattice.leq("u", "s")
+
+    def test_order_on_undeclared_level_rejected(self):
+        db = parse_database("level(u). order(u, ghost).")
+        with pytest.raises(AdmissibilityError, match="undeclared"):
+            lambda_meaning(db)
+
+    def test_cyclic_order_rejected(self):
+        db = parse_database("level(u). level(c). order(u, c). order(c, u).")
+        with pytest.raises(AdmissibilityError, match="partial order"):
+            lambda_meaning(db)
+
+
+class TestCondition1:
+    def test_lambda_depending_on_p_atom_rejected(self):
+        db = parse_database("""
+            level(u).
+            level(c) :- q(j).
+            q(j).
+        """)
+        with pytest.raises(AdmissibilityError, match="non-lattice"):
+            check_admissibility(db)
+
+    def test_lambda_depending_on_m_atom_rejected(self):
+        db = parse_database("""
+            level(u).
+            order(u, c) :- u[p(k : a -u-> v)].
+            u[p(k : a -u-> v)].
+        """)
+        with pytest.raises(AdmissibilityError, match="non-lattice"):
+            check_admissibility(db)
+
+
+class TestCondition2:
+    def test_undeclared_head_level_rejected(self):
+        db = parse_database("level(u). s[p(k : a -u-> v)].")
+        with pytest.raises(AdmissibilityError, match="not asserted"):
+            check_admissibility(db)
+
+    def test_undeclared_cell_class_rejected(self):
+        db = parse_database("level(u). u[p(k : a -s-> v)].")
+        with pytest.raises(AdmissibilityError, match="not asserted"):
+            check_admissibility(db)
+
+    def test_undeclared_label_in_body_rejected(self):
+        db = parse_database("""
+            level(u).
+            u[p(k : a -u-> v)] :- s[q(k : a -u-> v)] << cau.
+        """)
+        with pytest.raises(AdmissibilityError):
+            check_admissibility(db)
+
+    def test_variable_levels_are_fine(self):
+        db = parse_database("""
+            level(u).
+            u[p(k : a -u-> v)] :- L[q(K : a -C-> V)].
+        """)
+        assert is_admissible(db)
+
+
+class TestHappyPath:
+    def test_d1_admissible(self, d1):
+        context = check_admissibility(d1)
+        assert context.lattice.leq("u", "s")
+        assert len(context.lattice) == 3
+
+    def test_mission_admissible(self, mission_db):
+        context = check_admissibility(mission_db)
+        assert context.lattice.levels == {"u", "c", "s", "t"}
+
+    def test_is_admissible_predicate(self, d1):
+        assert is_admissible(d1)
+        bad = parse_database("level(u). s[p(k : a -u-> v)].")
+        assert not is_admissible(bad)

@@ -1,0 +1,104 @@
+"""Unit tests for the MLS-relation <-> MultiLog bridge, and the beta
+cross-check (tuple-level vs cell-level belief)."""
+
+import pytest
+
+from repro.belief import cautious, firm, optimistic
+from repro.mls import NULL, MLSRelation, MLSchema, MLSTuple
+from repro.multilog import (
+    MultiLogSession,
+    OperationalEngine,
+    believed_relation,
+    cells_to_relation,
+    relation_to_multilog,
+)
+from repro.workloads.mission import mission_schema
+
+
+class TestEncoding:
+    def test_mission_encodes_to_thirty_cells(self, mission_rel):
+        db = relation_to_multilog(mission_rel)
+        engine = OperationalEngine(db, "t")
+        assert len(engine.cells()) == 30
+
+    def test_lattice_carried_over(self, mission_rel):
+        db = relation_to_multilog(mission_rel)
+        session = MultiLogSession(db, "t")
+        assert session.lattice == mission_rel.schema.lattice
+
+    def test_key_cell_requirement_satisfied(self, mission_rel):
+        db = relation_to_multilog(mission_rel)
+        assert MultiLogSession(db, "t").check_consistency().ok
+
+    def test_nulls_encoded_as_null_constant(self, ucst):
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+        relation = MLSRelation(schema)
+        relation.add(MLSTuple.make(schema, {"k": "x"}, "u"))
+        db = relation_to_multilog(relation)
+        cells = OperationalEngine(db, "t").cells()
+        assert ("r", "x", "a", "null", "u", "u") in cells
+
+    def test_multi_attribute_key_rejected(self, ucst):
+        schema = MLSchema("r", ["k1", "k2"], key=["k1", "k2"], lattice=ucst)
+        with pytest.raises(ValueError):
+            relation_to_multilog(MLSRelation(schema))
+
+
+class TestDecoding:
+    def test_round_trip_data(self, mission_rel):
+        db = relation_to_multilog(mission_rel)
+        engine = OperationalEngine(db, "t")
+        rebuilt = cells_to_relation(list(engine.cells()), mission_schema(), db=db)
+        # Round trip loses only the explicit TC (cells carry tuple levels);
+        # compare attribute cells per (key, level).
+        original = {(t.key_values(), t.tc, t.cells) for t in mission_rel}
+        recovered = {(t.key_values(), t.tc, t.cells) for t in rebuilt}
+        assert recovered == original
+
+    def test_missing_attribute_becomes_null(self, ucst):
+        schema = MLSchema("r", ["k", "a"], key="k", lattice=ucst)
+        cells = [("r", "x", "k", "x", "u", "u")]
+        rebuilt = cells_to_relation(cells, schema)
+        assert rebuilt.tuples[0].value("a") is NULL
+
+
+class TestBetaCrossCheck:
+    """The relational beta and the MultiLog belief semantics agree."""
+
+    @pytest.mark.parametrize("level", ["u", "c", "s", "t"])
+    def test_firm_agrees(self, mission_rel, level):
+        engine = OperationalEngine(relation_to_multilog(mission_rel), "t")
+        via_multilog = believed_relation(engine, "fir", level, mission_schema())
+        via_beta = firm(mission_rel, level)
+        assert {t.cells for t in via_multilog} == {t.cells for t in via_beta}
+
+    @pytest.mark.parametrize("level", ["u", "c", "s", "t"])
+    def test_optimistic_agrees(self, mission_rel, level):
+        engine = OperationalEngine(relation_to_multilog(mission_rel), "t")
+        via_multilog = believed_relation(engine, "opt", level, mission_schema())
+        via_beta = optimistic(mission_rel, level)
+        assert {t.cells for t in via_multilog} == {t.cells for t in via_beta}
+
+    @pytest.mark.parametrize("level", ["u", "c"])
+    def test_cautious_agrees_when_unambiguous(self, mission_rel, level):
+        """Where cautious belief has a single model, cell-wise re-assembly
+        equals the tuple-level beta."""
+        engine = OperationalEngine(relation_to_multilog(mission_rel), "t")
+        via_multilog = believed_relation(engine, "cau", level, mission_schema())
+        via_beta = cautious(mission_rel, level)
+        assert {t.cells for t in via_multilog} == {t.cells for t in via_beta}
+
+    def test_cautious_cells_at_s_cover_both_models(self, mission_rel):
+        """At S the phantom objective forks; the cell view holds the union
+        of beta's multiple models."""
+        engine = OperationalEngine(relation_to_multilog(mission_rel), "t")
+        cell_values = {
+            (row[1], row[2], row[3])
+            for row in engine.believed_cells("cau", "s")
+        }
+        beta_values = {
+            (t.value("starship"), attr, t.value(attr))
+            for t in cautious(mission_rel, "s")
+            for attr in mission_rel.schema.attributes
+        }
+        assert beta_values == cell_values

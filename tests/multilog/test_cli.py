@@ -1,0 +1,170 @@
+"""Unit tests for the interactive shell (pure line-executor interface)."""
+
+import pytest
+
+from repro.cli import Shell, ShellExit
+from repro.workloads.d1 import D1_SOURCE
+
+ACCOUNTS = """
+level(u). level(s). order(u, s).
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+"""
+
+
+@pytest.fixture()
+def shell():
+    return Shell(ACCOUNTS, clearance="s")
+
+
+class TestQueries:
+    def test_bare_goal(self, shell):
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert out == "B = 900, C = s"
+
+    def test_prefixed_query(self, shell):
+        out = shell.execute_line("?- s[acct(alice : balance -s-> 900)] << fir.")
+        assert out == "yes."
+
+    def test_failing_query(self, shell):
+        assert shell.execute_line("s[acct(bob : balance -C-> B)] << cau") == "no."
+
+    def test_multiple_answers(self, shell):
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << opt")
+        assert len(out.splitlines()) == 2
+
+    def test_reduction_engine(self, shell):
+        shell.execute_line(":engine reduction")
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert out == "B = 900, C = s"
+
+
+class TestAssertions:
+    def test_assert_clause(self, shell):
+        assert shell.execute_line("u[acct(bob : balance -u-> 7)].") == "asserted."
+        out = shell.execute_line("s[acct(bob : balance -C-> B)] << cau")
+        assert out == "B = 7, C = u"
+
+    def test_bad_clause_reports_error(self, shell):
+        out = shell.execute_line("u[acct(bob : balance -zz-> 7)].")
+        assert out.startswith("error:")
+
+    def test_blank_and_comment_lines(self, shell):
+        assert shell.execute_line("") == ""
+        assert shell.execute_line("% just a comment") == ""
+
+
+class TestCommands:
+    def test_help(self, shell):
+        assert ":believe" in shell.execute_line(":help")
+
+    def test_quit_raises(self, shell):
+        with pytest.raises(ShellExit):
+            shell.execute_line(":quit")
+
+    def test_clearance_switch(self, shell):
+        assert "set to 'u'" in shell.execute_line(":clearance u")
+        assert shell.clearance == "u"
+        assert shell.execute_line("s[acct(alice : balance -C-> B)] << fir") == "no."
+
+    def test_clearance_query(self, shell):
+        assert "'s'" in shell.execute_line(":clearance")
+
+    def test_modes(self, shell):
+        assert "cau" in shell.execute_line(":modes")
+
+    def test_lattice(self, shell):
+        out = shell.execute_line(":lattice")
+        assert "u < s" in out
+
+    def test_cells_table(self, shell):
+        out = shell.execute_line(":cells")
+        assert "alice" in out
+        assert "900" in out
+
+    def test_believe_table(self, shell):
+        out = shell.execute_line(":believe cau")
+        assert "900" in out
+
+    def test_believe_at_level(self, shell):
+        out = shell.execute_line(":believe cau u")
+        assert "100" in out
+
+    def test_believe_usage(self, shell):
+        assert "usage" in shell.execute_line(":believe")
+
+    def test_consistency_flags_missing_key_cell(self, shell):
+        # The accounts fixture (like the paper's D1) has no key cells.
+        assert "no key cell" in shell.execute_line(":consistency")
+
+    def test_consistency_clean_database(self):
+        shell = Shell("""
+            level(u). level(s). order(u, s).
+            u[acct(alice : acct -u-> alice; balance -u-> 100)].
+        """, clearance="s")
+        assert "consistent" in shell.execute_line(":consistency")
+
+    def test_prove(self, shell):
+        out = shell.execute_line(":prove s[acct(alice : balance -u-> 100)] << opt")
+        assert "(BELIEF)" in out
+        assert "(DESCEND-O)" in out
+
+    def test_prove_failure(self, shell):
+        assert shell.execute_line(":prove s[acct(x : y -u-> z)] << opt") == "no proof."
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute_line(":warp")
+
+    def test_engine_validation(self, shell):
+        assert "error" in shell.execute_line(":engine warp")
+
+
+class TestLoad:
+    def test_load_file_runs_queries(self, tmp_path):
+        path = tmp_path / "d1.mlog"
+        path.write_text(D1_SOURCE)
+        shell = Shell()
+        out = shell.execute_line(f":load {path}")
+        assert "loaded 5 lattice, 3 secured, 1 plain clause(s)" in out
+        assert "yes." in out  # r10 evaluated on load
+
+    def test_load_missing_file(self):
+        assert "no such file" in Shell().execute_line(":load /nope/missing.mlog")
+
+    def test_load_usage(self):
+        assert "usage" in Shell().execute_line(":load")
+
+
+class TestMainLoop:
+    def test_main_reads_until_quit(self, monkeypatch, capsys, tmp_path):
+        from repro import cli
+
+        path = tmp_path / "db.mlog"
+        path.write_text("level(u). u[p(k : a -u-> v)].")
+        lines = iter([
+            "u[p(k : a -C-> V)] << cau",
+            ":quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert cli.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "C = u, V = v" in out
+
+    def test_main_handles_eof(self, monkeypatch, capsys):
+        from repro import cli
+
+        def raise_eof(_prompt):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert cli.main([]) == 0
+
+    def test_main_clearance_flag(self, monkeypatch, capsys, tmp_path):
+        from repro import cli
+
+        path = tmp_path / "db.mlog"
+        path.write_text("level(u). level(s). order(u, s).")
+        lines = iter([":clearance", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert cli.main([str(path), "--clearance", "u"]) == 0
+        assert "'u'" in capsys.readouterr().out

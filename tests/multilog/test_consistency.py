@@ -1,0 +1,137 @@
+"""Unit tests for Definition 5.4 (consistency) at the MultiLog level."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.multilog import (
+    assert_consistent,
+    check_consistency,
+    derivable_cells,
+    is_consistent,
+    molecules,
+    parse_database,
+)
+
+LATTICE = "level(u). level(c). level(s). order(u, c). order(c, s).\n"
+
+
+class TestDerivableCells:
+    def test_cells_of_mission(self, mission_db):
+        cells = derivable_cells(mission_db)
+        assert len(cells) == 30  # 10 molecules x 3 attributes
+
+    def test_rule_derived_cells_included(self):
+        db = parse_database(LATTICE + """
+            u[p(k : k -u-> k)].
+            c[p(k : a -c-> w)] :- u[p(k : k -u-> k)].
+        """)
+        cells = derivable_cells(db)
+        assert ("p", "k", "a", "w", "c", "c") in cells
+
+
+class TestMolecules:
+    def test_fact_molecules_keep_boundaries(self, mission_db):
+        cells = derivable_cells(mission_db)
+        mols = molecules(cells, mission_db)
+        phantoms = [m for m in mols if m.key == "phantom"]
+        assert len(phantoms) == 2
+        key_classes = {m.key_cells()[0][4] for m in phantoms}
+        assert key_classes == {"u", "c"}
+
+    def test_derived_cells_grouped_by_level(self):
+        db = parse_database(LATTICE + """
+            u[p(k1 : k -u-> k1)].
+            c[p(k1 : k -c-> k1)] :- u[p(k1 : k -u-> k1)].
+            c[p(k1 : a -c-> w)] :- u[p(k1 : k -u-> k1)].
+        """)
+        mols = molecules(derivable_cells(db), db)
+        derived = [m for m in mols if m.level == "c"]
+        assert len(derived) == 1
+        assert len(derived[0].cells) == 2
+
+
+class TestEntityIntegrity:
+    def test_mission_consistent(self, mission_db):
+        assert is_consistent(mission_db)
+
+    def test_missing_key_cell_flagged(self):
+        db = parse_database(LATTICE + "u[p(k : a -u-> v)].")
+        report = check_consistency(db)
+        assert any("no key cell" in m for m in report.entity)
+
+    def test_null_key_flagged(self):
+        db = parse_database(LATTICE + "u[p(null : k -u-> null)].")
+        report = check_consistency(db)
+        assert any("null" in m for m in report.entity)
+
+    def test_attribute_below_key_class_flagged(self):
+        db = parse_database(LATTICE + "s[p(k : k -c-> k; a -u-> v)].")
+        report = check_consistency(db)
+        assert any("dominate" in m for m in report.entity)
+
+    def test_non_uniform_key_cells_flagged(self):
+        db = parse_database(LATTICE + "s[p(k : k1 -u-> k; k2 -c-> k; a -s-> v)].")
+        report = check_consistency(db)
+        assert any("uniformly" in m for m in report.entity)
+
+
+class TestNullIntegrity:
+    def test_null_at_key_level_ok(self):
+        db = parse_database(LATTICE + "u[p(k : k -u-> k; a -u-> null)].")
+        assert check_consistency(db).null == []
+
+    def test_null_above_key_level_flagged(self):
+        db = parse_database(LATTICE + "c[p(k : k -u-> k; a -c-> null)].")
+        report = check_consistency(db)
+        assert any("key level" in m for m in report.null)
+
+    def test_same_level_subsumption_flagged(self):
+        db = parse_database(LATTICE + """
+            u[p(k : k -u-> k; a -u-> v)].
+            u[p(k : k -u-> k; a -u-> null)].
+        """)
+        report = check_consistency(db)
+        assert any("subsume" in m for m in report.null)
+
+    def test_cross_level_duplicates_allowed(self):
+        db = parse_database(LATTICE + """
+            u[p(k : k -u-> k; a -u-> v)].
+            c[p(k : k -u-> k; a -u-> v)].
+        """)
+        assert check_consistency(db).null == []
+
+
+class TestPolyinstantiationIntegrity:
+    def test_fd_violation_flagged(self):
+        db = parse_database(LATTICE + """
+            s[p(k : k -u-> k; a -s-> v1)].
+            s[p(k : k -u-> k; a -s-> v2)].
+        """)
+        report = check_consistency(db)
+        assert any("FD" in m for m in report.polyinstantiation)
+
+    def test_different_key_class_is_fine(self):
+        """Figure 1's t4/t5 pattern is legal."""
+        db = parse_database(LATTICE + """
+            s[p(k : k -u-> k; a -s-> v1)].
+            s[p(k : k -c-> k; a -s-> v2)].
+        """)
+        assert check_consistency(db).polyinstantiation == []
+
+
+class TestAggregation:
+    def test_report_flags(self, mission_db):
+        report = check_consistency(mission_db)
+        assert report.ok
+        assert report.all_messages() == []
+
+    def test_assert_consistent_raises(self):
+        db = parse_database(LATTICE + "u[p(k : a -u-> v)].")
+        with pytest.raises(ConsistencyError, match="Definition 5.4"):
+            assert_consistent(db)
+
+    def test_d1_violates_entity_integrity(self, d1):
+        """The paper's own D1 has no key cell -- documented in DESIGN.md."""
+        report = check_consistency(d1)
+        assert not report.ok
+        assert report.entity

@@ -1,0 +1,65 @@
+"""Proposition 6.1: Datalog programs through MultiLog."""
+
+import pytest
+
+from repro.errors import MultiLogError
+from repro.multilog import as_pure_datalog_database, proposition_holds, run_both
+
+ANCESTOR = """
+parent(a, b). parent(b, c). parent(c, d).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+"""
+
+SAME_GENERATION = """
+flat(g1, g2).
+up(a, g1). down(g2, b).
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+"""
+
+
+class TestProposition:
+    def test_ancestor_bound(self):
+        assert proposition_holds(ANCESTOR, "ancestor(a, X)")
+
+    def test_ancestor_free(self):
+        assert proposition_holds(ANCESTOR, "ancestor(X, Y)")
+
+    def test_ancestor_ground(self):
+        multilog, native = run_both(ANCESTOR, "ancestor(a, d)")
+        assert multilog == native == {("a", "d")}
+
+    def test_negative_ground_goal(self):
+        multilog, native = run_both(ANCESTOR, "ancestor(d, a)")
+        assert multilog == native == set()
+
+    def test_same_generation(self):
+        assert proposition_holds(SAME_GENERATION, "sg(a, X)")
+
+    def test_facts_only_program(self):
+        assert proposition_holds("p(a). p(b).", "p(X)")
+
+
+class TestDegenerateCase:
+    def test_pure_pi_database(self):
+        session = as_pure_datalog_database(ANCESTOR)
+        assert session.database.secured_clauses == []
+        assert session.clearance == "system"
+
+    def test_sigma_rejected(self):
+        with pytest.raises(MultiLogError, match="Sigma"):
+            as_pure_datalog_database("level(u). u[p(k : a -u-> v)].")
+
+    def test_lambda_rejected(self):
+        with pytest.raises(MultiLogError, match="Lambda"):
+            as_pure_datalog_database("level(u). q(j).")
+
+    def test_only_classical_rules_fire(self):
+        """The proof trees of the degenerate case use only EMPTY, AND and
+        DEDUCTION-G -- exactly the classical Datalog rules."""
+        session = as_pure_datalog_database(ANCESTOR)
+        results = session.proofs("ancestor(a, X)")
+        assert results
+        for _answer, tree in results:
+            assert tree.rules_used() <= {"EMPTY", "AND", "DEDUCTION-G"}

@@ -1,0 +1,63 @@
+"""Theorem 6.1, measured: operational <=> reduction on random databases."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multilog import assert_equivalent, check_equivalence, parse_query
+from repro.workloads.d1 import d1_database, d1_query, mission_multilog
+from repro.workloads.generator import make_lattice, random_multilog_database
+
+
+class TestCanonical:
+    def test_d1_at_every_level(self):
+        for level in ("u", "c", "s"):
+            assert_equivalent(d1_database(), level, [d1_query()])
+
+    def test_mission_at_every_level(self):
+        queries = [
+            parse_query("s[mission(K : objective -C-> V)] << cau"),
+            parse_query("L[mission(K : destination -C-> mars)] << opt"),
+        ]
+        assert_equivalent(mission_multilog(), "s", queries)
+        assert_equivalent(mission_multilog(), "u")
+
+    def test_report_structure_on_equivalent_db(self):
+        report = check_equivalence(d1_database(), "c")
+        assert report.equivalent
+        assert report.all_messages() == []
+
+
+@st.composite
+def databases(draw):
+    shape = draw(st.sampled_from(["chain", "diamond", "random"]))
+    seed = draw(st.integers(min_value=0, max_value=3_000))
+    lattice = make_lattice(shape, n_levels=draw(st.integers(2, 5)), seed=seed)
+    return random_multilog_database(
+        n_tuples=draw(st.integers(min_value=0, max_value=12)),
+        lattice=lattice,
+        n_attributes=draw(st.integers(min_value=1, max_value=3)),
+        polyinstantiation_rate=draw(st.floats(min_value=0.0, max_value=0.7)),
+        belief_rules=draw(st.integers(min_value=0, max_value=3)),
+        plain_facts=draw(st.integers(min_value=0, max_value=2)),
+        seed=seed,
+    ), lattice
+
+
+@given(databases(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_theorem_61_on_random_databases(db_and_lattice, data):
+    db, lattice = db_and_lattice
+    clearance = data.draw(st.sampled_from(sorted(lattice.levels)))
+    report = check_equivalence(db, clearance)
+    assert report.equivalent, "\n".join(report.all_messages())
+
+
+@given(databases(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_theorem_61_query_answers(db_and_lattice, data):
+    db, lattice = db_and_lattice
+    clearance = data.draw(st.sampled_from(sorted(lattice.levels)))
+    mode = data.draw(st.sampled_from(["fir", "opt", "cau"]))
+    queries = [parse_query(f"{clearance}[p(K : k -C-> V)] << {mode}")]
+    report = check_equivalence(db, clearance, queries)
+    assert report.equivalent, "\n".join(report.all_messages())

@@ -1,0 +1,99 @@
+"""Unit tests for the Section 7 extensions (Figure 13)."""
+
+import pytest
+
+from repro.mls import NULL
+from repro.mls.views import view_at
+from repro.multilog import (
+    OperationalEngine,
+    filtered_cells,
+    surprise_cells,
+)
+from repro.multilog.ast import NULL_VALUE
+
+
+@pytest.fixture()
+def engine(mission_db):
+    return OperationalEngine(mission_db, "s")
+
+
+class TestFilter:
+    def test_matches_relational_js_view_at_c(self, engine, mission_rel):
+        cells = filtered_cells(engine, "c")
+        js = view_at(mission_rel, "c", apply_subsumption=False)
+        expected = set()
+        for t in js:
+            for attr in t.schema.attributes:
+                cell = t.cell(attr)
+                value = NULL_VALUE if cell.value is NULL else cell.value
+                expected.add(("mission", t.key_values()[0], attr, value,
+                              cell.cls, t.tc))
+        assert cells == expected
+
+    def test_matches_relational_js_view_at_u(self, engine, mission_rel):
+        cells = filtered_cells(engine, "u")
+        js = view_at(mission_rel, "u", apply_subsumption=False)
+        keys = {t.key_values()[0] for t in js}
+        assert {c[1] for c in cells} == keys
+
+    def test_high_keys_invisible(self, engine):
+        cells = filtered_cells(engine, "u")
+        assert not any(c[1] == "avenger" for c in cells)
+
+    def test_filter_null_classifies_at_key_level(self, engine):
+        cells = filtered_cells(engine, "c")
+        nulls = [c for c in cells if c[3] == NULL_VALUE]
+        assert nulls
+        for cell in nulls:
+            # key class of the originating molecule
+            assert cell[4] in ("u", "c")
+
+    def test_shown_level_capped(self, engine):
+        cells = filtered_cells(engine, "c")
+        assert all(engine.lattice.leq(c[5], "c") for c in cells)
+
+    def test_no_read_up_for_filtered_views(self, mission_db):
+        low = OperationalEngine(mission_db, "c")
+        with pytest.raises(PermissionError):
+            filtered_cells(low, "s")
+
+    def test_filter_at_own_level_allowed(self, mission_db):
+        low = OperationalEngine(mission_db, "c")
+        assert filtered_cells(low, "c")
+
+
+class TestSurpriseCells:
+    def test_surprises_at_c_are_the_phantom_gaps(self, engine):
+        cells = surprise_cells(engine, "c")
+        assert {(c[1], c[2]) for c in cells} == {
+            ("phantom", "objective"), ("phantom", "destination")}
+
+    def test_surprises_at_u(self, engine):
+        cells = surprise_cells(engine, "u")
+        assert {(c[1], c[2]) for c in cells} == {("phantom", "objective")}
+
+    def test_no_surprises_at_s(self, engine):
+        assert surprise_cells(engine, "s") == set()
+
+    def test_agrees_with_relational_detector(self, engine, mission_rel):
+        from repro.mls import surprise_stories_at
+        for level in ("u", "c"):
+            relational = {
+                (s.stored.key_values()[0], attr)
+                for s in surprise_stories_at(mission_rel, level)
+                for attr in s.leaked_attributes
+            }
+            deductive = {(c[1], c[2]) for c in surprise_cells(engine, level)}
+            assert relational == deductive
+
+
+class TestBetaFilterComposition:
+    def test_beta_alone_produces_no_nulls(self, engine):
+        """The core semantics never manufactures migrated nulls."""
+        for mode in ("fir", "opt", "cau"):
+            for level in ("u", "c", "s"):
+                rows = engine.believed_cells(mode, level)
+                assert not any(r[3] == NULL_VALUE for r in rows)
+
+    def test_filtered_cells_do_contain_nulls(self, engine):
+        assert any(c[3] == NULL_VALUE for c in filtered_cells(engine, "c"))

@@ -1,0 +1,75 @@
+"""The printed Figure 12 cautious axioms, made safe but not repaired.
+
+Beyond the safety defect (demonstrated elsewhere), these tests measure a
+*semantic* gap the reproduction uncovered: even with the minimal
+range-restriction patches, the printed a6-a9 do not implement Definition
+3.1's cautious belief.
+
+1. a8's dominance test is non-strict (``dominate(C', C)`` admits
+   ``C' = C``), so every visible cell justifies *itself* -- outranked
+   cells survive whenever polyinstantiated siblings share their level.
+   On Mission at S this resurrects the two U-classified phantom cells
+   that the C-classified lineage should override.
+2. a7 makes ``bel``-cau recursive; combined with a program whose Sigma
+   consumes beliefs (D1's r8) the reduction is unstratifiable -- the
+   repaired engine avoids this by level specialization.
+"""
+
+import pytest
+
+from repro.datalog import Program, stratify
+from repro.errors import StratificationError
+from repro.multilog.reduction import (
+    compare_cautious_axiomatizations,
+    faithful_figure12_axioms,
+)
+from repro.workloads import d1_database, mission_multilog
+from repro.workloads.generator import make_lattice, random_multilog_database
+
+
+class TestSafety:
+    def test_faithful_axioms_are_safe(self):
+        Program(faithful_figure12_axioms()).check_safety()
+
+    def test_faithful_axioms_stratify_alone(self):
+        stratify(Program(faithful_figure12_axioms()))
+
+
+class TestSemanticGap:
+    def test_mission_over_believes_exactly_the_phantom_cells(self):
+        diff = compare_cautious_axiomatizations(mission_multilog(), "s")
+        assert diff["spec_only"] == set()  # faithful covers the spec...
+        extra = {(row[1], row[2], row[4]) for row in diff["faithful_only"]}
+        # ... but also believes the outranked U-classified phantom cells
+        # (self-justified through a8's non-strict dominance).
+        assert extra == {("phantom", "starship", "u"),
+                         ("phantom", "destination", "u")}
+
+    def test_conflict_free_database_agrees(self):
+        """With one tuple per key there is nothing to override, and the
+        two readings coincide exactly."""
+        from repro.workloads.generator import random_mls_relation
+        from repro.multilog.bridge import relation_to_multilog
+
+        relation = random_mls_relation(
+            12, make_lattice("chain", 4), n_keys=12,
+            polyinstantiation_rate=0.0, seed=5)
+        db = relation_to_multilog(relation)
+        diff = compare_cautious_axiomatizations(db, "l3")
+        assert diff["faithful_only"] == set()
+        assert diff["spec_only"] == set()
+
+    def test_d1_unstratifiable_under_faithful_axioms(self):
+        """a7's recursion through negation + r8's belief feedback: the
+        faithful reading has no stratified model at all."""
+        with pytest.raises(StratificationError):
+            compare_cautious_axiomatizations(d1_database(), "c")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_faithful_never_misses_spec_beliefs_on_fact_databases(self, seed):
+        """On pure fact databases the faithful reading over-approximates:
+        it may add beliefs but never drops one the spec derives."""
+        db = random_multilog_database(
+            15, make_lattice("chain", 4), polyinstantiation_rate=0.5, seed=seed)
+        diff = compare_cautious_axiomatizations(db, "l3")
+        assert diff["spec_only"] == set()

@@ -1,0 +1,54 @@
+"""Unit tests for the FILTER / FILTER-NULL proof rules (Figure 13)."""
+
+import pytest
+
+from repro.multilog import OperationalEngine, filter_proof, filtered_cells
+from repro.multilog.ast import NULL_VALUE
+
+
+@pytest.fixture()
+def engine(mission_db):
+    return OperationalEngine(mission_db, "s")
+
+
+class TestFilterProof:
+    def test_every_filtered_cell_has_a_proof(self, engine):
+        for level in ("u", "c"):
+            for cell in filtered_cells(engine, level):
+                tree = filter_proof(engine, cell, level)
+                assert tree is not None
+
+    def test_descended_cell_uses_filter_rule(self, engine):
+        cell = ("mission", "voyager", "destination", "mars", "u", "c")
+        tree = filter_proof(engine, cell, "c")
+        assert tree.rule == "FILTER"
+        # First premise: the descend l <= R, here c <= s.
+        assert "c <= s" in tree.premises[0].conclusion
+        # Second premise: the source cell's own derivation.
+        assert tree.premises[1].rule == "DEDUCTION-G'"
+
+    def test_null_cell_uses_filter_null_rule(self, engine):
+        cell = ("mission", "voyager", "objective", NULL_VALUE, "u", "c")
+        tree = filter_proof(engine, cell, "c")
+        assert tree.rule == "FILTER-NULL"
+        assert "spying" in tree.premises[1].conclusion  # the hidden source
+
+    def test_ordinarily_visible_cell_needs_no_filter(self, engine):
+        cell = ("mission", "eagle", "objective", "patrolling", "u", "u")
+        tree = filter_proof(engine, cell, "c")
+        assert tree.rule == "DEDUCTION-G'"
+
+    def test_surprise_story_nulls_distinguish_lineages(self, engine):
+        """The two phantom objective nulls carry different key classes and
+        each proof descends into its own molecule."""
+        t4_null = ("mission", "phantom", "objective", NULL_VALUE, "u", "c")
+        t5_null = ("mission", "phantom", "objective", NULL_VALUE, "c", "c")
+        tree4 = filter_proof(engine, t4_null, "c")
+        tree5 = filter_proof(engine, t5_null, "c")
+        assert "spying" in tree4.premises[1].conclusion
+        assert "supply" in tree5.premises[1].conclusion
+
+    def test_non_filtered_cell_rejected(self, engine):
+        with pytest.raises(ValueError):
+            filter_proof(engine, ("mission", "ghost", "objective",
+                                  "nothing", "u", "u"), "u")

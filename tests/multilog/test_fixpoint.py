@@ -1,0 +1,80 @@
+"""Empirical check of Theorem 6.1's proof sketch: proof height bounds the
+fixpoint step of the corresponding reduced fact."""
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.multilog.fixpoint import fixpoint_steps, height_step_report
+from repro.workloads import d1_database, mission_multilog
+from repro.workloads.generator import make_lattice, random_multilog_database
+
+
+class TestFixpointSteps:
+    def test_facts_are_step_zero(self):
+        steps = fixpoint_steps(parse_program("edge(a, b)."))
+        assert steps[("edge", ("a", "b"))] == 0
+
+    def test_chain_depth_matches_steps(self):
+        program = parse_program("""
+            edge(a, b). edge(b, c). edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- path(X, Z), edge(Z, Y).
+        """)
+        steps = fixpoint_steps(program)
+        assert steps[("path", ("a", "b"))] == 1
+        assert steps[("path", ("a", "c"))] == 2
+        assert steps[("path", ("a", "d"))] == 3
+
+    def test_strata_accumulate_steps(self):
+        program = parse_program("""
+            base(a). mark(a). base(b).
+            clear(X) :- base(X), not mark(X).
+        """)
+        steps = fixpoint_steps(program)
+        assert steps[("clear", ("b",))] >= 1
+
+    def test_step_map_covers_least_model(self):
+        from repro.datalog import evaluate
+        program_text = """
+            edge(a, b). edge(b, a).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- path(X, Z), edge(Z, Y).
+        """
+        steps = fixpoint_steps(parse_program(program_text))
+        model = evaluate(parse_program(program_text))
+        for predicate in model.predicates():
+            for row in model.rows(predicate):
+                assert (predicate, row) in steps
+
+
+class TestHeightBound:
+    def test_d1(self):
+        for pair in height_step_report(d1_database(), "c"):
+            assert pair.bounded, pair
+
+    def test_d1_at_s_with_belief_feedback(self):
+        pairs = height_step_report(d1_database(), "s")
+        assert pairs
+        assert all(pair.bounded for pair in pairs)
+
+    def test_mission(self):
+        pairs = height_step_report(mission_multilog(), "s")
+        assert len(pairs) == 30
+        assert all(pair.bounded for pair in pairs)
+        # stored molecules: height comes from the fact + guard subtree,
+        # fixpoint step 0.
+        assert all(pair.fixpoint_step == 0 for pair in pairs)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_databases(self, seed):
+        db = random_multilog_database(
+            10, make_lattice("chain", 4), belief_rules=2, seed=seed)
+        pairs = height_step_report(db, "l3")
+        assert all(pair.bounded for pair in pairs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_diamond_databases(self, seed):
+        db = random_multilog_database(
+            10, make_lattice("diamond"), belief_rules=2, seed=seed)
+        pairs = height_step_report(db, "hi")
+        assert all(pair.bounded for pair in pairs)

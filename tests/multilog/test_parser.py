@@ -1,0 +1,178 @@
+"""Unit tests for the MultiLog concrete syntax."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Variable
+from repro.errors import MultiLogSyntaxError
+from repro.multilog import (
+    BAtom,
+    BMolecule,
+    HAtom,
+    LAtom,
+    MAtom,
+    MMolecule,
+    PAtom,
+    parse_clause,
+    parse_database,
+    parse_query,
+)
+
+
+class TestAtomForms:
+    def test_m_atom_fact(self):
+        clause = parse_clause("u[p(k : a -u-> v)].")
+        head = clause.head
+        assert isinstance(head, MAtom)
+        assert head.level == Constant("u")
+        assert head.pred == "p"
+        assert head.key == Constant("k")
+        assert head.attr == "a"
+        assert head.cls == Constant("u")
+        assert head.value == Constant("v")
+
+    def test_molecule(self):
+        clause = parse_clause(
+            "s[mission(avenger : starship -s-> avenger; objective -s-> shipping)].")
+        head = clause.head
+        assert isinstance(head, MMolecule)
+        atoms = head.atoms()
+        assert len(atoms) == 2
+        assert atoms[0].attr == "starship"
+        assert atoms[1].value == Constant("shipping")
+
+    def test_molecule_comma_separator(self):
+        clause = parse_clause("s[p(k : a -s-> v, b -s-> w)].")
+        assert isinstance(clause.head, MMolecule)
+
+    def test_variables_in_every_slot(self):
+        query = parse_query("L[p(K : a -C-> V)] << M")
+        batom = query.body[0]
+        assert isinstance(batom, BAtom)
+        assert isinstance(batom.matom.level, Variable)
+        assert isinstance(batom.matom.key, Variable)
+        assert isinstance(batom.matom.cls, Variable)
+        assert isinstance(batom.matom.value, Variable)
+        assert isinstance(batom.mode, Variable)
+
+    def test_dont_care_arrow(self):
+        """`a -> v` produces a fresh classification variable (Section 7)."""
+        clause = parse_query("u[p(k : a -> v)]")
+        matom = clause.body[0]
+        assert isinstance(matom.cls, Variable)
+        assert matom.cls.name.startswith("_")
+
+    def test_anonymous_underscore(self):
+        q1 = parse_query("u[p(_ : a -_-> _)]")
+        matom = q1.body[0]
+        names = {matom.key.name, matom.cls.name, matom.value.name}
+        assert len(names) == 3  # three distinct fresh variables
+
+    def test_b_molecule(self):
+        query = parse_query("s[p(k : a -s-> v; b -s-> w)] << cau")
+        body = query.body[0]
+        assert isinstance(body, BMolecule)
+        assert len(body.atoms()) == 2
+
+    def test_l_and_h_atoms(self):
+        db = parse_database("level(u). order(u, c). level(c).")
+        kinds = [type(c.head) for c in db.lattice_clauses]
+        assert kinds == [LAtom, HAtom, LAtom]
+
+    def test_p_atom(self):
+        clause = parse_clause("q(j, X).")
+        assert isinstance(clause.head, PAtom)
+        assert clause.head.args == (Constant("j"), Variable("X"))
+
+    def test_numbers_and_strings(self):
+        clause = parse_clause("u[acct(alice : balance -u-> 100)].")
+        assert clause.head.value == Constant(100)
+        clause2 = parse_clause("u[note(n1 : text -u-> 'hello world')].")
+        assert clause2.head.value == Constant("hello world")
+
+
+class TestClauses:
+    def test_rule_with_mixed_body(self):
+        clause = parse_clause(
+            "s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau, q(j), level(s).")
+        assert len(clause.body) == 3
+        assert isinstance(clause.body[0], BAtom)
+        assert isinstance(clause.body[1], PAtom)
+        assert isinstance(clause.body[2], LAtom)
+
+    def test_b_atom_in_head_rejected(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_clause("u[p(k : a -u-> v)] << cau :- q(j).")
+
+    def test_query_without_prefix(self):
+        query = parse_query("q(X)")
+        assert isinstance(query.body[0], PAtom)
+
+    def test_query_with_prefix_and_period(self):
+        query = parse_query("?- q(X).")
+        assert isinstance(query.body[0], PAtom)
+
+    def test_clause_kind_filing(self):
+        db = parse_database("""
+            level(u).
+            u[p(k : a -u-> v)].
+            q(j).
+            ?- q(X).
+        """)
+        assert len(db.lattice_clauses) == 1
+        assert len(db.secured_clauses) == 1
+        assert len(db.plain_clauses) == 1
+        assert len(db.queries) == 1
+
+    def test_string_round_trip(self):
+        text = "s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau."
+        clause = parse_clause(text)
+        assert parse_clause(str(clause)) == clause
+
+    def test_query_round_trip(self):
+        query = parse_query("c[p(k : a -u-> v)] << opt")
+        assert parse_query(str(query)) == query
+
+
+class TestErrors:
+    def test_error_carries_position(self):
+        with pytest.raises(MultiLogSyntaxError) as excinfo:
+            parse_database("level(u).\nlevel(&).")
+        assert excinfo.value.line == 2
+
+    def test_missing_bracket(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_clause("u[p(k : a -u-> v).")
+
+    def test_missing_colon(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_clause("u[p(k a -u-> v)].")
+
+    def test_bad_arrow(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_clause("u[p(k : a => v)].")
+
+    def test_unexpected_end(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_clause("u[p(k : a -u->")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(MultiLogSyntaxError):
+            parse_clause("u[P(k : a -u-> v)].")
+
+    def test_comments_supported(self):
+        db = parse_database("% lattice\nlevel(u). % trailing\n")
+        assert len(db.lattice_clauses) == 1
+
+
+class TestD1Source:
+    def test_figure_10_parses_to_components(self, d1):
+        assert len(d1.lattice_clauses) == 5
+        assert len(d1.secured_clauses) == 3
+        assert len(d1.plain_clauses) == 1
+        assert len(d1.queries) == 1
+
+    def test_r8_shape(self, d1):
+        r8 = d1.secured_clauses[2]
+        assert isinstance(r8.head, MAtom)
+        assert isinstance(r8.body[0], BAtom)
+        assert r8.body[0].mode == Constant("cau")

@@ -1,0 +1,200 @@
+"""Unit tests for the operational semantics and proof trees (Figs 9, 11)."""
+
+import pytest
+
+from repro.errors import BeliefRecursionError, MultiLogError, UnknownModeError
+from repro.multilog import (
+    OperationalEngine,
+    Prover,
+    parse_database,
+    parse_query,
+)
+from repro.workloads.d1 import d1_query
+
+LATTICE = "level(u). level(c). level(s). order(u, c). order(c, s).\n"
+
+
+class TestCellDerivation:
+    def test_facts_materialize(self, d1):
+        engine = OperationalEngine(d1, "c")
+        assert ("p", "k", "a", "v", "u", "u") in engine.cells()
+
+    def test_rules_fire(self, d1):
+        engine = OperationalEngine(d1, "c")
+        assert ("p", "k", "a", "t", "c", "c") in engine.cells()
+
+    def test_cells_above_clearance_not_derivable(self, d1):
+        """DEDUCTION-G': r8's s-level head is not derivable at <D1, c>."""
+        engine = OperationalEngine(d1, "c")
+        assert not any(row[5] == "s" for row in engine.cells())
+
+    def test_belief_feedback_derives_at_s(self, d1):
+        engine = OperationalEngine(d1, "s")
+        assert ("p", "k", "a", "v", "u", "s") in engine.cells()
+
+    def test_pfacts(self, d1):
+        engine = OperationalEngine(d1, "c")
+        assert ("q", ("j",)) in engine.pfacts()
+
+    def test_compute_idempotent(self, d1):
+        engine = OperationalEngine(d1, "c")
+        first = dict(engine.cells())
+        assert dict(engine.compute().cells()) == first
+
+    def test_non_ground_head_rejected(self):
+        db = parse_database(LATTICE + "u[p(k : a -u-> V)] :- level(u).")
+        with pytest.raises(MultiLogError, match="ground"):
+            OperationalEngine(db, "s").compute()
+
+    def test_belief_oscillation_detected(self):
+        """A clause believing *its own* level cautiously never stabilizes
+        when it both requires and destroys the belief."""
+        db = parse_database(LATTICE + """
+            u[p(k : a -u-> seed)].
+            u[p(k : a -u-> flip)] :- u[p(k : a -u-> seed)] << cau,
+                                     u[p(k : b -u-> missing)] << cau.
+            u[p(k : b -u-> missing)] :- u[p(k : a -u-> flip)] << cau.
+        """)
+        engine = OperationalEngine(db, "s")
+        try:
+            engine.compute()  # level-stratified enough to converge is fine,
+        except BeliefRecursionError:
+            pass  # ... and detection instead of divergence is also fine
+
+
+class TestBuiltinBeliefs:
+    def test_firm(self, d1):
+        engine = OperationalEngine(d1, "c")
+        assert [r[:5] for r in engine.believed_cells("fir", "u")] == [
+            ("p", "k", "a", "v", "u")]
+
+    def test_optimistic_accumulates(self, d1):
+        engine = OperationalEngine(d1, "c")
+        assert len(engine.believed_cells("opt", "c")) == 2
+
+    def test_cautious_overrides(self, d1):
+        engine = OperationalEngine(d1, "c")
+        rows = engine.believed_cells("cau", "c")
+        assert [r[:5] for r in rows] == [("p", "k", "a", "t", "c")]
+
+    def test_unknown_mode_raises(self, d1):
+        engine = OperationalEngine(d1, "c")
+        with pytest.raises(UnknownModeError):
+            engine.believed_cells("wishful", "c")
+
+    def test_mode_set(self, d1):
+        assert OperationalEngine(d1, "c").modes == {"fir", "opt", "cau"}
+
+
+class TestQueries:
+    def test_example_52_succeeds(self, d1):
+        engine = OperationalEngine(d1, "c")
+        assert engine.solve(d1_query()) == [{}]
+
+    def test_query_binds_variables(self, mission_db):
+        engine = OperationalEngine(mission_db, "s")
+        query = parse_query("s[mission(K : objective -C-> spying)] << cau")
+        answers = engine.solve(query)
+        keys = {str(a["K"]) for a in answers}
+        assert keys == {"voyager", "phantom"}
+
+    def test_no_read_up_in_queries(self, d1):
+        """A c-cleared session cannot prove anything at level s."""
+        engine = OperationalEngine(d1, "c")
+        assert engine.solve(parse_query("s[p(k : a -u-> v)] << opt")) == []
+
+    def test_conjunctive_query(self, mission_db):
+        engine = OperationalEngine(mission_db, "s")
+        query = parse_query(
+            "s[mission(K : objective -C1-> spying)] << cau, "
+            "s[mission(K : destination -C2-> mars)] << cau")
+        answers = engine.solve(query)
+        assert len(answers) == 1
+        assert str(answers[0]["K"]) == "voyager"
+
+    def test_variable_mode_enumerates(self, d1):
+        engine = OperationalEngine(d1, "c")
+        query = parse_query("c[p(k : a -C-> V)] << M")
+        modes = {str(a["M"]) for a in engine.solve(query)}
+        assert modes == {"fir", "opt", "cau"}
+
+    def test_variable_level_enumerates_below_clearance(self, d1):
+        engine = OperationalEngine(d1, "c")
+        query = parse_query("L[p(k : a -u-> v)] << opt")
+        levels = {str(a["L"]) for a in engine.solve(query)}
+        assert levels == {"u", "c"}
+
+    def test_molecular_query(self, mission_db):
+        engine = OperationalEngine(mission_db, "s")
+        query = parse_query(
+            "s[mission(K : objective -C1-> spying; destination -C2-> mars)] << cau")
+        assert len(engine.solve(query)) == 1
+
+
+class TestProofTrees:
+    def test_figure_11_shape(self, d1):
+        prover = Prover(OperationalEngine(d1, "c"))
+        tree = prover.prove(d1_query())
+        assert tree is not None
+        assert tree.rule == "BELIEF"
+        assert tree.premises[0].rule in ("REFLEXIVITY", "TRANSITIVITY")
+        assert tree.premises[1].rule == "DESCEND-O"
+        assert "EMPTY" in tree.rules_used()
+
+    def test_height_and_size(self, d1):
+        tree = Prover(OperationalEngine(d1, "c")).prove(d1_query())
+        assert tree.height() >= 4
+        assert tree.size() >= tree.height()
+
+    def test_unprovable_returns_none(self, d1):
+        prover = Prover(OperationalEngine(d1, "c"))
+        assert prover.prove(parse_query("c[p(k : a -u-> ghost)] << opt")) is None
+
+    def test_one_tree_per_answer(self, mission_db):
+        prover = Prover(OperationalEngine(mission_db, "s"))
+        query = parse_query("s[mission(K : objective -C-> spying)] << cau")
+        results = prover.prove_query(query)
+        assert len(results) == 2
+        assert all(tree.rule == "BELIEF" for _a, tree in results)
+
+    def test_rule_body_explained(self, d1):
+        """The c-level cell comes from r7: its proof embeds q(j)'s proof."""
+        prover = Prover(OperationalEngine(d1, "c"))
+        tree = prover.prove(parse_query("c[p(k : a -c-> t)]"))
+        assert "DEDUCTION-G" in tree.rules_used()
+        assert "q(j)" in tree.pretty()
+
+    def test_cautious_tree_names_descend_case(self, mission_db):
+        prover = Prover(OperationalEngine(mission_db, "s"))
+        tree = prover.prove(
+            parse_query("s[mission(voyager : objective -s-> spying)] << cau"))
+        cases = {r for r in tree.rules_used() if r.startswith("DESCEND-C")}
+        assert len(cases) == 1
+
+    def test_and_node_for_conjunctions(self, mission_db):
+        prover = Prover(OperationalEngine(mission_db, "s"))
+        tree = prover.prove(parse_query(
+            "s[mission(voyager : objective -s-> spying)] << cau, "
+            "s[mission(voyager : destination -u-> mars)] << cau"))
+        assert tree.rule == "AND"
+
+    def test_pretty_renders_every_node(self, d1):
+        tree = Prover(OperationalEngine(d1, "c")).prove(d1_query())
+        text = tree.pretty()
+        assert text.count("(") >= tree.size()
+        assert "<D, c>" in text
+
+
+class TestLeqProofs:
+    def test_reflexivity(self, d1):
+        prover = Prover(OperationalEngine(d1, "c"))
+        tree = prover.leq_tree("c", "c")
+        assert tree.rule == "REFLEXIVITY"
+
+    def test_transitivity_chain(self, d1):
+        prover = Prover(OperationalEngine(d1, "s"))
+        tree = prover.leq_tree("u", "s")
+        assert tree.rule == "TRANSITIVITY"
+        orders = [p.conclusion for p in tree.premises]
+        assert any("order(u, c)" in c for c in orders)
+        assert any("order(c, s)" in c for c in orders)

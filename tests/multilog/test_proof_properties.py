@@ -1,0 +1,98 @@
+"""Property tests on proof trees and database serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multilog import (
+    OperationalEngine,
+    Prover,
+    check_equivalence,
+    parse_database,
+    parse_query,
+)
+from repro.workloads.generator import make_lattice, random_multilog_database
+
+LEAF_RULES = {"EMPTY"}
+KNOWN_RULES = {
+    "EMPTY", "AND", "BELIEF", "DEDUCTION-G", "DEDUCTION-G'", "DEDUCTION-B",
+    "DESCEND-O", "DESCEND-C1", "DESCEND-C2", "DESCEND-C3", "DESCEND-C4",
+    "REFLEXIVITY", "TRANSITIVITY", "ORDER", "LEVEL", "USER-BELIEF",
+}
+
+
+@st.composite
+def databases(draw):
+    shape = draw(st.sampled_from(["chain", "diamond"]))
+    seed = draw(st.integers(min_value=0, max_value=2_000))
+    lattice = make_lattice(shape, n_levels=4, seed=seed)
+    db = random_multilog_database(
+        n_tuples=draw(st.integers(min_value=1, max_value=10)),
+        lattice=lattice,
+        belief_rules=draw(st.integers(min_value=0, max_value=2)),
+        seed=seed,
+    )
+    return db, lattice
+
+
+def _leaves(tree):
+    if not tree.premises:
+        yield tree
+    for premise in tree.premises:
+        yield from _leaves(premise)
+
+
+@given(databases(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_proof_trees_are_well_formed(bundle, data):
+    """Every proof tree for every answer: known rule names, EMPTY leaves,
+    height <= size, and the root concludes the queried goal form."""
+    db, lattice = bundle
+    clearance = data.draw(st.sampled_from(sorted(lattice.levels)))
+    mode = data.draw(st.sampled_from(["fir", "opt", "cau"]))
+    engine = OperationalEngine(db, clearance)
+    prover = Prover(engine)
+    query = parse_query(f"{clearance}[p(K : k -C-> V)] << {mode}")
+    for _answer, tree in prover.prove_query(query):
+        assert tree.rules_used() <= KNOWN_RULES
+        assert tree.height() <= tree.size()
+        assert tree.rule == "BELIEF"
+        for leaf in _leaves(tree):
+            assert leaf.rule in LEAF_RULES
+
+
+@given(databases(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_every_answer_has_a_proof(bundle, data):
+    """Completeness of reconstruction: solve() and prove_query() agree on
+    the answer set."""
+    db, lattice = bundle
+    clearance = data.draw(st.sampled_from(sorted(lattice.levels)))
+    engine = OperationalEngine(db, clearance)
+    query = parse_query(f"{clearance}[p(K : k -C-> V)] << opt")
+    solved = {tuple(sorted(a.items())) for a in engine.solve(query)}
+    proved = {
+        tuple(sorted(answer.items()))
+        for answer, _tree in Prover(engine).prove_query(query)
+    }
+    assert solved == proved
+
+
+@given(databases())
+@settings(max_examples=25, deadline=None)
+def test_serialization_round_trip(bundle):
+    """str(db) re-parses to a database with identical semantics."""
+    db, lattice = bundle
+    reparsed = parse_database(str(db))
+    top = sorted(lattice.tops())[0]
+    original_cells = set(OperationalEngine(db, top).cells())
+    reparsed_cells = set(OperationalEngine(reparsed, top).cells())
+    assert original_cells == reparsed_cells
+
+
+@given(databases(), st.data())
+@settings(max_examples=20, deadline=None)
+def test_session_engines_agree_on_random_databases(bundle, data):
+    db, lattice = bundle
+    clearance = data.draw(st.sampled_from(sorted(lattice.levels)))
+    report = check_equivalence(db, clearance)
+    assert report.equivalent, report.all_messages()

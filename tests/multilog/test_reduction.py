@@ -1,0 +1,155 @@
+"""Unit tests for the tau translation and the Figure 12 engine."""
+
+import pytest
+
+from repro.datalog import Program, stratify
+from repro.errors import StratificationError, UnsafeRuleError
+from repro.multilog import (
+    engine_axioms,
+    figure12_axioms,
+    needs_specialization,
+    parse_database,
+    parse_query,
+    translate,
+)
+
+LATTICE = "level(u). level(c). level(s). order(u, c). order(c, s).\n"
+
+
+class TestAxioms:
+    def test_figure12_has_nine_axioms(self):
+        assert len(figure12_axioms()) == 9
+
+    def test_figure12_is_unsafe_as_printed(self):
+        with pytest.raises(UnsafeRuleError):
+            Program(figure12_axioms()).check_safety()
+
+    def test_repaired_axioms_safe_and_stratified(self):
+        program = Program(engine_axioms())
+        program.check_safety()
+        stratify(program)
+
+    def test_dominate_axioms_compute_reflexive_transitive_closure(self):
+        from repro.datalog import Atom, Constant, evaluate
+        program = Program(engine_axioms()[:3])
+        for level in ("u", "c", "s"):
+            program.add_fact(Atom("level", (Constant(level),)))
+        for low, high in (("u", "c"), ("c", "s")):
+            program.add_fact(Atom("order", (Constant(low), Constant(high))))
+        rows = evaluate(program).rows("dominate")
+        assert ("u", "s") in rows      # transitivity
+        assert ("c", "c") in rows      # reflexivity
+        assert ("s", "u") not in rows  # antisymmetry
+
+
+class TestTranslation:
+    def test_mission_unspecialized(self, mission_db):
+        reduced = translate(mission_db, "s")
+        assert not reduced.specialized
+        assert len(reduced.rel_rows()) == 30
+
+    def test_d1_auto_specializes(self, d1):
+        reduced = translate(d1, "c")
+        assert reduced.specialized
+
+    def test_needs_specialization_detection(self, d1, mission_db):
+        assert needs_specialization(d1)
+        assert not needs_specialization(mission_db)
+
+    def test_unspecialized_d1_is_unstratifiable(self, d1):
+        """The paper claims the axioms are stratified; for D1 the single
+        rel/bel reduction is not -- the documented repair is required."""
+        reduced = translate(d1, "c", specialize=False)
+        with pytest.raises(StratificationError):
+            reduced.model()
+
+    def test_forced_specialization_of_mission(self, mission_db):
+        reduced = translate(mission_db, "s", specialize=True)
+        assert reduced.specialized
+        assert len(reduced.rel_rows()) == 30
+
+    def test_facts_above_clearance_kept_in_reduction(self, mission_db):
+        """tau does not guard facts; only queries/bodies are guarded."""
+        reduced = translate(mission_db, "u")
+        levels = {row[5] for row in reduced.rel_rows()}
+        assert "s" in levels
+
+    def test_guards_enforce_no_read_up(self, mission_db):
+        reduced = translate(mission_db, "u")
+        query = parse_query("s[mission(K : objective -C-> V)] << fir")
+        assert reduced.query(query) == []
+
+
+class TestBelRows:
+    def test_firm(self, mission_db):
+        reduced = translate(mission_db, "s")
+        rows = reduced.bel_rows("fir", "c")
+        assert {r[1] for r in rows} == {"atlantis"}
+
+    def test_optimistic_counts(self, mission_db):
+        reduced = translate(mission_db, "s")
+        assert len(reduced.bel_rows("opt", "u")) == 12  # 4 U molecules x 3
+
+    def test_cautious_override(self, d1):
+        reduced = translate(d1, "c")
+        assert reduced.bel_rows("cau", "c") == {("p", "k", "a", "t", "c")}
+
+    def test_unknown_level_rejected(self, d1):
+        from repro.errors import UnknownLevelError
+        with pytest.raises(UnknownLevelError):
+            translate(d1, "c").bel_rows("cau", "zz")
+
+
+class TestQueries:
+    def test_example_52(self, d1):
+        reduced = translate(d1, "c")
+        assert reduced.query(parse_query("c[p(k : a -u-> v)] << opt")) == [{}]
+
+    def test_variable_binding(self, mission_db):
+        reduced = translate(mission_db, "s")
+        answers = reduced.query(
+            parse_query("s[mission(K : objective -C-> spying)] << cau"))
+        assert {a["K"] for a in answers} == {"voyager", "phantom"}
+
+    def test_level_variable_in_specialized_query(self, d1):
+        reduced = translate(d1, "c")
+        answers = reduced.query(parse_query("L[p(k : a -u-> v)] << opt"))
+        assert {a["L"] for a in answers} == {"u", "c"}
+
+    def test_conjunctive_query(self, mission_db):
+        reduced = translate(mission_db, "s")
+        answers = reduced.query(parse_query(
+            "s[mission(K : objective -C1-> spying)] << cau, "
+            "s[mission(K : destination -C2-> mars)] << cau"))
+        assert [a["K"] for a in answers] == ["voyager"]
+
+    def test_plain_p_atom_query(self, d1):
+        reduced = translate(d1, "c")
+        assert reduced.query(parse_query("q(X)")) == [{"X": "j"}]
+
+    def test_model_cached(self, d1):
+        reduced = translate(d1, "c")
+        assert reduced.model() is reduced.model()
+
+
+class TestUserModes:
+    SOURCE = LATTICE + """
+        u[m(k1 : f -u-> x)].
+        c[m(k1 : f -u-> x)].
+        bel(P, K, A, V, C, H, corroborated) :-
+            bel(P, K, A, V, C, H, fir), bel(P, K, A, V, C, L, opt), order(L, H).
+    """
+
+    def test_user_mode_via_reduction(self):
+        db = parse_database(self.SOURCE)
+        reduced = translate(db, "s")
+        rows = reduced.bel_rows("corroborated", "c")
+        assert rows == {("m", "k1", "f", "x", "u")}
+
+    def test_user_mode_survives_specialization(self):
+        db = parse_database(self.SOURCE + """
+            s[m(k1 : g -s-> y)] :- c[m(k1 : f -u-> x)] << cau.
+        """)
+        reduced = translate(db, "s")
+        assert reduced.specialized
+        assert reduced.bel_rows("corroborated", "c") == {("m", "k1", "f", "x", "u")}

@@ -1,0 +1,163 @@
+"""Unit tests for the MultiLogSession high-level API."""
+
+import pytest
+
+from repro.errors import MultiLogError, UnknownModeError
+from repro.multilog import SYSTEM_LEVEL, MultiLogSession
+
+ACCOUNTS = """
+level(u). level(s). order(u, s).
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+u[acct(bob : balance -u-> 50)].
+"""
+
+
+class TestConstruction:
+    def test_from_source_text(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        assert session.clearance == "s"
+
+    def test_default_clearance_is_unique_top(self):
+        session = MultiLogSession(ACCOUNTS)
+        assert session.clearance == "s"
+
+    def test_ambiguous_top_requires_clearance(self):
+        source = "level(a). level(b)."
+        with pytest.raises(MultiLogError, match="unique top"):
+            MultiLogSession(source)
+
+    def test_empty_lambda_gets_system_level(self):
+        session = MultiLogSession("q(j).")
+        assert session.clearance == SYSTEM_LEVEL
+
+    def test_with_clearance(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        low = session.with_clearance("u")
+        assert low.clearance == "u"
+        assert low.database is session.database
+
+
+class TestAsk:
+    def test_operational_default(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        answers = session.ask("s[acct(alice : balance -C-> B)] << cau")
+        assert answers == [{"B": 900, "C": "s"}]
+
+    def test_reduction_engine_agrees(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        query = "s[acct(K : balance -C-> B)] << opt"
+        op = {tuple(sorted(a.items())) for a in session.ask(query)}
+        red = {tuple(sorted(a.items())) for a in session.ask(query, engine="reduction")}
+        assert op == red
+
+    def test_unknown_engine(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        with pytest.raises(MultiLogError, match="unknown engine"):
+            session.ask("q(X)", engine="warp")
+
+    def test_holds(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        assert session.holds("s[acct(alice : balance -s-> 900)] << fir")
+        assert not session.holds("s[acct(alice : balance -s-> 901)] << fir")
+
+    def test_low_session_sees_less(self):
+        low = MultiLogSession(ACCOUNTS, clearance="u")
+        answers = low.ask("u[acct(alice : balance -C-> B)] << opt")
+        assert answers == [{"B": 100, "C": "u"}]
+
+
+class TestProofs:
+    def test_prove_returns_tree(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        tree = session.prove("s[acct(alice : balance -u-> 100)] << opt")
+        assert tree is not None
+        assert tree.rule == "BELIEF"
+
+    def test_proofs_pair_answers_with_trees(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        results = session.proofs("s[acct(K : balance -C-> B)] << fir")
+        assert len(results) == 1
+        answer, tree = results[0]
+        assert answer["K"] == "alice"
+        assert tree.rule == "BELIEF"
+
+
+class TestBeliefAccessors:
+    def test_believed_cells_default_level(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        rows = session.believed_cells("cau")
+        balances = {(r[1], r[3]) for r in rows}
+        assert balances == {("alice", 900), ("bob", 50)}
+
+    def test_belief_speculation_downward(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        rows = session.believed_cells("cau", "u")
+        assert {(r[1], r[3]) for r in rows} == {("alice", 100), ("bob", 50)}
+
+    def test_no_read_up(self):
+        session = MultiLogSession(ACCOUNTS, clearance="u")
+        with pytest.raises(MultiLogError, match="read-up"):
+            session.believed_cells("cau", "s")
+
+    def test_unknown_mode(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        with pytest.raises(UnknownModeError):
+            session.believed_cells("wishful")
+
+    def test_user_mode_cells(self):
+        session = MultiLogSession(ACCOUNTS + """
+            bel(P, K, A, V, C, H, doubled) :- bel(P, K, A, V, C, H, fir).
+        """, clearance="s")
+        assert "doubled" in session.modes
+        rows = session.believed_cells("doubled", "u")
+        assert {(r[1], r[3]) for r in rows} == {("alice", 100), ("bob", 50)}
+
+    def test_cells_listing(self):
+        session = MultiLogSession(ACCOUNTS, clearance="u")
+        assert len(session.cells()) == 2  # s-level fact not derivable at u
+
+
+class TestAssertClause:
+    def test_assert_invalidates_caches(self):
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        assert len(session.ask("s[acct(K : balance -C-> B)] << fir")) == 1
+        session.assert_clause("s[acct(carol : balance -s-> 7)].")
+        answers = session.ask("s[acct(K : balance -C-> B)] << fir")
+        assert {a["K"] for a in answers} == {"alice", "carol"}
+
+    def test_assert_checks_admissibility(self):
+        from repro.errors import AdmissibilityError
+        session = MultiLogSession(ACCOUNTS, clearance="s")
+        with pytest.raises(AdmissibilityError):
+            session.assert_clause("t[acct(dave : balance -t-> 1)].")
+
+
+class TestConsistencyHook:
+    def test_mission_is_consistent(self, mission_db):
+        assert MultiLogSession(mission_db, "s").check_consistency().ok
+
+    def test_d1_reports_entity_violation(self, d1):
+        report = MultiLogSession(d1, "c").check_consistency()
+        assert not report.ok
+
+
+class TestStoredQueries:
+    def test_d1_query_component_runs(self, d1):
+        session = MultiLogSession(d1, "c")
+        results = session.run_stored_queries()
+        assert len(results) == 1
+        query, answers = results[0]
+        assert "opt" in str(query)
+        assert answers == [{}]  # Example 5.2 succeeds
+
+    def test_stored_queries_respect_clearance(self, d1):
+        session = MultiLogSession(d1, "u")
+        _query, answers = session.run_stored_queries()[0]
+        assert answers == []  # c-level belief unprovable at u
+
+    def test_reduction_engine_agrees(self, d1):
+        session = MultiLogSession(d1, "c")
+        operational = session.run_stored_queries()[0][1]
+        reduction = session.run_stored_queries(engine="reduction")[0][1]
+        assert operational == reduction
