@@ -1,5 +1,16 @@
 """Scaling study: the Datalog back-end (the CORAL stand-in) on transitive
-closure, and the MultiLog pipeline end to end."""
+closure, and the MultiLog pipeline end to end.
+
+Besides the pytest-benchmark timings, this module emits
+``BENCH_engine.json`` at the repository root: compiled-vs-interpreted
+wall-clock numbers for every transitive-closure case, so the perf
+trajectory is tracked from PR 1 onward (see docs/PERFORMANCE.md).
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -9,6 +20,50 @@ from repro.workloads.generator import random_datalog_program, random_multilog_da
 
 CHAIN_SIZES = [20, 60, 120]
 DB_SIZES = [25, 100, 250]
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _best_of(fn, repeat=3):
+    """Best wall-clock of ``repeat`` runs (seconds)."""
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_emit_bench_engine_json():
+    """Record the compiled-vs-interpreted trajectory for every TC case.
+
+    ``interpreted_s`` is the seed engine (semi-naive interpreter);
+    ``compiled_s`` is the join-plan path that is now the default.
+    """
+    cases = []
+    for shape, seed in (("chain", 0), ("random", 3)):
+        for n_nodes in CHAIN_SIZES:
+            text = random_datalog_program(n_nodes, shape, seed=seed)
+            interpreted = _best_of(lambda: evaluate(parse_program(text), "seminaive"))
+            compiled = _best_of(lambda: evaluate(parse_program(text), "compiled"))
+            cases.append({
+                "workload": f"{shape}_closure",
+                "n_nodes": n_nodes,
+                "interpreted_s": round(interpreted, 6),
+                "compiled_s": round(compiled, 6),
+                "speedup": round(interpreted / compiled, 2),
+            })
+    payload = {
+        "bench": "bench_scaling_engine",
+        "python": platform.python_version(),
+        "cases": cases,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    assert BENCH_JSON.exists()
+    largest = [c for c in cases if c["n_nodes"] == max(CHAIN_SIZES)]
+    assert all(c["speedup"] > 1.0 for c in largest), largest
 
 
 @pytest.mark.parametrize("n_nodes", CHAIN_SIZES)

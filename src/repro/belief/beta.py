@@ -26,12 +26,26 @@ models").  :func:`cautious_conflicts` reports where that happened.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 
+from repro.cache import VersionedMemo
+from repro.errors import BeliefError
 from repro.lattice import Level
 from repro.mls.relation import MLSRelation
 from repro.mls.tuples import Cell, MLSTuple
 from repro.belief.modes import BeliefMode
+
+#: Default guard on the ``itertools.product`` over per-attribute maximal
+#: cells in :func:`cautious`.  On partial orders every attribute can have
+#: several incomparable maximal cells, and the product over them is
+#: exponential in the number of attributes -- adversarial inputs could
+#: otherwise exhaust memory building the "multiple models".
+MAX_CAUTIOUS_COMBINATIONS = 10_000
+
+#: beta views memoized per ``(relation-version, level, mode)``; any
+#: relation mutation bumps the version and invalidates (see repro.cache).
+_BETA_MEMO = VersionedMemo("beta-views")
 
 
 def firm(relation: MLSRelation, level: Level) -> MLSRelation:
@@ -66,9 +80,17 @@ def _visible(relation: MLSRelation, level: Level) -> list[MLSTuple]:
     return [t for t in relation if lattice.leq(t.tc, level)]
 
 
-def _maximal_cells(relation: MLSRelation, group: list[MLSTuple], attribute: str) -> list[Cell]:
+def _visible_groups(relation: MLSRelation, level: Level) -> dict[tuple[object, ...], list[MLSTuple]]:
+    """Tuples visible at ``level``, grouped by apparent-key values."""
+    groups: dict[tuple[object, ...], list[MLSTuple]] = {}
+    for t in _visible(relation, level):
+        groups.setdefault(t.key_values(), []).append(t)
+    return groups
+
+
+def _maximal_cells(group: list[MLSTuple], attribute: str) -> list[Cell]:
     """Distinct cells for ``attribute`` whose classification nothing outranks."""
-    lattice = relation.schema.lattice
+    lattice = group[0].schema.lattice
     cells: list[Cell] = []
     for t in group:
         cell = t.cell(attribute)
@@ -80,20 +102,32 @@ def _maximal_cells(relation: MLSRelation, group: list[MLSTuple], attribute: str)
     ]
 
 
-def cautious(relation: MLSRelation, level: Level) -> MLSRelation:
-    """Inheritance-with-overriding belief (Definition 3.1, m = cautious)."""
+def cautious(relation: MLSRelation, level: Level,
+             max_combinations: int | None = None) -> MLSRelation:
+    """Inheritance-with-overriding belief (Definition 3.1, m = cautious).
+
+    ``max_combinations`` caps the per-key product of incomparable maximal
+    cells (default :data:`MAX_CAUTIOUS_COMBINATIONS`); exceeding it raises
+    :class:`~repro.errors.BeliefError` instead of materializing an
+    exponential set of "multiple models".
+    """
+    cap = MAX_CAUTIOUS_COMBINATIONS if max_combinations is None else max_combinations
     lattice = relation.schema.lattice
     lattice.check_level(level)
-    visible = _visible(relation, level)
-    groups: dict[tuple[object, ...], list[MLSTuple]] = {}
-    for t in visible:
-        groups.setdefault(t.key_values(), []).append(t)
     believed: list[MLSTuple] = []
-    for group in groups.values():
+    for key, group in _visible_groups(relation, level).items():
         per_attribute = [
-            _maximal_cells(relation, group, attr)
+            _maximal_cells(group, attr)
             for attr in relation.schema.attributes
         ]
+        combinations = math.prod(len(cells) for cells in per_attribute)
+        if combinations > cap:
+            raise BeliefError(
+                f"cautious belief at {level!r} for key {key!r} has "
+                f"{combinations} maximal-cell combinations (cap {cap}); "
+                "the partial order leaves too many incomparable choices -- "
+                "raise max_combinations only if you really want them all"
+            )
         for combo in itertools.product(*per_attribute):
             cells = dict(zip(relation.schema.attributes, combo))
             believed.append(MLSTuple(relation.schema, cells, tc=level))
@@ -107,27 +141,32 @@ def cautious_conflicts(relation: MLSRelation, level: Level) -> list[CautiousConf
     from distinct values at the same maximal classification (possible when
     key classifications differ, e.g. the two Phantom lineages at level S).
     """
-    visible = _visible(relation, level)
-    groups: dict[tuple[object, ...], list[MLSTuple]] = {}
-    for t in visible:
-        groups.setdefault(t.key_values(), []).append(t)
     conflicts: list[CautiousConflict] = []
-    for key, group in groups.items():
+    for key, group in _visible_groups(relation, level).items():
         for attr in relation.schema.attributes:
-            maximal = _maximal_cells(relation, group, attr)
+            maximal = _maximal_cells(group, attr)
             if len(maximal) > 1:
                 conflicts.append(CautiousConflict(key, attr, tuple(maximal)))
     return conflicts
 
 
 def belief(relation: MLSRelation, level: Level, mode: BeliefMode | str) -> MLSRelation:
-    """The parametric belief function ``beta : R x S x mu -> R``."""
+    """The parametric belief function ``beta : R x S x mu -> R``.
+
+    Views are memoized per ``(relation-version, level, mode)``; a repeated
+    ask returns the cached relation (treat it as read-only), and any
+    mutation of ``relation`` invalidates every cached view.
+    """
     resolved = mode if isinstance(mode, BeliefMode) else BeliefMode.parse(mode)
     if resolved is BeliefMode.FIRM:
-        return firm(relation, level)
-    if resolved is BeliefMode.OPTIMISTIC:
-        return optimistic(relation, level)
-    return cautious(relation, level)
+        compute = lambda: firm(relation, level)  # noqa: E731
+    elif resolved is BeliefMode.OPTIMISTIC:
+        compute = lambda: optimistic(relation, level)  # noqa: E731
+    else:
+        compute = lambda: cautious(relation, level)  # noqa: E731
+    return _BETA_MEMO.get_or_compute(
+        relation, relation.version, (level, resolved.value), compute
+    )
 
 
 def believed_without_doubt(relation: MLSRelation, level: Level,

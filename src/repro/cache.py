@@ -1,0 +1,102 @@
+"""Keyed memo layers with version-counter invalidation.
+
+Every mutable store in the hot path (the Datalog :class:`~repro.datalog.
+database.Database`, :class:`~repro.mls.relation.MLSRelation`, and
+:class:`~repro.multilog.ast.MultiLogDatabase`) carries a monotone
+``version`` counter bumped on every mutation.  A :class:`VersionedMemo`
+keys cached derived values -- belief views, tau-translations, least
+models -- on ``(owner, key)`` and stamps each entry with the owner's
+version at compute time.  A lookup against a newer version is a miss
+that evicts the stale entry, so *any* insert invalidates everything
+derived from the mutated store without explicit wiring.
+
+Owners are held weakly: dropping a relation or database drops its cached
+views with it.  Cached values are shared, not copied -- callers must
+treat them as read-only (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one memo layer."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = 0
+
+
+_MEMOS: list["VersionedMemo"] = []
+
+
+class VersionedMemo:
+    """Per-owner memo store invalidated by the owner's version counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stats = CacheStats()
+        self._store: "weakref.WeakKeyDictionary[object, dict]" = weakref.WeakKeyDictionary()
+        _MEMOS.append(self)
+
+    def get_or_compute(self, owner: object, version: int, key: object,
+                       compute: Callable[[], object]) -> object:
+        """The cached value for ``(owner, key)`` at ``version``, computing
+        (and storing) it on a miss or a stale hit."""
+        entries = self._store.get(owner)
+        if entries is None:
+            entries = {}
+            self._store[owner] = entries
+        entry = entries.get(key)
+        if entry is not None:
+            cached_version, value = entry
+            if cached_version == version:
+                self.stats.hits += 1
+                return value
+            self.stats.invalidations += 1
+            # The owner mutated since every sibling entry was stamped;
+            # drop them all rather than serving other stale keys later.
+            entries.clear()
+        self.stats.misses += 1
+        value = compute()
+        entries[key] = (version, value)
+        return value
+
+    def entries_for(self, owner: object) -> int:
+        """Number of live cache entries for ``owner`` (introspection)."""
+        return len(self._store.get(owner) or ())
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats.reset()
+
+
+def all_memos() -> list[VersionedMemo]:
+    """Every memo layer created so far (registration order)."""
+    return list(_MEMOS)
+
+
+def clear_all_caches() -> None:
+    """Drop every cached value and reset all counters (test isolation)."""
+    for memo in _MEMOS:
+        memo.clear()
+
+
+def cache_stats() -> dict[str, CacheStats]:
+    """Snapshot of per-layer statistics, keyed by memo name."""
+    return {memo.name: memo.stats for memo in _MEMOS}

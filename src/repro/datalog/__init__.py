@@ -11,12 +11,14 @@ from repro.datalog.database import Database, Row
 from repro.datalog.engine import (
     answer_rows,
     evaluate,
+    evaluate_goal_rules,
     greedy_join_order,
     query,
     query_database,
     reorder_body,
 )
 from repro.datalog.magic import MagicProgram, magic_query, magic_transform
+from repro.datalog.plan import CompiledRule, compile_rule
 from repro.datalog.parse import parse_atom, parse_program
 from repro.datalog.rules import Program, Rule
 from repro.datalog.stratify import dependencies, strata, stratify
@@ -34,6 +36,7 @@ from repro.datalog.unify import (
 __all__ = [
     "Atom",
     "BUILTIN_PREDICATES",
+    "CompiledRule",
     "Constant",
     "Database",
     "Literal",
@@ -49,8 +52,10 @@ __all__ = [
     "apply_to_atom",
     "apply_to_literal",
     "atom",
+    "compile_rule",
     "dependencies",
     "evaluate",
+    "evaluate_goal_rules",
     "fresh_variable",
     "greedy_join_order",
     "magic_query",

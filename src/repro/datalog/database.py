@@ -1,9 +1,20 @@
 """The fact store used by the bottom-up engine.
 
-Facts are rows (tuples of Python values) grouped per predicate.  A lazy
-single-column hash index accelerates matching when a literal arrives with
-at least one bound argument -- the engine picks the first bound position
-and probes the index instead of scanning the extension.
+Facts are rows (tuples of Python values) grouped per predicate.  Two
+index layers accelerate matching:
+
+* lazy **composite hash indexes** over arbitrary position tuples -- the
+  compiled join plans (:mod:`repro.datalog.plan`) request an index over
+  exactly the positions their bound-argument masks cover, so a literal
+  with ``k`` bound arguments probes one ``k``-column index instead of
+  filtering a single-column bucket;
+* **selectivity-aware probing** for the interpreted path --
+  :meth:`Database.candidates` consults the bucket for *every* bound
+  position and scans the smallest one, rather than blindly the first.
+
+Every successful mutation bumps a monotone version counter; the memo
+layers in :mod:`repro.cache` key cached views on it, so any insert
+invalidates downstream caches without explicit wiring.
 """
 
 from __future__ import annotations
@@ -16,13 +27,27 @@ from repro.datalog.unify import Substitution, walk
 
 Row = tuple[object, ...]
 
+_EMPTY: tuple[Row, ...] = ()
+
+#: index over ``positions``: maps a key tuple to the rows carrying it.
+Index = dict[tuple, list[Row]]
+
 
 class Database:
-    """Mutable set of ground facts with per-column indexes."""
+    """Mutable set of ground facts with composite per-position indexes."""
+
+    __slots__ = ("_facts", "_indexes", "_version", "__weakref__")
 
     def __init__(self) -> None:
         self._facts: dict[str, set[Row]] = {}
-        self._indexes: dict[tuple[str, int], dict[object, list[Row]]] = {}
+        # (predicate -> positions-tuple -> key-tuple -> rows)
+        self._indexes: dict[str, dict[tuple[int, ...], Index]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every successful insert."""
+        return self._version
 
     # ------------------------------------------------------------------
     def add(self, predicate: str, row: Row) -> bool:
@@ -31,9 +56,14 @@ class Database:
         if row in rows:
             return False
         rows.add(row)
-        for (pred, position), index in self._indexes.items():
-            if pred == predicate and position < len(row):
-                index.setdefault(row[position], []).append(row)
+        self._version += 1
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            arity = len(row)
+            for positions, index in indexes.items():
+                if all(p < arity for p in positions):
+                    key = tuple(row[p] for p in positions)
+                    index.setdefault(key, []).append(row)
         return True
 
     def add_atom(self, atom: Atom) -> bool:
@@ -52,38 +82,72 @@ class Database:
         return sum(len(rows) for rows in self._facts.values())
 
     def copy(self) -> "Database":
+        """An independent copy that keeps the already-built indexes."""
         out = Database()
         for predicate, rows in self._facts.items():
             out._facts[predicate] = set(rows)
+        for predicate, indexes in self._indexes.items():
+            out._indexes[predicate] = {
+                positions: {key: list(bucket) for key, bucket in index.items()}
+                for positions, index in indexes.items()
+            }
+        out._version = self._version
         return out
 
     def merge(self, other: "Database") -> None:
-        for predicate in other._facts:
-            for row in other._facts[predicate]:
-                self.add(predicate, row)
+        """Bulk-insert ``other``'s facts, maintaining indexes incrementally."""
+        for predicate, rows in other._facts.items():
+            mine = self._facts.setdefault(predicate, set())
+            fresh = rows - mine
+            if not fresh:
+                continue
+            mine |= fresh
+            self._version += len(fresh)
+            indexes = self._indexes.get(predicate)
+            if indexes:
+                for positions, index in indexes.items():
+                    for row in fresh:
+                        if all(p < len(row) for p in positions):
+                            key = tuple(row[p] for p in positions)
+                            index.setdefault(key, []).append(row)
 
     # ------------------------------------------------------------------
-    def _index(self, predicate: str, position: int) -> dict[object, list[Row]]:
-        key = (predicate, position)
-        index = self._indexes.get(key)
+    def index(self, predicate: str, positions: tuple[int, ...]) -> Index:
+        """The (lazily built) composite index over ``positions``."""
+        indexes = self._indexes.setdefault(predicate, {})
+        index = indexes.get(positions)
         if index is None:
             index = {}
             for row in self._facts.get(predicate, ()):
-                if position < len(row):
-                    index.setdefault(row[position], []).append(row)
-            self._indexes[key] = index
+                if all(p < len(row) for p in positions):
+                    index.setdefault(tuple(row[p] for p in positions), []).append(row)
+            indexes[positions] = index
         return index
+
+    def bucket(self, predicate: str, positions: tuple[int, ...], key: tuple) -> Iterable[Row]:
+        """Rows whose values at ``positions`` equal ``key`` (index probe)."""
+        return self.index(predicate, positions).get(key, _EMPTY)
 
     def candidates(self, atom: Atom, subst: Substitution) -> Iterable[Row]:
         """Rows that could match ``atom`` under ``subst``.
 
-        Probes the hash index on the first bound argument position; falls
-        back to the full extension when every argument is free.
+        Probes the hash index for *every* bound argument position and
+        scans the smallest bucket (the most selective probe); falls back
+        to the full extension when every argument is free.
         """
+        best: Iterable[Row] | None = None
+        best_size: int | None = None
         for position, term in enumerate(atom.args):
             term = walk(term, subst)
             if isinstance(term, Constant):
-                return self._index(atom.predicate, position).get(term.value, ())
+                bucket = self.bucket(atom.predicate, (position,), (term.value,))
+                size = len(bucket)  # type: ignore[arg-type]
+                if best_size is None or size < best_size:
+                    best, best_size = bucket, size
+                if size == 0:
+                    break
+        if best is not None:
+            return best
         return self._facts.get(atom.predicate, ())
 
     def as_atoms(self) -> Iterator[Atom]:

@@ -5,12 +5,16 @@ CORAL stand-in.  Programs are stratified; each stratum is evaluated to a
 least fixpoint before the next begins, so negation always consults a
 fully computed lower stratum.
 
-Two strategies:
+Three strategies:
 
 * ``naive`` -- re-derive everything each round; the textbook baseline
   kept for differential testing and the ablation bench.
 * ``seminaive`` -- classic delta iteration: a recursive rule only refires
   when one of its recursive body literals matches a newly derived fact.
+* ``compiled`` (the default) -- semi-naive iteration over
+  :class:`~repro.datalog.plan.CompiledRule` join plans: each rule body is
+  compiled once per stratum into a nested-loop function probing composite
+  indexes, with delta-specialized variants for the refiring step.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from collections.abc import Iterable
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.builtins import evaluate_builtin
 from repro.datalog.database import Database, Row
+from repro.datalog.plan import CompiledRule, compile_rule
 from repro.datalog.rules import Program, Rule
 from repro.datalog.stratify import stratify
 from repro.datalog.terms import Variable
@@ -158,6 +163,30 @@ def _stratum_rules(program: Program, stratum_predicates: set[str],
     return rules
 
 
+def _evaluate_stratum_compiled(rules: list[Rule], db: Database,
+                               stratum_predicates: set[str]) -> None:
+    """Semi-naive iteration driven by compiled join plans."""
+    compiled = [compile_rule(rule, stratum_predicates) for rule in rules]
+    delta = Database()
+    for plan in compiled:
+        predicate = plan.head_predicate
+        for row in plan.fire(db):
+            if db.add(predicate, row):
+                delta.add(predicate, row)
+    recursive = [plan for plan in compiled if plan.delta_variants]
+    while len(delta):
+        new_delta = Database()
+        for plan in recursive:
+            predicate = plan.head_predicate
+            for delta_predicate, fire in plan.delta_variants:
+                if not delta.rows(delta_predicate):
+                    continue
+                for row in fire(db, delta):
+                    if db.add(predicate, row):
+                        new_delta.add(predicate, row)
+        delta = new_delta
+
+
 def _evaluate_stratum_naive(rules: list[Rule], db: Database) -> None:
     changed = True
     while changed:
@@ -197,16 +226,17 @@ def _evaluate_stratum_seminaive(rules: list[Rule], db: Database,
         delta = new_delta
 
 
-def evaluate(program: Program, strategy: str = "seminaive",
+def evaluate(program: Program, strategy: str = "compiled",
              optimize_joins: bool = False) -> Database:
     """The stratified least model of ``program`` as a :class:`Database`.
 
     ``optimize_joins`` reorders rule bodies most-bound-first before
     evaluation (see :func:`greedy_join_order`); answers are identical,
     only the join work changes -- ``bench_ablation_strategies`` measures
-    the effect.
+    the effect.  The ``compiled`` strategy always applies the greedy
+    order, since literal order is part of the compiled plan.
     """
-    if strategy not in ("naive", "seminaive"):
+    if strategy not in ("naive", "seminaive", "compiled"):
         raise DatalogError(f"unknown evaluation strategy {strategy!r}")
     program.check_safety()
     assignment = stratify(program)
@@ -218,17 +248,37 @@ def evaluate(program: Program, strategy: str = "seminaive",
     max_stratum = max(assignment.values(), default=0)
     for level in range(max_stratum + 1):
         stratum_predicates = {p for p, s in assignment.items() if s == level}
-        rules = _stratum_rules(program, stratum_predicates, optimize_joins)
+        rules = _stratum_rules(program, stratum_predicates,
+                               optimize_joins or strategy == "compiled")
         if not rules:
             continue
         if strategy == "naive":
             _evaluate_stratum_naive(rules, db)
-        else:
+        elif strategy == "seminaive":
             _evaluate_stratum_seminaive(rules, db, stratum_predicates)
+        else:
+            _evaluate_stratum_compiled(rules, db, stratum_predicates)
     return db
 
 
-def query(program: Program, goal: Atom, strategy: str = "seminaive") -> list[Substitution]:
+def evaluate_goal_rules(db: Database, rules: Iterable[Rule]) -> dict[str, set[Row]]:
+    """Fire non-recursive goal rules once against a computed model.
+
+    The rules' head predicates must not occur in any body (true for the
+    reduction's ``__answer`` rules); ``db`` is read, never written, so a
+    cached least model can answer repeated queries without re-running the
+    fixpoint.  Returns derived rows grouped by head predicate.
+    """
+    derived: dict[str, set[Row]] = {}
+    for rule in rules:
+        rule.check_safety()
+        ordered = Rule(rule.head, reorder_body(greedy_join_order(rule.body)))
+        plan = compile_rule(ordered)
+        derived.setdefault(plan.head_predicate, set()).update(plan.fire(db))
+    return derived
+
+
+def query(program: Program, goal: Atom, strategy: str = "compiled") -> list[Substitution]:
     """Answer substitutions for ``goal`` against the least model."""
     db = evaluate(program, strategy)
     return query_database(db, goal)

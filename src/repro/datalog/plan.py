@@ -1,0 +1,217 @@
+"""Compiled join plans for the bottom-up engine.
+
+The interpreted engine re-walks ``Literal`` objects for every candidate
+row, copying a substitution dict per binding.  A :class:`CompiledRule`
+does that analysis exactly once: the rule body (already reordered by
+:func:`repro.datalog.engine.reorder_body` /
+:func:`~repro.datalog.engine.greedy_join_order`) is translated into a
+nested-loop Python function over raw fact rows, with
+
+* one local variable slot per rule variable (no substitution dicts),
+* a composite index probe per literal covering *all* statically bound
+  argument positions (the literal's bound mask -- constants plus
+  variables bound by earlier literals),
+* built-in comparisons and negated literals inlined as guards, and
+* **delta-specialized variants** for semi-naive evaluation: one extra
+  function per recursive body literal, identical except that that
+  literal scans the delta instead of the full database.
+
+Bound-ness is static here because the engine only ever *matches*: once a
+positive literal is placed, every one of its variables is ground for the
+rest of the body, so the probe mask of each literal is known at compile
+time.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import Literal
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import DatalogError
+
+
+def _lt(a, b):
+    try:
+        return a < b
+    except TypeError as exc:
+        raise DatalogError(f"incomparable values in comparison: {exc}") from exc
+
+
+def _le(a, b):
+    try:
+        return a <= b
+    except TypeError as exc:
+        raise DatalogError(f"incomparable values in comparison: {exc}") from exc
+
+
+def _gt(a, b):
+    try:
+        return a > b
+    except TypeError as exc:
+        raise DatalogError(f"incomparable values in comparison: {exc}") from exc
+
+
+def _ge(a, b):
+    try:
+        return a >= b
+    except TypeError as exc:
+        raise DatalogError(f"incomparable values in comparison: {exc}") from exc
+
+
+#: generated-code failure condition per built-in ({a}/{b} are arg exprs);
+#: the emitter skips the current candidate when the condition holds.
+_BUILTIN_GUARDS = {
+    "=": "{a} != {b}",
+    "!=": "{a} == {b}",
+    "<": "not _lt({a}, {b})",
+    "<=": "not _le({a}, {b})",
+    ">": "not _gt({a}, {b})",
+    ">=": "not _ge({a}, {b})",
+}
+
+
+class CompiledRule:
+    """One rule compiled to closures; see :func:`compile_rule`."""
+
+    __slots__ = ("rule", "head_predicate", "fire", "delta_variants", "source")
+
+    def __init__(self, rule: Rule, head_predicate: str, fire, delta_variants, source: str):
+        self.rule = rule
+        self.head_predicate = head_predicate
+        #: ``fire(db) -> list[Row]`` -- all head rows derivable now.
+        self.fire = fire
+        #: ``(literal_predicate, fire(db, delta))`` per recursive literal.
+        self.delta_variants = delta_variants
+        self.source = source
+
+
+class _Emitter:
+    """Generates the nested-loop source for one rule variant."""
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.namespace: dict[str, object] = {
+            "_lt": _lt, "_le": _le, "_gt": _gt, "_ge": _ge,
+        }
+        self._locals: dict[Variable, str] = {}
+        self._consts = 0
+
+    def _const(self, value: object) -> str:
+        name = f"C{self._consts}"
+        self._consts += 1
+        self.namespace[name] = value
+        return name
+
+    def _local(self, var: Variable) -> str:
+        name = self._locals.get(var)
+        if name is None:
+            name = f"v{len(self._locals)}"
+            self._locals[var] = name
+        return name
+
+    def _bound_expr(self, term, bound: set[Variable], context: str) -> str:
+        """Expression for a term that must already be ground."""
+        if isinstance(term, Constant):
+            return self._const(term.value)
+        if term in bound:
+            return self._locals[term]
+        raise DatalogError(
+            f"variable {term!r} of {context} in rule {self.rule!r} is not bound "
+            "at evaluation time"
+        )
+
+    def emit(self, delta_position: int | None) -> str:
+        lines = [
+            "def _fire(db, delta=None):",
+            "    _out = []",
+            "    _append = _out.append",
+            "    _contains = db.contains",
+        ]
+        indent = "    "
+        depth = 0  # enclosing row loops; guards at depth 0 return instead
+        skip = lambda: "continue" if depth else "return _out"  # noqa: E731
+        bound: set[Variable] = set()
+        for index, literal in enumerate(self.rule.body):
+            atom = literal.atom
+            if atom.is_builtin:
+                if len(atom.args) != 2:
+                    raise DatalogError(f"built-in {atom.predicate!r} takes two arguments")
+                a = self._bound_expr(atom.args[0], bound, f"built-in {atom!r}")
+                b = self._bound_expr(atom.args[1], bound, f"built-in {atom!r}")
+                condition = _BUILTIN_GUARDS[atom.predicate].format(a=a, b=b)
+                lines.append(indent + f"if {condition}: {skip()}")
+                continue
+            if not literal.positive:
+                args = ", ".join(
+                    self._bound_expr(t, bound, f"negated literal {literal!r}")
+                    for t in atom.args
+                )
+                row = f"({args},)" if atom.args else "()"
+                lines.append(indent + f"if _contains({atom.predicate!r}, {row}): {skip()}")
+                continue
+            source = "delta" if index == delta_position else "db"
+            probe: list[tuple[int, str]] = []
+            writes: list[tuple[int, str]] = []
+            checks: list[tuple[int, str]] = []
+            seen_here: set[Variable] = set()
+            for position, term in enumerate(atom.args):
+                if isinstance(term, Constant):
+                    probe.append((position, self._const(term.value)))
+                elif term in bound:
+                    probe.append((position, self._locals[term]))
+                elif term in seen_here:
+                    checks.append((position, self._locals[term]))
+                else:
+                    seen_here.add(term)
+                    writes.append((position, self._local(term)))
+            row_var = f"r{index}"
+            if probe:
+                positions = self._const(tuple(p for p, _ in probe))
+                key = ", ".join(expr for _, expr in probe)
+                lines.append(
+                    indent + f"for {row_var} in {source}.bucket("
+                    f"{atom.predicate!r}, {positions}, ({key},)):"
+                )
+            else:
+                lines.append(indent + f"for {row_var} in {source}.rows({atom.predicate!r}):")
+            indent += "    "
+            depth += 1
+            lines.append(indent + f"if len({row_var}) != {len(atom.args)}: continue")
+            for position, name in writes:
+                lines.append(indent + f"{name} = {row_var}[{position}]")
+            for position, name in checks:
+                lines.append(indent + f"if {row_var}[{position}] != {name}: continue")
+            bound |= seen_here
+        head = self.rule.head
+        head_args = ", ".join(
+            self._bound_expr(t, bound, f"head {head!r}") for t in head.args
+        )
+        head_row = f"({head_args},)" if head.args else "()"
+        lines.append(indent + f"_append({head_row})")
+        lines.append("    return _out")
+        return "\n".join(lines)
+
+    def compile(self, delta_position: int | None):
+        source = self.emit(delta_position)
+        namespace = dict(self.namespace)
+        exec(compile(source, f"<join-plan {self.rule.head.predicate}>", "exec"), namespace)
+        return namespace["_fire"], source
+
+
+def _is_positive_relation(literal: Literal) -> bool:
+    return literal.positive and not literal.atom.is_builtin
+
+
+def compile_rule(rule: Rule, stratum_predicates: set[str] = frozenset()) -> CompiledRule:
+    """Compile ``rule`` (body already in evaluation order) into a plan.
+
+    ``stratum_predicates`` selects the recursive literals that need
+    delta-specialized variants for semi-naive refiring.
+    """
+    fire, source = _Emitter(rule).compile(None)
+    variants = []
+    for index, literal in enumerate(rule.body):
+        if _is_positive_relation(literal) and literal.predicate in stratum_predicates:
+            variant, _ = _Emitter(rule).compile(index)
+            variants.append((literal.predicate, variant))
+    return CompiledRule(rule, rule.head.predicate, fire, tuple(variants), source)

@@ -51,6 +51,11 @@ class AccessDeniedError(MLSError):
     """A subject attempted an access forbidden by Bell-LaPadula."""
 
 
+class BeliefError(MLSError):
+    """A belief-view computation was refused (e.g. the cautious
+    maximal-cell combination count exceeds the configured cap)."""
+
+
 class DatalogError(ReproError):
     """Base class for Datalog engine errors."""
 

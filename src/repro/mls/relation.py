@@ -22,17 +22,24 @@ from repro.mls.tuples import Cell, MLSTuple, NULL
 class MLSRelation:
     """A multilevel relation instance (scheme + tuples)."""
 
-    __slots__ = ("schema", "_tuples")
+    __slots__ = ("schema", "_tuples", "_version", "__weakref__")
 
     def __init__(self, schema: MLSchema, tuples: Iterable[MLSTuple] = ()):
         self.schema = schema
         self._tuples: list[MLSTuple] = []
+        self._version = 0
         seen: set[MLSTuple] = set()
         for t in tuples:
             self._check_tuple(t)
             if t not in seen:
                 seen.add(t)
                 self._tuples.append(t)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation; memo layers key
+        cached belief views on it (see :mod:`repro.cache`)."""
+        return self._version
 
     def _check_tuple(self, t: MLSTuple) -> None:
         if t.schema.name != self.schema.name or t.schema.attributes != self.schema.attributes:
@@ -75,10 +82,12 @@ class MLSRelation:
         self._check_tuple(t)
         if t not in set(self._tuples):
             self._tuples.append(t)
+            self._version += 1
 
     def remove(self, t: MLSTuple) -> None:
         """Remove a tuple; raises ``ValueError`` when absent."""
         self._tuples.remove(t)
+        self._version += 1
 
     def copy(self) -> "MLSRelation":
         return MLSRelation(self.schema, self._tuples)

@@ -258,7 +258,7 @@ class Query:
         return out
 
 
-@dataclass
+@dataclass(eq=False)  # identity hash so memo layers can hold it weakly
 class MultiLogDatabase:
     """A MultiLog database ``<Lambda, Sigma, Pi, Q>`` (Definition 5.1)."""
 
@@ -266,6 +266,9 @@ class MultiLogDatabase:
     secured_clauses: list[Clause] = field(default_factory=list)   # Sigma
     plain_clauses: list[Clause] = field(default_factory=list)     # Pi
     queries: list[Query] = field(default_factory=list)            # Q
+    #: monotone counter bumped on every added clause; the tau-translation
+    #: memo (:mod:`repro.cache`) keys reduced programs on it.
+    version: int = field(default=0, compare=False, repr=False)
 
     def add(self, clause: Clause) -> None:
         """File a clause into the right component by its head kind."""
@@ -276,9 +279,11 @@ class MultiLogDatabase:
             self.secured_clauses.append(clause)
         else:
             self.plain_clauses.append(clause)
+        self.version += 1
 
     def add_query(self, query: Query) -> None:
         self.queries.append(query)
+        self.version += 1
 
     def clauses(self) -> list[Clause]:
         return self.lattice_clauses + self.secured_clauses + self.plain_clauses

@@ -35,8 +35,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.cache import VersionedMemo
 from repro.datalog import Atom as DAtom
-from repro.datalog import Database, Literal as DLiteral, Program, Rule, evaluate
+from repro.datalog import (
+    Database,
+    Literal as DLiteral,
+    Program,
+    Rule,
+    evaluate,
+    evaluate_goal_rules,
+)
 from repro.datalog.terms import Constant, Term, Variable
 from repro.errors import MultiLogError
 from repro.lattice import SecurityLattice
@@ -254,11 +262,15 @@ class ReducedProgram:
     specialized: bool
     user_modes: frozenset[str]
     _model: Database | None = None
+    #: how many times the full fixpoint actually ran -- repeated queries
+    #: against the cached least model must leave this at 1.
+    fixpoint_runs: int = 0
 
     # -- evaluation -------------------------------------------------------
     def model(self) -> Database:
         """The stratified least model (cached)."""
         if self._model is None:
+            self.fixpoint_runs += 1
             self._model = evaluate(self.program)
         return self._model
 
@@ -294,6 +306,9 @@ class ReducedProgram:
         """Answer a MultiLog query against the reduced program.
 
         Returns one ``{variable_name: value}`` dict per distinct answer.
+        The least model is computed once (see :meth:`model`); each query
+        only fires its non-recursive ``__answer`` rules against it, so
+        repeated asks never re-run the fixpoint.
         """
         body = atomize_body(query.body)
         variables = sorted(
@@ -301,18 +316,15 @@ class ReducedProgram:
         )
         translator = _Translator(self.clearance, self.context, self.specialized,
                                  self.user_modes)
-        extended = Program(self.program.rules, self.program.facts)
+        goal_rules = []
         for grounding, datalog_body in translator.body_alternatives(body):
             head_args = tuple(translator._subst_term(v, grounding) for v in variables)
-            extended.add_rule(Rule(DAtom(ANSWER_PREDICATE, head_args), datalog_body))
-        db = evaluate(extended)
-        answers: list[dict[str, object]] = []
-        seen: set[tuple] = set()
-        for row in db.rows(ANSWER_PREDICATE):
-            if row not in seen:
-                seen.add(row)
-                answers.append({v.name: value for v, value in zip(variables, row)})
-        return answers
+            goal_rules.append(Rule(DAtom(ANSWER_PREDICATE, head_args), datalog_body))
+        rows = evaluate_goal_rules(self.model(), goal_rules).get(ANSWER_PREDICATE, set())
+        return [
+            {v.name: value for v, value in zip(variables, row)}
+            for row in rows
+        ]
 
 
 def _rel_at(level: str) -> str:
@@ -543,10 +555,30 @@ def needs_specialization(db: MultiLogDatabase) -> bool:
     return False
 
 
+#: tau-translations memoized per database: key ``(clearance, specialize)``,
+#: stamped with the database's clause-count version.  Sessions over the
+#: same database at the same clearance share one ReducedProgram -- and
+#: therefore one cached least model.
+_TRANSLATE_MEMO = VersionedMemo("tau-translations")
+
+
 def translate(db: MultiLogDatabase, clearance: str,
               context: LatticeContext | None = None,
               specialize: bool | None = None) -> ReducedProgram:
-    """``tau`` applied to a whole database, plus the axiom set **A**."""
+    """``tau`` applied to a whole database, plus the axiom set **A**.
+
+    Memoized per ``(database-version, clearance, specialize)``; adding any
+    clause bumps the database version and invalidates.
+    """
+    return _TRANSLATE_MEMO.get_or_compute(
+        db, db.version, (clearance, specialize),
+        lambda: _translate(db, clearance, context, specialize),
+    )
+
+
+def _translate(db: MultiLogDatabase, clearance: str,
+               context: LatticeContext | None = None,
+               specialize: bool | None = None) -> ReducedProgram:
     resolved_context = context if context is not None else check_admissibility(db)
     resolved_context.lattice.check_level(clearance)
     if specialize is None:

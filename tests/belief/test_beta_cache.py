@@ -1,0 +1,114 @@
+"""Tests for the belief-view memo and the cautious combination cap."""
+
+import pytest
+
+from repro.belief import belief
+from repro.belief.beta import (
+    MAX_CAUTIOUS_COMBINATIONS,
+    _BETA_MEMO,
+    cautious,
+    cautious_conflicts,
+)
+from repro.errors import BeliefError
+from repro.lattice import SecurityLattice
+from repro.mls.relation import MLSRelation
+from repro.mls.schema import MLSchema
+from repro.mls.tuples import Cell, MLSTuple
+from repro.workloads.generator import make_lattice, random_mls_relation
+
+
+@pytest.fixture
+def relation():
+    return random_mls_relation(40, polyinstantiation_rate=0.4, seed=5)
+
+
+class TestBetaMemo:
+    def test_repeat_view_is_cached(self, relation):
+        first = belief(relation, "t", "cau")
+        second = belief(relation, "t", "cau")
+        assert second is first  # same object: served from the memo
+
+    def test_distinct_keys_distinct_entries(self, relation):
+        assert belief(relation, "t", "cau") is not belief(relation, "t", "opt")
+        assert belief(relation, "t", "opt") is not belief(relation, "s", "opt")
+
+    def test_mutation_invalidates(self, relation):
+        stale = belief(relation, "t", "opt")
+        extra = MLSTuple(
+            relation.schema,
+            {"k": Cell("fresh", "u"), "a1": Cell("v", "u"), "a2": Cell("w", "u")},
+            tc="u",
+        )
+        relation.add(extra)
+        fresh = belief(relation, "t", "opt")
+        assert fresh is not stale
+        assert len(fresh) == len(stale) + 1
+
+    def test_remove_invalidates(self, relation):
+        stale = belief(relation, "t", "fir")
+        relation.remove(relation.tuples[0])
+        assert belief(relation, "t", "fir") is not stale
+
+    def test_stats_track_hits(self, relation):
+        _BETA_MEMO.stats.reset()
+        belief(relation, "t", "cau")
+        belief(relation, "t", "cau")
+        assert _BETA_MEMO.stats.hits >= 1
+        assert _BETA_MEMO.stats.misses >= 1
+
+
+def incomparable_relation(n_attributes: int) -> MLSRelation:
+    """Two tuples per key whose cells sit at incomparable levels 'a'/'b',
+    so every attribute has two maximal cells."""
+    lattice = SecurityLattice(
+        levels=("bot", "a", "b", "top"),
+        orders=(("bot", "a"), ("bot", "b"), ("a", "top"), ("b", "top")),
+    )
+    attrs = ["k"] + [f"x{i}" for i in range(n_attributes - 1)]
+    schema = MLSchema("r", attrs, key="k", lattice=lattice)
+    relation = MLSRelation(schema)
+    for side in ("a", "b"):
+        cells = {"k": Cell("key0", "bot")}
+        for attr in attrs[1:]:
+            cells[attr] = Cell(f"{attr}-{side}", side)
+        relation.add(MLSTuple(schema, cells, tc=side))
+    return relation
+
+
+class TestCautiousCap:
+    def test_blowup_raises_belief_error(self):
+        relation = incomparable_relation(n_attributes=6)
+        # 2^5 = 32 combinations for the single key; cap below that.
+        with pytest.raises(BeliefError, match="maximal-cell combinations"):
+            cautious(relation, "top", max_combinations=16)
+
+    def test_default_cap_allows_small_products(self):
+        relation = incomparable_relation(n_attributes=4)
+        view = cautious(relation, "top")  # 2^3 = 8 < default cap
+        assert len(view) == 8
+
+    def test_cap_is_configurable_upward(self):
+        relation = incomparable_relation(n_attributes=6)
+        view = cautious(relation, "top", max_combinations=64)
+        assert len(view) == 32
+
+    def test_default_cap_value_is_sane(self):
+        assert MAX_CAUTIOUS_COMBINATIONS >= 1_000
+
+
+class TestSharedGrouping:
+    def test_conflicts_agree_with_cautious_multiplicity(self):
+        """cautious() and cautious_conflicts() (which share the grouping
+        helper) must tell one coherent story: conflicts exist exactly when
+        some key yields more than one believed tuple."""
+        lattice = make_lattice("diamond", 4)
+        relation = random_mls_relation(
+            120, lattice, polyinstantiation_rate=0.6, seed=7)
+        top = sorted(lattice.tops())[0]
+        conflicts = cautious_conflicts(relation, top)
+        view = cautious(relation, top)
+        keys_with_multiple = {
+            key for key in {t.key_values() for t in view}
+            if sum(1 for t in view if t.key_values() == key) > 1
+        }
+        assert keys_with_multiple == {c.key for c in conflicts}

@@ -1,0 +1,69 @@
+"""Least-model reuse: repeated asks never re-run the Datalog fixpoint,
+and any mutation invalidates every cached layer."""
+
+from repro.multilog import MultiLogSession, translate
+from repro.multilog.parser import parse_database
+
+SOURCE = """
+level(u). level(s). order(u, s).
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+u[acct(bob : balance -u-> 55)].
+"""
+
+QUERY = "s[acct(alice : balance -C-> B)] << cau"
+
+
+class TestLeastModelReuse:
+    def test_repeated_ask_runs_fixpoint_once(self):
+        session = MultiLogSession(SOURCE, clearance="s")
+        first = session.ask(QUERY, engine="reduction")
+        assert session.reduced.fixpoint_runs == 1
+        for _ in range(3):
+            assert session.ask(QUERY, engine="reduction") == first
+        assert session.reduced.fixpoint_runs == 1
+
+    def test_different_queries_share_the_model(self):
+        session = MultiLogSession(SOURCE, clearance="s")
+        session.ask(QUERY, engine="reduction")
+        session.ask("u[acct(bob : balance -C-> B)] << fir", engine="reduction")
+        assert session.reduced.fixpoint_runs == 1
+
+    def test_mutation_invalidates_model(self):
+        session = MultiLogSession(SOURCE, clearance="s")
+        before = session.ask(QUERY, engine="reduction")
+        reduced_before = session.reduced
+        assert reduced_before.fixpoint_runs == 1
+        session.assert_clause("s[acct(carol : balance -s-> 7)].")
+        after = session.ask(QUERY, engine="reduction")
+        assert after == before  # unrelated fact: same answers
+        reduced_after = session.reduced
+        assert reduced_after is not reduced_before
+        assert reduced_after.fixpoint_runs == 1  # re-ran exactly once
+        assert session.ask(
+            "s[acct(carol : balance -C-> B)] << fir", engine="reduction"
+        ) == [{"B": 7, "C": "s"}]
+
+    def test_sessions_share_translation_per_clearance(self):
+        db = parse_database(SOURCE)
+        a = MultiLogSession(db, clearance="s")
+        b = MultiLogSession(db, clearance="s")
+        a.ask(QUERY, engine="reduction")
+        b.ask(QUERY, engine="reduction")
+        # Same database version + clearance: one ReducedProgram, one model.
+        assert a.reduced is b.reduced
+        assert a.reduced.fixpoint_runs == 1
+
+    def test_translate_memo_invalidated_by_version(self):
+        db = parse_database(SOURCE)
+        first = translate(db, "s")
+        assert translate(db, "s") is first
+        db.add(parse_database("u[acct(dan : balance -u-> 1)].").secured_clauses[0])
+        assert translate(db, "s") is not first
+
+    def test_reduction_still_matches_operational(self):
+        session = MultiLogSession(SOURCE, clearance="s")
+        for query in (QUERY, "u[acct(bob : balance -C-> B)] << opt"):
+            operational = session.ask(query, engine="operational")
+            reduction = session.ask(query, engine="reduction")
+            assert sorted(operational, key=repr) == sorted(reduction, key=repr)
