@@ -55,11 +55,19 @@ def test_emit_bench_engine_json():
                 "compiled_s": round(compiled, 6),
                 "speedup": round(interpreted / compiled, 2),
             })
-    payload = {
+    # Read-merge-write: other bench modules (bench_tracing_overhead) add
+    # their own top-level keys to the same file; don't clobber them.
+    payload = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.update({
         "bench": "bench_scaling_engine",
         "python": platform.python_version(),
         "cases": cases,
-    }
+    })
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     assert BENCH_JSON.exists()
     largest = [c for c in cases if c["n_nodes"] == max(CHAIN_SIZES)]

@@ -28,6 +28,7 @@ from repro.errors import (
     AccessDeniedError,
     AdmissibilityError,
     BeliefRecursionError,
+    BudgetExceededError,
     ConsistencyError,
     CycleError,
     DatalogError,
@@ -51,6 +52,7 @@ __all__ = [
     "AccessDeniedError",
     "AdmissibilityError",
     "BeliefRecursionError",
+    "BudgetExceededError",
     "ConsistencyError",
     "CycleError",
     "DatalogError",

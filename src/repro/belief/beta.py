@@ -35,6 +35,7 @@ from repro.lattice import Level
 from repro.mls.relation import MLSRelation
 from repro.mls.tuples import Cell, MLSTuple
 from repro.belief.modes import BeliefMode
+from repro.obs.context import current as _current_obs
 
 #: Default guard on the ``itertools.product`` over per-attribute maximal
 #: cells in :func:`cautious`.  On partial orders every attribute can have
@@ -114,8 +115,11 @@ def cautious(relation: MLSRelation, level: Level,
     cap = MAX_CAUTIOUS_COMBINATIONS if max_combinations is None else max_combinations
     lattice = relation.schema.lattice
     lattice.check_level(level)
+    meter = _current_obs().meter
     believed: list[MLSTuple] = []
     for key, group in _visible_groups(relation, level).items():
+        if meter is not None:
+            meter.check_time("cautious")
         per_attribute = [
             _maximal_cells(group, attr)
             for attr in relation.schema.attributes
@@ -131,6 +135,8 @@ def cautious(relation: MLSRelation, level: Level,
         for combo in itertools.product(*per_attribute):
             cells = dict(zip(relation.schema.attributes, combo))
             believed.append(MLSTuple(relation.schema, cells, tc=level))
+        if meter is not None:
+            meter.charge_rows(combinations, "cautious")
     return MLSRelation(relation.schema, believed)
 
 
@@ -164,9 +170,13 @@ def belief(relation: MLSRelation, level: Level, mode: BeliefMode | str) -> MLSRe
         compute = lambda: optimistic(relation, level)  # noqa: E731
     else:
         compute = lambda: cautious(relation, level)  # noqa: E731
-    return _BETA_MEMO.get_or_compute(
-        relation, relation.version, (level, resolved.value), compute
-    )
+    recorder = _current_obs().recorder
+    with recorder.span("beta", level=str(level), mode=resolved.value) as span:
+        view = _BETA_MEMO.get_or_compute(
+            relation, relation.version, (level, resolved.value), compute
+        )
+        span.set(tuples=len(view))
+    return view
 
 
 def believed_without_doubt(relation: MLSRelation, level: Level,

@@ -68,10 +68,15 @@ class VersionedMemo:
             if cached_version == version:
                 self.stats.hits += 1
                 return value
-            self.stats.invalidations += 1
-            # The owner mutated since every sibling entry was stamped;
-            # drop them all rather than serving other stale keys later.
-            entries.clear()
+            # Evict only entries stamped before the owner's *current*
+            # version.  Sibling keys recomputed since the mutation are
+            # still valid -- clearing them all (the old behaviour) threw
+            # away freshly computed values whenever one stale key was
+            # looked up after a mutation.
+            stale = [k for k, (v, _) in entries.items() if v < version]
+            self.stats.invalidations += len(stale)
+            for k in stale:
+                del entries[k]
         self.stats.misses += 1
         value = compute()
         entries[key] = (version, value)

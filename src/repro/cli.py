@@ -14,7 +14,12 @@ Run ``python -m repro.cli [program.mlog] [--clearance LEVEL]`` (or the
 Commands: ``:help``, ``:load FILE``, ``:clearance LEVEL``, ``:engine
 operational|reduction``, ``:modes``, ``:lattice``, ``:cells``,
 ``:believe MODE [LEVEL]``, ``:consistency``, ``:prove QUERY``,
-``:quit``.
+``:stats``, ``:explain``, ``:trace on|off``, ``:quit``.
+
+Observability: ``--trace`` (or ``:trace on``) prints the span tree after
+each query, ``:stats`` shows the session's cumulative engine metrics,
+and ``--explain`` / ``:explain`` dump the compiled join plans of the
+reduced program.
 
 The shell logic lives in :class:`Shell` with a pure
 ``execute_line(text) -> str`` interface so it is fully unit-testable.
@@ -46,6 +51,9 @@ Enter MultiLog clauses (ending with '.') to assert them, or queries
   :believe MODE [LEVEL]     show the believed cells in MODE
   :consistency              run the Definition 5.4 checks
   :prove QUERY              print a proof tree for QUERY
+  :stats                    cumulative engine metrics for this session
+  :explain                  compiled join plans of the reduced program
+  :trace on|off             print the span tree after each query
   :quit                     leave"""
 
 
@@ -56,9 +64,11 @@ class ShellExit(Exception):
 class Shell:
     """State + command dispatch for the interactive shell."""
 
-    def __init__(self, source: str | MultiLogDatabase = "", clearance: str | None = None):
+    def __init__(self, source: str | MultiLogDatabase = "", clearance: str | None = None,
+                 trace: bool = False):
         self.session = MultiLogSession(source or "level(system).", clearance)
         self.engine_name = "operational"
+        self.trace = trace
         self._pristine = not source
 
     @property
@@ -127,6 +137,18 @@ class Shell:
         if name == "prove":
             tree = self.session.prove(argument)
             return tree.pretty() if tree is not None else "no proof."
+        if name == "stats":
+            stats = self.session.last_stats()
+            if stats is None:
+                return "(no stats yet: ask a query first)"
+            return stats.summary()
+        if name == "explain":
+            return self.session.explain()
+        if name == "trace":
+            if argument not in ("on", "off"):
+                return "error: usage :trace on|off"
+            self.trace = argument == "on"
+            return f"trace {argument}"
         return f"error: unknown command :{name} (try :help)"
 
     def _load(self, argument: str) -> str:
@@ -174,13 +196,18 @@ class Shell:
     def _query(self, text: str) -> str:
         answers = self.session.ask(text, engine=self.engine_name)
         if not answers:
-            return "no."
-        lines = []
-        for answer in answers:
-            if not answer:
-                lines.append("yes.")
-            else:
-                lines.append(", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
+            lines = ["no."]
+        else:
+            lines = []
+            for answer in answers:
+                if not answer:
+                    lines.append("yes.")
+                else:
+                    lines.append(", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
+        if self.trace:
+            recorder = self.session.last_trace()
+            if recorder is not None:
+                lines.append(recorder.pretty())
         return "\n".join(lines)
 
 
@@ -189,10 +216,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
     parser.add_argument("program", nargs="?", help="MultiLog source file to load")
     parser.add_argument("--clearance", help="session clearance (default: lattice top)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree after each query")
+    parser.add_argument("--explain", action="store_true",
+                        help="dump the compiled join plans of the reduced "
+                             "program and exit")
     args = parser.parse_args(argv)
 
     source = Path(args.program).read_text() if args.program else ""
-    shell = Shell(source, args.clearance)
+    shell = Shell(source, args.clearance, trace=args.trace)
+    if args.explain:
+        print(shell.session.explain())
+        return 0
     print("MultiLog shell -- :help for commands")
     while True:
         try:

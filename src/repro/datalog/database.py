@@ -36,13 +36,21 @@ Index = dict[tuple, list[Row]]
 class Database:
     """Mutable set of ground facts with composite per-position indexes."""
 
-    __slots__ = ("_facts", "_indexes", "_version", "__weakref__")
+    __slots__ = ("_facts", "_indexes", "_version", "probe_count",
+                 "candidate_calls", "__weakref__")
 
     def __init__(self) -> None:
         self._facts: dict[str, set[Row]] = {}
         # (predicate -> positions-tuple -> key-tuple -> rows)
         self._indexes: dict[str, dict[tuple[int, ...], Index]] = {}
         self._version = 0
+        #: join-probe counter: total ``bucket()`` lookups (compiled plans
+        #: and the interpreted path both land here).  Monotone; readers
+        #: diff before/after an evaluation (see repro.obs.metrics).
+        self.probe_count = 0
+        #: total ``candidates()`` calls (the interpreted path's
+        #: selectivity-aware probe selection).
+        self.candidate_calls = 0
 
     @property
     def version(self) -> int:
@@ -126,6 +134,7 @@ class Database:
 
     def bucket(self, predicate: str, positions: tuple[int, ...], key: tuple) -> Iterable[Row]:
         """Rows whose values at ``positions`` equal ``key`` (index probe)."""
+        self.probe_count += 1
         return self.index(predicate, positions).get(key, _EMPTY)
 
     def candidates(self, atom: Atom, subst: Substitution) -> Iterable[Row]:
@@ -135,6 +144,7 @@ class Database:
         scans the smallest bucket (the most selective probe); falls back
         to the full extension when every argument is free.
         """
+        self.candidate_calls += 1
         best: Iterable[Row] | None = None
         best_size: int | None = None
         for position, term in enumerate(atom.args):

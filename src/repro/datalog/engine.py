@@ -29,7 +29,17 @@ from repro.datalog.rules import Program, Rule
 from repro.datalog.stratify import stratify
 from repro.datalog.terms import Variable
 from repro.datalog.unify import Substitution, apply_to_atom, match_atom
-from repro.errors import DatalogError
+from repro.errors import BudgetExceededError, DatalogError
+from repro.obs.budget import BudgetMeter, EvaluationBudget
+from repro.obs.context import current as _current_obs
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_SPAN
+
+#: Cap on per-round trace spans per stratum: a runaway fixpoint (the very
+#: case budgets exist for) must not also explode the span tree.  Rounds
+#: past the cap are still counted in the metrics, just not recorded as
+#: individual spans.
+MAX_ROUND_SPANS = 64
 
 
 def _match_body(
@@ -64,19 +74,25 @@ def _match_body(
     source: Database = db
     if delta_requirement is not None and delta_requirement[0] == index:
         source = delta_requirement[1]
-    for row in list(source.candidates(atom, subst)):
+    # No defensive copy: _fire_rule drains this generator into a list
+    # before any caller mutates the database, so the live bucket/set from
+    # candidates() is never resized under us.
+    for row in source.candidates(atom, subst):
         extended = match_atom(atom, row, subst)
         if extended is not None:
             yield from _match_body(body, db, extended, delta_requirement, index + 1)
 
 
-def reorder_body(body: tuple[Literal, ...]) -> tuple[Literal, ...]:
+def reorder_body(body: tuple[Literal, ...], rule: Rule | None = None) -> tuple[Literal, ...]:
     """Reorder a rule body so negatives/built-ins run once ground.
 
     Positive literals keep their relative order; each negated or built-in
     literal is emitted as soon as every one of its variables is bound by
-    the positives already emitted.  Safety guarantees this terminates with
-    nothing left over.
+    the positives already emitted.  Safety guarantees nothing is left
+    over; a leftover means the rule is not range-restricted and raises
+    :class:`~repro.errors.DatalogError` *here*, naming the rule and the
+    offending literal, instead of surfacing later as a cryptic
+    "negated literal not ground at evaluation time".
     """
     positives = [l for l in body if l.positive and not l.atom.is_builtin]
     deferred = [l for l in body if not (l.positive and not l.atom.is_builtin)]
@@ -98,7 +114,16 @@ def reorder_body(body: tuple[Literal, ...]) -> tuple[Literal, ...]:
         ordered.append(literal)
         bound |= literal.variables()
         flush()
-    ordered.extend(deferred)  # unsafe leftovers surface as evaluation errors
+    if deferred:
+        offender = deferred[0]
+        kind = "negated" if not offender.positive else "built-in"
+        unbound = sorted(v.name for v in offender.variables() - bound)
+        where = f" of rule {rule!r}" if rule is not None else ""
+        raise DatalogError(
+            f"cannot order body{where}: variable(s) {unbound} of {kind} "
+            f"literal {offender!r} are never bound by a positive literal "
+            "(rule is not range-restricted)"
+        )
     return tuple(ordered)
 
 
@@ -159,75 +184,137 @@ def _stratum_rules(program: Program, stratum_predicates: set[str],
         if r.head.predicate not in stratum_predicates:
             continue
         body = greedy_join_order(r.body) if optimize else r.body
-        rules.append(Rule(r.head, reorder_body(body)))
+        rules.append(Rule(r.head, reorder_body(body, r)))
     return rules
 
 
+def _round_span(recorder, rounds: int, scope: str):
+    """A per-round span, capped so runaway fixpoints stay traceable."""
+    if rounds > MAX_ROUND_SPANS:
+        return NULL_SPAN
+    return recorder.span(f"round[{rounds}]", scope=scope)
+
+
 def _evaluate_stratum_compiled(rules: list[Rule], db: Database,
-                               stratum_predicates: set[str]) -> None:
+                               stratum_predicates: set[str],
+                               recorder, metrics, meter, scope: str) -> None:
     """Semi-naive iteration driven by compiled join plans."""
     compiled = [compile_rule(rule, stratum_predicates) for rule in rules]
+    labels = [repr(plan.rule) for plan in compiled]
     delta = Database()
-    for plan in compiled:
-        predicate = plan.head_predicate
-        for row in plan.fire(db):
-            if db.add(predicate, row):
-                delta.add(predicate, row)
-    recursive = [plan for plan in compiled if plan.delta_variants]
-    while len(delta):
-        new_delta = Database()
-        for plan in recursive:
+    with recorder.span("rule-fire", scope=scope, phase="initial") as span:
+        for plan, label in zip(compiled, labels):
+            rows = plan.fire(db)
+            metrics.rule_fired(label, len(rows))
             predicate = plan.head_predicate
-            for delta_predicate, fire in plan.delta_variants:
-                if not delta.rows(delta_predicate):
-                    continue
-                for row in fire(db, delta):
-                    if db.add(predicate, row):
-                        new_delta.add(predicate, row)
-        delta = new_delta
-
-
-def _evaluate_stratum_naive(rules: list[Rule], db: Database) -> None:
-    changed = True
-    while changed:
-        changed = False
-        for rule in rules:
-            for predicate, row in _fire_rule(rule, db):
+            for row in rows:
                 if db.add(predicate, row):
-                    changed = True
+                    delta.add(predicate, row)
+        span.set(delta=len(delta))
+    if meter is not None:
+        meter.charge_rows(len(delta), scope)
+    recursive = [(plan, label) for plan, label in zip(compiled, labels)
+                 if plan.delta_variants]
+    rounds = 0
+    while len(delta):
+        rounds += 1
+        if meter is not None:
+            meter.begin_round(scope)
+        with _round_span(recorder, rounds, scope) as span:
+            new_delta = Database()
+            for plan, label in recursive:
+                predicate = plan.head_predicate
+                for delta_predicate, fire in plan.delta_variants:
+                    if not delta.rows(delta_predicate):
+                        continue
+                    rows = fire(db, delta)
+                    metrics.rule_fired(label, len(rows))
+                    for row in rows:
+                        if db.add(predicate, row):
+                            new_delta.add(predicate, row)
+            span.set(delta=len(new_delta))
+        if meter is not None:
+            meter.charge_rows(len(new_delta), scope)
+        delta = new_delta
+    metrics.record_rounds(scope, rounds + 1)
+
+
+def _evaluate_stratum_naive(rules: list[Rule], db: Database,
+                            recorder, metrics, meter, scope: str) -> None:
+    labels = [repr(rule) for rule in rules]
+    changed = True
+    rounds = 0
+    while changed:
+        rounds += 1
+        if meter is not None:
+            meter.begin_round(scope)
+        with _round_span(recorder, rounds, scope) as span:
+            changed = False
+            added = 0
+            for rule, label in zip(rules, labels):
+                derived = _fire_rule(rule, db)
+                metrics.rule_fired(label, len(derived))
+                for predicate, row in derived:
+                    if db.add(predicate, row):
+                        changed = True
+                        added += 1
+            span.set(delta=added)
+        if meter is not None and added:
+            meter.charge_rows(added, scope)
+    metrics.record_rounds(scope, rounds)
 
 
 def _evaluate_stratum_seminaive(rules: list[Rule], db: Database,
-                                stratum_predicates: set[str]) -> None:
+                                stratum_predicates: set[str],
+                                recorder, metrics, meter, scope: str) -> None:
+    labels = [repr(rule) for rule in rules]
     # Round 0: fire every rule once against the current database.
     delta = Database()
-    for rule in rules:
-        for predicate, row in _fire_rule(rule, db):
-            if db.add(predicate, row):
-                delta.add(predicate, row)
+    with recorder.span("rule-fire", scope=scope, phase="initial") as span:
+        for rule, label in zip(rules, labels):
+            derived = _fire_rule(rule, db)
+            metrics.rule_fired(label, len(derived))
+            for predicate, row in derived:
+                if db.add(predicate, row):
+                    delta.add(predicate, row)
+        span.set(delta=len(delta))
+    if meter is not None:
+        meter.charge_rows(len(delta), scope)
     recursive = [
-        rule for rule in rules
+        (rule, label) for rule, label in zip(rules, labels)
         if any(l.positive and not l.atom.is_builtin and l.predicate in stratum_predicates
                for l in rule.body)
     ]
+    rounds = 0
     while len(delta):
-        new_delta = Database()
-        for rule in recursive:
-            for position, literal in enumerate(rule.body):
-                if not literal.positive or literal.atom.is_builtin:
-                    continue
-                if literal.predicate not in stratum_predicates:
-                    continue
-                if not delta.rows(literal.predicate):
-                    continue
-                for predicate, row in _fire_rule(rule, db, (position, delta)):
-                    if db.add(predicate, row):
-                        new_delta.add(predicate, row)
+        rounds += 1
+        if meter is not None:
+            meter.begin_round(scope)
+        with _round_span(recorder, rounds, scope) as span:
+            new_delta = Database()
+            for rule, label in recursive:
+                for position, literal in enumerate(rule.body):
+                    if not literal.positive or literal.atom.is_builtin:
+                        continue
+                    if literal.predicate not in stratum_predicates:
+                        continue
+                    if not delta.rows(literal.predicate):
+                        continue
+                    derived = _fire_rule(rule, db, (position, delta))
+                    metrics.rule_fired(label, len(derived))
+                    for predicate, row in derived:
+                        if db.add(predicate, row):
+                            new_delta.add(predicate, row)
+            span.set(delta=len(new_delta))
+        if meter is not None:
+            meter.charge_rows(len(new_delta), scope)
         delta = new_delta
+    metrics.record_rounds(scope, rounds + 1)
 
 
 def evaluate(program: Program, strategy: str = "compiled",
-             optimize_joins: bool = False) -> Database:
+             optimize_joins: bool = False,
+             budget: EvaluationBudget | None = None) -> Database:
     """The stratified least model of ``program`` as a :class:`Database`.
 
     ``optimize_joins`` reorders rule bodies most-bound-first before
@@ -235,29 +322,62 @@ def evaluate(program: Program, strategy: str = "compiled",
     only the join work changes -- ``bench_ablation_strategies`` measures
     the effect.  The ``compiled`` strategy always applies the greedy
     order, since literal order is part of the compiled plan.
+
+    Observability: spans, per-rule firing counts and join-probe totals
+    are reported into the ambient :class:`repro.obs.ObsContext` (no-ops
+    unless one is installed via :func:`repro.obs.use`).  ``budget``
+    bounds the evaluation (rows / rounds / wall clock) and wins over any
+    ambient budget meter; an overrun raises
+    :class:`~repro.errors.BudgetExceededError` with the partial metrics
+    attached when a collector is active.
     """
     if strategy not in ("naive", "seminaive", "compiled"):
         raise DatalogError(f"unknown evaluation strategy {strategy!r}")
+    ctx = _current_obs()
+    recorder, metrics = ctx.recorder, ctx.metrics
+    meter = BudgetMeter(budget) if budget is not None else ctx.meter
     program.check_safety()
-    assignment = stratify(program)
-    db = Database()
-    for fact in program.facts:
-        db.add_atom(fact)
-    if not program.rules:
-        return db
-    max_stratum = max(assignment.values(), default=0)
-    for level in range(max_stratum + 1):
-        stratum_predicates = {p for p, s in assignment.items() if s == level}
-        rules = _stratum_rules(program, stratum_predicates,
-                               optimize_joins or strategy == "compiled")
-        if not rules:
-            continue
-        if strategy == "naive":
-            _evaluate_stratum_naive(rules, db)
-        elif strategy == "seminaive":
-            _evaluate_stratum_seminaive(rules, db, stratum_predicates)
-        else:
-            _evaluate_stratum_compiled(rules, db, stratum_predicates)
+    with recorder.span("evaluate", strategy=strategy) as evaluate_span:
+        with recorder.span("stratify") as span:
+            assignment = stratify(program)
+            span.set(strata=max(assignment.values(), default=0) + 1)
+        db = Database()
+        for fact in program.facts:
+            db.add_atom(fact)
+        if not program.rules:
+            evaluate_span.set(facts=len(db))
+            return db
+        probes_before = db.probe_count
+        candidates_before = db.candidate_calls
+        try:
+            max_stratum = max(assignment.values(), default=0)
+            for level in range(max_stratum + 1):
+                stratum_predicates = {p for p, s in assignment.items() if s == level}
+                rules = _stratum_rules(program, stratum_predicates,
+                                       optimize_joins or strategy == "compiled")
+                if not rules:
+                    continue
+                scope = f"stratum[{level}]"
+                with recorder.span(scope, rules=len(rules)) as span:
+                    if strategy == "naive":
+                        _evaluate_stratum_naive(rules, db, recorder, metrics,
+                                                meter, scope)
+                    elif strategy == "seminaive":
+                        _evaluate_stratum_seminaive(rules, db, stratum_predicates,
+                                                    recorder, metrics, meter, scope)
+                    else:
+                        _evaluate_stratum_compiled(rules, db, stratum_predicates,
+                                                   recorder, metrics, meter, scope)
+                    span.set(facts=len(db))
+        except BudgetExceededError as exc:
+            metrics.add_probes(db.probe_count - probes_before)
+            metrics.add_candidate_calls(db.candidate_calls - candidates_before)
+            if exc.metrics is None and metrics.enabled:
+                exc.metrics = metrics.snapshot(recorder)
+            raise
+        metrics.add_probes(db.probe_count - probes_before)
+        metrics.add_candidate_calls(db.candidate_calls - candidates_before)
+        evaluate_span.set(facts=len(db))
     return db
 
 
@@ -269,12 +389,24 @@ def evaluate_goal_rules(db: Database, rules: Iterable[Rule]) -> dict[str, set[Ro
     cached least model can answer repeated queries without re-running the
     fixpoint.  Returns derived rows grouped by head predicate.
     """
+    ctx = _current_obs()
+    recorder, metrics, meter = ctx.recorder, ctx.metrics, ctx.meter
+    probes_before = db.probe_count
+    candidates_before = db.candidate_calls
     derived: dict[str, set[Row]] = {}
-    for rule in rules:
-        rule.check_safety()
-        ordered = Rule(rule.head, reorder_body(greedy_join_order(rule.body)))
-        plan = compile_rule(ordered)
-        derived.setdefault(plan.head_predicate, set()).update(plan.fire(db))
+    with recorder.span("answer-rules") as span:
+        for rule in rules:
+            if meter is not None:
+                meter.check_time("answer-rules")
+            rule.check_safety()
+            ordered = Rule(rule.head, reorder_body(greedy_join_order(rule.body), rule))
+            plan = compile_rule(ordered)
+            rows = plan.fire(db)
+            metrics.rule_fired(repr(plan.rule), len(rows))
+            derived.setdefault(plan.head_predicate, set()).update(rows)
+        span.set(answers=sum(len(rows) for rows in derived.values()))
+    metrics.add_probes(db.probe_count - probes_before)
+    metrics.add_candidate_calls(db.candidate_calls - candidates_before)
     return derived
 
 

@@ -73,9 +73,11 @@ _BUILTIN_GUARDS = {
 class CompiledRule:
     """One rule compiled to closures; see :func:`compile_rule`."""
 
-    __slots__ = ("rule", "head_predicate", "fire", "delta_variants", "source")
+    __slots__ = ("rule", "head_predicate", "fire", "delta_variants", "source",
+                 "access_paths")
 
-    def __init__(self, rule: Rule, head_predicate: str, fire, delta_variants, source: str):
+    def __init__(self, rule: Rule, head_predicate: str, fire, delta_variants,
+                 source: str, access_paths: tuple[dict, ...] = ()):
         self.rule = rule
         self.head_predicate = head_predicate
         #: ``fire(db) -> list[Row]`` -- all head rows derivable now.
@@ -83,6 +85,10 @@ class CompiledRule:
         #: ``(literal_predicate, fire(db, delta))`` per recursive literal.
         self.delta_variants = delta_variants
         self.source = source
+        #: one dict per body literal, in execution order, describing its
+        #: access path (index probe / full scan / guard / anti-join) --
+        #: the data behind ``repro.obs.explain_rule``.
+        self.access_paths = access_paths
 
 
 class _Emitter:
@@ -95,6 +101,7 @@ class _Emitter:
         }
         self._locals: dict[Variable, str] = {}
         self._consts = 0
+        self.access_paths: list[dict] = []
 
     def _const(self, value: object) -> str:
         name = f"C{self._consts}"
@@ -140,6 +147,7 @@ class _Emitter:
                 b = self._bound_expr(atom.args[1], bound, f"built-in {atom!r}")
                 condition = _BUILTIN_GUARDS[atom.predicate].format(a=a, b=b)
                 lines.append(indent + f"if {condition}: {skip()}")
+                self.access_paths.append({"literal": repr(literal), "access": "guard"})
                 continue
             if not literal.positive:
                 args = ", ".join(
@@ -148,6 +156,7 @@ class _Emitter:
                 )
                 row = f"({args},)" if atom.args else "()"
                 lines.append(indent + f"if _contains({atom.predicate!r}, {row}): {skip()}")
+                self.access_paths.append({"literal": repr(literal), "access": "anti-join"})
                 continue
             source = "delta" if index == delta_position else "db"
             probe: list[tuple[int, str]] = []
@@ -172,8 +181,15 @@ class _Emitter:
                     indent + f"for {row_var} in {source}.bucket("
                     f"{atom.predicate!r}, {positions}, ({key},)):"
                 )
+                self.access_paths.append({
+                    "literal": repr(literal), "access": "index-probe",
+                    "positions": tuple(p for p, _ in probe), "source": source,
+                })
             else:
                 lines.append(indent + f"for {row_var} in {source}.rows({atom.predicate!r}):")
+                self.access_paths.append({
+                    "literal": repr(literal), "access": "full-scan", "source": source,
+                })
             indent += "    "
             depth += 1
             lines.append(indent + f"if len({row_var}) != {len(atom.args)}: continue")
@@ -208,10 +224,12 @@ def compile_rule(rule: Rule, stratum_predicates: set[str] = frozenset()) -> Comp
     ``stratum_predicates`` selects the recursive literals that need
     delta-specialized variants for semi-naive refiring.
     """
-    fire, source = _Emitter(rule).compile(None)
+    emitter = _Emitter(rule)
+    fire, source = emitter.compile(None)
     variants = []
     for index, literal in enumerate(rule.body):
         if _is_positive_relation(literal) and literal.predicate in stratum_predicates:
             variant, _ = _Emitter(rule).compile(index)
             variants.append((literal.predicate, variant))
-    return CompiledRule(rule, rule.head.predicate, fire, tuple(variants), source)
+    return CompiledRule(rule, rule.head.predicate, fire, tuple(variants), source,
+                        tuple(emitter.access_paths))

@@ -33,7 +33,7 @@ class TopDownEngine:
         self._program = program
         self._rules: dict[str, list[Rule]] = {}
         for rule in program.rules:
-            reordered = Rule(rule.head, reorder_body(rule.body))
+            reordered = Rule(rule.head, reorder_body(rule.body, rule))
             self._rules.setdefault(rule.head.predicate, []).append(reordered)
         self._facts = Database()
         for fact in program.facts:

@@ -10,6 +10,8 @@ single base class at API boundaries.  Subsystems refine it:
   unstratifiable negation).
 * :class:`MultiLogError` -- language-level problems (parse errors,
   inadmissible or inconsistent databases).
+* :class:`BudgetExceededError` -- an :class:`~repro.obs.EvaluationBudget`
+  limit was hit mid-evaluation (any engine).
 """
 
 from __future__ import annotations
@@ -54,6 +56,28 @@ class AccessDeniedError(MLSError):
 class BeliefError(MLSError):
     """A belief-view computation was refused (e.g. the cautious
     maximal-cell combination count exceeds the configured cap)."""
+
+
+class BudgetExceededError(ReproError):
+    """An :class:`~repro.obs.EvaluationBudget` limit was hit mid-evaluation.
+
+    Structured so callers can degrade gracefully:
+
+    * ``reason`` -- which limit tripped: ``"rows"``, ``"rounds"`` or
+      ``"timeout"``;
+    * ``spent`` -- the budget spend at the point of failure
+      (``{"rows": ..., "rounds": ..., "elapsed_s": ...}``);
+    * ``metrics`` -- the partial :class:`~repro.obs.EngineMetrics`
+      snapshot, attached by ``evaluate`` / ``MultiLogSession.ask`` when a
+      metrics collector was active (``None`` otherwise).
+    """
+
+    def __init__(self, message: str, reason: str = "budget",
+                 spent: dict | None = None, metrics: object | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.spent = dict(spent or {})
+        self.metrics = metrics
 
 
 class DatalogError(ReproError):

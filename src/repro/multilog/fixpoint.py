@@ -53,7 +53,7 @@ def fixpoint_steps(program: Program) -> dict[Fact, int]:
     for level in range(max_stratum + 1):
         stratum_predicates = {p for p, s in assignment.items() if s == level}
         rules = [
-            Rule(r.head, reorder_body(r.body))
+            Rule(r.head, reorder_body(r.body, r))
             for r in program.rules if r.head.predicate in stratum_predicates
         ]
         if not rules:

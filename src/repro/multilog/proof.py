@@ -32,9 +32,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
+from repro.datalog.engine import MAX_ROUND_SPANS
 from repro.datalog.terms import Constant, Term
 from repro.datalog.unify import Substitution, unify_terms, walk
 from repro.errors import BeliefRecursionError, MultiLogError, UnknownModeError
+from repro.obs.context import current as _current_obs
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import NULL_SPAN
 from repro.lattice import SecurityLattice
 from repro.multilog.admissibility import LatticeContext, check_admissibility
 from repro.multilog.ast import (
@@ -166,6 +170,10 @@ class OperationalEngine:
         self._pi = [
             Clause(c.head, atomize_body(c.body)) for c in db.atomized_plain_clauses()
         ]
+        self._clauses = self._sigma + self._pi
+        # Firing labels, precomputed once: str(clause) per inner pass
+        # would dominate the instrumented path.
+        self._labels = [str(c) for c in self._clauses]
         self._user_modes = self._discover_user_modes()
         self._cells: dict[CellRow, int] = {}
         self._pfacts: dict[PRow, int] = {}
@@ -193,31 +201,48 @@ class OperationalEngine:
 
     # -- fixpoint ---------------------------------------------------------
     def compute(self) -> "OperationalEngine":
-        """Run the alternating fixpoint (idempotent)."""
+        """Run the alternating fixpoint (idempotent).
+
+        Reports into the ambient observation context: a ``fixpoint`` span
+        with one ``round[i]`` child per outer round, per-clause firing
+        counts and ``operational-outer``/``operational-inner`` round
+        counts.  An ambient budget meter bounds the inner passes.
+        """
         if self._computed:
             return self
+        ctx = _current_obs()
+        recorder, metrics, meter = ctx.recorder, ctx.metrics, ctx.meter
         has_batoms = any(
             isinstance(atom, BAtom)
             or (isinstance(atom, PAtom) and atom.pred == USER_BELIEF_PREDICATE
                 and len(atom.args) == 7)
-            for clause in self._sigma + self._pi
+            for clause in self._clauses
             for atom in clause.body
         )
         previous: dict[CellRow, int] = {}
         limit = 1 if not has_batoms else len(self.lattice) + 2
-        for _round in range(limit + 1):
-            cells, pfacts = self._inner_fixpoint(previous)
-            if not has_batoms or set(cells) == set(previous):
-                self._cells, self._pfacts = cells, pfacts
-                self._computed = True
-                return self
-            previous = cells
+        with recorder.span("fixpoint", clearance=self.clearance) as fixpoint_span:
+            for outer in range(1, limit + 2):
+                with recorder.span(f"round[{outer}]", scope="operational-outer") as span:
+                    cells, pfacts = self._inner_fixpoint(previous, recorder,
+                                                         metrics, meter)
+                    span.set(cells=len(cells), pfacts=len(pfacts))
+                if not has_batoms or set(cells) == set(previous):
+                    self._cells, self._pfacts = cells, pfacts
+                    self._computed = True
+                    metrics.record_rounds("operational-outer", outer)
+                    fixpoint_span.set(outer_rounds=outer, cells=len(cells),
+                                      pfacts=len(pfacts))
+                    return self
+                previous = cells
         raise BeliefRecursionError(
             "the belief fixpoint did not converge within "
             f"{limit} rounds; the program's belief recursion is not level-stratified"
         )
 
-    def _inner_fixpoint(self, belief_cells: dict[CellRow, int]) -> tuple[dict[CellRow, int], dict[PRow, int]]:
+    def _inner_fixpoint(self, belief_cells: dict[CellRow, int],
+                        recorder=None, metrics=NULL_METRICS,
+                        meter=None) -> tuple[dict[CellRow, int], dict[PRow, int]]:
         # Every fact is stamped with a strictly increasing derivation
         # counter; a fact's supporting body facts always carry smaller
         # stamps, which makes proof reconstruction well-founded.
@@ -225,13 +250,34 @@ class OperationalEngine:
         pfacts: dict[PRow, int] = {}
         stamp = 0
         changed = True
+        rounds = 0
         while changed:
-            changed = False
-            for clause in self._sigma + self._pi:
-                for subst in self._solve_body(clause.body, 0, {}, cells, pfacts, belief_cells):
-                    stamp += 1
-                    if self._derive_head(clause.head, subst, cells, pfacts, stamp):
-                        changed = True
+            rounds += 1
+            if meter is not None:
+                meter.begin_round("operational")
+            if recorder is not None and rounds <= MAX_ROUND_SPANS:
+                span = recorder.span(f"round[{rounds}]", scope="operational-inner")
+            else:
+                span = NULL_SPAN
+            with span:
+                changed = False
+                added = 0
+                for clause, label in zip(self._clauses, self._labels):
+                    if meter is not None:
+                        meter.check_time("operational")
+                    fired = 0
+                    for subst in self._solve_body(clause.body, 0, {}, cells,
+                                                  pfacts, belief_cells):
+                        fired += 1
+                        stamp += 1
+                        if self._derive_head(clause.head, subst, cells, pfacts, stamp):
+                            changed = True
+                            added += 1
+                    metrics.rule_fired(label, fired)
+                span.set(delta=added)
+            if meter is not None and added:
+                meter.charge_rows(added, "operational")
+        metrics.record_rounds("operational-inner", rounds)
         return cells, pfacts
 
     def _derive_head(self, head: object, subst: Substitution,

@@ -62,6 +62,7 @@ from repro.multilog.ast import (
     Query,
 )
 from repro.multilog.proof import BUILTIN_MODES, USER_BELIEF_PREDICATE, atomize_body
+from repro.obs.context import current as _current_obs
 
 ANSWER_PREDICATE = "__answer"
 
@@ -579,34 +580,37 @@ def translate(db: MultiLogDatabase, clearance: str,
 def _translate(db: MultiLogDatabase, clearance: str,
                context: LatticeContext | None = None,
                specialize: bool | None = None) -> ReducedProgram:
-    resolved_context = context if context is not None else check_admissibility(db)
-    resolved_context.lattice.check_level(clearance)
-    if specialize is None:
-        # Prefer the paper-faithful single rel/bel reduction; fall back to
-        # level specialization when belief feedback makes it unstratifiable.
-        specialized = needs_specialization(db)
-    else:
-        specialized = specialize
+    with _current_obs().recorder.span("tau-translate", clearance=clearance) as span:
+        resolved_context = context if context is not None else check_admissibility(db)
+        resolved_context.lattice.check_level(clearance)
+        if specialize is None:
+            # Prefer the paper-faithful single rel/bel reduction; fall back to
+            # level specialization when belief feedback makes it unstratifiable.
+            specialized = needs_specialization(db)
+        else:
+            specialized = specialize
 
-    user_modes: set[str] = set()
-    for clause in db.atomized_plain_clauses():
-        head = clause.head
-        if (isinstance(head, PAtom) and head.pred == USER_BELIEF_PREDICATE
-                and len(head.args) == 7 and isinstance(head.args[6], Constant)):
-            user_modes.add(str(head.args[6].value))
+        user_modes: set[str] = set()
+        for clause in db.atomized_plain_clauses():
+            head = clause.head
+            if (isinstance(head, PAtom) and head.pred == USER_BELIEF_PREDICATE
+                    and len(head.args) == 7 and isinstance(head.args[6], Constant)):
+                user_modes.add(str(head.args[6].value))
 
-    translator = _Translator(clearance, resolved_context, specialized,
-                             frozenset(user_modes))
-    program = Program()
-    for row in sorted(resolved_context.level_rows):
-        program.add_fact(DAtom("level", tuple(Constant(v) for v in row)))
-    for row in sorted(resolved_context.order_rows):
-        program.add_fact(DAtom("order", tuple(Constant(v) for v in row)))
-    for clause in db.atomized_secured_clauses() + db.atomized_plain_clauses():
-        for rule in translator.translate_clause(clause):
+        translator = _Translator(clearance, resolved_context, specialized,
+                                 frozenset(user_modes))
+        program = Program()
+        for row in sorted(resolved_context.level_rows):
+            program.add_fact(DAtom("level", tuple(Constant(v) for v in row)))
+        for row in sorted(resolved_context.order_rows):
+            program.add_fact(DAtom("order", tuple(Constant(v) for v in row)))
+        for clause in db.atomized_secured_clauses() + db.atomized_plain_clauses():
+            for rule in translator.translate_clause(clause):
+                program.add_rule(rule)
+        axioms = translator.specialized_axioms() if specialized else engine_axioms()
+        for rule in axioms:
             program.add_rule(rule)
-    axioms = translator.specialized_axioms() if specialized else engine_axioms()
-    for rule in axioms:
-        program.add_rule(rule)
+        span.set(rules=len(program.rules), facts=len(program.facts),
+                 specialized=specialized)
     return ReducedProgram(program, clearance, resolved_context, specialized,
                           frozenset(user_modes))

@@ -15,12 +15,24 @@ A :class:`MultiLogSession` wraps one database at one database level
 Queries default to the operational engine; ``engine="reduction"`` runs
 the same query through the tau translation and the Datalog back-end
 (Theorem 6.1 says the answers agree -- the test suite checks it).
+
+Every ``ask`` runs under an observation context: spans, per-rule firing
+counts and cache hit rates are collected into :meth:`MultiLogSession.
+last_stats` (cumulative counters, per-ask span tree).  An optional
+:class:`~repro.obs.budget.EvaluationBudget` bounds each ask; overruns
+raise :class:`~repro.errors.BudgetExceededError` with partial metrics
+attached.
+
+Sessions sharing one database stay coherent: cached engines are keyed on
+``database.version``, so a sibling created by :meth:`with_clearance`
+sees clauses asserted through any other session (the pre-fix behaviour
+served stale answers from the sibling's cached engine).
 """
 
 from __future__ import annotations
 
 from repro.datalog.terms import Constant
-from repro.errors import MultiLogError, UnknownModeError
+from repro.errors import BudgetExceededError, MultiLogError, UnknownModeError
 from repro.multilog.admissibility import LatticeContext, check_admissibility
 from repro.multilog.ast import Clause, LAtom, MultiLogDatabase, Query
 from repro.multilog.consistency import ConsistencyReport, check_consistency
@@ -33,6 +45,11 @@ from repro.multilog.proof import (
     Prover,
 )
 from repro.multilog.reduction import ReducedProgram, translate
+from repro.obs.budget import EvaluationBudget
+from repro.obs.context import ObsContext, use as _use_obs
+from repro.obs.explain import explain_program
+from repro.obs.metrics import EngineMetrics, MetricsCollector
+from repro.obs.trace import TraceRecorder
 
 #: Level injected when a program declares no lattice at all -- the
 #: degenerate Datalog case of Proposition 6.1 ("perhaps system").
@@ -42,7 +59,8 @@ SYSTEM_LEVEL = "system"
 class MultiLogSession:
     """One user's view of a MultiLog database at a fixed clearance."""
 
-    def __init__(self, source: str | MultiLogDatabase, clearance: str | None = None):
+    def __init__(self, source: str | MultiLogDatabase, clearance: str | None = None,
+                 budget: EvaluationBudget | None = None):
         if isinstance(source, str):
             self.database = parse_database(source)
         else:
@@ -59,16 +77,40 @@ class MultiLogSession:
                 )
             clearance = tops[0]
         self.clearance = self.context.lattice.check_level(clearance)
+        #: per-ask limits; ``None`` means unbounded.
+        self.budget = budget
         self._engine: OperationalEngine | None = None
         self._reduced: ReducedProgram | None = None
+        #: database version the caches (engine, reduced, context) were
+        #: built against; siblings over the same database compare it to
+        #: spot mutations made through *other* sessions.
+        self._cache_version = self.database.version
+        self._metrics = MetricsCollector()
+        self._last_recorder: TraceRecorder | None = None
+        self._last_stats: EngineMetrics | None = None
 
     # ------------------------------------------------------------------
+    def _revalidate(self) -> None:
+        """Drop cached engines when the shared database has moved on.
+
+        ``assert_clause`` through any session over the same database
+        bumps ``database.version``; comparing against the version our
+        caches were built at keeps every sibling session coherent.
+        """
+        version = self.database.version
+        if version != self._cache_version:
+            self.context = check_admissibility(self.database)
+            self._engine = None
+            self._reduced = None
+            self._cache_version = version
+
     @property
     def lattice(self):
         return self.context.lattice
 
     @property
     def engine(self) -> OperationalEngine:
+        self._revalidate()
         if self._engine is None:
             self._engine = OperationalEngine(self.database, self.clearance, self.context)
         return self._engine
@@ -76,6 +118,7 @@ class MultiLogSession:
     @property
     def reduced(self) -> ReducedProgram:
         """The tau-translated Datalog program (Section 6), cached."""
+        self._revalidate()
         if self._reduced is None:
             self._reduced = translate(self.database, self.clearance, self.context)
         return self._reduced
@@ -86,17 +129,62 @@ class MultiLogSession:
 
     def with_clearance(self, clearance: str) -> "MultiLogSession":
         """A sibling session over the same database at another level."""
-        return MultiLogSession(self.database, clearance)
+        return MultiLogSession(self.database, clearance, budget=self.budget)
 
     # ------------------------------------------------------------------
     def ask(self, query: str | Query, engine: str = "operational") -> list[dict[str, object]]:
-        """Answer a query; one ``{variable: value}`` dict per answer."""
-        parsed = parse_query(query) if isinstance(query, str) else query
-        if engine == "operational":
-            return self.engine.solve(parsed)
-        if engine == "reduction":
-            return self.reduced.query(parsed)
-        raise MultiLogError(f"unknown engine {engine!r}; use 'operational' or 'reduction'")
+        """Answer a query; one ``{variable: value}`` dict per answer.
+
+        Runs under a fresh trace recorder and this session's cumulative
+        metrics collector; inspect the result with :meth:`last_stats` /
+        :meth:`last_trace`.  When the session has a budget, an overrun
+        raises :class:`~repro.errors.BudgetExceededError` carrying the
+        partial :class:`~repro.obs.metrics.EngineMetrics`.
+        """
+        if engine not in ("operational", "reduction"):
+            raise MultiLogError(f"unknown engine {engine!r}; use 'operational' or 'reduction'")
+        recorder = TraceRecorder()
+        meter = self.budget.meter() if self.budget is not None else None
+        ctx = ObsContext(recorder, self._metrics, meter)
+        self._metrics.count_ask()
+        try:
+            with _use_obs(ctx):
+                with recorder.span("query", engine=engine) as span:
+                    with recorder.span("parse"):
+                        parsed = parse_query(query) if isinstance(query, str) else query
+                    if engine == "operational":
+                        answers = self.engine.solve(parsed)
+                    else:
+                        answers = self.reduced.query(parsed)
+                    span.set(answers=len(answers))
+        except BudgetExceededError as exc:
+            self._finish_ask(recorder, budget_exceeded=exc.reason)
+            exc.metrics = self._last_stats
+            raise
+        self._finish_ask(recorder)
+        return answers
+
+    def _finish_ask(self, recorder: TraceRecorder,
+                    budget_exceeded: str | None = None) -> None:
+        self._last_recorder = recorder
+        self._last_stats = self._metrics.snapshot(recorder, budget_exceeded=budget_exceeded)
+
+    def last_stats(self) -> EngineMetrics | None:
+        """Metrics snapshot taken at the end of the most recent ask.
+
+        Counters (firings, probes, rounds, asks) are cumulative across
+        this session's lifetime; ``spans`` is the most recent ask's trace.
+        ``None`` before the first ask.
+        """
+        return self._last_stats
+
+    def last_trace(self) -> TraceRecorder | None:
+        """The span recorder of the most recent ask (``None`` before one)."""
+        return self._last_recorder
+
+    def explain(self) -> str:
+        """An EXPLAIN dump of the reduced program's compiled join plans."""
+        return explain_program(self.reduced.program)
 
     def holds(self, query: str | Query, engine: str = "operational") -> bool:
         """True when the (possibly ground) query has at least one answer."""
@@ -153,9 +241,14 @@ class MultiLogSession:
 
     # ------------------------------------------------------------------
     def assert_clause(self, clause: str | Clause) -> None:
-        """Add a clause and invalidate the cached engines."""
+        """Add a clause and invalidate the cached engines.
+
+        Sibling sessions over the same database invalidate lazily via
+        :meth:`_revalidate` (the shared ``database.version`` moved on).
+        """
         parsed = parse_clause(clause) if isinstance(clause, str) else clause
         self.database.add(parsed)
         self.context = check_admissibility(self.database)
         self._engine = None
         self._reduced = None
+        self._cache_version = self.database.version

@@ -1,0 +1,66 @@
+"""Observability for the evaluation stack: tracing, metrics, budgets.
+
+PR 1 made the engine fast; this package makes it visible and bounded.
+Three cooperating pieces, all threaded through ``evaluate``, the
+operational engine, the tau-translation, the belief function and
+``MultiLogSession``:
+
+* **Tracing** (:mod:`~repro.obs.trace`) -- nestable spans (``parse``,
+  ``stratify``, ``stratum[i]``, ``rule-fire``, ``beta``,
+  ``tau-translate``, ``query``) with wall time, row counts and delta
+  sizes, collected as a tree and dumpable as JSON.  The
+  :data:`NULL_RECORDER` keeps the disabled path allocation-free.
+* **Metrics** (:mod:`~repro.obs.metrics`) -- per-rule firing counts,
+  join-probe counts, fixpoint round counts and the cache layer's
+  hit rates, frozen into one :class:`EngineMetrics` snapshot
+  (``MultiLogSession.last_stats()``).
+* **Budgets** (:mod:`~repro.obs.budget`) -- an :class:`EvaluationBudget`
+  (row / round / wall-clock caps) enforced by every strategy and by
+  ``cautious()``, raising :class:`~repro.errors.BudgetExceededError`
+  with the partial metrics attached.
+
+Wiring happens through the ambient :class:`ObsContext`
+(:mod:`~repro.obs.context`): install one with :func:`use` (or let
+``MultiLogSession.ask`` do it) and every engine underneath reports into
+it.  ``docs/OBSERVABILITY.md`` has the full model and CLI examples.
+"""
+
+from repro.obs.budget import BudgetMeter, EvaluationBudget
+from repro.obs.context import DISABLED, ObsContext, current, observe, use
+from repro.obs.explain import explain_program, explain_rule
+from repro.obs.metrics import (
+    NULL_METRICS,
+    CacheSnapshot,
+    EngineMetrics,
+    MetricsCollector,
+    NullMetrics,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+)
+
+__all__ = [
+    "BudgetMeter",
+    "CacheSnapshot",
+    "DISABLED",
+    "EngineMetrics",
+    "EvaluationBudget",
+    "MetricsCollector",
+    "NULL_METRICS",
+    "NULL_RECORDER",
+    "NULL_SPAN",
+    "NullMetrics",
+    "NullRecorder",
+    "ObsContext",
+    "Span",
+    "TraceRecorder",
+    "current",
+    "explain_program",
+    "explain_rule",
+    "observe",
+    "use",
+]

@@ -1,0 +1,95 @@
+"""Evaluation budgets: hard caps on rows, rounds and wall-clock time.
+
+An :class:`EvaluationBudget` is immutable configuration -- "at most this
+many derived rows, this many fixpoint rounds, this many seconds".  A
+:class:`BudgetMeter` is the runtime spend for one evaluation: the engine
+charges rows and rounds against it at fixpoint-round and rule-firing
+boundaries, and any overrun raises a structured
+:class:`~repro.errors.BudgetExceededError` whose ``reason`` names the
+exhausted limit and whose ``spent`` dict records how far evaluation got.
+Higher layers (``evaluate``, ``MultiLogSession.ask``) attach the partial
+:class:`~repro.obs.metrics.EngineMetrics` to the error before re-raising,
+so callers degrade gracefully instead of hanging on adversarial programs.
+
+Granularity: limits are checked between rule firings and at round
+boundaries, not inside a single join loop -- a one-rule cross-product
+explosion is interrupted only once its firing returns.  Round counts are
+cumulative across strata (a runaway transitive closure lives in a single
+stratum anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.errors import BudgetExceededError
+
+
+@dataclass(frozen=True)
+class EvaluationBudget:
+    """Limits for one evaluation; ``None`` disables a limit."""
+
+    #: Cap on rows derived by rules (extensional facts are free).
+    max_derived_rows: int | None = None
+    #: Cap on fixpoint rounds, cumulative across strata.
+    max_rounds: int | None = None
+    #: Wall-clock cap in seconds, measured from the meter's creation.
+    timeout_s: float | None = None
+
+    def meter(self) -> "BudgetMeter":
+        """A fresh runtime meter; starts the wall clock now."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Spend tracking for one evaluation against a budget."""
+
+    __slots__ = ("budget", "started", "rows", "rounds")
+
+    def __init__(self, budget: EvaluationBudget):
+        self.budget = budget
+        self.started = perf_counter()
+        self.rows = 0
+        self.rounds = 0
+
+    def spent(self) -> dict[str, object]:
+        """How much of the budget evaluation has consumed so far."""
+        return {
+            "rows": self.rows,
+            "rounds": self.rounds,
+            "elapsed_s": perf_counter() - self.started,
+        }
+
+    def _fail(self, reason: str, message: str) -> None:
+        raise BudgetExceededError(message, reason=reason, spent=self.spent())
+
+    def charge_rows(self, n: int, scope: str = "") -> None:
+        """Account ``n`` freshly derived rows; fail past the row cap."""
+        self.rows += n
+        cap = self.budget.max_derived_rows
+        if cap is not None and self.rows > cap:
+            where = f" in {scope}" if scope else ""
+            self._fail("rows", f"derived-row budget exceeded{where}: "
+                               f"{self.rows} rows > cap {cap}")
+
+    def begin_round(self, scope: str = "") -> None:
+        """Enter one fixpoint round: bumps the count, checks rounds + clock."""
+        self.rounds += 1
+        cap = self.budget.max_rounds
+        if cap is not None and self.rounds > cap:
+            where = f" in {scope}" if scope else ""
+            self._fail("rounds", f"fixpoint-round budget exceeded{where}: "
+                                 f"round {self.rounds} > cap {cap}")
+        self.check_time(scope)
+
+    def check_time(self, scope: str = "") -> None:
+        """Fail when the wall-clock limit has passed."""
+        limit = self.budget.timeout_s
+        if limit is None:
+            return
+        elapsed = perf_counter() - self.started
+        if elapsed > limit:
+            where = f" in {scope}" if scope else ""
+            self._fail("timeout", f"evaluation timed out{where}: "
+                                  f"{elapsed:.3f}s > {limit:.3f}s")

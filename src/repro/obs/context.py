@@ -1,0 +1,78 @@
+"""The ambient observation context.
+
+The evaluation stack is deep (session -> reduction -> Datalog engine ->
+compiled plans) and most entry points are also public API; threading a
+recorder/metrics/budget triple through every signature would contaminate
+all of them.  Instead one :class:`ObsContext` rides on a
+:class:`contextvars.ContextVar`: instrumentation producers install it
+with :func:`use`, and each engine reads :func:`current` **once** per
+evaluation and passes the pieces down as locals.
+
+The default context is fully disabled -- :data:`~repro.obs.trace.
+NULL_RECORDER`, :data:`~repro.obs.metrics.NULL_METRICS` and no budget
+meter -- so un-instrumented callers pay a single ``ContextVar.get`` per
+``evaluate()`` call and nothing per row.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs.budget import BudgetMeter, EvaluationBudget
+from repro.obs.metrics import NULL_METRICS, MetricsCollector
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+
+
+class ObsContext:
+    """A recorder + metrics collector + budget meter bundle."""
+
+    __slots__ = ("recorder", "metrics", "meter")
+
+    def __init__(self, recorder=None, metrics=None, meter: BudgetMeter | None = None):
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.meter = meter
+
+    @property
+    def enabled(self) -> bool:
+        return (self.recorder.enabled or self.metrics.enabled
+                or self.meter is not None)
+
+
+#: The all-disabled context every evaluation sees unless told otherwise.
+DISABLED = ObsContext()
+
+_CURRENT: ContextVar[ObsContext] = ContextVar("repro-obs-context", default=DISABLED)
+
+
+def current() -> ObsContext:
+    """The context ambient evaluation should report into."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use(ctx: ObsContext):
+    """Install ``ctx`` as the ambient context for the ``with`` body."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def observe(trace: bool = True, metrics: bool = True,
+            budget: EvaluationBudget | None = None) -> ObsContext:
+    """A fresh enabled context (convenience for one traced evaluation).
+
+    >>> from repro.obs import observe, use
+    >>> ctx = observe()
+    >>> with use(ctx):
+    ...     ...  # evaluate / ask
+    >>> ctx.recorder.pretty()  # doctest: +SKIP
+    """
+    return ObsContext(
+        TraceRecorder() if trace else None,
+        MetricsCollector() if metrics else None,
+        BudgetMeter(budget) if budget is not None else None,
+    )

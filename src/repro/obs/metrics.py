@@ -1,0 +1,211 @@
+"""Metric counters and the :class:`EngineMetrics` snapshot.
+
+A :class:`MetricsCollector` is the mutable side: the engines increment
+per-rule firing counts, per-scope fixpoint round counts and join-probe
+totals into it as they run.  It is cheap enough to keep attached to a
+long-lived session -- counters are cumulative across queries, and
+:meth:`MetricsCollector.snapshot` freezes the current state (plus the
+per-layer :func:`repro.cache.cache_stats` and an optional span forest)
+into an immutable :class:`EngineMetrics`.
+
+:data:`NULL_METRICS` is the disabled path: a shared collector whose
+methods do nothing, so instrumented code calls it unconditionally and
+pays one no-op method call per rule firing when metrics are off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cache import cache_stats
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Frozen hit/miss/invalidation counters for one memo layer."""
+
+    hits: int
+    misses: int
+    invalidations: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """One immutable snapshot of everything the engines counted.
+
+    ``rule_firings`` maps a rule's source form to how many times it fired
+    (compiled/semi-naive: calls of its join plan; operational: solutions
+    of its body); ``rows_derived`` counts the rows those firings emitted
+    *before* deduplication against the store.  ``rounds`` maps a fixpoint
+    scope (``stratum[i]``, ``operational-inner``, ...) to its round
+    count.  ``spans`` is the span forest of the most recent traced
+    evaluation as dicts (see :mod:`repro.obs.trace`).
+    """
+
+    asks: int = 0
+    rule_firings: dict[str, int] = field(default_factory=dict)
+    rows_derived: dict[str, int] = field(default_factory=dict)
+    rounds: dict[str, int] = field(default_factory=dict)
+    join_probes: int = 0
+    candidate_calls: int = 0
+    cache: dict[str, CacheSnapshot] = field(default_factory=dict)
+    spans: tuple[dict, ...] = ()
+    budget_exceeded: str | None = None
+
+    @property
+    def total_firings(self) -> int:
+        return sum(self.rule_firings.values())
+
+    @property
+    def total_rows_derived(self) -> int:
+        return sum(self.rows_derived.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "asks": self.asks,
+            "rule_firings": dict(self.rule_firings),
+            "rows_derived": dict(self.rows_derived),
+            "rounds": dict(self.rounds),
+            "join_probes": self.join_probes,
+            "candidate_calls": self.candidate_calls,
+            "cache": {name: snap.to_dict() for name, snap in self.cache.items()},
+            "spans": list(self.spans),
+            "budget_exceeded": self.budget_exceeded,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=repr)
+
+    def summary(self) -> str:
+        """A short human-readable digest (the CLI's ``:stats`` output)."""
+        lines = [
+            f"asks: {self.asks}",
+            f"rule firings: {self.total_firings} "
+            f"({len(self.rule_firings)} distinct rules, "
+            f"{self.total_rows_derived} rows pre-dedup)",
+            f"join probes: {self.join_probes}  "
+            f"candidate scans: {self.candidate_calls}",
+        ]
+        if self.rounds:
+            rounds = ", ".join(f"{k}={v}" for k, v in sorted(self.rounds.items()))
+            lines.append(f"fixpoint rounds: {rounds}")
+        for name, snap in sorted(self.cache.items()):
+            lines.append(
+                f"cache {name}: {snap.hits} hits / {snap.misses} misses "
+                f"(rate {snap.hit_rate:.2f}, {snap.invalidations} invalidations)"
+            )
+        if self.budget_exceeded:
+            lines.append(f"budget exceeded: {self.budget_exceeded}")
+        top = sorted(self.rule_firings.items(), key=lambda kv: -kv[1])[:5]
+        for label, count in top:
+            shown = label if len(label) <= 72 else label[:69] + "..."
+            lines.append(f"  {count:>6}x  {shown}")
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Mutable counters the engines write into (cumulative across asks)."""
+
+    __slots__ = ("rule_firings", "rows_derived", "rounds",
+                 "join_probes", "candidate_calls", "asks")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.rule_firings: Counter = Counter()
+        self.rows_derived: Counter = Counter()
+        self.rounds: dict[str, int] = {}
+        self.join_probes = 0
+        self.candidate_calls = 0
+        self.asks = 0
+
+    # -- engine-facing increments ---------------------------------------
+    def rule_fired(self, label: str, rows: int) -> None:
+        self.rule_firings[label] += 1
+        self.rows_derived[label] += rows
+
+    def record_rounds(self, scope: str, rounds: int) -> None:
+        self.rounds[scope] = self.rounds.get(scope, 0) + rounds
+
+    def add_probes(self, n: int) -> None:
+        self.join_probes += n
+
+    def add_candidate_calls(self, n: int) -> None:
+        self.candidate_calls += n
+
+    def count_ask(self) -> None:
+        self.asks += 1
+
+    # -- snapshotting ----------------------------------------------------
+    def snapshot(self, recorder=None, budget_exceeded: str | None = None) -> EngineMetrics:
+        """Freeze the counters (plus cache stats and a span forest)."""
+        spans: tuple[dict, ...] = ()
+        if recorder is not None and recorder.enabled:
+            spans = tuple(recorder.to_dicts())
+        cache = {
+            name: CacheSnapshot(stats.hits, stats.misses, stats.invalidations)
+            for name, stats in cache_stats().items()
+        }
+        return EngineMetrics(
+            asks=self.asks,
+            rule_firings=dict(self.rule_firings),
+            rows_derived=dict(self.rows_derived),
+            rounds=dict(self.rounds),
+            join_probes=self.join_probes,
+            candidate_calls=self.candidate_calls,
+            cache=cache,
+            spans=spans,
+            budget_exceeded=budget_exceeded,
+        )
+
+    def reset(self) -> None:
+        self.rule_firings.clear()
+        self.rows_derived.clear()
+        self.rounds.clear()
+        self.join_probes = 0
+        self.candidate_calls = 0
+        self.asks = 0
+
+
+class NullMetrics:
+    """The disabled path: every increment is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def rule_fired(self, label: str, rows: int) -> None:
+        pass
+
+    def record_rounds(self, scope: str, rounds: int) -> None:
+        pass
+
+    def add_probes(self, n: int) -> None:
+        pass
+
+    def add_candidate_calls(self, n: int) -> None:
+        pass
+
+    def count_ask(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,182 @@
+"""Nestable evaluation spans: the tracing half of :mod:`repro.obs`.
+
+A :class:`Span` is one timed node of a trace tree -- named after the
+evaluation phase it covers (``parse``, ``stratify``, ``stratum[i]``,
+``rule-fire``, ``beta``, ``tau-translate``, ``query``) and carrying
+free-form attributes such as row counts and delta sizes.  Spans are their
+own context managers; entering one pushes it onto the recorder's stack so
+spans opened inside nest as children.
+
+Two recorders share the same duck type:
+
+* :class:`TraceRecorder` -- collects a forest of spans, dumpable as a
+  tree of dicts (:meth:`TraceRecorder.to_dicts`), JSON
+  (:meth:`TraceRecorder.to_json`) or indented text
+  (:meth:`TraceRecorder.pretty`).
+* :class:`NullRecorder` -- the disabled path.  Its :meth:`~NullRecorder.
+  span` hands back one shared no-op span, so instrumented code pays a
+  single method call and **zero allocations** when tracing is off.
+
+Instrumented code never branches on which recorder it holds; it calls
+``recorder.span(...)`` unconditionally and the type does the rest.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+
+class Span:
+    """One timed node of a trace tree; also its own context manager."""
+
+    __slots__ = ("name", "attrs", "children", "started", "elapsed_s", "_recorder")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, attrs: dict):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.children: list["Span"] = []
+        self.started = 0.0
+        self.elapsed_s = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach or update attributes (row counts, delta sizes, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._recorder._push(self)
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed_s = perf_counter() - self.started
+        self._recorder._pop(self)
+        return False
+
+    # -- introspection ---------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "elapsed_s": round(self.elapsed_s, 6)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def find(self, name: str) -> list["Span"]:
+        """This span and every descendant named ``name``."""
+        out = [self] if self.name == name else []
+        for child in self.children:
+            out.extend(child.find(name))
+        return out
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = ""
+        if self.attrs:
+            attrs = "  " + " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        lines = [f"{pad}{self.name}  {self.elapsed_s * 1e3:.3f}ms{attrs}"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.elapsed_s:.6f}s, {len(self.children)} children)"
+
+
+class TraceRecorder:
+    """Collects spans into a forest; create one per traced evaluation."""
+
+    __slots__ = ("roots", "_stack")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span; use as ``with recorder.span("stratum[0]") as sp:``."""
+        return Span(self, name, attrs)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate exceptions unwinding through several open spans at once.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    # -- introspection ---------------------------------------------------
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    def find(self, name: str) -> list[Span]:
+        out: list[Span] = []
+        for root in self.roots:
+            out.extend(root.find(name))
+        return out
+
+    def to_dicts(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots]
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dicts(), indent=indent, default=repr)
+
+    def pretty(self) -> str:
+        return "\n".join(root.pretty() for root in self.roots)
+
+
+class _NullSpan:
+    """The shared no-op span handed out by :class:`NullRecorder`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Singleton no-op span; also useful to stand in for a Span when a caller
+#: caps how many real spans it records (see the engine's round spans).
+NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder for the disabled path: every span is :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def clear(self) -> None:
+        pass
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+    def to_dicts(self) -> list[dict]:
+        return []
+
+    def to_json(self, indent: int | None = None) -> str:
+        return "[]"
+
+    def pretty(self) -> str:
+        return ""
+
+
+NULL_RECORDER = NullRecorder()

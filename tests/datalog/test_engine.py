@@ -185,3 +185,37 @@ class TestDatabase:
         assert len(a) == 1
         a.merge(b)
         assert len(a) == 2
+
+
+class TestReorderBodyErrors:
+    """``reorder_body`` rejects non-range-restricted leftovers eagerly.
+
+    The old behaviour appended unsafe negated/built-in literals to the
+    end of the body, deferring the failure to a cryptic "not ground at
+    evaluation time" error deep inside the match loop.
+    """
+
+    def test_unbound_negated_literal_raises_at_reorder_time(self):
+        body = (pos("p", "X"), neg("q", "Y"))
+        with pytest.raises(DatalogError, match="range-restricted"):
+            reorder_body(body)
+
+    def test_error_names_the_offending_literal_and_variables(self):
+        body = (pos("p", "X"), neg("q", "X", "Y"))
+        with pytest.raises(DatalogError, match=r"\['Y'\].*negated"):
+            reorder_body(body)
+
+    def test_error_names_the_rule_when_given(self):
+        rule = Rule(atom("h", "X"), (pos("p", "X"), neg("q", "Z")))
+        with pytest.raises(DatalogError, match="h\\(X\\)"):
+            reorder_body(rule.body, rule)
+
+    def test_unbound_builtin_raises(self):
+        body = (pos("p", "X"), pos("<", "X", "Y"))
+        with pytest.raises(DatalogError, match="built-in"):
+            reorder_body(body)
+
+    def test_safe_bodies_still_reorder(self):
+        body = (neg("q", "X"), pos("p", "X"))
+        ordered = reorder_body(body)
+        assert [l.positive for l in ordered] == [True, False]

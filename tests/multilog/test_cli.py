@@ -168,3 +168,58 @@ class TestMainLoop:
         monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
         assert cli.main([str(path), "--clearance", "u"]) == 0
         assert "'u'" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_stats_before_any_query(self, shell):
+        assert "no stats yet" in shell.execute_line(":stats")
+
+    def test_stats_after_query(self, shell):
+        shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        out = shell.execute_line(":stats")
+        assert "asks: 1" in out
+
+    def test_stats_accumulate(self, shell):
+        shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        shell.execute_line("s[acct(alice : balance -C-> B)] << fir")
+        assert "asks: 2" in shell.execute_line(":stats")
+
+    def test_explain_dumps_plan(self, shell):
+        out = shell.execute_line(":explain")
+        assert "stratum" in out
+
+    def test_trace_toggle(self, shell):
+        assert "on" in shell.execute_line(":trace on")
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert "query" in out  # span tree appended below the answers
+        assert "off" in shell.execute_line(":trace off")
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert "query" not in out
+
+    def test_trace_usage(self, shell):
+        assert "usage" in shell.execute_line(":trace maybe")
+
+    def test_help_mentions_obs_commands(self, shell):
+        out = shell.execute_line(":help")
+        assert ":stats" in out
+        assert ":explain" in out
+
+    def test_main_explain_flag(self, capsys, tmp_path):
+        from repro import cli
+
+        path = tmp_path / "db.mlog"
+        path.write_text("level(u). u[p(k : a -u-> v)].")
+        assert cli.main([str(path), "--explain"]) == 0
+        assert "stratum" in capsys.readouterr().out
+
+    def test_main_trace_flag(self, monkeypatch, capsys, tmp_path):
+        from repro import cli
+
+        path = tmp_path / "db.mlog"
+        path.write_text("level(u). u[p(k : a -u-> v)].")
+        lines = iter(["u[p(k : a -C-> V)] << cau", ":quit"])
+        monkeypatch.setattr("builtins.input", lambda _prompt: next(lines))
+        assert cli.main([str(path), "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "fixpoint" in out

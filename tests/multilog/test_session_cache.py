@@ -67,3 +67,47 @@ class TestLeastModelReuse:
             operational = session.ask(query, engine="operational")
             reduction = session.ask(query, engine="reduction")
             assert sorted(operational, key=repr) == sorted(reduction, key=repr)
+
+
+class TestSiblingSessionCoherence:
+    """Regression: asserting through one session must invalidate siblings.
+
+    ``with_clearance`` shares ``self.database``, but ``assert_clause``
+    only nulled the *asserting* session's cached engines -- a sibling
+    that had already materialized its fixpoint kept serving stale
+    answers.  Caches are now keyed on ``database.version``.
+    """
+
+    def test_sibling_sees_assert_made_after_it_cached(self):
+        high = MultiLogSession(SOURCE, clearance="s")
+        low = high.with_clearance("u")
+        # Both siblings materialize their engines before the mutation.
+        assert high.ask("s[acct(carol : balance -C-> B)] << fir") == []
+        assert low.ask("u[acct(carol : balance -C-> B)] << fir") == []
+        low.assert_clause("u[acct(carol : balance -u-> 42)].")
+        # The *other* session must see the new clause in both semantics.
+        assert high.ask("u[acct(carol : balance -C-> B)] << fir") == \
+            [{"B": 42, "C": "u"}]
+        assert high.ask("u[acct(carol : balance -C-> B)] << fir",
+                        engine="reduction") == [{"B": 42, "C": "u"}]
+
+    def test_two_clearances_with_assert_in_between(self):
+        base = MultiLogSession(SOURCE, clearance="s")
+        low = base.with_clearance("u")
+        mid = base.with_clearance("s")
+        assert low.ask("u[acct(dora : balance -C-> B)] << fir") == []
+        assert mid.ask("s[acct(dora : balance -C-> B)] << opt") == []
+        base.assert_clause("u[acct(dora : balance -u-> 5)].")
+        assert low.ask("u[acct(dora : balance -C-> B)] << fir") == \
+            [{"B": 5, "C": "u"}]
+        assert mid.ask("u[acct(dora : balance -C-> B)] << opt") == \
+            [{"B": 5, "C": "u"}]
+
+    def test_unchanged_database_keeps_caches(self):
+        session = MultiLogSession(SOURCE, clearance="s")
+        session.ask(QUERY, engine="reduction")
+        reduced = session.reduced
+        engine = session.engine
+        session.ask(QUERY, engine="operational")
+        assert session.reduced is reduced
+        assert session.engine is engine

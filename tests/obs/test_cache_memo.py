@@ -1,0 +1,68 @@
+"""VersionedMemo eviction: stale entries go, current siblings stay.
+
+Regression for the over-invalidation bug: a stale lookup used to clear
+*every* entry for the owner, including siblings recomputed after the
+mutation -- so one cold key repeatedly evicted warm ones.
+"""
+
+from repro.cache import VersionedMemo
+
+
+class Owner:
+    """A stand-in mutable store with a version counter."""
+
+
+class TestVersionedMemo:
+    def test_hit_and_miss_counting(self):
+        memo = VersionedMemo("test-hits")
+        owner = Owner()
+        assert memo.get_or_compute(owner, 1, "a", lambda: "A1") == "A1"
+        assert memo.get_or_compute(owner, 1, "a", lambda: "XX") == "A1"
+        assert memo.stats.misses == 1
+        assert memo.stats.hits == 1
+
+    def test_stale_lookup_keeps_current_siblings(self):
+        memo = VersionedMemo("test-eviction")
+        owner = Owner()
+        sentinel = object()
+        memo.get_or_compute(owner, 1, "b", lambda: "B1")   # b stamped @1
+        memo.get_or_compute(owner, 2, "a", lambda: sentinel)  # a stamped @2
+        # Looking up the stale b at version 2 must evict only b.
+        assert memo.get_or_compute(owner, 2, "b", lambda: "B2") == "B2"
+        assert memo.stats.invalidations == 1
+        # The sibling computed at the current version survived: a hit, not
+        # a recompute.
+        hits_before = memo.stats.hits
+        assert memo.get_or_compute(owner, 2, "a", lambda: "LOST") is sentinel
+        assert memo.stats.hits == hits_before + 1
+        assert memo.entries_for(owner) == 2
+
+    def test_stale_lookup_evicts_all_outdated_entries(self):
+        memo = VersionedMemo("test-bulk-eviction")
+        owner = Owner()
+        memo.get_or_compute(owner, 1, "a", lambda: "A1")
+        memo.get_or_compute(owner, 1, "b", lambda: "B1")
+        memo.get_or_compute(owner, 1, "c", lambda: "C1")
+        assert memo.get_or_compute(owner, 3, "a", lambda: "A3") == "A3"
+        # All three version-1 entries were stale; only the fresh one lives.
+        assert memo.stats.invalidations == 3
+        assert memo.entries_for(owner) == 1
+
+    def test_owners_are_independent(self):
+        memo = VersionedMemo("test-owners")
+        first, second = Owner(), Owner()
+        memo.get_or_compute(first, 1, "k", lambda: "one")
+        memo.get_or_compute(second, 9, "k", lambda: "two")
+        assert memo.get_or_compute(first, 1, "k", lambda: "X") == "one"
+        assert memo.get_or_compute(second, 9, "k", lambda: "X") == "two"
+
+    def test_dropping_the_owner_drops_its_entries(self):
+        memo = VersionedMemo("test-weak")
+        owner = Owner()
+        memo.get_or_compute(owner, 1, "k", lambda: "v")
+        assert memo.entries_for(owner) == 1
+        del owner
+        import gc
+
+        gc.collect()
+        assert len(memo._store) == 0

@@ -1,0 +1,96 @@
+"""Span trees: nesting, attributes, JSON dumps and the null path."""
+
+import json
+
+from repro.obs import NULL_RECORDER, NULL_SPAN, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_spans_nest_into_a_tree(self):
+        recorder = TraceRecorder()
+        with recorder.span("evaluate") as outer:
+            with recorder.span("stratify"):
+                pass
+            with recorder.span("stratum[0]") as stratum:
+                with recorder.span("round[1]"):
+                    pass
+        assert [root.name for root in recorder.roots] == ["evaluate"]
+        assert [c.name for c in outer.children] == ["stratify", "stratum[0]"]
+        assert [c.name for c in stratum.children] == ["round[1]"]
+
+    def test_sibling_roots_form_a_forest(self):
+        recorder = TraceRecorder()
+        with recorder.span("first"):
+            pass
+        with recorder.span("second"):
+            pass
+        assert [root.name for root in recorder.roots] == ["first", "second"]
+
+    def test_attributes_via_kwargs_and_set(self):
+        recorder = TraceRecorder()
+        with recorder.span("stratum[0]", rules=3) as span:
+            span.set(delta=17, facts=40)
+        assert span.attrs == {"rules": 3, "delta": 17, "facts": 40}
+
+    def test_elapsed_is_recorded(self):
+        recorder = TraceRecorder()
+        with recorder.span("work"):
+            sum(range(1000))
+        assert recorder.roots[0].elapsed_s > 0.0
+
+    def test_find_searches_the_whole_forest(self):
+        recorder = TraceRecorder()
+        with recorder.span("a"):
+            with recorder.span("round[1]"):
+                pass
+            with recorder.span("round[2]"):
+                pass
+        with recorder.span("round[1]"):
+            pass
+        assert len(recorder.find("round[1]")) == 2
+
+    def test_to_json_round_trips(self):
+        recorder = TraceRecorder()
+        with recorder.span("evaluate", strategy="compiled"):
+            with recorder.span("stratify") as inner:
+                inner.set(strata=2)
+        parsed = json.loads(recorder.to_json())
+        assert parsed[0]["name"] == "evaluate"
+        assert parsed[0]["attrs"] == {"strategy": "compiled"}
+        assert parsed[0]["children"][0]["attrs"] == {"strata": 2}
+
+    def test_pretty_renders_every_level(self):
+        recorder = TraceRecorder()
+        with recorder.span("query", engine="reduction"):
+            with recorder.span("parse"):
+                pass
+        text = recorder.pretty()
+        assert "query" in text and "parse" in text and "engine=reduction" in text
+
+    def test_exception_unwinds_open_spans(self):
+        recorder = TraceRecorder()
+        try:
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        assert recorder._stack == []
+        with recorder.span("after"):
+            pass
+        # A span opened after the unwind is a new root, not a child.
+        assert [root.name for root in recorder.roots] == ["outer", "after"]
+
+
+class TestNullRecorder:
+    def test_span_returns_the_shared_singleton(self):
+        assert NULL_RECORDER.span("anything") is NULL_SPAN
+        assert NULL_RECORDER.span("other", rows=3) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_RECORDER.span("x") as span:
+            assert span.set(rows=1) is span
+        assert NULL_RECORDER.to_dicts() == []
+        assert NULL_RECORDER.to_json() == "[]"
+        assert NULL_RECORDER.pretty() == ""
+        assert not NULL_RECORDER.enabled
