@@ -1,0 +1,85 @@
+"""Compile-time program analysis for MultiLog and plain Datalog.
+
+The analyzer (``multilog lint``, :meth:`MultiLogSession.analyze`,
+``evaluate(..., analyze=True)``) runs every check up front and reports
+*all* findings as stable-coded diagnostics instead of failing on the
+first, the way the engine's own guards do:
+
+======  ========  ====================================================
+code    severity  meaning
+======  ========  ====================================================
+ML000   error     parse error
+ML001   error     not stratifiable (recursion through negation)
+ML002   error     unsafe rule: head variable unbound
+ML003   error     unsafe rule: negated/built-in variable unbound
+ML004   error     arity clash
+ML005   error     undeclared security label (Def. 5.3, cond. 2)
+ML006   error     lattice not self-contained (Def. 5.3, cond. 1)
+ML007   error     [[Lambda]] not a partial order (Def. 5.3, cond. 3)
+ML008   warning   potential downward information flow
+ML009   warning   surprise-story reconstruction risk
+ML010   warning   dead predicate (unreachable from Q)
+ML011   info      unused security level
+ML012   info      belief feedback forces level specialization
+ML013   error     unknown belief mode
+======  ========  ====================================================
+
+See ``docs/ANALYSIS.md`` for each code with a minimal trigger.
+"""
+
+from repro.analysis.analyzer import analyze_database, analyze_program
+from repro.analysis.arity import (
+    ArityClash,
+    database_arity_clashes,
+    program_arity_clashes,
+)
+from repro.analysis.deadcode import (
+    dead_database_predicates,
+    dead_predicates,
+    unused_levels,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    code_title,
+    default_severity,
+)
+from repro.analysis.flow import (
+    FlowFinding,
+    SurpriseRisk,
+    belief_feedback,
+    declared_modes,
+    downward_flows,
+    surprise_risks,
+    unknown_modes,
+)
+from repro.analysis.graph import DependencyGraph, Edge, render_cycle
+
+__all__ = [
+    "AnalysisReport",
+    "ArityClash",
+    "CODES",
+    "DependencyGraph",
+    "Diagnostic",
+    "Edge",
+    "FlowFinding",
+    "Severity",
+    "SurpriseRisk",
+    "analyze_database",
+    "analyze_program",
+    "belief_feedback",
+    "code_title",
+    "database_arity_clashes",
+    "dead_database_predicates",
+    "dead_predicates",
+    "declared_modes",
+    "default_severity",
+    "downward_flows",
+    "program_arity_clashes",
+    "render_cycle",
+    "surprise_risks",
+    "unknown_modes",
+    "unused_levels",
+]

@@ -1,0 +1,244 @@
+"""The compile-time analyzer: one pass, every finding, before evaluation.
+
+Two entry points mirror the two source languages:
+
+* :func:`analyze_program` lints a plain Datalog :class:`~repro.datalog.
+  rules.Program` -- safety, arity, stratifiability, optional dead code.
+
+* :func:`analyze_database` lints a full MultiLog database ``Delta =
+  <Lambda, Sigma, Pi, Q>``: the Definition 5.3 admissibility conditions
+  become diagnostics (ML005/ML006/ML007) instead of exceptions, safety
+  and arity run over the source clauses, the security-flow pass
+  (ML008/ML009/ML012/ML013) consults the same oracles the runtime uses,
+  dead code is judged against ``Q`` (ML010/ML011), and finally the tau
+  reduction is stratified per clearance (ML001) -- which also warms the
+  memoized :func:`~repro.multilog.reduction.translate` cache, so a
+  following evaluation pays nothing extra.
+
+Unlike the engine's fail-fast checks, the analyzer never raises on bad
+input: every defect lands in the returned :class:`~repro.analysis.
+diagnostics.AnalysisReport`.  The whole pass runs inside an ``analyze``
+span of the ambient observation context, so ``:trace`` and benchmarks
+see analysis time as its own line item.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.datalog.rules import Program
+from repro.datalog.stratify import stratify
+from repro.errors import (
+    AdmissibilityError,
+    MultiLogError,
+    StratificationError,
+    UnknownModeError,
+)
+from repro.multilog.admissibility import (
+    LatticeContext,
+    _labels_used_in_sigma,
+    lambda_meaning,
+)
+from repro.multilog.ast import Clause, LAtom, MultiLogDatabase
+from repro.obs.context import current as _current_obs
+
+from repro.analysis.arity import database_arity_clashes, program_arity_clashes
+from repro.analysis.deadcode import (
+    dead_database_predicates,
+    dead_predicates,
+    unused_levels,
+)
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.flow import (
+    belief_feedback,
+    downward_flows,
+    surprise_risks,
+    unknown_modes,
+)
+from repro.analysis.graph import DependencyGraph, render_cycle
+from repro.analysis.safety import lint_database_safety, lint_program_safety
+
+#: Matches MultiLogSession's implicit single-level lattice.
+_DEFAULT_LEVEL = "system"
+
+
+# ---------------------------------------------------------------------------
+# plain Datalog
+# ---------------------------------------------------------------------------
+
+def analyze_program(program: Program, roots: Iterable[str] = ()) -> AnalysisReport:
+    """Lint a plain Datalog program; ``roots`` enable the dead-code pass."""
+    report = AnalysisReport()
+    with _current_obs().recorder.span("analyze", language="datalog"):
+        lint_program_safety(program, report)
+        for clash in program_arity_clashes(program):
+            report.add("ML004", clash.message(),
+                       location=clash.occurrences[0][1],
+                       hint="rename one of the populations or fix the argument list")
+        _lint_stratification(program, report)
+        for predicate in dead_predicates(program, roots):
+            report.add("ML010",
+                       f"predicate {predicate!r} is unreachable from the "
+                       f"query root(s) {sorted(roots)}",
+                       location=f"predicate {predicate}",
+                       hint="delete the rules/facts or query the predicate")
+    return report
+
+
+def _lint_stratification(program: Program, report: AnalysisReport,
+                         location: str = "") -> None:
+    """ML001 with a named cycle witness when ``program`` fails to stratify."""
+    try:
+        stratify(program)
+    except StratificationError as exc:
+        graph = DependencyGraph.from_program(program)
+        cycles = graph.negation_cycles()
+        if cycles:
+            for cycle in cycles:
+                report.add("ML001",
+                           f"recursion through negation: {render_cycle(cycle)}",
+                           location=location or f"predicate {cycle[0].head}",
+                           hint="break the cycle or move the negation out of it")
+        else:  # defensive: stratify refused for a reason the graph missed
+            report.add("ML001", str(exc), location=location)
+
+
+# ---------------------------------------------------------------------------
+# MultiLog databases
+# ---------------------------------------------------------------------------
+
+def analyze_database(db: MultiLogDatabase,
+                     clearance: str | None = None) -> AnalysisReport:
+    """Lint a MultiLog database end to end; never raises on bad input."""
+    report = AnalysisReport()
+    with _current_obs().recorder.span("analyze", language="multilog",
+                                      clearance=clearance or ""):
+        db = _with_default_lattice(db)
+        context = _lint_lattice(db, report)
+        lint_database_safety(db, report)
+        for clash in database_arity_clashes(db):
+            report.add("ML004", clash.message(),
+                       location=clash.occurrences[0][1],
+                       hint="rename one of the populations or fix the argument list")
+        for mode, where in unknown_modes(db):
+            report.add("ML013",
+                       f"belief mode {mode!r} is neither built-in (fir/opt/cau) "
+                       f"nor defined by a bel/7 rule in Pi",
+                       location=where,
+                       hint="define the mode with a bel/7 rule or use a built-in one")
+        if context is None:
+            return report
+        _lint_flows(db, context, report)
+        _lint_dead_code(db, context, report)
+        if report.ok:
+            _lint_reduction(db, context, clearance, report)
+    return report
+
+
+def _with_default_lattice(db: MultiLogDatabase) -> MultiLogDatabase:
+    """Mirror the session's implicit one-level lattice for bare databases."""
+    if db.lattice_clauses:
+        return db
+    from repro.datalog.terms import Constant
+    return MultiLogDatabase(
+        lattice_clauses=[Clause(LAtom(Constant(_DEFAULT_LEVEL)))],
+        secured_clauses=list(db.secured_clauses),
+        plain_clauses=list(db.plain_clauses),
+        queries=list(db.queries),
+    )
+
+
+def _lint_lattice(db: MultiLogDatabase,
+                  report: AnalysisReport) -> LatticeContext | None:
+    """Definition 5.3 as diagnostics; the context when the lattice stands."""
+    try:
+        context = lambda_meaning(db)
+    except AdmissibilityError as exc:
+        message = str(exc)
+        if "partial order" in message:
+            code, hint = "ML007", "remove the ordering cycle from Lambda"
+        elif "undeclared level" in message:
+            code, hint = "ML005", "assert level(l). for every level order/2 mentions"
+        else:
+            code, hint = "ML006", \
+                "Lambda clauses may only depend on level/1 and order/2"
+        report.add(code, message, location="Lambda", hint=hint)
+        return None
+    undeclared = _labels_used_in_sigma(db) - context.lattice.levels
+    if undeclared:
+        report.add(
+            "ML005",
+            f"Sigma uses security label(s) {sorted(undeclared)} not asserted by "
+            "[[Lambda]] (Definition 5.3, condition 2)",
+            location="Sigma",
+            hint="declare the label(s) in Lambda or fix the clause",
+        )
+        return None
+    return context
+
+
+def _lint_flows(db: MultiLogDatabase, context: LatticeContext,
+                report: AnalysisReport) -> None:
+    from repro.analysis.diagnostics import Severity
+
+    for finding in downward_flows(db, context):
+        report.add("ML008", finding.message(),
+                   location=f"clause {finding.clause}",
+                   hint="store the head at a level dominating every body level")
+    for risk in surprise_risks(db, context):
+        severity = Severity.WARNING if risk.reconstructing_rules else Severity.INFO
+        report.add("ML009", risk.message(),
+                   location=f"predicate {risk.pred}, level {risk.level}",
+                   hint="cover the null with a believable tuple at that level, "
+                        "or reclassify the key",
+                   severity=severity)
+    for clause in belief_feedback(db):
+        report.add("ML012",
+                   f"clause consults beliefs; the reduction will specialize "
+                   f"belief levels (slower, but required for soundness)",
+                   location=f"clause {clause}")
+
+
+def _lint_dead_code(db: MultiLogDatabase, context: LatticeContext,
+                    report: AnalysisReport) -> None:
+    for kind, predicate in dead_database_predicates(db):
+        report.add("ML010",
+                   f"{kind} predicate {predicate!r} is unreachable from every "
+                   f"query in Q",
+                   location=f"predicate {predicate}",
+                   hint="delete the clauses or add a query that consults them")
+    for level in unused_levels(db, context):
+        report.add("ML011",
+                   f"security level {level!r} classifies no Sigma data and "
+                   f"appears in no query",
+                   location=f"level {level}",
+                   hint="remove the level from Lambda or classify data at it")
+
+
+def _lint_reduction(db: MultiLogDatabase, context: LatticeContext,
+                    clearance: str | None, report: AnalysisReport) -> None:
+    """Stratify the tau reduction at each relevant clearance (ML001).
+
+    Runs only on otherwise error-free databases: the reduction of a
+    broken database reports noise, not signal.  Successful translations
+    stay in :func:`~repro.multilog.reduction.translate`'s memo, so the
+    subsequent evaluation reuses them for free.
+    """
+    from repro.multilog.reduction import translate
+
+    clearances = [clearance] if clearance is not None \
+        else sorted(context.lattice.tops())
+    for point in clearances:
+        try:
+            reduced = translate(db, point, context)
+        except UnknownModeError as exc:
+            report.add("ML013", str(exc), location=f"clearance {point}")
+            continue
+        except MultiLogError as exc:
+            report.add("ML001",
+                       f"the reduction at clearance {point!r} cannot be "
+                       f"evaluated: {exc}",
+                       location=f"clearance {point}")
+            continue
+        _lint_stratification(reduced.program, report,
+                             location=f"reduction at clearance {point!r}")

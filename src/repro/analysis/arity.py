@@ -1,0 +1,131 @@
+"""Arity consistency across rule heads, bodies, facts and queries.
+
+``Program.add_rule`` happily accepts ``p/2`` next to ``p/3`` -- the fact
+store keys rows by predicate *and* arity, so the two populations never
+join and queries silently come back empty.  The same applies to p-atoms
+in MultiLog's Pi component, and to misuse of the reserved predicates
+(``level/1``, ``order/2``, ``bel/7``).  This module finds every such
+clash up front (diagnostic ``ML004``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.rules import Program
+from repro.multilog.ast import (
+    BAtom,
+    BMolecule,
+    Clause,
+    HAtom,
+    LAtom,
+    MAtom,
+    MMolecule,
+    MultiLogDatabase,
+    PAtom,
+)
+from repro.multilog.proof import USER_BELIEF_PREDICATE
+
+#: Predicates with a fixed arity reserved by the language / reduction.
+RESERVED_ARITIES: dict[str, int] = {
+    "level": 1,
+    "order": 2,
+    USER_BELIEF_PREDICATE: 7,  # bel(p, k, a, v, c, l, m) -- Section 7
+}
+
+
+@dataclass(frozen=True)
+class ArityClash:
+    """One predicate observed at more than one arity."""
+
+    predicate: str
+    arities: tuple[int, ...]
+    #: one ``(arity, where)`` sample per arity, for the diagnostic text.
+    occurrences: tuple[tuple[int, str], ...]
+
+    def message(self) -> str:
+        shapes = "/".join(str(a) for a in self.arities)
+        samples = "; ".join(f"{self.predicate}/{arity} in {where}"
+                            for arity, where in self.occurrences)
+        return (f"predicate {self.predicate!r} is used with arities {shapes} "
+                f"({samples}); the populations never join")
+
+
+class _Usages:
+    """Accumulates ``predicate -> {arity -> first location}``."""
+
+    def __init__(self) -> None:
+        self.seen: dict[str, dict[int, str]] = {}
+
+    def record(self, predicate: str, arity: int, where: str) -> None:
+        self.seen.setdefault(predicate, {}).setdefault(arity, where)
+
+    def clashes(self) -> list[ArityClash]:
+        out: list[ArityClash] = []
+        for predicate in sorted(self.seen):
+            arities = self.seen[predicate]
+            if len(arities) < 2:
+                continue
+            ordered = tuple(sorted(arities))
+            out.append(ArityClash(
+                predicate, ordered,
+                tuple((arity, arities[arity]) for arity in ordered),
+            ))
+        return out
+
+
+def program_arity_clashes(program: Program) -> list[ArityClash]:
+    """Arity clashes across a plain Datalog program."""
+    usages = _Usages()
+    for fact in program.facts:
+        usages.record(fact.predicate, fact.arity, f"fact {fact!r}.")
+    for rule in program.rules:
+        where = f"rule {rule!r}"
+        usages.record(rule.head.predicate, rule.head.arity, where)
+        for literal in rule.body:
+            if literal.atom.is_builtin:
+                continue
+            usages.record(literal.predicate, literal.atom.arity, where)
+    return usages.clashes()
+
+
+def _record_body_atom(atom: object, where: str, usages: _Usages) -> None:
+    if isinstance(atom, PAtom):
+        usages.record(atom.pred, len(atom.args), where)
+    elif isinstance(atom, LAtom):
+        usages.record("level", 1, where)
+    elif isinstance(atom, HAtom):
+        usages.record("order", 2, where)
+    # m-/b-atoms have a fixed shape enforced by the parser; molecules too.
+
+
+def database_arity_clashes(db: MultiLogDatabase) -> list[ArityClash]:
+    """Arity clashes across a MultiLog database's p-atoms and queries.
+
+    Reserved predicates are seeded at their language-defined arity, so a
+    stray ``order(u, c, s)`` or ``bel/3`` head clashes immediately.
+    """
+    usages = _Usages()
+    for predicate, arity in RESERVED_ARITIES.items():
+        usages.record(predicate, arity, "reserved by the language")
+    clauses: list[Clause] = db.clauses()
+    for clause in clauses:
+        where = f"clause {clause}"
+        head = clause.head
+        if isinstance(head, PAtom):
+            usages.record(head.pred, len(head.args), where)
+        elif isinstance(head, LAtom):
+            usages.record("level", 1, where)
+        elif isinstance(head, HAtom):
+            usages.record("order", 2, where)
+        for atom in clause.body:
+            if isinstance(atom, (MAtom, MMolecule, BAtom, BMolecule)):
+                continue
+            _record_body_atom(atom, where, usages)
+    for query in db.queries:
+        where = f"query {query}"
+        for atom in query.body:
+            if isinstance(atom, (MAtom, MMolecule, BAtom, BMolecule)):
+                continue
+            _record_body_atom(atom, where, usages)
+    return usages.clashes()

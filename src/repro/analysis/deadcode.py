@@ -1,0 +1,145 @@
+"""Dead-code lint: unreachable predicates (ML010) and unused levels (ML011).
+
+A MultiLog database carries its workload in ``Q``: a predicate no query
+(transitively) consults is dead weight the bottom-up engine still
+materializes.  Likewise a declared security level that classifies no
+Sigma data and appears in no query is a lattice point nobody can
+observe anything at -- usually a typo'd label or leftover scaffolding.
+Both lints are advisory: dead rules are wasteful, not wrong.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.datalog.rules import Program
+from repro.datalog.terms import Constant
+from repro.multilog.admissibility import LatticeContext, _labels_used_in_sigma
+from repro.multilog.ast import (
+    BAtom,
+    BMolecule,
+    BodyAtom,
+    HAtom,
+    LAtom,
+    MAtom,
+    MMolecule,
+    MultiLogDatabase,
+    PAtom,
+)
+from repro.multilog.proof import USER_BELIEF_PREDICATE, atomize_body
+
+from repro.analysis.graph import DependencyGraph
+
+#: Predicates the language itself consumes, never dead.
+_IMPLICIT_LIVE = frozenset({"level", "order", USER_BELIEF_PREDICATE})
+
+
+def dead_predicates(program: Program, roots: Iterable[str]) -> list[str]:
+    """Predicates of ``program`` unreachable from the query ``roots``."""
+    root_list = [root for root in roots]
+    if not root_list:
+        return []
+    graph = DependencyGraph.from_program(program)
+    live = graph.reachable(root_list)
+    return sorted(program.predicates() - live - _IMPLICIT_LIVE)
+
+
+def _atom_node(atom: BodyAtom) -> list[tuple[str, str]]:
+    """Namespaced graph nodes consulted by one body atom."""
+    if isinstance(atom, MAtom):
+        return [("m", atom.pred)]
+    if isinstance(atom, MMolecule):
+        return [("m", component.pred) for component in atom.atoms()]
+    if isinstance(atom, BAtom):
+        return [("m", atom.matom.pred)]
+    if isinstance(atom, BMolecule):
+        return [("m", component.pred) for component in atom.molecule.atoms()]
+    if isinstance(atom, PAtom):
+        return [("p", atom.pred)]
+    return []  # l-/h-atoms and <= goals: lattice machinery, always live
+
+
+def _database_graph(db: MultiLogDatabase) -> tuple[DependencyGraph, set[tuple[str, str]]]:
+    """Namespaced dependency graph over Sigma/Pi (m- and p-predicates).
+
+    Secured and plain predicates live in separate namespaces (``("m",
+    name)`` vs ``("p", name)``) because the reduction keeps them apart:
+    a p-atom ``p(...)`` never consults the secured relation ``p``.
+    """
+    edges: list[tuple[tuple[str, str], tuple[str, str], bool]] = []
+    nodes: set[tuple[str, str]] = set()
+    for clause in db.atomized_secured_clauses() + db.atomized_plain_clauses():
+        head = clause.head
+        if isinstance(head, (MAtom, MMolecule)):
+            head_nodes = _atom_node(head)
+        elif isinstance(head, PAtom) and head.pred not in _IMPLICIT_LIVE:
+            head_nodes = [("p", head.pred)]
+        else:
+            continue
+        nodes.update(head_nodes)
+        for atom in atomize_body(clause.body):
+            for body_node in _atom_node(atom):
+                nodes.add(body_node)
+                for head_node in head_nodes:
+                    edges.append((head_node, body_node, False))
+    graph = DependencyGraph.from_edges(
+        ("/".join(h), "/".join(b), neg) for h, b, neg in edges)
+    for node in nodes:
+        graph.nodes.add("/".join(node))
+    return graph, nodes
+
+
+def dead_database_predicates(db: MultiLogDatabase) -> list[tuple[str, str]]:
+    """``(kind, predicate)`` pairs no query of ``Q`` reaches.
+
+    ``kind`` is ``"secured"`` or ``"plain"``.  With an empty ``Q`` there
+    is no workload to judge against and the lint stays silent.
+    """
+    if not db.queries:
+        return []
+    graph, nodes = _database_graph(db)
+    roots: list[str] = []
+    for query in db.queries:
+        for atom in atomize_body(query.body):
+            roots.extend("/".join(node) for node in _atom_node(atom))
+    live = graph.reachable(roots)
+    dead: list[tuple[str, str]] = []
+    for kind, pred in sorted(nodes):
+        if f"{kind}/{pred}" not in live:
+            dead.append(("secured" if kind == "m" else "plain", pred))
+    return dead
+
+
+def _labels_used_in_queries(db: MultiLogDatabase) -> set[str]:
+    """Ground levels/classifications mentioned by any query body."""
+    labels: set[str] = set()
+
+    def collect(matom: MAtom) -> None:
+        for term in (matom.level, matom.cls):
+            if isinstance(term, Constant):
+                labels.add(str(term.value))
+
+    for query in db.queries:
+        for atom in atomize_body(query.body):
+            if isinstance(atom, MAtom):
+                collect(atom)
+            elif isinstance(atom, BAtom):
+                collect(atom.matom)
+            elif isinstance(atom, (LAtom, HAtom)):
+                for term in [getattr(atom, "level", None),
+                             getattr(atom, "low", None),
+                             getattr(atom, "high", None)]:
+                    if isinstance(term, Constant):
+                        labels.add(str(term.value))
+    return labels
+
+
+def unused_levels(db: MultiLogDatabase, context: LatticeContext) -> list[str]:
+    """Declared levels that classify nothing and appear in no query.
+
+    Top elements are exempt: they exist to give omniscient observers a
+    clearance, not to classify data.
+    """
+    lattice = context.lattice
+    used = _labels_used_in_sigma(db) | _labels_used_in_queries(db)
+    return sorted(lattice.levels - used - lattice.tops())

@@ -1,0 +1,187 @@
+"""Structured diagnostics: the currency of the static analyzer.
+
+Every check in :mod:`repro.analysis` reports :class:`Diagnostic` objects
+-- a stable code (``ML001`` ... ``ML013``), a severity, a human message,
+the offending clause/rule text and a fix hint -- collected into an
+:class:`AnalysisReport` that renders as text or JSON and maps to a
+process exit code (``multilog lint --strict``).
+
+The code registry is the contract: codes are append-only and their
+meaning never changes (tests pin them; docs/ANALYSIS.md documents each
+one with a minimal triggering program).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+
+class Severity(IntEnum):
+    """Diagnostic severity; comparable (``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: The stable diagnostic code registry: ``code -> (default severity, title)``.
+CODES: dict[str, tuple[Severity, str]] = {
+    "ML000": (Severity.ERROR, "parse error"),
+    "ML001": (Severity.ERROR, "program is not stratifiable (recursion through negation)"),
+    "ML002": (Severity.ERROR, "unsafe rule: head variable unbound by the body"),
+    "ML003": (Severity.ERROR, "unsafe rule: variable of a negated/built-in literal unbound"),
+    "ML004": (Severity.ERROR, "arity clash: one predicate used with different arities"),
+    "ML005": (Severity.ERROR, "undeclared security label in Sigma (Definition 5.3, condition 2)"),
+    "ML006": (Severity.ERROR, "lattice not self-contained (Definition 5.3, condition 1)"),
+    "ML007": (Severity.ERROR, "[[Lambda]] is not a partial order (Definition 5.3, condition 3)"),
+    "ML008": (Severity.WARNING, "potential downward information flow"),
+    "ML009": (Severity.WARNING, "surprise-story reconstruction risk"),
+    "ML010": (Severity.WARNING, "dead predicate: unreachable from the stored queries"),
+    "ML011": (Severity.INFO, "unused security level"),
+    "ML012": (Severity.INFO, "belief feedback: reduction requires level specialization"),
+    "ML013": (Severity.ERROR, "unknown belief mode"),
+}
+
+
+def default_severity(code: str) -> Severity:
+    """The registry severity of ``code`` (ERROR for unknown codes)."""
+    return CODES.get(code, (Severity.ERROR, ""))[0]
+
+
+def code_title(code: str) -> str:
+    """The registry one-line title of ``code``."""
+    return CODES.get(code, (Severity.ERROR, "unknown diagnostic"))[1]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, pinned to a code and a program location."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def render(self) -> str:
+        """``error ML002: message  [at: location]  (hint: ...)``."""
+        parts = [f"{self.severity.label} {self.code}: {self.message}"]
+        if self.location:
+            parts.append(f"  at: {self.location}")
+        if self.hint:
+            parts.append(f"  hint: {self.hint}")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.location:
+            out["location"] = self.location
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of diagnostics with rendering helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------
+    def add(self, code: str, message: str, *, location: str = "", hint: str = "",
+            severity: Severity | None = None) -> Diagnostic:
+        """Append a diagnostic; the severity defaults from the registry."""
+        diagnostic = Diagnostic(
+            code=code,
+            severity=severity if severity is not None else default_severity(code),
+            message=message,
+            location=location,
+            hint=hint,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # -- queries --------------------------------------------------------
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was reported."""
+        return not self.errors
+
+    def clean(self, strict: bool = False) -> bool:
+        """No errors; under ``strict`` also no warnings."""
+        if strict:
+            return not self.errors and not self.warnings
+        return self.ok
+
+    def codes(self) -> list[str]:
+        """The distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit status for CI: 0 clean, 1 otherwise."""
+        return 0 if self.clean(strict) else 1
+
+    # -- rendering ------------------------------------------------------
+    def summary(self) -> str:
+        return (f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+                f"{len(self.infos)} info(s)")
+
+    def render_text(self) -> str:
+        """Human-readable listing, most severe first, summary last."""
+        if not self.diagnostics:
+            return "no findings: program is clean."
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.code, d.message),
+        )
+        lines = [d.render() for d in ordered]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dicts(self) -> dict:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+            "ok": self.ok,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dicts(), indent=indent, sort_keys=False)

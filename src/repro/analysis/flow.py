@@ -1,0 +1,253 @@
+"""Lattice-aware security-flow analysis (ML008 / ML009 / ML012 / ML013).
+
+Three leak-shaped properties are checked *before* evaluation:
+
+* **Downward flows** (ML008): a Sigma rule whose head m-atom is stored at
+  a level that does not dominate some body m-/b-atom's level (or the
+  body cell's classification) rewrites high data where lower-cleared
+  subjects can derive it -- the deductive analogue of a Bell-LaPadula
+  write-down.
+
+* **Surprise-story reconstruction** (ML009): the ground Sigma facts are
+  materialized through a facts-only :class:`~repro.multilog.proof.
+  OperationalEngine` and handed to the Section-7 surprise oracle
+  (:func:`repro.multilog.extensions.surprise_cells`, the deductive image
+  of :mod:`repro.mls.surprise`).  A detected story is reported at INFO
+  severity (the leak exists at query time); it escalates to WARNING when
+  some rule's optimistic/unknown-mode belief over the null-bearing
+  predicate can *re-derive* the story at or below the observing level --
+  the Section 2 scenario made into a rule.
+
+* **Belief feedback** (ML012, info): clauses whose bodies consult
+  beliefs, forcing the reduction into level specialization -- worth
+  knowing because level-cyclic feedback then fails stratification
+  (ML001) instead of evaluating.
+
+* **Unknown modes** (ML013): b-atoms whose ground mode is neither
+  built-in (``fir``/``opt``/``cau``) nor defined by a ``bel/7`` rule in
+  Pi -- the query would silently return no answers at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.terms import Constant, Variable
+from repro.errors import MultiLogError
+from repro.multilog.ast import (
+    BAtom,
+    BodyAtom,
+    Clause,
+    MAtom,
+    MMolecule,
+    MultiLogDatabase,
+)
+from repro.multilog.admissibility import LatticeContext
+from repro.multilog.proof import BUILTIN_MODES, USER_BELIEF_PREDICATE, atomize_body
+from repro.multilog.ast import PAtom
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One potential downward flow: the clause plus offending atoms."""
+
+    clause: str
+    head_level: str
+    source_level: str
+    source_kind: str  # "level" or "classification"
+    body_atom: str
+
+    def message(self) -> str:
+        return (
+            f"head is stored at level {self.head_level!r} but its body reads "
+            f"{self.body_atom} whose {self.source_kind} {self.source_level!r} is not "
+            f"dominated by {self.head_level!r}: data can flow downward"
+        )
+
+
+@dataclass(frozen=True)
+class SurpriseRisk:
+    """A surprise story visible at ``level``, plus any rules re-deriving it."""
+
+    pred: str
+    key: object
+    level: str
+    attributes: tuple[str, ...]
+    reconstructing_rules: tuple[str, ...]
+
+    def message(self) -> str:
+        attrs = ", ".join(self.attributes)
+        base = (
+            f"an observer at level {self.level!r} sees {self.pred}({self.key!r}) with "
+            f"null attribute(s) {attrs} no visible tuple covers: the existence of "
+            f"higher-classified data leaks (a surprise story)"
+        )
+        if self.reconstructing_rules:
+            rules = "; ".join(self.reconstructing_rules)
+            base += f"; rule(s) [{rules}] rebuild it through optimistic belief"
+        return base
+
+
+def _body_matoms(body: tuple[BodyAtom, ...]) -> list[tuple[MAtom, BodyAtom]]:
+    """The m-atoms consulted by a body, paired with the enclosing atom."""
+    out: list[tuple[MAtom, BodyAtom]] = []
+    for atom in atomize_body(body):
+        if isinstance(atom, MAtom):
+            out.append((atom, atom))
+        elif isinstance(atom, BAtom):
+            out.append((atom.matom, atom))
+    return out
+
+
+def downward_flows(db: MultiLogDatabase, context: LatticeContext) -> list[FlowFinding]:
+    """Every Sigma rule with a constant-level downward/lateral flow."""
+    lattice = context.lattice
+    findings: list[FlowFinding] = []
+    for clause in db.atomized_secured_clauses():
+        if clause.is_fact:
+            continue
+        head = clause.head
+        if not isinstance(head, MAtom) or not isinstance(head.level, Constant):
+            continue
+        head_level = str(head.level.value)
+        if head_level not in lattice.levels:
+            continue  # admissibility (ML005) already covers this
+        for matom, enclosing in _body_matoms(clause.body):
+            reported: set[str] = set()
+            for kind, term in (("level", matom.level), ("classification", matom.cls)):
+                if not isinstance(term, Constant):
+                    continue
+                source = str(term.value)
+                if source not in lattice.levels or source in reported:
+                    continue
+                if not lattice.leq(source, head_level):
+                    reported.add(source)
+                    findings.append(FlowFinding(
+                        str(clause), head_level, source, kind, str(enclosing)))
+    return findings
+
+
+def _ground_sigma_database(db: MultiLogDatabase) -> MultiLogDatabase | None:
+    """Lambda plus only the *ground* Sigma facts, or ``None`` when empty.
+
+    This is the static projection the surprise oracle runs on: rule-free,
+    so the facts-only fixpoint is trivial and analysis stays cheap.
+    """
+    facts: list[Clause] = []
+    for clause in db.secured_clauses:
+        if not clause.is_fact:
+            continue
+        head = clause.head
+        if isinstance(head, (MAtom, MMolecule)) and not head.variables():
+            facts.append(clause)
+    if not facts:
+        return None
+    return MultiLogDatabase(
+        lattice_clauses=list(db.lattice_clauses),
+        secured_clauses=facts,
+    )
+
+
+def _reconstructing_rules(db: MultiLogDatabase, context: LatticeContext,
+                          pred: str, level: str) -> tuple[str, ...]:
+    """Rules whose optimistic/unknown-mode belief over ``pred`` can land
+    the story at or below ``level`` (head level dominated or variable)."""
+    lattice = context.lattice
+    rules: list[str] = []
+    for clause in db.atomized_secured_clauses():
+        if clause.is_fact or not isinstance(clause.head, MAtom):
+            continue
+        consults_opt = False
+        for atom in atomize_body(clause.body):
+            if not isinstance(atom, BAtom) or atom.matom.pred != pred:
+                continue
+            mode = atom.mode
+            if isinstance(mode, Variable) or str(getattr(mode, "value", "")) == "opt":
+                consults_opt = True
+                break
+        if not consults_opt:
+            continue
+        head_level = clause.head.level
+        if isinstance(head_level, Variable):
+            rules.append(str(clause))
+        elif (str(head_level.value) in lattice.levels
+              and lattice.leq(str(head_level.value), level)):
+            rules.append(str(clause))
+    return tuple(rules)
+
+
+def surprise_risks(db: MultiLogDatabase, context: LatticeContext) -> list[SurpriseRisk]:
+    """Surprise stories latent in the ground Sigma facts, per level.
+
+    Reuses the runtime oracles: a facts-only operational engine
+    materializes the ground cells and :func:`~repro.multilog.extensions.
+    surprise_cells` performs the null-masking / covering test of
+    :mod:`repro.mls.surprise` on the deductive side.
+    """
+    from repro.multilog.extensions import surprise_cells
+    from repro.multilog.proof import OperationalEngine
+
+    ground = _ground_sigma_database(db)
+    if ground is None:
+        return []
+    lattice = context.lattice
+    risks: list[SurpriseRisk] = []
+    try:
+        engines = [OperationalEngine(ground, top, context)
+                   for top in sorted(lattice.tops())]
+    except MultiLogError:
+        return []
+    seen: set[tuple[str, object, str]] = set()
+    for level in sorted(lattice.levels):
+        stories: dict[tuple[str, object], set[str]] = {}
+        for engine in engines:
+            for row in surprise_cells(engine, level):
+                stories.setdefault((row[0], row[1]), set()).add(row[2])
+        for (pred, key), attrs in sorted(stories.items(), key=repr):
+            if (pred, key, level) in seen:
+                continue
+            seen.add((pred, key, level))
+            risks.append(SurpriseRisk(
+                pred, key, level, tuple(sorted(attrs)),
+                _reconstructing_rules(db, context, pred, level),
+            ))
+    return risks
+
+
+def belief_feedback(db: MultiLogDatabase) -> list[str]:
+    """Clauses whose bodies consult beliefs (forcing level specialization)."""
+    out: list[str] = []
+    for clause in db.atomized_secured_clauses() + db.atomized_plain_clauses():
+        if any(isinstance(atom, BAtom) for atom in atomize_body(clause.body)):
+            out.append(str(clause))
+    return out
+
+
+def declared_modes(db: MultiLogDatabase) -> frozenset[str]:
+    """Built-in modes plus the user modes defined by ``bel/7`` Pi heads."""
+    modes = set(BUILTIN_MODES)
+    for clause in db.atomized_plain_clauses():
+        head = clause.head
+        if (isinstance(head, PAtom) and head.pred == USER_BELIEF_PREDICATE
+                and len(head.args) == 7 and isinstance(head.args[6], Constant)):
+            modes.add(str(head.args[6].value))
+    return frozenset(modes)
+
+
+def unknown_modes(db: MultiLogDatabase) -> list[tuple[str, str]]:
+    """``(mode, where)`` for every ground b-atom mode nobody defines."""
+    modes = declared_modes(db)
+    out: list[tuple[str, str]] = []
+
+    def scan(body: tuple[BodyAtom, ...], where: str) -> None:
+        for atom in atomize_body(body):
+            if isinstance(atom, BAtom) and isinstance(atom.mode, Constant):
+                mode = str(atom.mode.value)
+                if mode not in modes:
+                    out.append((mode, where))
+
+    for clause in db.secured_clauses + db.plain_clauses:
+        scan(clause.body, f"clause {clause}")
+    for query in db.queries:
+        scan(query.body, f"query {query}")
+    return out

@@ -1,0 +1,198 @@
+"""Predicate dependency graphs with negation-cycle diagnostics.
+
+:mod:`repro.datalog.stratify` answers *whether* a program stratifies;
+this module answers *why not* -- it finds the actual cycle through
+negation and renders it (``win -not-> win`` or ``p -> q -not-> p``) so
+the diagnostic can name the offending predicates instead of pointing the
+user at a fixpoint overflow.
+
+The same graph drives dead-code analysis: :meth:`DependencyGraph.
+reachable` walks head -> body edges from a set of query roots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from repro.datalog.rules import Program
+
+
+@dataclass(frozen=True)
+class Edge:
+    """``head`` depends on ``body`` (negatively when ``negative``)."""
+
+    head: str
+    body: str
+    negative: bool
+
+
+@dataclass
+class DependencyGraph:
+    """Predicate-level dependency graph of a Datalog program."""
+
+    nodes: set[str] = field(default_factory=set)
+    edges: list[Edge] = field(default_factory=list)
+
+    @classmethod
+    def from_program(cls, program: Program) -> "DependencyGraph":
+        graph = cls()
+        graph.nodes.update(program.predicates())
+        seen: set[Edge] = set()
+        for rule in program.rules:
+            for literal in rule.body:
+                if literal.atom.is_builtin:
+                    continue
+                edge = Edge(rule.head.predicate, literal.predicate, not literal.positive)
+                if edge not in seen:
+                    seen.add(edge)
+                    graph.edges.append(edge)
+        return graph
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[str, str, bool]]) -> "DependencyGraph":
+        graph = cls()
+        for head, body, negative in edges:
+            graph.nodes.update((head, body))
+            graph.edges.append(Edge(head, body, negative))
+        return graph
+
+    # -- adjacency ------------------------------------------------------
+    def successors(self) -> dict[str, list[Edge]]:
+        """Outgoing edges per node (``head -> [edges to bodies]``)."""
+        out: dict[str, list[Edge]] = {node: [] for node in self.nodes}
+        for edge in self.edges:
+            out.setdefault(edge.head, []).append(edge)
+        return out
+
+    # -- reachability ---------------------------------------------------
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Every predicate reachable from ``roots`` along head -> body edges."""
+        adjacency = self.successors()
+        seen: set[str] = set()
+        queue = deque(root for root in roots if root in self.nodes or root in adjacency)
+        seen.update(queue)
+        while queue:
+            node = queue.popleft()
+            for edge in adjacency.get(node, ()):
+                if edge.body not in seen:
+                    seen.add(edge.body)
+                    queue.append(edge.body)
+        return seen
+
+    # -- strongly connected components ----------------------------------
+    def sccs(self) -> list[set[str]]:
+        """Strongly connected components (iterative Tarjan)."""
+        adjacency = self.successors()
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        components: list[set[str]] = []
+
+        for start in sorted(self.nodes):
+            if start in index:
+                continue
+            work: list[tuple[str, int]] = [(start, 0)]
+            while work:
+                node, edge_index = work.pop()
+                if edge_index == 0:
+                    index[node] = lowlink[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                successors = adjacency.get(node, ())
+                for position in range(edge_index, len(successors)):
+                    successor = successors[position].body
+                    if successor not in index:
+                        work.append((node, position + 1))
+                        work.append((successor, 0))
+                        recursed = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index[successor])
+                if recursed:
+                    continue
+                if lowlink[node] == index[node]:
+                    component: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                else:
+                    # Propagate the lowlink to the parent on the work list.
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return components
+
+    # -- negation cycles ------------------------------------------------
+    def negation_cycles(self) -> list[list[Edge]]:
+        """Cycles through negation, one witness per offending negative edge.
+
+        An edge ``h -not-> b`` lies on a negation cycle when ``b`` reaches
+        ``h`` inside the same strongly connected component.  Each witness
+        is the edge list of the full cycle (negative edge first, then a
+        shortest path back), ready for :func:`render_cycle`.
+        """
+        component_of: dict[str, int] = {}
+        for position, component in enumerate(self.sccs()):
+            for node in component:
+                component_of[node] = position
+        adjacency = self.successors()
+        cycles: list[list[Edge]] = []
+        for edge in self.edges:
+            if not edge.negative:
+                continue
+            if component_of.get(edge.head) != component_of.get(edge.body):
+                continue
+            path = self._shortest_path(edge.body, edge.head, adjacency,
+                                       component_of[edge.head])
+            if path is not None:
+                cycles.append([edge, *path])
+        return cycles
+
+    def _shortest_path(self, start: str, target: str,
+                       adjacency: dict[str, list[Edge]],
+                       component: int | None = None) -> list[Edge] | None:
+        """BFS path ``start -> ... -> target`` (``[]`` when they coincide)."""
+        if start == target:
+            return []
+        parents: dict[str, Edge] = {}
+        queue = deque([start])
+        seen = {start}
+        while queue:
+            node = queue.popleft()
+            for edge in adjacency.get(node, ()):
+                if edge.body in seen:
+                    continue
+                parents[edge.body] = edge
+                if edge.body == target:
+                    path: list[Edge] = []
+                    cursor = target
+                    while cursor != start:
+                        step = parents[cursor]
+                        path.append(step)
+                        cursor = step.head
+                    path.reverse()
+                    return path
+                seen.add(edge.body)
+                queue.append(edge.body)
+        return None
+
+
+def render_cycle(cycle: list[Edge]) -> str:
+    """``p -not-> q -> p`` -- the cycle as an arrow chain."""
+    if not cycle:
+        return ""
+    parts = [cycle[0].head]
+    for edge in cycle:
+        arrow = "-not->" if edge.negative else "->"
+        parts.append(f"{arrow} {edge.body}")
+    return " ".join(parts)

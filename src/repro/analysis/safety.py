@@ -1,0 +1,64 @@
+"""Safety (range-restriction) lint over programs and MultiLog clauses.
+
+A thin adapter from :meth:`repro.datalog.rules.Rule.safety_violations`
+(which collects *every* defect instead of raising on the first) to
+diagnostics: head violations become ``ML002``, negated/built-in literal
+violations become ``ML003``.  MultiLog clauses get the source-level
+analogue -- every head variable must occur in the body -- reported
+against the original clause text rather than its tau-reduction.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.rules import Program, SafetyViolation
+from repro.multilog.ast import Clause, MultiLogDatabase
+from repro.multilog.proof import atomize_body
+
+from repro.analysis.diagnostics import AnalysisReport
+
+
+def violation_code(violation: SafetyViolation) -> str:
+    return "ML002" if violation.kind == "head" else "ML003"
+
+
+def lint_program_safety(program: Program, report: AnalysisReport) -> None:
+    """Append one diagnostic per range-restriction defect of ``program``."""
+    for violation in program.safety_violations():
+        report.add(
+            violation_code(violation),
+            violation.message(),
+            location=f"rule {violation.rule!r}",
+            hint="bind the variable(s) in a positive, non-built-in body literal",
+        )
+    for fact in program.facts:
+        if fact.is_builtin:
+            report.add(
+                "ML003",
+                f"built-in predicate {fact.predicate!r} cannot be asserted as a fact",
+                location=f"fact {fact!r}.",
+                hint="built-in comparisons are evaluated, not stored",
+            )
+
+
+def _clause_head_violations(clause: Clause) -> list[str]:
+    """Head variables of ``clause`` that no body atom binds."""
+    body_vars = set()
+    for atom in atomize_body(clause.body):
+        body_vars |= atom.variables()
+    unbound = clause.head.variables() - body_vars
+    return sorted(v.name for v in unbound)
+
+
+def lint_database_safety(db: MultiLogDatabase, report: AnalysisReport) -> None:
+    """Source-level range restriction for every Sigma/Pi rule."""
+    for clause in db.atomized_secured_clauses() + db.atomized_plain_clauses():
+        if clause.is_fact:
+            continue
+        unbound = _clause_head_violations(clause)
+        if unbound:
+            report.add(
+                "ML002",
+                f"head variable(s) {unbound} of clause {clause} do not occur in the body",
+                location=f"clause {clause}",
+                hint="bind the variable(s) in a body atom, or make them constants",
+            )

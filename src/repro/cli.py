@@ -13,8 +13,16 @@ Run ``python -m repro.cli [program.mlog] [--clearance LEVEL]`` (or the
 
 Commands: ``:help``, ``:load FILE``, ``:clearance LEVEL``, ``:engine
 operational|reduction``, ``:modes``, ``:lattice``, ``:cells``,
-``:believe MODE [LEVEL]``, ``:consistency``, ``:prove QUERY``,
-``:stats``, ``:explain``, ``:trace on|off``, ``:quit``.
+``:believe MODE [LEVEL]``, ``:consistency``, ``:lint``, ``:prove
+QUERY``, ``:stats``, ``:explain``, ``:trace on|off``, ``:quit``.
+
+Static analysis: ``multilog lint FILE...`` runs the compile-time
+analyzer (:mod:`repro.analysis`) over MultiLog sources (or plain
+Datalog ``.dl`` files) without evaluating them -- ``--strict`` fails on
+warnings, ``--format=json`` emits machine-readable diagnostics, and
+``--workload d1|mission`` lints the built-in workloads.  The shell's
+``--lint-only`` flag analyzes the program and exits non-zero on any
+error-severity finding instead of starting a REPL.
 
 Observability: ``--trace`` (or ``:trace on``) prints the span tree after
 each query, ``:stats`` shows the session's cumulative engine metrics,
@@ -50,6 +58,7 @@ Enter MultiLog clauses (ending with '.') to assert them, or queries
   :cells                    list every derivable m-cell
   :believe MODE [LEVEL]     show the believed cells in MODE
   :consistency              run the Definition 5.4 checks
+  :lint                     run the static analyzer over the database
   :prove QUERY              print a proof tree for QUERY
   :stats                    cumulative engine metrics for this session
   :explain                  compiled join plans of the reduced program
@@ -134,6 +143,8 @@ class Shell:
             if report.ok:
                 return "consistent (Definition 5.4 satisfied)."
             return "\n".join(report.all_messages())
+        if name == "lint":
+            return self.session.analyze().render_text()
         if name == "prove":
             tree = self.session.prove(argument)
             return tree.pretty() if tree is not None else "no proof."
@@ -211,8 +222,96 @@ class Shell:
         return "\n".join(lines)
 
 
+def _analyze_text(name: str, text: str, clearance: str | None):
+    """Analyze one source text; parse failures become ML000 diagnostics."""
+    from repro.analysis import AnalysisReport, analyze_database, analyze_program
+
+    try:
+        if name.endswith(".dl"):
+            from repro.datalog.parse import parse_program
+
+            return analyze_program(parse_program(text))
+        from repro.multilog.parser import parse_database
+
+        return analyze_database(parse_database(text), clearance)
+    except ReproError as exc:
+        report = AnalysisReport()
+        report.add("ML000", str(exc), location=name,
+                   hint="fix the syntax error; nothing else was checked")
+        return report
+
+
+def _lint_inputs(args) -> list[tuple[str, object]]:
+    """``(name, report)`` per input file / workload, in argument order."""
+    reports: list[tuple[str, object]] = []
+    for path_arg in args.paths:
+        path = Path(path_arg)
+        if not path.exists():
+            from repro.analysis import AnalysisReport
+
+            report = AnalysisReport()
+            report.add("ML000", f"no such file: {path_arg}", location=path_arg)
+            reports.append((path_arg, report))
+            continue
+        reports.append(
+            (path_arg, _analyze_text(path_arg, path.read_text(), args.clearance)))
+    for workload in args.workload:
+        from repro.analysis import analyze_database
+        from repro.workloads import d1_database, mission_multilog
+
+        db = d1_database() if workload == "d1" else mission_multilog()
+        reports.append((f"workload:{workload}",
+                        analyze_database(db, args.clearance)))
+    return reports
+
+
+def lint_main(argv: list[str]) -> int:
+    """``multilog lint``: analyze sources without evaluating them."""
+    parser = argparse.ArgumentParser(
+        prog="multilog lint",
+        description="Run the compile-time analyzer (stratification, safety, "
+                    "arity, security-flow and dead-code lint) over MultiLog "
+                    "sources or plain Datalog .dl files.")
+    parser.add_argument("paths", nargs="*",
+                        help="source files (.mlog/.dl) to analyze")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too, not just errors")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format")
+    parser.add_argument("--clearance", default=None,
+                        help="analyze at this clearance (default: lattice tops)")
+    parser.add_argument("--workload", action="append", default=[],
+                        choices=("d1", "mission"),
+                        help="also lint a built-in workload (repeatable)")
+    args = parser.parse_args(argv)
+    if not args.paths and not args.workload:
+        parser.error("nothing to lint: give at least one file or --workload")
+
+    reports = _lint_inputs(args)
+    exit_code = 0
+    if args.format == "json":
+        import json
+
+        payload = {
+            "inputs": {name: report.to_dicts() for name, report in reports},
+            "ok": all(report.clean(args.strict) for _, report in reports),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in reports:
+            print(f"== {name} ==")
+            print(report.render_text())
+    for _, report in reports:
+        exit_code = max(exit_code, report.exit_code(args.strict))
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``multilog`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
     parser.add_argument("program", nargs="?", help="MultiLog source file to load")
     parser.add_argument("--clearance", help="session clearance (default: lattice top)")
@@ -221,9 +320,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--explain", action="store_true",
                         help="dump the compiled join plans of the reduced "
                              "program and exit")
+    parser.add_argument("--lint-only", action="store_true",
+                        help="run the static analyzer over the program and "
+                             "exit (non-zero on any error-severity finding)")
     args = parser.parse_args(argv)
 
     source = Path(args.program).read_text() if args.program else ""
+    if args.lint_only:
+        report = _analyze_text(args.program or "<empty>", source, args.clearance)
+        print(report.render_text())
+        return report.exit_code(strict=False)
     shell = Shell(source, args.clearance, trace=args.trace)
     if args.explain:
         print(shell.session.explain())

@@ -20,7 +20,7 @@ from repro.datalog.engine import (
 from repro.datalog.magic import MagicProgram, magic_query, magic_transform
 from repro.datalog.plan import CompiledRule, compile_rule
 from repro.datalog.parse import parse_atom, parse_program
-from repro.datalog.rules import Program, Rule
+from repro.datalog.rules import Program, Rule, SafetyViolation
 from repro.datalog.stratify import dependencies, strata, stratify
 from repro.datalog.terms import Constant, Term, Variable, fresh_variable, make_term
 from repro.datalog.topdown import TopDownEngine
@@ -44,6 +44,7 @@ __all__ = [
     "Program",
     "Row",
     "Rule",
+    "SafetyViolation",
     "Substitution",
     "Term",
     "TopDownEngine",

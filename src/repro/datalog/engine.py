@@ -314,7 +314,8 @@ def _evaluate_stratum_seminaive(rules: list[Rule], db: Database,
 
 def evaluate(program: Program, strategy: str = "compiled",
              optimize_joins: bool = False,
-             budget: EvaluationBudget | None = None) -> Database:
+             budget: EvaluationBudget | None = None,
+             analyze: bool = False) -> Database:
     """The stratified least model of ``program`` as a :class:`Database`.
 
     ``optimize_joins`` reorders rule bodies most-bound-first before
@@ -330,12 +331,23 @@ def evaluate(program: Program, strategy: str = "compiled",
     ambient budget meter; an overrun raises
     :class:`~repro.errors.BudgetExceededError` with the partial metrics
     attached when a collector is active.
+
+    ``analyze=True`` runs the full static analyzer (:mod:`repro.
+    analysis`) first and raises :class:`DatalogError` listing *every*
+    error-severity finding -- unlike the default fail-fast path, which
+    stops at the first unsafe rule or stratification failure.
     """
     if strategy not in ("naive", "seminaive", "compiled"):
         raise DatalogError(f"unknown evaluation strategy {strategy!r}")
     ctx = _current_obs()
     recorder, metrics = ctx.recorder, ctx.metrics
     meter = BudgetMeter(budget) if budget is not None else ctx.meter
+    if analyze:
+        from repro.analysis import analyze_program
+        report = analyze_program(program)
+        if not report.ok:
+            raise DatalogError(
+                "static analysis rejected the program:\n" + report.render_text())
     program.check_safety()
     with recorder.span("evaluate", strategy=strategy) as evaluate_span:
         with recorder.span("stratify") as span:

@@ -15,10 +15,39 @@ violate -- see DESIGN.md):
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.terms import Variable
 from repro.errors import UnsafeRuleError
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One range-restriction defect of one rule.
+
+    ``kind`` is ``"head"`` (head variable unbound), ``"negated"`` or
+    ``"built-in"`` (literal variable unbound); ``literal`` is ``None``
+    for head violations.  :meth:`message` reproduces the historical
+    single-error text of :meth:`Rule.check_safety`, so collecting callers
+    and the raising engine path stay word-for-word consistent.
+    """
+
+    rule: "Rule"
+    kind: str
+    variables: tuple[str, ...]
+    literal: Literal | None = None
+
+    def message(self) -> str:
+        if self.kind == "head":
+            return (
+                f"head variable(s) {list(self.variables)} of rule "
+                f"{self.rule!r} do not occur in a positive body literal"
+            )
+        return (
+            f"variable(s) {list(self.variables)} of {self.kind} literal "
+            f"{self.literal!r} in rule {self.rule!r} do not occur in a positive literal"
+        )
 
 
 class Rule:
@@ -46,27 +75,40 @@ class Rule:
     def negative_body(self) -> list[Literal]:
         return [l for l in self.body if not l.positive]
 
-    def check_safety(self) -> None:
-        """Raise :class:`UnsafeRuleError` when the rule is not range-restricted."""
+    def safety_violations(self) -> list[SafetyViolation]:
+        """*All* range-restriction defects of this rule (empty when safe).
+
+        Unlike :meth:`check_safety` this never raises: the static
+        analyzer (:mod:`repro.analysis`) uses it to report every
+        offender in a program up front instead of one per run.
+        """
         bound: set[Variable] = set()
         for literal in self.positive_body():
             bound |= literal.variables()
+        violations: list[SafetyViolation] = []
         unbound_head = self.head.variables() - bound
         if unbound_head:
-            raise UnsafeRuleError(
-                f"head variable(s) {sorted(v.name for v in unbound_head)} of rule "
-                f"{self!r} do not occur in a positive body literal"
-            )
+            violations.append(SafetyViolation(
+                self, "head", tuple(sorted(v.name for v in unbound_head))))
         for literal in self.body:
             if literal.positive and not literal.atom.is_builtin:
                 continue
             unbound = literal.variables() - bound
             if unbound:
                 kind = "negated" if not literal.positive else "built-in"
-                raise UnsafeRuleError(
-                    f"variable(s) {sorted(v.name for v in unbound)} of {kind} literal "
-                    f"{literal!r} in rule {self!r} do not occur in a positive literal"
-                )
+                violations.append(SafetyViolation(
+                    self, kind, tuple(sorted(v.name for v in unbound)), literal))
+        return violations
+
+    def check_safety(self) -> None:
+        """Raise :class:`UnsafeRuleError` when the rule is not range-restricted.
+
+        The engine's fail-fast path: raises on the *first* violation.
+        Use :meth:`safety_violations` to collect all of them.
+        """
+        violations = self.safety_violations()
+        if violations:
+            raise UnsafeRuleError(violations[0].message())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Rule):
@@ -108,6 +150,17 @@ class Program:
     def extend(self, other: "Program") -> "Program":
         """A new program containing both rule/fact sets."""
         return Program(self.rules + other.rules, self.facts + other.facts)
+
+    def safety_violations(self) -> list[SafetyViolation]:
+        """Every rule's range-restriction defects, collected program-wide.
+
+        (Asserted built-in facts are a separate defect class; the raising
+        :meth:`check_safety` still rejects them.)
+        """
+        violations: list[SafetyViolation] = []
+        for rule in self.rules:
+            violations.extend(rule.safety_violations())
+        return violations
 
     def check_safety(self) -> None:
         for rule in self.rules:

@@ -119,6 +119,21 @@ class UnknownModeError(MultiLogError):
     """A belief mode was used that is not declared in the session."""
 
 
+class AnalysisError(MultiLogError):
+    """Static analysis rejected the program before evaluation.
+
+    Raised by lint-gated entry points (``MultiLogSession(lint=True)``,
+    ``evaluate(..., analyze=True)``) when :mod:`repro.analysis` reports
+    error-severity diagnostics.  ``report`` carries the full
+    :class:`~repro.analysis.AnalysisReport` so callers can render every
+    finding, not just the first.
+    """
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        self.report = report
+
+
 class BeliefRecursionError(MultiLogError):
     """Belief recursion is not level-stratified (the fixpoint oscillates).
 

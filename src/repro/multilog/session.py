@@ -60,7 +60,7 @@ class MultiLogSession:
     """One user's view of a MultiLog database at a fixed clearance."""
 
     def __init__(self, source: str | MultiLogDatabase, clearance: str | None = None,
-                 budget: EvaluationBudget | None = None):
+                 budget: EvaluationBudget | None = None, lint: bool = False):
         if isinstance(source, str):
             self.database = parse_database(source)
         else:
@@ -88,6 +88,11 @@ class MultiLogSession:
         self._metrics = MetricsCollector()
         self._last_recorder: TraceRecorder | None = None
         self._last_stats: EngineMetrics | None = None
+        if lint:
+            report = self.analyze()
+            if not report.ok:
+                from repro.errors import AnalysisError
+                raise AnalysisError(report.render_text(), report)
 
     # ------------------------------------------------------------------
     def _revalidate(self) -> None:
@@ -226,6 +231,26 @@ class MultiLogSession:
     def check_consistency(self) -> ConsistencyReport:
         """Run the Definition 5.4 checks over ``[[Sigma]]``."""
         return check_consistency(self.database, self.context)
+
+    def analyze(self):
+        """Run the compile-time analyzer over this session's database.
+
+        Returns the :class:`~repro.analysis.AnalysisReport` with every
+        finding (safety, arity, stratification, security flows, dead
+        code) at this session's clearance.  The pass runs under its own
+        trace recorder, so ``last_trace()`` / ``:trace`` afterwards show
+        the ``analyze`` span -- and the reductions it stratifies stay in
+        the translate memo for the next ``ask``.
+        """
+        from repro.analysis import analyze_database
+
+        self._revalidate()
+        recorder = TraceRecorder()
+        ctx = ObsContext(recorder, self._metrics)
+        with _use_obs(ctx):
+            report = analyze_database(self.database, self.clearance)
+        self._finish_ask(recorder)
+        return report
 
     def run_stored_queries(self, engine: str = "operational") -> list[tuple[Query, list[dict[str, object]]]]:
         """Answer every query stored in the database's Q component.

@@ -1,0 +1,152 @@
+"""Golden corpus: bad programs and the diagnostic codes they must emit.
+
+Each case is (name, source, expected codes).  The corpus is the
+compatibility contract of the analyzer: code assignments here may grow
+but must never silently change.
+"""
+
+import pytest
+
+from repro.analysis import analyze_database, analyze_program
+from repro.datalog import parse_program
+from repro.multilog.parser import parse_database
+
+# --- plain Datalog -------------------------------------------------------
+
+DATALOG_CASES = [
+    ("unstratifiable_self", "win(X) :- move(X, Y), not win(Y). "
+     "win(X) :- move(X, X), not win(X). move(1, 2).", {"ML001"}),
+    ("unstratifiable_two_step",
+     "p(X) :- q(X), not r(X). r(X) :- p(X). q(1).", {"ML001"}),
+    ("unsafe_head", "p(X, Y) :- q(X). q(1).", {"ML002"}),
+    ("unsafe_negated", "p(X) :- q(X), not r(Y). q(1). r(2).", {"ML003"}),
+    ("unsafe_builtin", "p(X) :- q(X), Y < 3. q(1).", {"ML003"}),
+    ("arity_clash", "edge(a, b). path(X) :- edge(X).", {"ML004"}),
+    ("arity_clash_heads", "p(a). p(a, b).", {"ML004"}),
+    ("many_problems",
+     "p(X, Y) :- q(X). r(X) :- q(X), not s(Y). s(X) :- r(X). q(1).",
+     {"ML001", "ML002", "ML003"}),
+]
+
+
+@pytest.mark.parametrize("name,source,codes",
+                         DATALOG_CASES, ids=[c[0] for c in DATALOG_CASES])
+def test_datalog_corpus(name, source, codes):
+    report = analyze_program(parse_program(source))
+    assert set(report.codes()) >= codes, report.render_text()
+    assert not report.ok
+
+
+# --- MultiLog ------------------------------------------------------------
+
+MULTILOG_BAD = [
+    ("undeclared_label",
+     "level(u). s[p(k : a -s-> v)].", {"ML005"}),
+    ("order_undeclared_level",
+     "level(u). order(u, s). u[p(k : a -u-> v)].", {"ML005"}),
+    ("order_cycle",
+     "level(a). level(b). order(a, b). order(b, a). a[p(k : x -a-> v)].",
+     {"ML007"}),
+    ("unknown_mode_query",
+     "level(u). u[p(k : a -u-> v)]. ?- u[p(K : a -u-> V)] << zap.",
+     {"ML013"}),
+    ("unknown_mode_body",
+     "level(u). u[p(k : a -u-> v)]. "
+     "u[q(k : a -u-> w)] :- u[p(k : a -u-> v)] << wishful.",
+     {"ML013"}),
+    ("unsafe_multilog_head",
+     "level(u). u[p(k : a -u-> V)] :- u[q(k : a -u-> w)].", {"ML002"}),
+    ("reserved_arity_misuse",
+     "level(u). u[p(k : a -u-> v)]. ord(X) :- order(X).", {"ML004"}),
+    ("belief_feedback_unstratifiable",
+     # Rebuilding secret data at U via optimistic belief over S feeds
+     # rel@u back into bel@s: the specialized reduction cannot stratify.
+     "level(u). level(s). order(u, s). "
+     "s[mission(phantom : starship -u-> phantom; objective -s-> spying)]. "
+     "u[guess(K : objective -u-> V)] :- s[mission(K : objective -s-> V)] << opt.",
+     {"ML001"}),
+]
+
+
+@pytest.mark.parametrize("name,source,codes",
+                         MULTILOG_BAD, ids=[c[0] for c in MULTILOG_BAD])
+def test_multilog_error_corpus(name, source, codes):
+    report = analyze_database(parse_database(source))
+    assert set(report.codes()) >= codes, report.render_text()
+    assert not report.ok
+
+
+MULTILOG_WARN = [
+    ("downward_flow",
+     "level(u). level(s). order(u, s). s[emp(1 : sal -s-> 50)]. "
+     "u[leak(K : sal -u-> V)] :- s[emp(K : sal -s-> V)].",
+     {"ML008"}),
+    ("downward_classification",
+     "level(u). level(s). order(u, s). "
+     "u[view(K : a -s-> V)] :- u[raw(K : a -s-> V)]. "
+     "u[raw(1 : a -s-> x)].",
+     {"ML008"}),
+    ("surprise_reconstruction",
+     # The latent story (secret objective of a low-visible key) PLUS a
+     # rule whose optimistic belief over an incomparable branch rebuilds
+     # it at the observing level: warning severity.
+     "level(b). level(u1). level(u2). level(s). "
+     "order(b, u1). order(b, u2). order(u1, s). order(u2, s). "
+     "s[mission(phantom : starship -b-> phantom; objective -s-> spying)]. "
+     "u1[guess(K : objective -u1-> V)] :- u2[mission(K : objective -C-> V)] << opt.",
+     {"ML008", "ML009"}),
+    ("dead_predicate",
+     "level(u). u[used(1 : a -u-> x)]. u[unused(1 : a -u-> y)]. "
+     "?- u[used(K : a -u-> V)].",
+     {"ML010"}),
+]
+
+
+@pytest.mark.parametrize("name,source,codes",
+                         MULTILOG_WARN, ids=[c[0] for c in MULTILOG_WARN])
+def test_multilog_warning_corpus(name, source, codes):
+    report = analyze_database(parse_database(source))
+    assert set(report.codes()) >= codes, report.render_text()
+    assert report.ok, report.render_text()          # warnings, not errors
+    assert not report.clean(strict=True)
+
+
+MULTILOG_INFO = [
+    ("unused_level",
+     "level(u). level(mid). level(s). order(u, mid). order(mid, s). "
+     "u[p(1 : a -u-> v)]. ?- u[p(K : a -u-> V)].",
+     {"ML011"}),
+    ("belief_feedback",
+     "level(u). level(s). order(u, s). u[p(k : a -u-> v)]. "
+     "s[q(k : a -s-> w)] :- u[p(k : a -u-> v)] << cau.",
+     {"ML012"}),
+    ("surprise_story_data_only",
+     # The story exists in the data but no rule rebuilds it: info only.
+     "level(u). level(s). order(u, s). "
+     "s[mission(phantom : starship -u-> phantom; objective -s-> spying)].",
+     {"ML009"}),
+]
+
+
+@pytest.mark.parametrize("name,source,codes",
+                         MULTILOG_INFO, ids=[c[0] for c in MULTILOG_INFO])
+def test_multilog_info_corpus(name, source, codes):
+    report = analyze_database(parse_database(source))
+    assert set(report.codes()) >= codes, report.render_text()
+    assert report.clean(strict=True), report.render_text()  # infos never fail
+
+
+def test_every_finding_reported_not_just_first():
+    # Two unsafe rules and an arity clash: the analyzer reports all of
+    # them in one pass, unlike the engine's fail-fast check_safety.
+    source = "p(X, Y) :- q(X). r(A, B) :- q(A). q(1). q(1, 2)."
+    report = analyze_program(parse_program(source))
+    assert len(report.by_code("ML002")) == 2
+    assert len(report.by_code("ML004")) == 1
+
+
+def test_cycle_witness_names_the_predicates():
+    report = analyze_program(parse_program(
+        "p(X) :- q(X), not r(X). r(X) :- p(X). q(1)."))
+    [d] = report.by_code("ML001")
+    assert "p -not-> r -> p" in d.message

@@ -1,0 +1,96 @@
+"""The diagnostic registry and report machinery."""
+
+import json
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    Severity,
+    code_title,
+    default_severity,
+)
+
+
+class TestRegistry:
+    def test_codes_are_stable(self):
+        # Append-only contract: these exact codes exist with these severities.
+        expected = {
+            "ML000": Severity.ERROR,
+            "ML001": Severity.ERROR,
+            "ML002": Severity.ERROR,
+            "ML003": Severity.ERROR,
+            "ML004": Severity.ERROR,
+            "ML005": Severity.ERROR,
+            "ML006": Severity.ERROR,
+            "ML007": Severity.ERROR,
+            "ML008": Severity.WARNING,
+            "ML009": Severity.WARNING,
+            "ML010": Severity.WARNING,
+            "ML011": Severity.INFO,
+            "ML012": Severity.INFO,
+            "ML013": Severity.ERROR,
+        }
+        for code, severity in expected.items():
+            assert CODES[code][0] is severity
+            assert code_title(code)
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        assert Severity.WARNING.label == "warning"
+
+    def test_unknown_code_defaults_to_error(self):
+        assert default_severity("ML999") is Severity.ERROR
+
+
+class TestReport:
+    def test_add_defaults_severity_from_registry(self):
+        report = AnalysisReport()
+        d = report.add("ML008", "flows down")
+        assert d.severity is Severity.WARNING
+        assert report.warnings == [d]
+
+    def test_severity_override(self):
+        report = AnalysisReport()
+        d = report.add("ML009", "data-only story", severity=Severity.INFO)
+        assert d.severity is Severity.INFO
+        assert report.ok
+
+    def test_clean_and_exit_codes(self):
+        report = AnalysisReport()
+        assert report.clean() and report.clean(strict=True)
+        assert report.exit_code() == 0
+        report.add("ML010", "dead")
+        assert report.ok and report.clean() and not report.clean(strict=True)
+        assert report.exit_code() == 0 and report.exit_code(strict=True) == 1
+        report.add("ML001", "cycle")
+        assert not report.ok and report.exit_code() == 1
+
+    def test_render_text_orders_most_severe_first(self):
+        report = AnalysisReport()
+        report.add("ML011", "unused level")
+        report.add("ML001", "cycle")
+        report.add("ML008", "down flow")
+        lines = report.render_text().splitlines()
+        assert lines[0].startswith("error ML001")
+        assert "1 error(s), 1 warning(s), 1 info(s)" in lines[-1]
+
+    def test_empty_render(self):
+        assert "clean" in AnalysisReport().render_text()
+
+    def test_json_round_trip(self):
+        report = AnalysisReport()
+        report.add("ML004", "clash", location="rule r", hint="fix it")
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        [d] = payload["diagnostics"]
+        assert d == {"code": "ML004", "severity": "error", "message": "clash",
+                     "location": "rule r", "hint": "fix it"}
+        assert payload["summary"] == {"errors": 1, "warnings": 0, "infos": 0}
+
+    def test_by_code_and_codes(self):
+        report = AnalysisReport()
+        report.add("ML002", "a")
+        report.add("ML002", "b")
+        report.add("ML010", "c")
+        assert report.codes() == ["ML002", "ML010"]
+        assert len(report.by_code("ML002")) == 2

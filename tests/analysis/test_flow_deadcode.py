@@ -1,0 +1,128 @@
+"""Unit coverage for the security-flow and dead-code passes."""
+
+from repro.analysis import (
+    analyze_database,
+    belief_feedback,
+    dead_database_predicates,
+    declared_modes,
+    downward_flows,
+    surprise_risks,
+    unknown_modes,
+    unused_levels,
+)
+from repro.multilog.admissibility import check_admissibility
+from repro.multilog.parser import parse_database
+from repro.workloads import d1_database, mission_multilog
+
+CHAIN = "level(u). level(c). level(s). order(u, c). order(c, s). "
+
+
+def ctx_of(db):
+    return check_admissibility(db)
+
+
+class TestDownwardFlows:
+    def test_upward_flow_is_fine(self):
+        db = parse_database(
+            CHAIN + "u[p(1 : a -u-> v)]. "
+            "s[q(K : a -s-> V)] :- u[p(K : a -u-> V)].")
+        assert downward_flows(db, ctx_of(db)) == []
+
+    def test_downward_level_flow(self):
+        db = parse_database(
+            CHAIN + "s[p(1 : a -s-> v)]. "
+            "u[q(K : a -u-> V)] :- s[p(K : a -s-> V)].")
+        findings = downward_flows(db, ctx_of(db))
+        assert len(findings) == 1
+        assert findings[0].head_level == "u" and findings[0].source_level == "s"
+
+    def test_same_label_reported_once(self):
+        # Body level and classification are both 's': one finding, not two.
+        db = parse_database(
+            CHAIN + "s[p(1 : a -s-> v)]. "
+            "u[q(K : a -u-> V)] :- s[p(K : a -s-> V)].")
+        assert len(downward_flows(db, ctx_of(db))) == 1
+
+    def test_variable_levels_are_skipped(self):
+        db = parse_database(
+            CHAIN + "s[p(1 : a -s-> v)]. "
+            "s[q(K : a -s-> V)] :- L[p(K : a -C-> V)].")
+        assert downward_flows(db, ctx_of(db)) == []
+
+
+class TestSurprise:
+    def test_covered_null_is_no_story(self):
+        # A believable u-tuple papers over the missing secret value.
+        db = parse_database(
+            CHAIN + "s[m(k : starship -u-> k; obj -s-> secret)]. "
+            "u[m(k : starship -u-> k; obj -u-> cover)].")
+        assert surprise_risks(db, ctx_of(db)) == []
+
+    def test_uncovered_null_is_a_story(self):
+        db = parse_database(
+            CHAIN + "s[m(k : starship -u-> k; obj -s-> secret)].")
+        risks = surprise_risks(db, ctx_of(db))
+        assert {r.level for r in risks} == {"u", "c"}
+        assert all(r.pred == "m" and "obj" in r.attributes for r in risks)
+
+    def test_mission_workload_story_detected(self):
+        db = mission_multilog()
+        risks = surprise_risks(db, ctx_of(db))
+        assert any(r.key == "phantom" for r in risks)
+        # The workload ships no reconstruction rules: info-grade only.
+        assert all(not r.reconstructing_rules for r in risks)
+
+
+class TestModes:
+    def test_builtin_and_user_modes(self):
+        db = parse_database(
+            CHAIN + "u[p(1 : a -u-> v)]. "
+            "bel(P, K, A, V, C, L, trusting) :- bel(P, K, A, V, C, L, cau). "
+            "?- u[p(K : a -u-> V)] << trusting.")
+        assert "trusting" in declared_modes(db)
+        assert unknown_modes(db) == []
+
+    def test_unknown_mode_found_everywhere(self):
+        db = parse_database(
+            CHAIN + "u[p(1 : a -u-> v)]. "
+            "u[q(K : a -u-> V)] :- u[p(K : a -u-> V)] << bogus. "
+            "?- u[p(K : a -u-> V)] << phony.")
+        assert {m for m, _ in unknown_modes(db)} == {"bogus", "phony"}
+
+
+class TestBeliefFeedback:
+    def test_d1_r8_flagged(self):
+        assert len(belief_feedback(d1_database())) == 1
+
+    def test_plain_rules_not_flagged(self):
+        db = parse_database(CHAIN + "u[p(1 : a -u-> v)]. q(X) :- r(X). r(1).")
+        assert belief_feedback(db) == []
+
+
+class TestDeadCode:
+    def test_no_queries_no_findings(self):
+        db = parse_database(CHAIN + "u[p(1 : a -u-> v)].")
+        assert dead_database_predicates(db) == []
+
+    def test_unreachable_predicate(self):
+        db = parse_database(
+            CHAIN + "u[used(1 : a -u-> x)]. u[unused(1 : a -u-> y)]. "
+            "?- u[used(K : a -u-> V)].")
+        assert ("secured", "unused") in dead_database_predicates(db)
+
+    def test_rule_chain_keeps_predicates_alive(self):
+        db = parse_database(
+            CHAIN + "u[base(1 : a -u-> x)]. "
+            "u[derived(K : a -u-> V)] :- u[base(K : a -u-> V)]. "
+            "?- u[derived(K : a -u-> V)].")
+        assert dead_database_predicates(db) == []
+
+    def test_unused_level_excludes_tops(self):
+        db = parse_database(CHAIN + "u[p(1 : a -u-> v)].")
+        # 'c' classifies nothing; 's' is the top and exempt.
+        assert unused_levels(db, ctx_of(db)) == ["c"]
+
+    def test_workloads_have_no_dead_code_errors(self):
+        for db in (d1_database(), mission_multilog()):
+            report = analyze_database(db)
+            assert report.clean(strict=True), report.render_text()

@@ -1,0 +1,72 @@
+"""Dependency graphs: SCCs, reachability, negation-cycle witnesses."""
+
+from repro.analysis import DependencyGraph, render_cycle
+from repro.datalog import parse_program
+
+
+def graph_of(source: str) -> DependencyGraph:
+    return DependencyGraph.from_program(parse_program(source))
+
+
+class TestSccs:
+    def test_acyclic(self):
+        g = DependencyGraph.from_edges([("a", "b", False), ("b", "c", False)])
+        assert all(len(c) == 1 for c in g.sccs())
+
+    def test_simple_cycle(self):
+        g = DependencyGraph.from_edges([("a", "b", False), ("b", "a", False)])
+        assert {frozenset(c) for c in g.sccs()} == {frozenset({"a", "b"})}
+
+    def test_two_components(self):
+        g = DependencyGraph.from_edges([
+            ("a", "b", False), ("b", "a", False),
+            ("c", "d", False), ("d", "c", False),
+            ("b", "c", False),  # bridge, one direction only
+        ])
+        comps = {frozenset(c) for c in g.sccs()}
+        assert frozenset({"a", "b"}) in comps
+        assert frozenset({"c", "d"}) in comps
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-node chain: the iterative Tarjan must not hit Python's
+        # recursion limit.
+        edges = [(f"n{i}", f"n{i + 1}", False) for i in range(5000)]
+        g = DependencyGraph.from_edges(edges)
+        assert len(g.sccs()) == 5001
+
+    def test_lowlink_propagates_through_chain_into_cycle(self):
+        # a -> b -> c -> a : the whole chain is one SCC even though the
+        # closing edge is discovered deepest-first.
+        g = DependencyGraph.from_edges([
+            ("a", "b", False), ("b", "c", False), ("c", "a", False)])
+        assert {frozenset(c) for c in g.sccs()} == {frozenset({"a", "b", "c"})}
+
+
+class TestReachability:
+    def test_reaches_transitively(self):
+        g = graph_of("p(X) :- q(X). q(X) :- r(X). r(1). s(2).")
+        assert g.reachable(["p"]) == {"p", "q", "r"}
+
+    def test_unknown_root_is_ignored(self):
+        g = graph_of("p(1).")
+        assert g.reachable(["nope"]) == set()
+
+
+class TestNegationCycles:
+    def test_self_negation(self):
+        g = graph_of("win(X) :- move(X, Y), not win(Y). move(1, 2).")
+        [cycle] = g.negation_cycles()
+        assert render_cycle(cycle) == "win -not-> win"
+
+    def test_two_step_cycle(self):
+        g = graph_of("p(X) :- q(X), not r(X). r(X) :- p(X). q(1).")
+        [cycle] = g.negation_cycles()
+        assert render_cycle(cycle) == "p -not-> r -> p"
+
+    def test_stratified_negation_has_no_cycle(self):
+        g = graph_of("p(X) :- q(X), not r(X). q(1). r(2).")
+        assert g.negation_cycles() == []
+
+    def test_positive_cycle_is_fine(self):
+        g = graph_of("p(X) :- q(X). q(X) :- p(X). q(1).")
+        assert g.negation_cycles() == []

@@ -1,0 +1,137 @@
+"""The analyzer's user-facing surfaces: session, shell, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import Shell, lint_main, main
+from repro.errors import AnalysisError
+from repro.multilog.session import MultiLogSession
+
+CLEAN = """
+level(u). level(s). order(u, s).
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+?- u[acct(K : balance -u-> B)].
+"""
+
+LEAKY = """
+level(u). level(s). order(u, s).
+s[emp(1 : sal -s-> 50)].
+u[leak(K : sal -u-> V)] :- s[emp(K : sal -s-> V)].
+?- u[leak(K : sal -u-> V)].
+"""
+
+BROKEN = """
+level(u).
+u[p(1 : a -u-> v)].
+?- u[p(K : a -u-> V)] << zap.
+"""
+
+
+class TestSessionAnalyze:
+    def test_clean_database(self):
+        report = MultiLogSession(CLEAN).analyze()
+        assert report.clean(strict=True), report.render_text()
+
+    def test_warnings_surface(self):
+        report = MultiLogSession(LEAKY).analyze()
+        assert report.ok and not report.clean(strict=True)
+        assert "ML008" in report.codes()
+
+    def test_analyze_records_a_trace_span(self):
+        session = MultiLogSession(CLEAN)
+        session.analyze()
+        recorder = session.last_trace()
+        assert recorder is not None and recorder.find("analyze") is not None
+
+    def test_lint_gate_raises_with_report(self):
+        with pytest.raises(AnalysisError) as exc:
+            MultiLogSession(BROKEN, lint=True)
+        assert "ML013" in str(exc.value)
+        assert exc.value.report is not None
+        assert not exc.value.report.ok
+
+    def test_lint_gate_passes_clean_database(self):
+        MultiLogSession(CLEAN, lint=True)
+
+    def test_analyze_uses_session_clearance(self):
+        # Analysis at clearance 'u' stratifies only the u-reduction.
+        report = MultiLogSession(CLEAN, clearance="u").analyze()
+        assert report.ok
+
+
+class TestShellLint:
+    def test_lint_command(self):
+        shell = Shell(LEAKY, clearance="s")
+        out = shell.execute_line(":lint")
+        assert "ML008" in out and "warning" in out
+
+    def test_lint_in_help(self):
+        assert ":lint" in Shell(CLEAN).execute_line(":help")
+
+
+class TestLintCli:
+    def test_lint_file_text(self, tmp_path, capsys):
+        path = tmp_path / "leaky.mlog"
+        path.write_text(LEAKY)
+        assert main(["lint", str(path)]) == 0       # warnings pass by default
+        assert "ML008" in capsys.readouterr().out
+
+    def test_lint_strict_fails_on_warnings(self, tmp_path, capsys):
+        path = tmp_path / "leaky.mlog"
+        path.write_text(LEAKY)
+        assert main(["lint", "--strict", str(path)]) == 1
+
+    def test_lint_error_exit(self, tmp_path, capsys):
+        path = tmp_path / "broken.mlog"
+        path.write_text(BROKEN)
+        assert main(["lint", str(path)]) == 1
+        assert "ML013" in capsys.readouterr().out
+
+    def test_lint_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.mlog"
+        path.write_text(BROKEN)
+        assert lint_main(["--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        [(name, entry)] = payload["inputs"].items()
+        assert name.endswith("broken.mlog")
+        assert any(d["code"] == "ML013" for d in entry["diagnostics"])
+
+    def test_lint_parse_error_is_ml000(self, tmp_path, capsys):
+        path = tmp_path / "bad.mlog"
+        path.write_text("level(u.")
+        assert lint_main([str(path)]) == 1
+        assert "ML000" in capsys.readouterr().out
+
+    def test_lint_missing_file_is_ml000(self, capsys):
+        assert lint_main(["/nonexistent/nowhere.mlog"]) == 1
+        assert "ML000" in capsys.readouterr().out
+
+    def test_lint_datalog_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.dl"
+        path.write_text("win(X) :- move(X, Y), not win(Y). "
+                        "win(X) :- move(X, X), not win(X). move(1, 2).")
+        assert lint_main([str(path)]) == 1
+        assert "ML001" in capsys.readouterr().out
+
+    def test_lint_workloads_strict_clean(self, capsys):
+        assert lint_main(["--strict", "--workload", "d1",
+                          "--workload", "mission"]) == 0
+
+    def test_lint_nothing_to_do_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            lint_main([])
+
+    def test_lint_only_flag(self, tmp_path, capsys):
+        good = tmp_path / "good.mlog"
+        good.write_text(CLEAN)
+        assert main([str(good), "--lint-only"]) == 0
+        bad = tmp_path / "bad.mlog"
+        bad.write_text(BROKEN)
+        assert main([str(bad), "--lint-only"]) == 1
+        # Warnings alone do not fail --lint-only (errors-only gate).
+        leaky = tmp_path / "leaky.mlog"
+        leaky.write_text(LEAKY)
+        assert main([str(leaky), "--lint-only"]) == 0

@@ -57,6 +57,62 @@ class TestSafety:
         Program(engine_axioms()).check_safety()
 
 
+class TestSafetyViolations:
+    """The collect-all path behind the analyzer (satellite of ML002/ML003)."""
+
+    def test_safe_rule_has_no_violations(self):
+        assert Rule(atom("p", "X"), (pos("q", "X"),)).safety_violations() == []
+
+    def test_all_defects_collected(self):
+        rule = Rule(atom("p", "X", "Y"),
+                    (pos("q", "X"), neg("r", "Z"), pos("<", "W", 3)))
+        kinds = [v.kind for v in rule.safety_violations()]
+        assert kinds == ["head", "negated", "built-in"]
+
+    def test_messages_match_the_raising_path(self):
+        rule = Rule(atom("p", "X", "Y"), (pos("q", "X"),))
+        [violation] = rule.safety_violations()
+        with pytest.raises(UnsafeRuleError) as exc:
+            rule.check_safety()
+        assert str(exc.value) == violation.message()
+
+    def test_program_wide_collection(self):
+        program = Program([
+            Rule(atom("p", "X", "Y"), (pos("q", "X"),)),
+            Rule(atom("r", "A"), (pos("q", "A"), neg("s", "B"))),
+            Rule(atom("t", "C"), (pos("q", "C"),)),     # safe
+        ])
+        violations = program.safety_violations()
+        assert len(violations) == 2
+        assert {v.rule.head.predicate for v in violations} == {"p", "r"}
+
+
+class TestArityClashRegression:
+    """``Program.add_rule`` accepts p/2 next to p/3; the analyzer flags it."""
+
+    def test_add_rule_still_accepts_clash_silently(self):
+        # The permissive behaviour is load-bearing (the tau reduction
+        # builds programs incrementally); detection is the analyzer's job.
+        program = Program([Rule(atom("p", "X"), (pos("q", "X"),))],
+                          [atom("p", "a", "b"), atom("q", "a")])
+        assert len(program.rules) == 1 and len(program.facts) == 2
+
+    def test_analyzer_reports_the_clash(self):
+        from repro.analysis import analyze_program
+        program = Program([Rule(atom("p", "X"), (pos("q", "X"),))],
+                          [atom("p", "a", "b"), atom("q", "a")])
+        report = analyze_program(program)
+        [clash] = report.by_code("ML004")
+        assert "'p'" in clash.message and "1" in clash.message and "2" in clash.message
+
+    def test_body_only_clash_detected(self):
+        from repro.analysis import analyze_program
+        program = Program([Rule(atom("r", "X"), (pos("q", "X", "Y"),))],
+                          [atom("q", "a")])
+        report = analyze_program(program)
+        assert report.by_code("ML004")
+
+
 class TestProgram:
     def test_ground_empty_body_rules_become_facts(self):
         program = Program([Rule(atom("p", "a"))])
