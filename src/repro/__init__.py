@@ -31,19 +31,27 @@ from repro.errors import (
     BudgetExceededError,
     ConsistencyError,
     CycleError,
+    DataCorruptionError,
     DatalogError,
+    FaultInjectedError,
     IntegrityError,
+    JournalError,
     LatticeError,
     MLSError,
     MultiLogError,
     MultiLogSyntaxError,
     NotALatticeError,
+    RecoveryError,
     ReproError,
+    ResilienceError,
     SchemaError,
+    StrategyFailureError,
     StratificationError,
+    TransientFaultError,
     UnknownLevelError,
     UnknownModeError,
     UnsafeRuleError,
+    is_transient,
 )
 
 __version__ = "1.0.0"
@@ -55,18 +63,26 @@ __all__ = [
     "BudgetExceededError",
     "ConsistencyError",
     "CycleError",
+    "DataCorruptionError",
     "DatalogError",
+    "FaultInjectedError",
     "IntegrityError",
+    "JournalError",
     "LatticeError",
     "MLSError",
     "MultiLogError",
     "MultiLogSyntaxError",
     "NotALatticeError",
+    "RecoveryError",
     "ReproError",
+    "ResilienceError",
     "SchemaError",
+    "StrategyFailureError",
     "StratificationError",
+    "TransientFaultError",
     "UnknownLevelError",
     "UnknownModeError",
     "UnsafeRuleError",
     "__version__",
+    "is_transient",
 ]

@@ -14,7 +14,16 @@ Run ``python -m repro.cli [program.mlog] [--clearance LEVEL]`` (or the
 Commands: ``:help``, ``:load FILE``, ``:clearance LEVEL``, ``:engine
 operational|reduction``, ``:modes``, ``:lattice``, ``:cells``,
 ``:believe MODE [LEVEL]``, ``:consistency``, ``:lint``, ``:prove
-QUERY``, ``:stats``, ``:explain``, ``:trace on|off``, ``:quit``.
+QUERY``, ``:stats``, ``:explain``, ``:trace on|off``, ``:faults ...``,
+``:quit``.
+
+Resilience: ``multilog run FILE`` evaluates a program's stored queries
+non-interactively through the :class:`~repro.resilience.
+ResilientExecutor` (``--retries``, ``--timeout``, ``--allow-partial``),
+``multilog recover JOURNAL`` rebuilds a database from a write-ahead
+journal (re-checking Definitions 5.3/5.4), ``--journal`` arms
+crash-safe journaling on a shell session, and ``:faults`` arms or
+disarms a fault-injection plan (see docs/RESILIENCE.md).
 
 Static analysis: ``multilog lint FILE...`` runs the compile-time
 analyzer (:mod:`repro.analysis`) over MultiLog sources (or plain
@@ -63,6 +72,11 @@ Enter MultiLog clauses (ending with '.') to assert them, or queries
   :stats                    cumulative engine metrics for this session
   :explain                  compiled join plans of the reduced program
   :trace on|off             print the span tree after each query
+  :faults                   show the armed fault-injection plan
+  :faults raise POINT [transient|permanent|strategy]
+  :faults delay POINT SECONDS
+  :faults corrupt POINT     arm a fault at a span point (e.g. stratum[*])
+  :faults off               disarm all faults
   :quit                     leave"""
 
 
@@ -74,8 +88,9 @@ class Shell:
     """State + command dispatch for the interactive shell."""
 
     def __init__(self, source: str | MultiLogDatabase = "", clearance: str | None = None,
-                 trace: bool = False):
-        self.session = MultiLogSession(source or "level(system).", clearance)
+                 trace: bool = False, journal: str | None = None):
+        self.session = MultiLogSession(source or "level(system).", clearance,
+                                       journal=journal)
         self.engine_name = "operational"
         self.trace = trace
         self._pristine = not source
@@ -118,7 +133,10 @@ class Shell:
         if name == "clearance":
             if not argument:
                 return f"clearance is {self.clearance!r}"
+            plan = self.session._fault_plan
             self.session = self.session.with_clearance(argument)
+            if plan is not None:
+                self.session.arm_faults(plan)
             return f"clearance set to {argument!r}"
         if name == "engine":
             if argument not in ("operational", "reduction"):
@@ -160,7 +178,45 @@ class Shell:
                 return "error: usage :trace on|off"
             self.trace = argument == "on"
             return f"trace {argument}"
+        if name == "faults":
+            return self._faults(argument)
         return f"error: unknown command :{name} (try :help)"
+
+    def _faults(self, argument: str) -> str:
+        """Arm/disarm the session's fault-injection plan (chaos testing)."""
+        from repro.resilience import FaultPlan
+
+        parts = argument.split()
+        if not parts:
+            plan = self.session._fault_plan
+            return plan.describe() if plan is not None else "(no faults armed)"
+        verb = parts[0].lower()
+        if verb == "off":
+            self.session.disarm_faults()
+            return "faults disarmed"
+        plan = self.session._fault_plan
+        if plan is None:
+            plan = FaultPlan()
+        try:
+            if verb == "raise":
+                if len(parts) < 2:
+                    return "error: usage :faults raise POINT [transient|permanent|strategy]"
+                error = parts[2] if len(parts) > 2 else "transient"
+                spec = plan.arm(parts[1], action="raise", error=error)
+            elif verb == "delay":
+                if len(parts) < 3:
+                    return "error: usage :faults delay POINT SECONDS"
+                spec = plan.arm(parts[1], action="delay", delay_s=float(parts[2]))
+            elif verb == "corrupt":
+                if len(parts) < 2:
+                    return "error: usage :faults corrupt POINT"
+                spec = plan.arm(parts[1], action="corrupt")
+            else:
+                return f"error: unknown :faults verb {verb!r} (raise|delay|corrupt|off)"
+        except ValueError as exc:
+            return f"error: {exc}"
+        self.session.arm_faults(plan)
+        return f"armed: {spec.describe()}"
 
     def _load(self, argument: str) -> str:
         if not argument:
@@ -172,6 +228,8 @@ class Shell:
         from repro.multilog.parser import parse_database
 
         loaded = parse_database(source)
+        journal = self.session.journal
+        plan = self.session._fault_plan
         if self._pristine:
             # Nothing asserted yet: adopt the file wholesale, including
             # its lattice, and re-derive the clearance from its top.
@@ -184,6 +242,13 @@ class Shell:
             for query in loaded.queries:
                 database.add_query(query)
             self.session = MultiLogSession(database, self.clearance)
+        if journal is not None:
+            # A load bypasses assert_clause, so bring the journal back in
+            # step with one atomic snapshot of the post-load database.
+            journal.compact(self.session.database)
+            self.session.journal = journal
+        if plan is not None:
+            self.session.arm_faults(plan)
         counts = (f"{len(loaded.lattice_clauses)} lattice, "
                   f"{len(loaded.secured_clauses)} secured, "
                   f"{len(loaded.plain_clauses)} plain clause(s)")
@@ -306,34 +371,122 @@ def lint_main(argv: list[str]) -> int:
     return exit_code
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``multilog`` console script."""
-    if argv is None:
-        argv = sys.argv[1:]
-    if argv and argv[0] == "lint":
-        return lint_main(argv[1:])
-    parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
-    parser.add_argument("program", nargs="?", help="MultiLog source file to load")
-    parser.add_argument("--clearance", help="session clearance (default: lattice top)")
-    parser.add_argument("--trace", action="store_true",
-                        help="print the span tree after each query")
-    parser.add_argument("--explain", action="store_true",
-                        help="dump the compiled join plans of the reduced "
-                             "program and exit")
-    parser.add_argument("--lint-only", action="store_true",
-                        help="run the static analyzer over the program and "
-                             "exit (non-zero on any error-severity finding)")
+def run_main(argv: list[str]) -> int:
+    """``multilog run``: evaluate a program's stored queries resiliently.
+
+    Every stored query (the Q component of Definition 5.1) runs through a
+    :class:`~repro.resilience.ResilientExecutor`: transient faults are
+    retried ``--retries`` times, evaluation is bounded by ``--timeout``
+    seconds, and with ``--allow-partial`` a budget overrun prints the
+    partial answers flagged ``(partial: ...)`` instead of failing.
+    """
+    parser = argparse.ArgumentParser(
+        prog="multilog run",
+        description="Evaluate a MultiLog program's stored queries through "
+                    "the resilience layer (retry / fallback / degrade).")
+    parser.add_argument("program", help="MultiLog source file")
+    parser.add_argument("--clearance", default=None,
+                        help="session clearance (default: lattice top)")
+    parser.add_argument("--engine", choices=("operational", "reduction"),
+                        default="operational")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="max retries per ladder rung for transient faults")
+    parser.add_argument("--backoff", type=float, default=0.0,
+                        help="base retry backoff in seconds (doubles per retry)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock budget per query in seconds")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="serve flagged partial answers on budget overrun "
+                             "instead of failing")
+    parser.add_argument("--journal", default=None,
+                        help="arm write-ahead journaling to this path")
     args = parser.parse_args(argv)
 
-    source = Path(args.program).read_text() if args.program else ""
-    if args.lint_only:
-        report = _analyze_text(args.program or "<empty>", source, args.clearance)
-        print(report.render_text())
-        return report.exit_code(strict=False)
-    shell = Shell(source, args.clearance, trace=args.trace)
-    if args.explain:
-        print(shell.session.explain())
-        return 0
+    from repro.obs import EvaluationBudget
+    from repro.resilience import PartialResult, ResilientExecutor, RetryPolicy
+
+    budget = (EvaluationBudget(timeout_s=args.timeout)
+              if args.timeout is not None else None)
+    try:
+        session = MultiLogSession(Path(args.program).read_text(), args.clearance,
+                                  budget=budget, journal=args.journal)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    executor = ResilientExecutor(
+        retry=RetryPolicy(max_retries=args.retries, base_delay_s=args.backoff),
+        allow_partial=args.allow_partial)
+    exit_code = 0
+    for query in session.database.queries:
+        print(query)
+        try:
+            result = executor.ask(session, query, engine=args.engine)
+        except ReproError as exc:
+            print(f"  error: {exc}")
+            exit_code = 1
+            continue
+        if isinstance(result, PartialResult):
+            answers = result.answers or []
+            print(f"  (partial: {result.reason}, rung={result.rung}, "
+                  f"{len(answers)} answer(s) so far)")
+        else:
+            answers = result
+        if not answers:
+            print("  no.")
+        for answer in answers:
+            if not answer:
+                print("  yes.")
+            else:
+                print("  " + ", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
+    return exit_code
+
+
+def recover_main(argv: list[str]) -> int:
+    """``multilog recover``: rebuild a database from a journal."""
+    parser = argparse.ArgumentParser(
+        prog="multilog recover",
+        description="Replay a write-ahead journal, re-check Definitions "
+                    "5.3/5.4 on the recovered database, and report.")
+    parser.add_argument("journal", help="journal file written by a journaled session")
+    parser.add_argument("--clearance", default=None)
+    parser.add_argument("--compact", action="store_true",
+                        help="compact the journal to one snapshot after recovery")
+    parser.add_argument("--require-consistent", action="store_true",
+                        help="fail recovery when the replayed database does "
+                             "not satisfy Definition 5.4")
+    parser.add_argument("--shell", action="store_true",
+                        help="drop into an interactive shell on the recovered session")
+    args = parser.parse_args(argv)
+
+    try:
+        session = MultiLogSession.recover(
+            args.journal, args.clearance,
+            require_consistent=args.require_consistent)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    db = session.database
+    print(f"recovered {len(db.lattice_clauses)} lattice, "
+          f"{len(db.secured_clauses)} secured, "
+          f"{len(db.plain_clauses)} plain clause(s) at version {db.version}")
+    print("admissibility (Def 5.3): ok")
+    report = session.recovery_report
+    print(f"consistency (Def 5.4): {'ok' if report.ok else 'VIOLATED'}")
+    if not report.ok:
+        for message in report.all_messages():
+            print(f"  {message}")
+    if args.compact:
+        session.journal.compact(db)
+        print(f"compacted journal to {args.journal}")
+    if args.shell:
+        shell = Shell(db, session.clearance)
+        shell.session.journal = session.journal
+        return _repl(shell)
+    return 0
+
+
+def _repl(shell: "Shell") -> int:
+    """The interactive read-eval-print loop over a prepared shell."""
     print("MultiLog shell -- :help for commands")
     while True:
         try:
@@ -347,6 +500,44 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if output:
             print(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``multilog`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
+    if argv and argv[0] == "run":
+        return run_main(argv[1:])
+    if argv and argv[0] == "recover":
+        return recover_main(argv[1:])
+    parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
+    parser.add_argument("program", nargs="?", help="MultiLog source file to load")
+    parser.add_argument("--clearance", help="session clearance (default: lattice top)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree after each query")
+    parser.add_argument("--explain", action="store_true",
+                        help="dump the compiled join plans of the reduced "
+                             "program and exit")
+    parser.add_argument("--lint-only", action="store_true",
+                        help="run the static analyzer over the program and "
+                             "exit (non-zero on any error-severity finding)")
+    parser.add_argument("--journal", default=None,
+                        help="arm crash-safe write-ahead journaling of "
+                             "asserted clauses to this path")
+    args = parser.parse_args(argv)
+
+    source = Path(args.program).read_text() if args.program else ""
+    if args.lint_only:
+        report = _analyze_text(args.program or "<empty>", source, args.clearance)
+        print(report.render_text())
+        return report.exit_code(strict=False)
+    shell = Shell(source, args.clearance, trace=args.trace, journal=args.journal)
+    if args.explain:
+        print(shell.session.explain())
+        return 0
+    return _repl(shell)
 
 
 if __name__ == "__main__":

@@ -386,6 +386,9 @@ def evaluate(program: Program, strategy: str = "compiled",
             metrics.add_candidate_calls(db.candidate_calls - candidates_before)
             if exc.metrics is None and metrics.enabled:
                 exc.metrics = metrics.snapshot(recorder)
+            # Everything derived before the abort; the resilience layer
+            # serves PartialResults from it when the caller opts in.
+            exc.partial_database = db
             raise
         metrics.add_probes(db.probe_count - probes_before)
         metrics.add_candidate_calls(db.candidate_calls - candidates_before)

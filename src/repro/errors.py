@@ -12,13 +12,29 @@ single base class at API boundaries.  Subsystems refine it:
   inadmissible or inconsistent databases).
 * :class:`BudgetExceededError` -- an :class:`~repro.obs.EvaluationBudget`
   limit was hit mid-evaluation (any engine).
+* :class:`ResilienceError` and friends -- the transient-vs-permanent
+  taxonomy consumed by :mod:`repro.resilience` (retry transient faults,
+  fall down the strategy ladder on strategy failures, propagate
+  permanent errors immediately).
+
+Transience is a property of the *class*: :func:`is_transient` consults
+the ``transient`` class attribute, so user-defined errors can opt into
+the retry path without touching this module.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    ``transient`` classifies the error for the resilience layer: ``True``
+    means a retry of the same work may succeed (the fault is not a
+    property of the program), ``False`` means retrying is pointless.
+    """
+
+    #: Retryable?  Overridden by transient subclasses; see :func:`is_transient`.
+    transient = False
 
 
 class LatticeError(ReproError):
@@ -69,7 +85,11 @@ class BudgetExceededError(ReproError):
       (``{"rows": ..., "rounds": ..., "elapsed_s": ...}``);
     * ``metrics`` -- the partial :class:`~repro.obs.EngineMetrics`
       snapshot, attached by ``evaluate`` / ``MultiLogSession.ask`` when a
-      metrics collector was active (``None`` otherwise).
+      metrics collector was active (``None`` otherwise);
+    * ``partial_database`` -- the facts derived before the abort, attached
+      by ``evaluate`` so :class:`~repro.resilience.ResilientExecutor` can
+      serve a :class:`~repro.resilience.PartialResult` (``None`` when the
+      abort happened before any stratum ran).
     """
 
     def __init__(self, message: str, reason: str = "budget",
@@ -78,6 +98,79 @@ class BudgetExceededError(ReproError):
         self.reason = reason
         self.spent = dict(spent or {})
         self.metrics = metrics
+        self.partial_database: object | None = None
+
+
+class ResilienceError(ReproError):
+    """Base class for faults raised or detected by the resilience layer."""
+
+
+class FaultInjectedError(ResilienceError):
+    """An armed :class:`~repro.resilience.FaultPlan` fired at a span point.
+
+    ``point`` names the span point the fault was injected at.  The base
+    class is the *permanent* flavour; :class:`TransientFaultError` is the
+    retryable one.
+    """
+
+    def __init__(self, message: str, point: str = ""):
+        super().__init__(message)
+        self.point = point
+
+
+class TransientFaultError(FaultInjectedError):
+    """An injected (or genuinely transient) fault; a retry may succeed."""
+
+    transient = True
+
+
+class DataCorruptionError(ResilienceError):
+    """Corrupted state was *detected* (checksum mismatch, torn record).
+
+    Transient for evaluation (recomputing from clean inputs may succeed);
+    the journal layer raises it for torn non-final records, where replay
+    stops instead of retrying.
+    """
+
+    transient = True
+
+
+class StrategyFailureError(ResilienceError):
+    """One evaluation strategy failed in a strategy-specific way.
+
+    Signals the :class:`~repro.resilience.ResilientExecutor` to fall down
+    the degradation ladder (``compiled -> seminaive -> naive``) rather
+    than retry the same rung or give up.
+    """
+
+    def __init__(self, message: str, strategy: str = ""):
+        super().__init__(message)
+        self.strategy = strategy
+
+
+class JournalError(ResilienceError):
+    """The write-ahead journal could not be written, read or parsed."""
+
+
+class RecoveryError(JournalError):
+    """Journal replay produced a database that fails Def 5.3/5.4 checks."""
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        self.report = report
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying the failed work may succeed.
+
+    Library errors carry a ``transient`` class attribute; outside the
+    hierarchy, interrupted system calls and timeouts (``InterruptedError``,
+    ``TimeoutError``) are the only OS-level faults worth a retry.
+    """
+    flagged = getattr(exc, "transient", None)
+    if flagged is not None:
+        return bool(flagged)
+    return isinstance(exc, (InterruptedError, TimeoutError))
 
 
 class DatalogError(ReproError):

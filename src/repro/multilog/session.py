@@ -31,8 +31,17 @@ served stale answers from the sibling's cached engine).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.datalog.terms import Constant
-from repro.errors import BudgetExceededError, MultiLogError, UnknownModeError
+from repro.errors import (
+    BudgetExceededError,
+    ConsistencyError,
+    MultiLogError,
+    RecoveryError,
+    ReproError,
+    UnknownModeError,
+)
 from repro.multilog.admissibility import LatticeContext, check_admissibility
 from repro.multilog.ast import Clause, LAtom, MultiLogDatabase, Query
 from repro.multilog.consistency import ConsistencyReport, check_consistency
@@ -46,7 +55,7 @@ from repro.multilog.proof import (
 )
 from repro.multilog.reduction import ReducedProgram, translate
 from repro.obs.budget import EvaluationBudget
-from repro.obs.context import ObsContext, use as _use_obs
+from repro.obs.context import ObsContext, current as _current_obs, use as _use_obs
 from repro.obs.explain import explain_program
 from repro.obs.metrics import EngineMetrics, MetricsCollector
 from repro.obs.trace import TraceRecorder
@@ -60,7 +69,8 @@ class MultiLogSession:
     """One user's view of a MultiLog database at a fixed clearance."""
 
     def __init__(self, source: str | MultiLogDatabase, clearance: str | None = None,
-                 budget: EvaluationBudget | None = None, lint: bool = False):
+                 budget: EvaluationBudget | None = None, lint: bool = False,
+                 journal=None):
         if isinstance(source, str):
             self.database = parse_database(source)
         else:
@@ -88,6 +98,16 @@ class MultiLogSession:
         self._metrics = MetricsCollector()
         self._last_recorder: TraceRecorder | None = None
         self._last_stats: EngineMetrics | None = None
+        #: armed :class:`~repro.resilience.FaultPlan` (chaos testing); asks
+        #: also honour a plan on the ambient ObsContext.
+        self._fault_plan = None
+        #: write-ahead journal; ``assert_clause`` appends-and-fsyncs here
+        #: *after* validation, *before* acknowledging.
+        self.journal = None
+        #: Definition 5.4 report computed by :meth:`recover` (else ``None``).
+        self.recovery_report: ConsistencyReport | None = None
+        if journal is not None:
+            self.attach_journal(journal)
         if lint:
             report = self.analyze()
             if not report.ok:
@@ -133,8 +153,80 @@ class MultiLogSession:
         return self.engine.modes
 
     def with_clearance(self, clearance: str) -> "MultiLogSession":
-        """A sibling session over the same database at another level."""
-        return MultiLogSession(self.database, clearance, budget=self.budget)
+        """A sibling session over the same database at another level.
+
+        The sibling shares the journal too: an assert through *any*
+        session over this database must be as durable as through the one
+        the journal was attached to.
+        """
+        return MultiLogSession(self.database, clearance, budget=self.budget,
+                               journal=self.journal)
+
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal) -> None:
+        """Start journaling this database's updates to ``journal``.
+
+        ``journal`` is a :class:`~repro.resilience.SessionJournal` or a
+        path.  A fresh (empty) journal is seeded with a snapshot of the
+        current database, so recovery rebuilds the whole state, not just
+        the clauses asserted after attachment.
+        """
+        from repro.resilience.journal import SessionJournal
+
+        if not isinstance(journal, SessionJournal):
+            journal = SessionJournal(journal)
+        self.journal = journal
+        if not journal.path.exists() or journal.path.stat().st_size == 0:
+            journal.snapshot(self.database)
+
+    @classmethod
+    def recover(cls, path, clearance: str | None = None,
+                budget: EvaluationBudget | None = None,
+                require_consistent: bool = False) -> "MultiLogSession":
+        """Rebuild a session from a journal after a crash.
+
+        Replays the journal (latest snapshot + subsequent clauses) and
+        re-checks the paper's update guarantees on the recovered
+        database: Definition 5.3 (admissibility) is enforced -- an
+        inadmissible replay raises :class:`~repro.errors.RecoveryError`
+        -- and the Definition 5.4 consistency checks are run and stored
+        on the returned session as ``recovery_report``.  Consistency is
+        *reported* rather than enforced by default because Def 5.4 is a
+        property many valid databases never had (e.g. no key cells);
+        ``require_consistent=True`` turns a failing report into a
+        :class:`~repro.errors.RecoveryError` for callers whose database
+        is supposed to stay consistent across crashes.  The returned
+        session keeps journaling to the same file.
+        """
+        from repro.resilience.journal import SessionJournal
+
+        journal = path if isinstance(path, SessionJournal) else SessionJournal(path)
+        if not journal.path.exists():
+            raise RecoveryError(f"no journal at {journal.path}")
+        database = journal.replay()
+        try:
+            session = cls(database, clearance, budget=budget)
+        except ReproError as exc:
+            raise RecoveryError(
+                f"recovered database fails admissibility (Def 5.3): {exc}"
+            ) from exc
+        report = session.check_consistency()
+        session.recovery_report = report
+        if require_consistent and not report.ok:
+            raise RecoveryError(
+                "recovered database fails consistency (Def 5.4):\n"
+                + "\n".join(report.all_messages()), report)
+        session.journal = journal
+        return session
+
+    # ------------------------------------------------------------------
+    def arm_faults(self, plan) -> None:
+        """Arm a :class:`~repro.resilience.FaultPlan` for this session's
+        asks (chaos testing); :meth:`disarm_faults` removes it."""
+        self._fault_plan = plan
+
+    def disarm_faults(self) -> None:
+        self._fault_plan = None
 
     # ------------------------------------------------------------------
     def ask(self, query: str | Query, engine: str = "operational") -> list[dict[str, object]]:
@@ -150,12 +242,18 @@ class MultiLogSession:
             raise MultiLogError(f"unknown engine {engine!r}; use 'operational' or 'reduction'")
         recorder = TraceRecorder()
         meter = self.budget.meter() if self.budget is not None else None
-        ctx = ObsContext(recorder, self._metrics, meter)
+        faults = self._fault_plan if self._fault_plan is not None \
+            else _current_obs().faults
+        ctx = ObsContext(recorder, self._metrics, meter, faults)
+        # ctx.recorder is the fault-wrapped view of ``recorder`` (identical
+        # when no plan is armed): session-level spans must announce through
+        # it so ``query``/``parse`` are injectable fault points too.
+        spans = ctx.recorder
         self._metrics.count_ask()
         try:
             with _use_obs(ctx):
-                with recorder.span("query", engine=engine) as span:
-                    with recorder.span("parse"):
+                with spans.span("query", engine=engine) as span:
+                    with spans.span("parse"):
                         parsed = parse_query(query) if isinstance(query, str) else query
                     if engine == "operational":
                         answers = self.engine.solve(parsed)
@@ -173,6 +271,24 @@ class MultiLogSession:
                     budget_exceeded: str | None = None) -> None:
         self._last_recorder = recorder
         self._last_stats = self._metrics.snapshot(recorder, budget_exceeded=budget_exceeded)
+
+    def _mark_degraded(self, rung: str, reason: str) -> None:
+        """Stamp the most recent ask as degraded (resilience layer hook).
+
+        Surfaces through :meth:`last_stats` (``degraded="rung:reason"``)
+        and a ``degraded`` attribute on the ask's root span, so ``:stats``
+        and ``:trace`` show that the answers came from a fallback rung or
+        a budget-truncated run.
+        """
+        import dataclasses
+
+        if self._last_recorder is not None and self._last_recorder.roots:
+            self._last_recorder.roots[-1].set(degraded=True, rung=rung)
+        if self._last_stats is not None:
+            self._last_stats = dataclasses.replace(
+                self._last_stats, degraded=f"{rung}:{reason}",
+                spans=tuple(self._last_recorder.to_dicts())
+                if self._last_recorder is not None else self._last_stats.spans)
 
     def last_stats(self) -> EngineMetrics | None:
         """Metrics snapshot taken at the end of the most recent ask.
@@ -265,15 +381,40 @@ class MultiLogSession:
         ]
 
     # ------------------------------------------------------------------
-    def assert_clause(self, clause: str | Clause) -> None:
-        """Add a clause and invalidate the cached engines.
+    def assert_clause(self, clause: str | Clause, strict: bool = False) -> None:
+        """Atomically add a clause and invalidate the cached engines.
+
+        The update is all-or-nothing: the clause is added on trial,
+        validated (Definition 5.3 admissibility; with ``strict`` also the
+        Definition 5.4 consistency checks), and only then journaled
+        (append-and-fsync, when a journal is attached) and kept.  A
+        rejected clause is retracted before the error propagates, leaving
+        ``database.version``, every sibling session's caches and the
+        journal exactly as they were -- ``ask()`` answers are
+        byte-identical before and after a failed assert.
 
         Sibling sessions over the same database invalidate lazily via
         :meth:`_revalidate` (the shared ``database.version`` moved on).
         """
         parsed = parse_clause(clause) if isinstance(clause, str) else clause
-        self.database.add(parsed)
-        self.context = check_admissibility(self.database)
+        database = self.database
+        database.add(parsed)
+        try:
+            context = check_admissibility(database)
+            if strict:
+                report = check_consistency(database, context)
+                if not report.ok:
+                    raise ConsistencyError(
+                        "clause would make the database inconsistent "
+                        "(Definition 5.4):\n" + "\n".join(report.all_messages()))
+            if self.journal is not None:
+                # Write-ahead: durable before acknowledged.  Validation
+                # already passed, so replaying this record is always safe.
+                self.journal.append_clause(str(parsed), database.version)
+        except Exception:
+            database.retract(parsed)
+            raise
+        self.context = context
         self._engine = None
         self._reduced = None
-        self._cache_version = self.database.version
+        self._cache_version = database.version

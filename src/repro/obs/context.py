@@ -25,19 +25,32 @@ from repro.obs.trace import NULL_RECORDER, TraceRecorder
 
 
 class ObsContext:
-    """A recorder + metrics collector + budget meter bundle."""
+    """A recorder + metrics collector + budget meter + fault plan bundle.
 
-    __slots__ = ("recorder", "metrics", "meter")
+    ``faults`` is an optional :class:`~repro.resilience.FaultPlan` (any
+    object with ``wrap_recorder``): when given, the recorder is wrapped so
+    every ``span(name)`` call -- the engines' named span points -- first
+    offers the plan a chance to raise, delay or corrupt-and-detect.  The
+    wrapping works even when tracing is off (the null recorder's span
+    points still fire), so chaos tests do not pay for span collection.
+    """
 
-    def __init__(self, recorder=None, metrics=None, meter: BudgetMeter | None = None):
-        self.recorder = recorder if recorder is not None else NULL_RECORDER
+    __slots__ = ("recorder", "metrics", "meter", "faults")
+
+    def __init__(self, recorder=None, metrics=None, meter: BudgetMeter | None = None,
+                 faults=None):
+        recorder = recorder if recorder is not None else NULL_RECORDER
+        if faults is not None:
+            recorder = faults.wrap_recorder(recorder)
+        self.recorder = recorder
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.meter = meter
+        self.faults = faults
 
     @property
     def enabled(self) -> bool:
         return (self.recorder.enabled or self.metrics.enabled
-                or self.meter is not None)
+                or self.meter is not None or self.faults is not None)
 
 
 #: The all-disabled context every evaluation sees unless told otherwise.
@@ -62,7 +75,7 @@ def use(ctx: ObsContext):
 
 
 def observe(trace: bool = True, metrics: bool = True,
-            budget: EvaluationBudget | None = None) -> ObsContext:
+            budget: EvaluationBudget | None = None, faults=None) -> ObsContext:
     """A fresh enabled context (convenience for one traced evaluation).
 
     >>> from repro.obs import observe, use
@@ -75,4 +88,5 @@ def observe(trace: bool = True, metrics: bool = True,
         TraceRecorder() if trace else None,
         MetricsCollector() if metrics else None,
         BudgetMeter(budget) if budget is not None else None,
+        faults,
     )

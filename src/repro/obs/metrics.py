@@ -69,6 +69,10 @@ class EngineMetrics:
     cache: dict[str, CacheSnapshot] = field(default_factory=dict)
     spans: tuple[dict, ...] = ()
     budget_exceeded: str | None = None
+    #: set by the resilience layer when this ask was served degraded:
+    #: ``"<rung>:<reason>"`` (e.g. ``"seminaive:fallback"``,
+    #: ``"compiled:budget-rows"``); ``None`` on the normal path.
+    degraded: str | None = None
 
     @property
     def total_firings(self) -> int:
@@ -89,6 +93,7 @@ class EngineMetrics:
             "cache": {name: snap.to_dict() for name, snap in self.cache.items()},
             "spans": list(self.spans),
             "budget_exceeded": self.budget_exceeded,
+            "degraded": self.degraded,
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -114,6 +119,8 @@ class EngineMetrics:
             )
         if self.budget_exceeded:
             lines.append(f"budget exceeded: {self.budget_exceeded}")
+        if self.degraded:
+            lines.append(f"degraded: {self.degraded}")
         top = sorted(self.rule_firings.items(), key=lambda kv: -kv[1])[:5]
         for label, count in top:
             shown = label if len(label) <= 72 else label[:69] + "..."

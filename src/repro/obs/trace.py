@@ -52,6 +52,13 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.elapsed_s = perf_counter() - self.started
+        if exc_type is not None:
+            # The span is closing because an exception (budget overrun,
+            # injected fault, engine error) is unwinding through it: keep
+            # the tree complete and renderable, but mark every span that
+            # was open at abort time so last_trace() shows where the
+            # evaluation died.
+            self.attrs.setdefault("aborted", True)
         self._recorder._pop(self)
         return False
 

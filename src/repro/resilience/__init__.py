@@ -1,0 +1,60 @@
+"""Resilience for the evaluation stack: chaos in, graceful degradation out.
+
+PR 2 made evaluation observable and bounded; this package makes it
+survivable.  Three cooperating pieces (docs/RESILIENCE.md has the full
+model):
+
+* **Fault injection** (:mod:`~repro.resilience.faults`) -- a seedable
+  :class:`FaultPlan` registered on the ambient
+  :class:`~repro.obs.ObsContext` (or armed on a session) that raises,
+  delays or corrupt-and-detects at the engines' named span points
+  (``evaluate``, ``stratum[i]``, ``rule-fire``, ``beta``,
+  ``tau-translate``, ...), so the guarantees below are *tested* by the
+  chaos differential suite, not asserted.
+* **Degradation ladder** (:mod:`~repro.resilience.executor`) -- a
+  :class:`ResilientExecutor` wrapping ``evaluate`` and
+  ``MultiLogSession.ask``: capped-exponential retry for transient
+  faults, strategy fallback ``compiled -> seminaive -> naive`` for
+  strategy-specific failures, and, when the caller opts in, a
+  :class:`PartialResult` instead of a raise on budget exhaustion.
+* **Crash-safe journaling** (:mod:`~repro.resilience.journal`) -- a
+  write-ahead :class:`SessionJournal` for ``assert_clause``
+  (validate, append-and-fsync, apply; atomic snapshot compaction) and
+  ``MultiLogSession.recover(path)``, which replays the journal and
+  re-checks Definitions 5.3/5.4 on the recovered database.
+
+The error taxonomy lives in :mod:`repro.errors`:
+:func:`~repro.errors.is_transient` separates retryable faults
+(:class:`~repro.errors.TransientFaultError`,
+:class:`~repro.errors.DataCorruptionError`) from permanent ones, and
+:class:`~repro.errors.StrategyFailureError` routes to the ladder.
+"""
+
+from repro.resilience.executor import (
+    LADDER,
+    Outcome,
+    PartialResult,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.resilience.faults import (
+    SPAN_POINTS,
+    FaultPlan,
+    FaultSpec,
+    InjectingRecorder,
+)
+from repro.resilience.journal import SessionJournal, database_source
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectingRecorder",
+    "LADDER",
+    "Outcome",
+    "PartialResult",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "SPAN_POINTS",
+    "SessionJournal",
+    "database_source",
+]

@@ -1,0 +1,282 @@
+"""The degradation ladder: retry, fall back, degrade -- in that order.
+
+A :class:`ResilientExecutor` wraps the two evaluation entry points --
+:func:`repro.datalog.engine.evaluate` and ``MultiLogSession.ask`` --
+with a three-step failure policy:
+
+1. **Retry** transient faults (:func:`repro.errors.is_transient`) on the
+   same ladder rung, with capped exponential backoff.
+2. **Fall back** one rung when a rung fails in a strategy-specific way
+   (:class:`~repro.errors.StrategyFailureError`) or keeps failing after
+   all retries: ``compiled -> seminaive -> naive``.  The lower rungs are
+   slower but simpler -- fewer moving parts (no compiled plans, then no
+   delta bookkeeping), so they dodge whole classes of failures, the
+   module-level evaluation-choice idea from CORAL read as a fallback
+   ladder.
+3. **Degrade** on budget exhaustion: with ``allow_partial=True`` the
+   caller gets a :class:`PartialResult` -- the answers derived before the
+   abort, ``complete=False``, and the rung that served it -- instead of a
+   :class:`~repro.errors.BudgetExceededError`.
+
+Permanent errors (unsafe rules, inadmissible databases, permanent
+injected faults) propagate immediately from any rung: no amount of
+retrying fixes a property of the program.
+
+The disabled path -- no faults armed, no budget, first attempt succeeds
+-- costs one ``try`` frame and a couple of attribute reads per call;
+``benchmarks/bench_resilience_overhead.py`` keeps it honest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate as _engine_evaluate
+from repro.datalog.rules import Program
+from repro.errors import (
+    BudgetExceededError,
+    ReproError,
+    StrategyFailureError,
+    is_transient,
+)
+from repro.obs.budget import EvaluationBudget
+
+#: The full ladder, fastest first.  An executor's ladder may start lower
+#: (the requested strategy) but always descends in this order.
+LADDER = ("compiled", "seminaive", "naive")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient fault, and how fast.
+
+    Backoff for retry ``n`` (0-based) is ``min(max_delay_s, base_delay_s
+    * 2**n)`` -- capped exponential.  The default base of 0 keeps tests
+    and interactive use instant; services should set a real base.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.0
+    max_delay_s: float = 1.0
+
+    def delay_for(self, attempt: int) -> float:
+        if self.base_delay_s <= 0.0:
+            return 0.0
+        return min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+
+
+@dataclass
+class PartialResult:
+    """What a degraded evaluation could still deliver.
+
+    ``answers`` is filled by :meth:`ResilientExecutor.ask`, ``database``
+    by :meth:`ResilientExecutor.evaluate`; the other stays ``None``.
+    ``complete`` is always ``False`` -- a complete result is returned as
+    its natural type, never wrapped.  For negation-free programs the
+    partial answers are a *subset* of the fault-free answers (bottom-up
+    evaluation is monotone); with stratified negation an aborted lower
+    stratum can surface answers the complete run would retract, which is
+    why the flag, not the content, is the contract.
+    """
+
+    complete: bool
+    rung: str
+    reason: str
+    answers: list[dict[str, object]] | None = None
+    database: Database | None = None
+    attempts: int = 1
+
+    def __bool__(self) -> bool:
+        return bool(self.answers) or self.database is not None
+
+
+@dataclass
+class Outcome:
+    """Bookkeeping for the most recent executor call (``last_outcome``)."""
+
+    rung: str = ""
+    requested: str = ""
+    attempts: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    degraded: str | None = None
+    errors: list[str] = field(default_factory=list)
+
+
+class ResilientExecutor:
+    """Retry / fall back / degrade wrapper around the evaluation stack.
+
+    >>> from repro.resilience import ResilientExecutor
+    >>> executor = ResilientExecutor(allow_partial=True)
+    >>> # db_or_partial = executor.evaluate(program)
+    >>> # answers = executor.ask(session, "s[acct(K : balance -C-> V)] << cau")
+
+    One executor is reusable across calls; ``last_outcome`` describes the
+    most recent one (rung served, attempts, retries, fallbacks).
+    """
+
+    def __init__(self, retry: RetryPolicy | None = None,
+                 ladder: tuple[str, ...] = LADDER,
+                 allow_partial: bool = False,
+                 budget: EvaluationBudget | None = None,
+                 sleep=time.sleep):
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.ladder = tuple(ladder)
+        self.allow_partial = allow_partial
+        self.budget = budget
+        self.last_outcome = Outcome()
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def _rungs_from(self, strategy: str) -> tuple[str, ...]:
+        """The ladder from ``strategy`` down (or just it, if not on it)."""
+        if strategy in self.ladder:
+            return self.ladder[self.ladder.index(strategy):]
+        return (strategy,)
+
+    def _run_rungs(self, rungs: tuple[str, ...], attempt_rung, outcome: Outcome):
+        """Shared retry/fallback driver.
+
+        ``attempt_rung(rung)`` performs one attempt; transient failures
+        retry the rung, strategy failures and exhausted retries descend,
+        everything else propagates.  Returns the first success.
+        """
+        last_error: BaseException | None = None
+        for index, rung in enumerate(rungs):
+            outcome.rung = rung
+            if index:
+                outcome.fallbacks += 1
+            for attempt in range(self.retry.max_retries + 1):
+                outcome.attempts += 1
+                try:
+                    return attempt_rung(rung)
+                except StrategyFailureError as exc:
+                    outcome.errors.append(f"{rung}: {exc}")
+                    last_error = exc
+                    break  # strategy-specific: no point retrying this rung
+                except BudgetExceededError:
+                    raise  # handled by the caller (degrade, not retry)
+                except ReproError as exc:
+                    if not is_transient(exc):
+                        raise
+                    outcome.errors.append(f"{rung}: {exc}")
+                    last_error = exc
+                    if attempt < self.retry.max_retries:
+                        outcome.retries += 1
+                        delay = self.retry.delay_for(attempt)
+                        if delay:
+                            self._sleep(delay)
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+    def evaluate(self, program: Program, strategy: str = "compiled",
+                 budget: EvaluationBudget | None = None,
+                 **kwargs) -> Database | PartialResult:
+        """Resilient :func:`repro.datalog.engine.evaluate`.
+
+        Returns the least model :class:`Database` on success (possibly
+        from a lower rung), a :class:`PartialResult` on budget exhaustion
+        when ``allow_partial`` is set, and raises otherwise.
+        """
+        outcome = Outcome(requested=strategy)
+        self.last_outcome = outcome
+        effective_budget = budget if budget is not None else self.budget
+
+        def attempt_rung(rung: str) -> Database:
+            return _engine_evaluate(program, strategy=rung,
+                                    budget=effective_budget, **kwargs)
+
+        try:
+            result = self._run_rungs(self._rungs_from(strategy), attempt_rung, outcome)
+        except BudgetExceededError as exc:
+            if not self.allow_partial:
+                raise
+            outcome.degraded = f"{outcome.rung}:budget-{exc.reason}"
+            partial = exc.partial_database
+            return PartialResult(
+                complete=False, rung=outcome.rung,
+                reason=f"budget-{exc.reason}",
+                database=partial if isinstance(partial, Database) else None,
+                attempts=outcome.attempts,
+            )
+        if outcome.rung != strategy:
+            outcome.degraded = f"{outcome.rung}:fallback"
+        return result
+
+    # ------------------------------------------------------------------
+    def ask(self, session, query, engine: str = "operational"
+            ) -> list[dict[str, object]] | PartialResult:
+        """Resilient ``MultiLogSession.ask``.
+
+        Transient faults retry the ask; a strategy-specific failure on the
+        reduction path re-evaluates the reduced program one ladder rung
+        down and serves the ask from that model; budget exhaustion with
+        ``allow_partial`` salvages the answers derivable from the partial
+        model and returns them in a :class:`PartialResult`.  Either
+        degradation is surfaced through ``session.last_stats().degraded``
+        and a ``degraded`` attribute on the ask's root span.
+        """
+        outcome = Outcome(requested=self.ladder[0] if self.ladder else engine)
+        self.last_outcome = outcome
+        rungs = self.ladder or ("compiled",)
+
+        def attempt_rung(rung: str) -> list[dict[str, object]]:
+            if rung == rungs[0]:
+                return session.ask(query, engine=engine)
+            # A lower rung: rebuild the reduced program's least model with
+            # the simpler strategy, then serve the ask from it.  (The
+            # operational engine has no strategy knob; the reduction
+            # semantics answers the same queries -- Theorem 6.1.)
+            reduced = session.reduced
+            reduced._model = None
+            reduced._model = _engine_evaluate(reduced.program, strategy=rung,
+                                              budget=self.budget)
+            reduced.fixpoint_runs += 1
+            return session.ask(query, engine="reduction")
+
+        try:
+            answers = self._run_rungs(rungs, attempt_rung, outcome)
+        except BudgetExceededError as exc:
+            if not self.allow_partial:
+                raise
+            outcome.degraded = f"{outcome.rung}:budget-{exc.reason}"
+            salvaged = self._salvage_answers(session, query, exc)
+            session._mark_degraded(outcome.rung, f"budget-{exc.reason}")
+            return PartialResult(
+                complete=False, rung=outcome.rung,
+                reason=f"budget-{exc.reason}",
+                answers=salvaged, attempts=outcome.attempts,
+            )
+        if outcome.rung != rungs[0]:
+            outcome.degraded = f"{outcome.rung}:fallback"
+            session._mark_degraded(outcome.rung, "fallback")
+        return answers
+
+    def _salvage_answers(self, session, query, exc: BudgetExceededError
+                         ) -> list[dict[str, object]]:
+        """Answers derivable from the partial model the abort left behind.
+
+        Budget-free and best-effort: any error during salvage yields the
+        empty list (the result is flagged incomplete either way).
+        """
+        partial = exc.partial_database
+        if not isinstance(partial, Database):
+            return []
+        try:
+            from repro.multilog.parser import parse_query
+            from repro.obs.context import DISABLED, use as _use_obs
+
+            reduced = session.reduced
+            parsed = parse_query(query) if isinstance(query, str) else query
+            saved = reduced._model
+            reduced._model = partial
+            try:
+                with _use_obs(DISABLED):
+                    return reduced.query(parsed)
+            finally:
+                reduced._model = saved
+        except ReproError:
+            return []

@@ -1,0 +1,178 @@
+"""Crash-safe session journaling: a write-ahead log for ``assert_clause``.
+
+Format: JSONL, one self-contained record per line, in three kinds::
+
+    {"type": "open", "format": "multilog-journal/1"}
+    {"type": "snapshot", "source": "<full database source>", "version": 12}
+    {"type": "clause", "text": "u[acct(k : a -u-> 1)].", "version": 13}
+
+Durability protocol (see docs/RESILIENCE.md):
+
+* ``assert_clause`` validates the clause *first* (Definition 5.3 on the
+  trial state), then appends the record and ``fsync``\\ s before
+  acknowledging.  A rejected clause therefore never touches the journal;
+  an acknowledged clause survives a crash.
+* A crash mid-append leaves at most one torn final line.  Replay
+  tolerates exactly that: a record that fails to decode is fatal
+  (:class:`~repro.errors.JournalError`) unless it is the last line of the
+  file, in which case it is the torn tail of an unacknowledged write and
+  is dropped.
+* Compaction (:meth:`SessionJournal.compact`) collapses the journal to a
+  single snapshot record, written to a temp file, fsynced, and atomically
+  ``os.replace``\\ d over the journal -- the journal is never in a state
+  replay cannot read.
+
+Everything in a record is plain text in the MultiLog concrete syntax:
+clauses and snapshots round-trip through the parser, so a journal is
+also a human-readable audit log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import JournalError
+
+FORMAT = "multilog-journal/1"
+
+
+def database_source(db) -> str:
+    """The database re-serialized as parseable MultiLog source."""
+    lines = [str(clause) for clause in db.clauses()]
+    lines.extend(str(query) for query in db.queries)
+    return "\n".join(lines)
+
+
+class SessionJournal:
+    """Append-and-fsync JSONL journal for one MultiLog database.
+
+    Create (or re-open) with a path; attach to a session via
+    ``MultiLogSession(..., journal=...)`` or recover one with
+    ``MultiLogSession.recover(path)``.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = None
+
+    # -- writing ---------------------------------------------------------
+    def _handle(self):
+        if self._file is None or self._file.closed:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._file = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._write_record({"type": "open", "format": FORMAT})
+        return self._file
+
+    def _write_record(self, record: dict) -> None:
+        handle = self._file
+        handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def append_clause(self, text: str, version: int) -> None:
+        """Durably record one asserted clause (fsync before returning)."""
+        self._handle()
+        self._write_record({"type": "clause", "text": text, "version": version})
+
+    def snapshot(self, db) -> None:
+        """Append a full-database snapshot record (non-compacting)."""
+        self._handle()
+        self._write_record({"type": "snapshot", "source": database_source(db),
+                            "version": db.version})
+
+    def compact(self, db) -> None:
+        """Atomically replace the journal with one snapshot of ``db``.
+
+        Write-to-temp + fsync + ``os.replace``: a crash at any point
+        leaves either the old journal or the new one, never a hybrid.
+        """
+        self.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "open", "format": FORMAT}) + "\n")
+            handle.write(json.dumps(
+                {"type": "snapshot", "source": database_source(db),
+                 "version": db.version}, ensure_ascii=False) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        """Make the rename itself durable (best effort off POSIX)."""
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+        self._file = None
+
+    # -- reading ---------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Every decodable record, dropping only a torn final line.
+
+        A corrupt record anywhere else is a real integrity failure and
+        raises :class:`~repro.errors.JournalError` -- replay must not
+        silently skip acknowledged history.
+        """
+        if not self.path.exists():
+            return []
+        raw_lines = self.path.read_text(encoding="utf-8").split("\n")
+        # Trailing "" from a final newline is not a torn record.
+        while raw_lines and raw_lines[-1] == "":
+            raw_lines.pop()
+        records: list[dict] = []
+        for index, line in enumerate(raw_lines):
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                if index == len(raw_lines) - 1:
+                    break  # torn tail of an unacknowledged append
+                raise JournalError(
+                    f"{self.path}: corrupt journal record on line {index + 1}: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise JournalError(
+                    f"{self.path}: malformed journal record on line {index + 1}")
+            records.append(record)
+        return records
+
+    def replay(self):
+        """The :class:`~repro.multilog.ast.MultiLogDatabase` the journal
+        describes: the latest snapshot, plus every clause after it."""
+        from repro.multilog.ast import MultiLogDatabase
+        from repro.multilog.parser import parse_clause, parse_database
+
+        entries = self.entries()
+        # Only records after the *last* snapshot matter.
+        start = 0
+        for index, record in enumerate(entries):
+            if record["type"] == "snapshot":
+                start = index
+        db = MultiLogDatabase()
+        for record in entries[start:]:
+            kind = record["type"]
+            if kind == "open":
+                if record.get("format") != FORMAT:
+                    raise JournalError(
+                        f"{self.path}: unknown journal format {record.get('format')!r}")
+            elif kind == "snapshot":
+                db = parse_database(record["source"])
+            elif kind == "clause":
+                db.add(parse_clause(record["text"]))
+            else:
+                raise JournalError(
+                    f"{self.path}: unknown journal record type {kind!r}")
+        return db

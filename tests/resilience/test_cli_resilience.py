@@ -1,0 +1,129 @@
+"""CLI resilience surface: ``run``/``recover`` subcommands, ``:faults``."""
+
+import pytest
+
+from repro.cli import Shell, main
+from repro.multilog import MultiLogSession
+
+SOURCE = """\
+level(u). level(s). order(u, s).
+u[acct(alice : name -u-> alice)].
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+?- s[acct(alice : balance -C-> B)] << cau.
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    path = tmp_path / "bank.mlog"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestRunSubcommand:
+    def test_run_prints_answers(self, program, capsys):
+        assert main(["run", str(program), "--clearance", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "B = 900" in out
+        assert "C = s" in out
+
+    def test_run_accepts_resilience_flags(self, program, capsys):
+        code = main(["run", str(program), "--clearance", "s",
+                     "--engine", "reduction", "--retries", "1",
+                     "--backoff", "0.0", "--allow-partial"])
+        assert code == 0
+        assert "B = 900" in capsys.readouterr().out
+
+    def test_run_timeout_with_allow_partial_flags_partials(self, tmp_path, capsys):
+        # A zero-second wall-clock budget forces degradation on any query.
+        path = tmp_path / "slow.mlog"
+        path.write_text(SOURCE)
+        code = main(["run", str(path), "--clearance", "s",
+                     "--timeout", "0", "--allow-partial"])
+        assert code == 0
+        assert "(partial:" in capsys.readouterr().out
+
+    def test_run_timeout_without_opt_in_fails(self, program, capsys):
+        code = main(["run", str(program), "--clearance", "s", "--timeout", "0"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_run_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "nope.mlog")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_journal_records_the_load(self, program, tmp_path, capsys):
+        journal = tmp_path / "wal.jsonl"
+        assert main(["run", str(program), "--clearance", "s",
+                     "--journal", str(journal)]) == 0
+        assert journal.exists()
+        recovered = MultiLogSession.recover(journal, clearance="s")
+        assert recovered.ask("s[acct(alice : balance -C-> B)] << cau") == [
+            {"B": 900, "C": "s"}]
+
+
+class TestRecoverSubcommand:
+    def make_journal(self, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+        session = MultiLogSession(SOURCE, clearance="s", journal=journal)
+        session.assert_clause("u[acct(bob : name -u-> bob)].")
+        session.journal.close()
+        return journal
+
+    def test_recover_reports_both_definitions(self, tmp_path, capsys):
+        journal = self.make_journal(tmp_path)
+        assert main(["recover", str(journal), "--clearance", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "admissibility (Def 5.3): ok" in out
+        assert "consistency (Def 5.4):" in out
+
+    def test_recover_compact_collapses_the_journal(self, tmp_path, capsys):
+        journal = self.make_journal(tmp_path)
+        assert main(["recover", str(journal), "--compact"]) == 0
+        assert "compacted journal" in capsys.readouterr().out
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 2  # open + snapshot
+
+    def test_recover_missing_journal_fails(self, tmp_path, capsys):
+        code = main(["recover", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_faults_arm_show_and_disarm(self):
+        shell = Shell(SOURCE, clearance="s")
+        assert "no faults armed" in shell.execute_line(":faults")
+        out = shell.execute_line(":faults raise query transient")
+        assert "armed:" in out and "query" in out
+        assert "query" in shell.execute_line(":faults")
+        # The armed fault actually fires on the next query...
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert "error" in out.lower()
+        # ...once (times=1), then the session heals.
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert "B = 900" in out
+        assert shell.execute_line(":faults off") == "faults disarmed"
+
+    def test_faults_delay_and_corrupt_verbs(self):
+        shell = Shell(SOURCE, clearance="s")
+        assert "armed:" in shell.execute_line(":faults delay query 0.01")
+        assert "armed:" in shell.execute_line(":faults corrupt parse")
+
+    def test_faults_bad_usage_is_reported(self):
+        shell = Shell(SOURCE, clearance="s")
+        assert "usage" in shell.execute_line(":faults raise")
+        assert "unknown" in shell.execute_line(":faults explode query")
+        assert "error" in shell.execute_line(":faults raise query catastrophic")
+
+    def test_clearance_switch_preserves_the_plan(self):
+        shell = Shell(SOURCE, clearance="s")
+        shell.execute_line(":faults raise query transient")
+        shell.execute_line(":clearance u")
+        assert "query" in shell.execute_line(":faults")
+
+    def test_help_mentions_faults(self):
+        shell = Shell(SOURCE, clearance="s")
+        assert ":faults" in shell.execute_line(":help")

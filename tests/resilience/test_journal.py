@@ -1,0 +1,144 @@
+"""SessionJournal unit tests: durability records, replay, compaction."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.multilog import MultiLogSession
+from repro.multilog.parser import parse_database
+from repro.resilience import SessionJournal, database_source
+
+SOURCE = """
+level(u). level(s). order(u, s).
+u[acct(alice : name -u-> alice)].
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+"""
+
+CLAUSES = [
+    "u[acct(bob : name -u-> bob)].",
+    "u[acct(bob : balance -u-> 25)].",
+    "s[acct(bob : balance -s-> 500)].",
+]
+
+
+def records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestRecords:
+    def test_fresh_journal_opens_with_format_record(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        first, second = records(path)
+        assert first == {"type": "open", "format": "multilog-journal/1"}
+        assert second == {"type": "clause", "text": CLAUSES[0], "version": 1}
+
+    def test_reopen_does_not_duplicate_the_open_record(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        journal = SessionJournal(path)
+        journal.append_clause(CLAUSES[1], version=2)
+        journal.close()
+        kinds = [record["type"] for record in records(path)]
+        assert kinds == ["open", "clause", "clause"]
+
+    def test_snapshot_round_trips_through_the_parser(self, tmp_path):
+        db = parse_database(SOURCE)
+        again = parse_database(database_source(db))
+        assert database_source(again) == database_source(db)
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(db)
+        journal.close()
+        assert database_source(journal.replay()) == database_source(db)
+
+
+class TestReplay:
+    def test_snapshot_plus_clauses(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        for version, clause in enumerate(CLAUSES, start=1):
+            journal.append_clause(clause, version)
+        journal.close()
+        db = journal.replay()
+        source = database_source(db)
+        for clause in CLAUSES:
+            assert clause[:-1] in source  # sans trailing period
+        assert "s[acct(alice : balance -s-> 900)]" in source
+
+    def test_replay_starts_at_the_last_snapshot(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.snapshot(parse_database(SOURCE))  # supersedes the above
+        journal.close()
+        assert "bob" not in database_source(journal.replay())
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "clause", "text": "u[acc')  # torn write
+        db = SessionJournal(path).replay()
+        assert "bob" in database_source(db)  # acknowledged clause survives
+
+    def test_corrupt_interior_record_is_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # corrupt the snapshot, not the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            SessionJournal(path).replay()
+
+    def test_unknown_format_and_record_type_are_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"type": "open", "format": "multilog-journal/99"}\n')
+        with pytest.raises(JournalError, match="format"):
+            SessionJournal(path).replay()
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(JournalError, match="mystery"):
+            SessionJournal(path).replay()
+
+    def test_missing_journal_replays_empty(self, tmp_path):
+        journal = SessionJournal(tmp_path / "never-written.jsonl")
+        assert journal.entries() == []
+        assert database_source(journal.replay()) == ""
+
+
+class TestCompaction:
+    def test_compact_collapses_to_one_snapshot(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        session = MultiLogSession(SOURCE, clearance="s", journal=path)
+        for clause in CLAUSES:
+            session.assert_clause(clause)
+        before = database_source(session.journal.replay())
+        session.journal.compact(session.database)
+        kinds = [record["type"] for record in records(path)]
+        assert kinds == ["open", "snapshot"]
+        assert database_source(SessionJournal(path).replay()) == before
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_journal_survives_session_round_trip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        session = MultiLogSession(SOURCE, clearance="s", journal=path)
+        for clause in CLAUSES:
+            session.assert_clause(clause)
+        expected = session.ask("s[acct(bob : balance -C-> B)] << cau")
+        recovered = MultiLogSession.recover(path, clearance="s")
+        assert recovered.ask("s[acct(bob : balance -C-> B)] << cau") == expected
+        assert recovered.recovery_report is not None

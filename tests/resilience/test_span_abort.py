@@ -1,0 +1,92 @@
+"""Satellite regression: budget aborts leave a complete, renderable trace.
+
+Every span a :class:`~repro.errors.BudgetExceededError` unwinds through
+must be closed (finite duration, popped off the recorder stack) and
+carry ``aborted=True``, so ``last_trace()`` renders the whole tree and
+shows exactly where the abort cut the evaluation.
+"""
+
+import pytest
+
+from repro.datalog import evaluate, parse_program
+from repro.errors import BudgetExceededError
+from repro.multilog import MultiLogSession
+from repro.obs import EvaluationBudget, ObsContext, TraceRecorder, use
+
+PROGRAM = """
+edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+"""
+
+MLOG = """
+level(u). level(s). order(u, s).
+u[acct(alice : name -u-> alice)].
+s[acct(alice : balance -s-> 900)].
+"""
+
+
+def all_spans(span):
+    yield span
+    for child in span.children:
+        yield from all_spans(child)
+
+
+class TestEngineAbort:
+    def test_budget_abort_closes_every_span(self):
+        recorder = TraceRecorder()
+        with use(ObsContext(recorder)):
+            with pytest.raises(BudgetExceededError):
+                evaluate(parse_program(PROGRAM),
+                         budget=EvaluationBudget(max_rounds=1))
+        assert recorder._stack == []  # nothing left half-open
+        spans = [s for root in recorder.roots for s in all_spans(root)]
+        assert spans
+        for span in spans:
+            assert span.elapsed_s > 0.0  # timed and closed
+
+    def test_unwound_spans_are_marked_aborted(self):
+        recorder = TraceRecorder()
+        with use(ObsContext(recorder)):
+            with pytest.raises(BudgetExceededError):
+                evaluate(parse_program(PROGRAM),
+                         budget=EvaluationBudget(max_rounds=1))
+        aborted = [s.name for root in recorder.roots
+                   for s in all_spans(root) if s.attrs.get("aborted")]
+        assert "evaluate" in aborted
+        # Completed spans (earlier strata/rounds) are NOT marked.
+        finished = [s for root in recorder.roots
+                    for s in all_spans(root) if not s.attrs.get("aborted")]
+        assert finished
+
+    def test_aborted_tree_still_renders(self):
+        recorder = TraceRecorder()
+        with use(ObsContext(recorder)):
+            with pytest.raises(BudgetExceededError):
+                evaluate(parse_program(PROGRAM),
+                         budget=EvaluationBudget(max_rounds=1))
+        rendered = recorder.pretty()
+        assert "evaluate" in rendered
+        recorder.to_json()  # serializable too
+
+
+class TestSessionAbort:
+    def test_last_trace_is_complete_after_ask_abort(self):
+        session = MultiLogSession(MLOG, clearance="s",
+                                  budget=EvaluationBudget(max_rounds=1))
+        with pytest.raises(BudgetExceededError):
+            session.ask("s[acct(alice : balance -C-> B)] << cau",
+                        engine="reduction")
+        trace = session.last_trace()
+        assert trace.roots
+        root = trace.roots[-1]
+        assert root.attrs.get("aborted") is True
+        for span in all_spans(root):
+            assert span.elapsed_s > 0.0
+        trace.pretty()
+
+    def test_successful_ask_has_no_aborted_marks(self):
+        session = MultiLogSession(MLOG, clearance="s")
+        session.ask("s[acct(alice : balance -C-> B)] << cau")
+        root = session.last_trace().roots[-1]
+        assert not any(s.attrs.get("aborted") for s in all_spans(root))
