@@ -156,6 +156,41 @@ def cautious_conflicts(relation: MLSRelation, level: Level) -> list[CautiousConf
     return conflicts
 
 
+def _audit_belief(relation: MLSRelation, level: Level, mode: str, audit) -> None:
+    """Emit the MLS audit events one beta computation implies.
+
+    Runs on cache hits too -- the *access* happened either way, and the
+    :class:`~repro.obs.audit.AuditLog` dedups repeats -- so the trail
+    does not depend on memo state.  Firm belief reads only its own level
+    and emits nothing.
+    """
+    lattice = relation.schema.lattice
+    predicate = relation.schema.name
+    subject = str(level)
+    for t in relation:
+        if t.tc != level and lattice.leq(t.tc, level):
+            audit.emit("cross_level_read", subject=subject, object=str(t.tc),
+                       mode=mode, predicate=predicate)
+    if mode != "cau":
+        return
+    for group in _visible_groups(relation, level).values():
+        for attr in relation.schema.attributes:
+            maximal = _maximal_cells(group, attr)
+            seen: list[Cell] = []
+            for t in group:
+                cell = t.cell(attr)
+                if cell in seen or cell in maximal:
+                    continue
+                seen.append(cell)
+                winner = next(
+                    (c for c in maximal if lattice.lt(cell.cls, c.cls)), None)
+                if winner is not None:
+                    audit.emit("override", subject=subject,
+                               object=str(cell.cls), mode="cau",
+                               predicate=predicate, attribute=attr,
+                               overriding_cls=str(winner.cls))
+
+
 def belief(relation: MLSRelation, level: Level, mode: BeliefMode | str) -> MLSRelation:
     """The parametric belief function ``beta : R x S x mu -> R``.
 
@@ -170,12 +205,14 @@ def belief(relation: MLSRelation, level: Level, mode: BeliefMode | str) -> MLSRe
         compute = lambda: optimistic(relation, level)  # noqa: E731
     else:
         compute = lambda: cautious(relation, level)  # noqa: E731
-    recorder = _current_obs().recorder
-    with recorder.span("beta", level=str(level), mode=resolved.value) as span:
+    obs = _current_obs()
+    with obs.recorder.span("beta", level=str(level), mode=resolved.value) as span:
         view = _BETA_MEMO.get_or_compute(
             relation, relation.version, (level, resolved.value), compute
         )
         span.set(tuples=len(view))
+    if obs.audit.enabled and resolved is not BeliefMode.FIRM:
+        _audit_belief(relation, level, resolved.value, obs.audit)
     return view
 
 

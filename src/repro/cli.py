@@ -34,9 +34,14 @@ warnings, ``--format=json`` emits machine-readable diagnostics, and
 error-severity finding instead of starting a REPL.
 
 Observability: ``--trace`` (or ``:trace on``) prints the span tree after
-each query, ``:stats`` shows the session's cumulative engine metrics,
-and ``--explain`` / ``:explain`` dump the compiled join plans of the
-reduced program.
+each query, ``--trace-out=FILE.{json,chrome,jsonl}`` dumps it (a
+``.chrome`` file opens in Perfetto), ``:stats`` shows the session's
+cumulative engine metrics, ``:metrics`` / ``multilog metrics FILE``
+emit Prometheus text exposition, ``:audit`` / ``multilog audit FILE``
+print the MLS security-audit trail (cross-level reads, overrides,
+filter suppressions, surprise stories), and ``--explain`` / ``:explain
+[QUERY]`` dump the compiled join plans -- or, with a query, the
+paper-style provenance of its answers.
 
 The shell logic lives in :class:`Shell` with a pure
 ``execute_line(text) -> str`` interface so it is fully unit-testable.
@@ -70,7 +75,12 @@ Enter MultiLog clauses (ending with '.') to assert them, or queries
   :lint                     run the static analyzer over the database
   :prove QUERY              print a proof tree for QUERY
   :stats                    cumulative engine metrics for this session
-  :explain                  compiled join plans of the reduced program
+  :explain [QUERY]          compiled join plans; with QUERY, the
+                            paper-style provenance of its answers
+  :metrics                  Prometheus text of counters + histograms
+                            (enables latency histograms on first use)
+  :audit [jsonl|clear]      the MLS security-audit trail (enables the
+                            trail on first use)
   :trace on|off             print the span tree after each query
   :faults                   show the armed fault-injection plan
   :faults raise POINT [transient|permanent|strategy]
@@ -88,11 +98,14 @@ class Shell:
     """State + command dispatch for the interactive shell."""
 
     def __init__(self, source: str | MultiLogDatabase = "", clearance: str | None = None,
-                 trace: bool = False, journal: str | None = None):
+                 trace: bool = False, journal: str | None = None,
+                 trace_out: str | None = None):
         self.session = MultiLogSession(source or "level(system).", clearance,
                                        journal=journal)
         self.engine_name = "operational"
         self.trace = trace
+        #: dump each query's span forest here (.json/.chrome/.jsonl).
+        self.trace_out = trace_out
         self._pristine = not source
 
     @property
@@ -134,7 +147,9 @@ class Shell:
             if not argument:
                 return f"clearance is {self.clearance!r}"
             plan = self.session._fault_plan
+            previous = self.session
             self.session = self.session.with_clearance(argument)
+            self._carry_obs(previous)
             if plan is not None:
                 self.session.arm_faults(plan)
             return f"clearance set to {argument!r}"
@@ -172,7 +187,23 @@ class Shell:
                 return "(no stats yet: ask a query first)"
             return stats.summary()
         if name == "explain":
+            if argument:
+                return self.session.explain(query=argument, answer={})
             return self.session.explain()
+        if name == "metrics":
+            if self.session.histograms is None:
+                self.session.enable_telemetry()
+            return self.session.metrics_text().rstrip("\n")
+        if name == "audit":
+            log = self.session.enable_audit()
+            if argument == "clear":
+                log.clear()
+                return "audit trail cleared"
+            if argument == "jsonl":
+                return log.to_jsonl() or "(no audit events yet)"
+            if argument:
+                return "error: usage :audit [jsonl|clear]"
+            return log.render() or "(no audit events yet)"
         if name == "trace":
             if argument not in ("on", "off"):
                 return "error: usage :trace on|off"
@@ -230,6 +261,7 @@ class Shell:
         loaded = parse_database(source)
         journal = self.session.journal
         plan = self.session._fault_plan
+        previous = self.session
         if self._pristine:
             # Nothing asserted yet: adopt the file wholesale, including
             # its lattice, and re-derive the clearance from its top.
@@ -242,6 +274,7 @@ class Shell:
             for query in loaded.queries:
                 database.add_query(query)
             self.session = MultiLogSession(database, self.clearance)
+        self._carry_obs(previous)
         if journal is not None:
             # A load bypasses assert_clause, so bring the journal back in
             # step with one atomic snapshot of the post-load database.
@@ -269,8 +302,30 @@ class Shell:
             return "(nothing believed)"
         return render_table(["pred", "key", "attr", "value", "class", "source"], rows)
 
+    def _carry_obs(self, previous: MultiLogSession) -> None:
+        """Carry telemetry/audit state across a session swap.
+
+        ``:clearance`` and ``:load`` rebuild the session; the shell's
+        histograms, sink, sampling and audit trail are user-visible state
+        that must survive the swap (the audit trail in particular is one
+        continuous record of the shell's cross-level reads).
+        """
+        self.session._histograms = previous._histograms
+        self.session._sink = previous._sink
+        self.session._sample_rate = previous._sample_rate
+        self.session._sample_rng = previous._sample_rng
+        self.session._audit = previous._audit
+
     def _query(self, text: str) -> str:
-        answers = self.session.ask(text, engine=self.engine_name)
+        try:
+            answers = self.session.ask(text, engine=self.engine_name)
+        except ReproError as exc:
+            # The ask died mid-evaluation; the session still snapshotted
+            # the partial forest (spans are closed ``aborted=True``), so
+            # :trace / --trace-out render where it stopped.
+            lines = [f"error: {exc}"]
+            self._append_trace(lines)
+            return "\n".join(lines)
         if not answers:
             lines = ["no."]
         else:
@@ -280,11 +335,21 @@ class Shell:
                     lines.append("yes.")
                 else:
                     lines.append(", ".join(f"{k} = {v}" for k, v in sorted(answer.items())))
-        if self.trace:
-            recorder = self.session.last_trace()
-            if recorder is not None:
-                lines.append(recorder.pretty())
+        self._append_trace(lines)
         return "\n".join(lines)
+
+    def _append_trace(self, lines: list[str]) -> None:
+        recorder = self.session.last_trace()
+        if recorder is None:
+            return
+        if self.trace:
+            rendered = recorder.pretty()
+            if rendered:
+                lines.append(rendered)
+        if self.trace_out:
+            from repro.obs.export import write_trace
+
+            write_trace(recorder, self.trace_out)
 
 
 def _analyze_text(name: str, text: str, clearance: str | None):
@@ -441,6 +506,106 @@ def run_main(argv: list[str]) -> int:
     return exit_code
 
 
+def _telemetry_session(parser: argparse.ArgumentParser, args
+                       ) -> MultiLogSession | None:
+    """A session over ``args.program`` or ``--workload`` (telemetry CLIs)."""
+    if args.program:
+        try:
+            source = Path(args.program).read_text()
+            return MultiLogSession(source, args.clearance)
+        except (OSError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    if args.workload:
+        from repro.workloads import d1_database, mission_multilog
+
+        db = d1_database() if args.workload == "d1" else mission_multilog()
+        return MultiLogSession(db, args.clearance)
+    parser.error("nothing to run: give a program file or --workload")
+    return None
+
+
+def metrics_main(argv: list[str]) -> int:
+    """``multilog metrics``: run stored queries, print Prometheus text.
+
+    Evaluates the program's stored queries (Definition 5.1's Q component)
+    with latency histograms enabled, then emits every counter and
+    per-span-family histogram in the Prometheus text exposition format on
+    stdout -- pipe it to a file for the node_exporter textfile collector.
+    """
+    parser = argparse.ArgumentParser(
+        prog="multilog metrics",
+        description="Evaluate a program's stored queries and emit the "
+                    "session's telemetry in Prometheus text format.")
+    parser.add_argument("program", nargs="?", help="MultiLog source file")
+    parser.add_argument("--clearance", default=None)
+    parser.add_argument("--engine", choices=("operational", "reduction"),
+                        default="operational")
+    parser.add_argument("--workload", choices=("d1", "mission"), default=None,
+                        help="run a built-in workload instead of a file")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="also dump the last query's span forest "
+                             "(.json/.chrome/.jsonl by suffix)")
+    args = parser.parse_args(argv)
+    session = _telemetry_session(parser, args)
+    if session is None:
+        return 2
+    session.enable_telemetry()
+    exit_code = 0
+    for query in session.database.queries:
+        try:
+            session.ask(query, engine=args.engine)
+        except ReproError as exc:
+            print(f"# query failed: {exc}", file=sys.stderr)
+            exit_code = 1
+    print(session.metrics_text(), end="")
+    if args.trace_out and session.last_trace() is not None:
+        from repro.obs.export import write_trace
+
+        write_trace(session.last_trace(), args.trace_out)
+    return exit_code
+
+
+def audit_main(argv: list[str]) -> int:
+    """``multilog audit``: run stored queries under the MLS audit trail.
+
+    Every cross-level read, cautious override, filter suppression and
+    surprise story the evaluation implies is printed afterwards --
+    ``--format jsonl`` emits one JSON object per distinct event for log
+    shipping.
+    """
+    parser = argparse.ArgumentParser(
+        prog="multilog audit",
+        description="Evaluate a program's stored queries with the MLS "
+                    "security-audit trail enabled and print the trail.")
+    parser.add_argument("program", nargs="?", help="MultiLog source file")
+    parser.add_argument("--clearance", default=None)
+    parser.add_argument("--engine", choices=("operational", "reduction"),
+                        default="operational")
+    parser.add_argument("--workload", choices=("d1", "mission"), default=None,
+                        help="run a built-in workload instead of a file")
+    parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    args = parser.parse_args(argv)
+    session = _telemetry_session(parser, args)
+    if session is None:
+        return 2
+    log = session.enable_audit()
+    exit_code = 0
+    for query in session.database.queries:
+        try:
+            session.ask(query, engine=args.engine)
+        except ReproError as exc:
+            print(f"# query failed: {exc}", file=sys.stderr)
+            exit_code = 1
+    if args.format == "jsonl":
+        text = log.to_jsonl()
+        if text:
+            print(text)
+    else:
+        print(log.render() or "(no audit events)")
+    return exit_code
+
+
 def recover_main(argv: list[str]) -> int:
     """``multilog recover``: rebuild a database from a journal."""
     parser = argparse.ArgumentParser(
@@ -512,11 +677,18 @@ def main(argv: list[str] | None = None) -> int:
         return run_main(argv[1:])
     if argv and argv[0] == "recover":
         return recover_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return metrics_main(argv[1:])
+    if argv and argv[0] == "audit":
+        return audit_main(argv[1:])
     parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
     parser.add_argument("program", nargs="?", help="MultiLog source file to load")
     parser.add_argument("--clearance", help="session clearance (default: lattice top)")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree after each query")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="dump each query's span forest to FILE "
+                             "(.json / .chrome / .jsonl by suffix)")
     parser.add_argument("--explain", action="store_true",
                         help="dump the compiled join plans of the reduced "
                              "program and exit")
@@ -533,7 +705,8 @@ def main(argv: list[str] | None = None) -> int:
         report = _analyze_text(args.program or "<empty>", source, args.clearance)
         print(report.render_text())
         return report.exit_code(strict=False)
-    shell = Shell(source, args.clearance, trace=args.trace, journal=args.journal)
+    shell = Shell(source, args.clearance, trace=args.trace, journal=args.journal,
+                  trace_out=args.trace_out)
     if args.explain:
         print(shell.session.explain())
         return 0

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 from repro.multilog.ast import NULL_VALUE
 from repro.multilog.proof import CellRow, OperationalEngine
+from repro.obs.context import current as _current_obs
 
 
-def filtered_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
+def filtered_cells(engine: OperationalEngine, level: str, *,
+                   audit=None) -> set[CellRow]:
     """The sigma-filtered cell view at ``level`` (FILTER + FILTER-NULL).
 
     A molecule ``(pred, key, tc)`` contributes at ``level`` when its key
@@ -36,6 +38,10 @@ def filtered_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
     hidden cells surface as nulls classified at the key level
     (FILTER-NULL).  The reported level of every inherited cell is
     ``min(tc, level)`` -- i.e. ``level`` when the tuple descends.
+
+    Every FILTER-NULL suppression is reported to ``audit`` (default: the
+    ambient observation context's trail) as a ``filter_suppression``
+    event naming the suppressed classification.
     """
     lattice = engine.lattice
     lattice.check_level(level)
@@ -48,6 +54,8 @@ def filtered_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
         )
     from repro.multilog.consistency import molecules  # deferred: avoids a cycle
 
+    if audit is None:
+        audit = _current_obs().audit
     out: set[CellRow] = set()
     for molecule in molecules(set(engine.cells()), engine.db):
         key_cells = molecule.key_cells()
@@ -65,10 +73,15 @@ def filtered_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
             else:
                 out.add((molecule.pred, molecule.key, cell[2], NULL_VALUE,
                          key_cls, shown_level))                              # FILTER-NULL
+                if audit.enabled:
+                    audit.emit("filter_suppression", subject=level,
+                               object=cell[4], predicate=molecule.pred,
+                               attribute=cell[2])
     return out
 
 
-def surprise_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
+def surprise_cells(engine: OperationalEngine, level: str, *,
+                   audit=None) -> set[CellRow]:
     """Null cells of filtered molecules no other molecule papers over.
 
     These are the deductive image of the paper's surprise stories: the
@@ -82,6 +95,7 @@ def surprise_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
     lattice = engine.lattice
     lattice.check_level(level)
     filtered_by_molecule: list[dict[str, CellRow]] = []
+    suppressed_cls: dict[CellRow, str] = {}
     for molecule in molecules(set(engine.cells()), engine.db):
         key_cells = molecule.key_cells()
         if not key_cells:
@@ -97,8 +111,10 @@ def surprise_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
                 per_attr[cell[2]] = (molecule.pred, molecule.key, cell[2],
                                      cell[3], cell[4], shown_level)
             else:
-                per_attr[cell[2]] = (molecule.pred, molecule.key, cell[2],
-                                     NULL_VALUE, key_cls, shown_level)
+                row = (molecule.pred, molecule.key, cell[2],
+                       NULL_VALUE, key_cls, shown_level)
+                per_attr[cell[2]] = row
+                suppressed_cls[row] = cell[4]
         filtered_by_molecule.append(per_attr)
 
     def covers(a: dict[str, CellRow], b: dict[str, CellRow]) -> bool:
@@ -126,6 +142,16 @@ def surprise_cells(engine: OperationalEngine, level: str) -> set[CellRow]:
         if any(covers(other, molecule_cells) for other in filtered_by_molecule):
             continue
         surprises.update(nulls)
+    if audit is None:
+        audit = _current_obs().audit
+    if audit.enabled:
+        for row in sorted(surprises, key=repr):
+            pred, _key, attr, _value, cls, shown = row
+            # object is the *suppressed* classification -- what the story
+            # leaks the existence of -- not the null's own (key) class.
+            audit.emit("surprise_story", subject=level,
+                       object=suppressed_cls.get(row, cls),
+                       predicate=pred, attribute=attr, shown_level=shown)
     return surprises
 
 

@@ -503,9 +503,21 @@ class OperationalEngine:
         if mode == "fir":
             return [row for row in base if row[5] == level]
         visible = [row for row in base if self.lattice.leq(row[5], level)]
+        audit = _current_obs().audit
+        if audit.enabled:
+            for row in visible:
+                if row[5] != level:
+                    audit.emit("cross_level_read", subject=level,
+                               object=row[5], mode=mode, predicate=row[0])
         if mode == "opt":
             return visible
         if mode == "cau":
+            if audit.enabled:
+                for row in visible:
+                    if self._outranked(row, visible):
+                        audit.emit("override", subject=level, object=row[4],
+                                   mode="cau", predicate=row[0],
+                                   attribute=row[2])
             return [row for row in visible if not self._outranked(row, visible)]
         raise UnknownModeError(f"{mode!r} is not a built-in mode")
 

@@ -303,6 +303,46 @@ class ReducedProgram:
                     rows.add(tuple(row[:5]))
         return rows
 
+    def audit_model(self, audit) -> None:
+        """Emit MLS audit events implied by the computed least model.
+
+        The reduction path never *enumerates* downward reads while
+        joining -- they are ordinary Datalog tuples -- but the repaired
+        axioms materialize exactly the projections an auditor needs:
+        every ``vis`` row with source level below believing level is a
+        ``cross_level_read``, and every ``outranked`` row is a cautious
+        ``override``.  Only believing levels at or below this program's
+        clearance are reported (levels above it are never served).
+        """
+        lattice = self.context.lattice
+        model = self.model()
+        if self.specialized:
+            for level in sorted(lattice.levels):
+                if not lattice.leq(level, self.clearance):
+                    continue
+                for row in model.rows(_vis_at(level)):
+                    source = str(row[5])
+                    if source != level:
+                        audit.emit("cross_level_read", subject=level,
+                                   object=source, mode="opt",
+                                   predicate=str(row[0]))
+                for row in model.rows(_outranked_at(level)):
+                    audit.emit("override", subject=level, object=str(row[3]),
+                               mode="cau", predicate=str(row[0]),
+                               attribute=str(row[2]))
+            return
+        for row in model.rows("vis"):
+            source, believer = str(row[5]), str(row[6])
+            if source != believer and lattice.leq(believer, self.clearance):
+                audit.emit("cross_level_read", subject=believer, object=source,
+                           mode="opt", predicate=str(row[0]))
+        for row in model.rows("outranked"):
+            believer = str(row[4])
+            if lattice.leq(believer, self.clearance):
+                audit.emit("override", subject=believer, object=str(row[3]),
+                           mode="cau", predicate=str(row[0]),
+                           attribute=str(row[2]))
+
     def query(self, query: Query) -> list[dict[str, object]]:
         """Answer a MultiLog query against the reduced program.
 

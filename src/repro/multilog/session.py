@@ -31,7 +31,9 @@ served stale answers from the sibling's cached engine).
 
 from __future__ import annotations
 
+import random
 from pathlib import Path
+from time import perf_counter
 
 from repro.datalog.terms import Constant
 from repro.errors import (
@@ -54,11 +56,13 @@ from repro.multilog.proof import (
     Prover,
 )
 from repro.multilog.reduction import ReducedProgram, translate
+from repro.obs.audit import AuditLog
 from repro.obs.budget import EvaluationBudget
 from repro.obs.context import ObsContext, current as _current_obs, use as _use_obs
 from repro.obs.explain import explain_program
+from repro.obs.histogram import HistogramSet
 from repro.obs.metrics import EngineMetrics, MetricsCollector
-from repro.obs.trace import TraceRecorder
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 
 #: Level injected when a program declares no lattice at all -- the
 #: degenerate Datalog case of Proposition 6.1 ("perhaps system").
@@ -98,6 +102,17 @@ class MultiLogSession:
         self._metrics = MetricsCollector()
         self._last_recorder: TraceRecorder | None = None
         self._last_stats: EngineMetrics | None = None
+        self._last_query: str | Query | None = None
+        #: telemetry (off by default): latency histograms per span family,
+        #: an optional streaming sink, and head-based trace sampling.
+        self._histograms: HistogramSet | None = None
+        self._sink = None
+        self._sample_rate = 1.0
+        self._sample_rng: random.Random | None = None
+        #: security-audit trail (off by default; :meth:`enable_audit`).
+        self._audit: AuditLog | None = None
+        #: database version whose reduction model was last audit-walked.
+        self._audited_model_version: int | None = None
         #: armed :class:`~repro.resilience.FaultPlan` (chaos testing); asks
         #: also honour a plan on the ambient ObsContext.
         self._fault_plan = None
@@ -240,16 +255,31 @@ class MultiLogSession:
         """
         if engine not in ("operational", "reduction"):
             raise MultiLogError(f"unknown engine {engine!r}; use 'operational' or 'reduction'")
-        recorder = TraceRecorder()
+        # Head-based sampling: decide before any span exists.  Unsampled
+        # asks run under the null recorder (no span allocation at all) but
+        # still feed the ``query`` latency family from a manual timer, so
+        # the headline percentiles stay exact while per-phase families
+        # come from the sampled traces only.
+        sampled = True
+        if self._sample_rate < 1.0:
+            draw = (self._sample_rng.random() if self._sample_rng is not None
+                    else random.random())
+            sampled = draw < self._sample_rate
+        if sampled:
+            recorder = TraceRecorder(histograms=self._histograms, sink=self._sink)
+        else:
+            recorder = NULL_RECORDER
         meter = self.budget.meter() if self.budget is not None else None
         faults = self._fault_plan if self._fault_plan is not None \
             else _current_obs().faults
-        ctx = ObsContext(recorder, self._metrics, meter, faults)
+        ctx = ObsContext(recorder, self._metrics, meter, faults, audit=self._audit)
         # ctx.recorder is the fault-wrapped view of ``recorder`` (identical
         # when no plan is armed): session-level spans must announce through
         # it so ``query``/``parse`` are injectable fault points too.
         spans = ctx.recorder
         self._metrics.count_ask()
+        self._last_query = query
+        started = perf_counter() if self._histograms is not None else 0.0
         try:
             with _use_obs(ctx):
                 with spans.span("query", engine=engine) as span:
@@ -259,15 +289,27 @@ class MultiLogSession:
                         answers = self.engine.solve(parsed)
                     else:
                         answers = self.reduced.query(parsed)
+                        if ctx.audit.enabled:
+                            self._audit_reduction_model(ctx.audit)
                     span.set(answers=len(answers))
         except BudgetExceededError as exc:
             self._finish_ask(recorder, budget_exceeded=exc.reason)
             exc.metrics = self._last_stats
             raise
+        except Exception:
+            # Any other failure (injected fault, engine error) must still
+            # leave the partial forest renderable: the spans the exception
+            # unwound through are already closed ``aborted=True``, so
+            # snapshot them before propagating -- ``:trace`` and
+            # ``last_trace()`` then show where the ask died.
+            self._finish_ask(recorder)
+            raise
+        if self._histograms is not None and not sampled:
+            self._histograms.observe("query", perf_counter() - started)
         self._finish_ask(recorder)
         return answers
 
-    def _finish_ask(self, recorder: TraceRecorder,
+    def _finish_ask(self, recorder,
                     budget_exceeded: str | None = None) -> None:
         self._last_recorder = recorder
         self._last_stats = self._metrics.snapshot(recorder, budget_exceeded=budget_exceeded)
@@ -282,13 +324,31 @@ class MultiLogSession:
         """
         import dataclasses
 
-        if self._last_recorder is not None and self._last_recorder.roots:
-            self._last_recorder.roots[-1].set(degraded=True, rung=rung)
+        roots = getattr(self._last_recorder, "roots", None)
+        if roots:
+            roots[-1].set(degraded=True, rung=rung)
         if self._last_stats is not None:
             self._last_stats = dataclasses.replace(
                 self._last_stats, degraded=f"{rung}:{reason}",
                 spans=tuple(self._last_recorder.to_dicts())
                 if self._last_recorder is not None else self._last_stats.spans)
+
+    def _stamp_attempt(self, rung: str | None, attempt: int | None) -> None:
+        """Tag the most recent stats snapshot with the *serving* attempt.
+
+        The resilience executor calls this after a retry ladder settles,
+        so ``:stats`` reports which rung and which attempt produced the
+        answers instead of an anonymous merge of aborted tries.
+        """
+        import dataclasses
+
+        if self._last_stats is not None:
+            self._last_stats = dataclasses.replace(
+                self._last_stats, rung=rung,
+                attempt=attempt if attempt is not None else self._last_stats.attempt,
+                retries=self._metrics.retries,
+                fallbacks=self._metrics.fallbacks,
+                degraded_asks=self._metrics.degraded_asks)
 
     def last_stats(self) -> EngineMetrics | None:
         """Metrics snapshot taken at the end of the most recent ask.
@@ -303,9 +363,113 @@ class MultiLogSession:
         """The span recorder of the most recent ask (``None`` before one)."""
         return self._last_recorder
 
-    def explain(self) -> str:
-        """An EXPLAIN dump of the reduced program's compiled join plans."""
-        return explain_program(self.reduced.program)
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, sample_rate: float = 1.0, sink=None,
+                         seed: int | None = None) -> HistogramSet:
+        """Switch on latency histograms (and optionally a span sink).
+
+        Every subsequent ask feeds per-span-family histograms readable via
+        :attr:`histograms` / :meth:`metrics_text`.  ``sample_rate`` < 1
+        enables head-based trace sampling: unsampled asks skip span
+        allocation entirely (their ``query`` latency is still observed
+        from a plain timer, so the headline percentiles stay exact).
+        ``sink`` is a :class:`~repro.obs.export.TelemetrySink` receiving
+        each sampled root span; ``seed`` makes the sampling decisions
+        reproducible.
+        """
+        if not 0.0 <= sample_rate <= 1.0:
+            raise MultiLogError(f"sample_rate must be in [0, 1], got {sample_rate!r}")
+        if self._histograms is None:
+            self._histograms = HistogramSet()
+        self._sink = sink
+        self._sample_rate = sample_rate
+        self._sample_rng = random.Random(seed) if seed is not None else None
+        return self._histograms
+
+    @property
+    def histograms(self) -> HistogramSet | None:
+        """Per-span-family latency histograms (``None`` until enabled)."""
+        return self._histograms
+
+    def metrics_text(self) -> str:
+        """This session's counters + histograms in Prometheus text format."""
+        from repro.obs.export import render_prometheus
+
+        stats = self._last_stats if self._last_stats is not None \
+            else self._metrics.snapshot()
+        return render_prometheus(stats, self._histograms)
+
+    def enable_audit(self) -> AuditLog:
+        """Switch on the MLS security-audit trail for subsequent asks.
+
+        Returns the (idempotently created) :class:`~repro.obs.audit.
+        AuditLog`; read it back with :meth:`audit_log`.  When the session
+        was built by :meth:`recover`, the recovery itself is the first
+        entry (kind ``recover``) so the trail starts at the journal
+        replay, not at the first post-crash query.
+        """
+        if self._audit is None:
+            self._audit = AuditLog()
+            if self.recovery_report is not None:
+                self._audit.emit(
+                    "recover", subject=str(self.clearance),
+                    consistent=self.recovery_report.ok,
+                    journal=str(self.journal.path) if self.journal is not None else "",
+                )
+        return self._audit
+
+    def audit_log(self) -> AuditLog | None:
+        """The session's audit trail (``None`` until :meth:`enable_audit`)."""
+        return self._audit
+
+    def _audit_reduction_model(self, audit: AuditLog) -> None:
+        """Walk the reduced model's vis/outranked rows into the audit log.
+
+        The reduction engine derives its cross-level reads as ordinary
+        Datalog facts rather than through beta, so after a reduction ask
+        we project the audit events straight off the fixpoint model.
+        Guarded per database version: the model only changes when the
+        database does, and the AuditLog dedups anyway.
+        """
+        if self._audited_model_version == self.database.version:
+            return
+        self._audited_model_version = self.database.version
+        self.reduced.audit_model(audit)
+
+    # ------------------------------------------------------------------
+    def explain(self, query: str | Query | None = None,
+                answer: dict[str, object] | None = None) -> str:
+        """EXPLAIN the compiled plans, or a paper-style answer provenance.
+
+        With no arguments: the reduced program's compiled join plans
+        (unchanged behaviour).  With ``answer`` (and optionally
+        ``query``, defaulting to the most recent ask): the provenance of
+        that answer -- the Figure 9-11 rule chain, the believed base
+        cells it rests on, and an indented proof sketch.  ``answer={}``
+        explains every answer of the query.
+        """
+        if query is None and answer is None:
+            return explain_program(self.reduced.program)
+        from repro.obs.provenance import AnswerProvenance
+
+        target = query if query is not None else self._last_query
+        if target is None:
+            raise MultiLogError("no query to explain: pass query= or ask first")
+        parsed = parse_query(target) if isinstance(target, str) else target
+        proofs = Prover(self.engine).prove_query(parsed)
+        if not proofs:
+            return f"no answers (and so no provenance) for {parsed}"
+        provenances = [
+            AnswerProvenance.from_proof(bindings, tree, query=str(parsed))
+            for bindings, tree in proofs
+        ]
+        if answer:
+            provenances = [p for p in provenances if p.matches(answer)]
+            if not provenances:
+                raise MultiLogError(
+                    f"{answer!r} is not an answer of {parsed} "
+                    f"(answers: {[bindings for bindings, _ in proofs]})")
+        return "\n\n".join(p.render() for p in provenances)
 
     def holds(self, query: str | Query, engine: str = "operational") -> bool:
         """True when the (possibly ground) query has at least one answer."""
@@ -361,8 +525,8 @@ class MultiLogSession:
         from repro.analysis import analyze_database
 
         self._revalidate()
-        recorder = TraceRecorder()
-        ctx = ObsContext(recorder, self._metrics)
+        recorder = TraceRecorder(histograms=self._histograms, sink=self._sink)
+        ctx = ObsContext(recorder, self._metrics, audit=self._audit)
         with _use_obs(ctx):
             report = analyze_database(self.database, self.clearance)
         self._finish_ask(recorder)
@@ -418,3 +582,10 @@ class MultiLogSession:
         self._engine = None
         self._reduced = None
         self._cache_version = database.version
+        if self._audit is not None:
+            head = parsed.head
+            level = getattr(head, "level", None)
+            subject = str(level.value) if isinstance(level, Constant) else str(self.clearance)
+            pred = getattr(head, "pred", None) or type(head).__name__
+            self._audit.emit("assert", subject=subject, predicate=str(pred),
+                             clause=str(parsed), version=database.version)

@@ -9,23 +9,26 @@ with :func:`use`, and each engine reads :func:`current` **once** per
 evaluation and passes the pieces down as locals.
 
 The default context is fully disabled -- :data:`~repro.obs.trace.
-NULL_RECORDER`, :data:`~repro.obs.metrics.NULL_METRICS` and no budget
-meter -- so un-instrumented callers pay a single ``ContextVar.get`` per
+NULL_RECORDER`, :data:`~repro.obs.metrics.NULL_METRICS`,
+:data:`~repro.obs.audit.NULL_AUDIT` and no budget meter -- so
+un-instrumented callers pay a single ``ContextVar.get`` per
 ``evaluate()`` call and nothing per row.
 """
 
 from __future__ import annotations
 
+import random
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from repro.obs.audit import NULL_AUDIT, AuditLog
 from repro.obs.budget import BudgetMeter, EvaluationBudget
 from repro.obs.metrics import NULL_METRICS, MetricsCollector
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 
 
 class ObsContext:
-    """A recorder + metrics collector + budget meter + fault plan bundle.
+    """A recorder + metrics + budget meter + fault plan + audit bundle.
 
     ``faults`` is an optional :class:`~repro.resilience.FaultPlan` (any
     object with ``wrap_recorder``): when given, the recorder is wrapped so
@@ -33,24 +36,46 @@ class ObsContext:
     offers the plan a chance to raise, delay or corrupt-and-detect.  The
     wrapping works even when tracing is off (the null recorder's span
     points still fire), so chaos tests do not pay for span collection.
+
+    ``sample_rate`` enables head-based trace sampling: the keep/drop
+    decision is made *here*, once, at context construction -- an
+    unsampled context swaps its recorder for the null recorder before any
+    span exists, so the whole trace is dropped for the cost of one random
+    draw (``sampled`` records the decision).  Metrics, budgets, faults
+    and audit are never sampled away: counters must stay exact and the
+    audit trail is a security record, not telemetry.  Pass
+    ``sample_draw`` to make the decision deterministic (tests, seeded
+    sessions).
     """
 
-    __slots__ = ("recorder", "metrics", "meter", "faults")
+    __slots__ = ("recorder", "metrics", "meter", "faults", "audit",
+                 "sample_rate", "sampled")
 
     def __init__(self, recorder=None, metrics=None, meter: BudgetMeter | None = None,
-                 faults=None):
+                 faults=None, audit=None, sample_rate: float = 1.0,
+                 sample_draw: float | None = None):
+        self.sample_rate = sample_rate
+        if sample_rate >= 1.0:
+            self.sampled = True
+        else:
+            draw = sample_draw if sample_draw is not None else random.random()
+            self.sampled = draw < sample_rate
         recorder = recorder if recorder is not None else NULL_RECORDER
+        if not self.sampled:
+            recorder = NULL_RECORDER
         if faults is not None:
             recorder = faults.wrap_recorder(recorder)
         self.recorder = recorder
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.meter = meter
         self.faults = faults
+        self.audit = audit if audit is not None else NULL_AUDIT
 
     @property
     def enabled(self) -> bool:
         return (self.recorder.enabled or self.metrics.enabled
-                or self.meter is not None or self.faults is not None)
+                or self.meter is not None or self.faults is not None
+                or self.audit.enabled)
 
 
 #: The all-disabled context every evaluation sees unless told otherwise.
@@ -75,8 +100,15 @@ def use(ctx: ObsContext):
 
 
 def observe(trace: bool = True, metrics: bool = True,
-            budget: EvaluationBudget | None = None, faults=None) -> ObsContext:
+            budget: EvaluationBudget | None = None, faults=None,
+            audit: bool = False, sample_rate: float = 1.0,
+            histograms=None, sink=None) -> ObsContext:
     """A fresh enabled context (convenience for one traced evaluation).
+
+    ``histograms`` (a :class:`~repro.obs.histogram.HistogramSet`) and
+    ``sink`` (a :class:`~repro.obs.export.TelemetrySink`) attach to the
+    recorder's span-close path; ``audit=True`` attaches a fresh
+    :class:`~repro.obs.audit.AuditLog`.
 
     >>> from repro.obs import observe, use
     >>> ctx = observe()
@@ -85,8 +117,10 @@ def observe(trace: bool = True, metrics: bool = True,
     >>> ctx.recorder.pretty()  # doctest: +SKIP
     """
     return ObsContext(
-        TraceRecorder() if trace else None,
+        TraceRecorder(histograms=histograms, sink=sink) if trace else None,
         MetricsCollector() if metrics else None,
         BudgetMeter(budget) if budget is not None else None,
         faults,
+        AuditLog() if audit else None,
+        sample_rate=sample_rate,
     )

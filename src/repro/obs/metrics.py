@@ -73,6 +73,16 @@ class EngineMetrics:
     #: ``"<rung>:<reason>"`` (e.g. ``"seminaive:fallback"``,
     #: ``"compiled:budget-rows"``); ``None`` on the normal path.
     degraded: str | None = None
+    #: cumulative resilience counters: transient retries spent, ladder
+    #: fallbacks taken, and asks served degraded, across the session.
+    retries: int = 0
+    fallbacks: int = 0
+    degraded_asks: int = 0
+    #: which attempt produced this snapshot (a session-wide ordinal that,
+    #: unlike ``asks``, also counts aborted retry-ladder attempts) and the
+    #: ladder rung that served it (``None`` outside the executor).
+    attempt: int | None = None
+    rung: str | None = None
 
     @property
     def total_firings(self) -> int:
@@ -94,6 +104,11 @@ class EngineMetrics:
             "spans": list(self.spans),
             "budget_exceeded": self.budget_exceeded,
             "degraded": self.degraded,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "degraded_asks": self.degraded_asks,
+            "attempt": self.attempt,
+            "rung": self.rung,
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -121,6 +136,12 @@ class EngineMetrics:
             lines.append(f"budget exceeded: {self.budget_exceeded}")
         if self.degraded:
             lines.append(f"degraded: {self.degraded}")
+        if self.retries or self.fallbacks or self.degraded_asks:
+            lines.append(f"resilience: {self.retries} retries, "
+                         f"{self.fallbacks} fallbacks, "
+                         f"{self.degraded_asks} degraded asks")
+        if self.rung is not None:
+            lines.append(f"served by: attempt {self.attempt} on rung {self.rung}")
         top = sorted(self.rule_firings.items(), key=lambda kv: -kv[1])[:5]
         for label, count in top:
             shown = label if len(label) <= 72 else label[:69] + "..."
@@ -129,10 +150,20 @@ class EngineMetrics:
 
 
 class MetricsCollector:
-    """Mutable counters the engines write into (cumulative across asks)."""
+    """Mutable counters the engines write into (cumulative across asks).
+
+    "Cumulative" means across *served* asks: the resilience executor
+    brackets each retry-ladder attempt with :meth:`mark` /
+    :meth:`rollback` so an aborted attempt's firings, rounds and probes
+    do not merge into the counters the serving attempt reports.  The
+    ``attempts`` ordinal and the resilience counters (``retries`` /
+    ``fallbacks`` / ``degraded_asks``) deliberately survive rollback --
+    they record that the attempts happened.
+    """
 
     __slots__ = ("rule_firings", "rows_derived", "rounds",
-                 "join_probes", "candidate_calls", "asks")
+                 "join_probes", "candidate_calls", "asks",
+                 "attempts", "retries", "fallbacks", "degraded_asks")
 
     enabled = True
 
@@ -143,6 +174,10 @@ class MetricsCollector:
         self.join_probes = 0
         self.candidate_calls = 0
         self.asks = 0
+        self.attempts = 0
+        self.retries = 0
+        self.fallbacks = 0
+        self.degraded_asks = 0
 
     # -- engine-facing increments ---------------------------------------
     def rule_fired(self, label: str, rows: int) -> None:
@@ -160,9 +195,41 @@ class MetricsCollector:
 
     def count_ask(self) -> None:
         self.asks += 1
+        self.attempts += 1
+
+    def count_retry(self) -> None:
+        self.retries += 1
+
+    def count_fallback(self) -> None:
+        self.fallbacks += 1
+
+    def count_degraded(self) -> None:
+        self.degraded_asks += 1
+
+    # -- attempt bracketing (resilience executor) ------------------------
+    def mark(self) -> tuple:
+        """An opaque restore point taken before a retry-ladder attempt."""
+        return (dict(self.rule_firings), dict(self.rows_derived),
+                dict(self.rounds), self.join_probes, self.candidate_calls,
+                self.asks)
+
+    def rollback(self, state: tuple) -> None:
+        """Restore the engine counters to ``state`` (aborted attempt).
+
+        ``attempts`` and the resilience counters are *not* restored: the
+        aborted attempt still happened and should still be countable.
+        """
+        firings, rows, rounds, probes, candidates, asks = state
+        self.rule_firings = Counter(firings)
+        self.rows_derived = Counter(rows)
+        self.rounds = dict(rounds)
+        self.join_probes = probes
+        self.candidate_calls = candidates
+        self.asks = asks
 
     # -- snapshotting ----------------------------------------------------
-    def snapshot(self, recorder=None, budget_exceeded: str | None = None) -> EngineMetrics:
+    def snapshot(self, recorder=None, budget_exceeded: str | None = None,
+                 rung: str | None = None) -> EngineMetrics:
         """Freeze the counters (plus cache stats and a span forest)."""
         spans: tuple[dict, ...] = ()
         if recorder is not None and recorder.enabled:
@@ -181,6 +248,11 @@ class MetricsCollector:
             cache=cache,
             spans=spans,
             budget_exceeded=budget_exceeded,
+            retries=self.retries,
+            fallbacks=self.fallbacks,
+            degraded_asks=self.degraded_asks,
+            attempt=self.attempts if self.attempts else None,
+            rung=rung,
         )
 
     def reset(self) -> None:
@@ -190,6 +262,10 @@ class MetricsCollector:
         self.join_probes = 0
         self.candidate_calls = 0
         self.asks = 0
+        self.attempts = 0
+        self.retries = 0
+        self.fallbacks = 0
+        self.degraded_asks = 0
 
 
 class NullMetrics:
@@ -212,6 +288,21 @@ class NullMetrics:
         pass
 
     def count_ask(self) -> None:
+        pass
+
+    def count_retry(self) -> None:
+        pass
+
+    def count_fallback(self) -> None:
+        pass
+
+    def count_degraded(self) -> None:
+        pass
+
+    def mark(self) -> tuple:
+        return ()
+
+    def rollback(self, state: tuple) -> None:
         pass
 
 

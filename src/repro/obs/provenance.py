@@ -1,0 +1,142 @@
+"""Per-answer provenance: which rules and believed cells support an answer.
+
+The operational semantics *is* a proof calculus (Figures 9-11), and the
+:class:`~repro.multilog.proof.Prover` already rebuilds its trees; this
+module distils one tree into an :class:`AnswerProvenance` -- the rule
+chain (BELIEF, DESCEND-O, DESCEND-C1..C4, DEDUCTION-G', ...), the
+security levels touched, the believed base cells (Sigma facts) at the
+leaves, and the clause instances fired along the way -- and renders it
+as a paper-style proof sketch with the lattice plumbing (REFLEXIVITY /
+TRANSITIVITY chains) collapsed to single lines.
+
+Everything here walks plain :class:`~repro.multilog.proof.ProofTree`
+nodes (``rule`` / ``conclusion`` / ``premises`` / ``note``); the entry
+point is ``MultiLogSession.explain(query=..., answer=...)`` or
+:func:`provenance` directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Cell-shaped fragment of a sequent conclusion: ``level[pred(key : ...``.
+_CELL_LEVEL = re.compile(r"(\w+)\[\w+\(")
+#: Classification arrow inside a cell: ``-cls->``.
+_CELL_CLS = re.compile(r"-(\w+)->")
+#: Proof nodes that are pure lattice plumbing: shown one-line, unexpanded.
+_LATTICE_RULES = frozenset({"REFLEXIVITY", "TRANSITIVITY", "ORDER", "LEVEL"})
+_FACT_NOTES = frozenset({"fact in Sigma"})
+_CLAUSE_NOTE_PREFIX = "via clause: "
+
+
+@dataclass(frozen=True)
+class AnswerProvenance:
+    """The support of one answer: rule chain, levels, base cells, clauses."""
+
+    answer: dict
+    query: str
+    rules: tuple[str, ...]       # distinct rule names, pre-order
+    levels: tuple[str, ...]      # security levels touched, sorted
+    base_cells: tuple[str, ...]  # believed Sigma facts at the leaves
+    clauses: tuple[str, ...]     # clause instances fired (DEDUCTION notes)
+    tree: object                 # the full ProofTree, for callers who want it
+
+    @classmethod
+    def from_proof(cls, answer: dict, tree, query: str = "") -> "AnswerProvenance":
+        rules: list[str] = []
+        levels: set[str] = set()
+        base_cells: list[str] = []
+        clauses: list[str] = []
+
+        def walk(node) -> None:
+            if node.rule != "EMPTY" and node.rule not in rules:
+                rules.append(node.rule)
+            if node.rule not in _LATTICE_RULES:
+                for match in _CELL_LEVEL.finditer(node.conclusion):
+                    levels.add(match.group(1))
+                for match in _CELL_CLS.finditer(node.conclusion):
+                    levels.add(match.group(1))
+            if node.note in _FACT_NOTES:
+                cell = _conclusion_goal(node.conclusion)
+                if cell not in base_cells:
+                    base_cells.append(cell)
+            elif node.note.startswith(_CLAUSE_NOTE_PREFIX):
+                clause = node.note[len(_CLAUSE_NOTE_PREFIX):]
+                if clause not in clauses:
+                    clauses.append(clause)
+            for premise in node.premises:
+                walk(premise)
+
+        walk(tree)
+        return cls(dict(answer), query, tuple(rules), tuple(sorted(levels)),
+                   tuple(base_cells), tuple(clauses), tree)
+
+    def matches(self, pattern: dict) -> bool:
+        """True when every binding in ``pattern`` equals this answer's.
+
+        Comparison falls back to string equality so ``{"B": "900"}``
+        matches an integer-valued answer.
+        """
+        for name, wanted in pattern.items():
+            if name not in self.answer:
+                return False
+            got = self.answer[name]
+            if got != wanted and str(got) != str(wanted):
+                return False
+        return True
+
+    def sketch(self) -> str:
+        """The proof tree with lattice plumbing collapsed to one line each."""
+        return "\n".join(_sketch_lines(self.tree, 0))
+
+    def render(self) -> str:
+        bindings = ", ".join(f"{k}={v}" for k, v in sorted(self.answer.items()))
+        header = f"answer {{{bindings}}}" if bindings else "answer (ground)"
+        if self.query:
+            header += f" to {self.query}"
+        lines = [header,
+                 f"  rules: {', '.join(self.rules)}",
+                 f"  levels: {', '.join(self.levels)}"]
+        if self.base_cells:
+            lines.append("  believed base cells:")
+            lines.extend(f"    {cell}" for cell in self.base_cells)
+        if self.clauses:
+            lines.append("  via clauses:")
+            lines.extend(f"    {clause}" for clause in self.clauses)
+        lines.append("  proof sketch:")
+        lines.extend("    " + line for line in _sketch_lines(self.tree, 0))
+        return "\n".join(lines)
+
+
+def _conclusion_goal(conclusion: str) -> str:
+    """The goal to the right of the turnstile (or the whole string)."""
+    _, sep, goal = conclusion.partition("|-")
+    return goal.strip() if sep else conclusion.strip()
+
+
+def _sketch_lines(tree, indent: int) -> list[str]:
+    if tree.rule == "EMPTY":
+        return []
+    pad = "  " * indent
+    if tree.rule in _LATTICE_RULES:
+        return [f"{pad}({tree.rule}) {_conclusion_goal(tree.conclusion)}"]
+    note = f"   % {tree.note}" if tree.note else ""
+    lines = [f"{pad}({tree.rule}) {_conclusion_goal(tree.conclusion)}{note}"]
+    for premise in tree.premises:
+        lines.extend(_sketch_lines(premise, indent + 1))
+    return lines
+
+
+def provenance(session, query) -> list["AnswerProvenance"]:
+    """One :class:`AnswerProvenance` per distinct answer of ``query``.
+
+    ``session`` is a :class:`~repro.multilog.session.MultiLogSession`;
+    proofs come from its operational engine (the reduction engine answers
+    the same queries -- Theorem 6.1 -- but carries no proof trees).
+    """
+    query_text = query if isinstance(query, str) else str(query)
+    return [
+        AnswerProvenance.from_proof(answer, tree, query_text)
+        for answer, tree in session.proofs(query)
+    ]

@@ -26,6 +26,10 @@ from __future__ import annotations
 import json
 from time import perf_counter
 
+#: Attribute names that count "rows processed" by a span, probed in this
+#: order by the throughput column of :meth:`Span.pretty`.
+_ROW_ATTRS = ("delta", "rows", "tuples", "facts", "answers")
+
 
 class Span:
     """One timed node of a trace tree; also its own context manager."""
@@ -78,13 +82,26 @@ class Span:
             out.extend(child.find(name))
         return out
 
-    def pretty(self, indent: int = 0) -> str:
+    def row_count(self) -> int | None:
+        """The span's row-ish workload, if any attribute recorded one."""
+        for key in _ROW_ATTRS:
+            value = self.attrs.get(key)
+            if isinstance(value, int):
+                return value
+        return None
+
+    def pretty(self, indent: int = 0, parent_elapsed: float | None = None) -> str:
         pad = "  " * indent
-        attrs = ""
+        columns = [f"{pad}{self.name}", f"{self.elapsed_s * 1e3:.3f}ms"]
+        if parent_elapsed is not None and parent_elapsed > 0.0:
+            columns.append(f"{self.elapsed_s / parent_elapsed * 100.0:.1f}%")
+        rows = self.row_count()
+        if rows is not None and self.elapsed_s > 0.0:
+            columns.append(f"{rows / self.elapsed_s:,.0f} rows/s")
         if self.attrs:
-            attrs = "  " + " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
-        lines = [f"{pad}{self.name}  {self.elapsed_s * 1e3:.3f}ms{attrs}"]
-        lines.extend(child.pretty(indent + 1) for child in self.children)
+            columns.append(" ".join(f"{k}={v}" for k, v in sorted(self.attrs.items())))
+        lines = ["  ".join(columns)]
+        lines.extend(child.pretty(indent + 1, self.elapsed_s) for child in self.children)
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -92,15 +109,26 @@ class Span:
 
 
 class TraceRecorder:
-    """Collects spans into a forest; create one per traced evaluation."""
+    """Collects spans into a forest; create one per traced evaluation.
 
-    __slots__ = ("roots", "_stack")
+    ``histograms`` (a :class:`~repro.obs.histogram.HistogramSet`) and
+    ``sink`` (a :class:`~repro.obs.export.TelemetrySink`) both hook the
+    span-close path: a span's ``elapsed_s`` is final before ``_pop``
+    runs, so the histogram observes the true duration and the sink
+    streams only completed trees.  The sink receives each **root** span
+    as it closes, letting a long-lived session stream spans to a file
+    instead of accumulating every forest in memory.
+    """
+
+    __slots__ = ("roots", "_stack", "histograms", "sink")
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, histograms=None, sink=None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self.histograms = histograms
+        self.sink = sink
 
     def span(self, name: str, **attrs) -> Span:
         """A new span; use as ``with recorder.span("stratum[0]") as sp:``."""
@@ -118,6 +146,10 @@ class TraceRecorder:
         while self._stack:
             if self._stack.pop() is span:
                 break
+        if self.histograms is not None:
+            self.histograms.observe_span(span.name, span.attrs, span.elapsed_s)
+        if self.sink is not None and not self._stack:
+            self.sink.write_span(span)
 
     # -- introspection ---------------------------------------------------
     def clear(self) -> None:

@@ -222,28 +222,59 @@ class ResilientExecutor:
         outcome = Outcome(requested=self.ladder[0] if self.ladder else engine)
         self.last_outcome = outcome
         rungs = self.ladder or ("compiled",)
+        collector = getattr(session, "_metrics", None)
 
         def attempt_rung(rung: str) -> list[dict[str, object]]:
-            if rung == rungs[0]:
-                return session.ask(query, engine=engine)
-            # A lower rung: rebuild the reduced program's least model with
-            # the simpler strategy, then serve the ask from it.  (The
-            # operational engine has no strategy knob; the reduction
-            # semantics answers the same queries -- Theorem 6.1.)
-            reduced = session.reduced
-            reduced._model = None
-            reduced._model = _engine_evaluate(reduced.program, strategy=rung,
-                                              budget=self.budget)
-            reduced.fixpoint_runs += 1
-            return session.ask(query, engine="reduction")
+            # Bracket the attempt: an aborted try's firings/rounds/probes
+            # roll back so ``:stats`` after the ladder settles reports the
+            # *serving* attempt, not a merge of every aborted one.  A
+            # budget abort is exempt -- when ``allow_partial`` salvages
+            # from it, that attempt IS the serving one.
+            state = collector.mark() if collector is not None else None
+            try:
+                if rung == rungs[0]:
+                    return session.ask(query, engine=engine)
+                # A lower rung: rebuild the reduced program's least model
+                # with the simpler strategy, then serve the ask from it.
+                # (The operational engine has no strategy knob; the
+                # reduction semantics answers the same queries --
+                # Theorem 6.1.)
+                reduced = session.reduced
+                reduced._model = None
+                reduced._model = _engine_evaluate(reduced.program, strategy=rung,
+                                                  budget=self.budget)
+                reduced.fixpoint_runs += 1
+                return session.ask(query, engine="reduction")
+            except BudgetExceededError:
+                raise
+            except BaseException:
+                if state is not None:
+                    collector.rollback(state)
+                raise
+
+        def settle(rung: str) -> None:
+            """Sync the outcome's resilience counters into the session."""
+            if collector is None:
+                return
+            for _ in range(outcome.retries):
+                collector.count_retry()
+            for _ in range(outcome.fallbacks):
+                collector.count_fallback()
+            if outcome.degraded:
+                collector.count_degraded()
+            stamp = getattr(session, "_stamp_attempt", None)
+            if stamp is not None:
+                stamp(rung, outcome.attempts or None)
 
         try:
             answers = self._run_rungs(rungs, attempt_rung, outcome)
         except BudgetExceededError as exc:
             if not self.allow_partial:
+                settle(outcome.rung)
                 raise
             outcome.degraded = f"{outcome.rung}:budget-{exc.reason}"
             salvaged = self._salvage_answers(session, query, exc)
+            settle(outcome.rung)
             session._mark_degraded(outcome.rung, f"budget-{exc.reason}")
             return PartialResult(
                 complete=False, rung=outcome.rung,
@@ -252,7 +283,10 @@ class ResilientExecutor:
             )
         if outcome.rung != rungs[0]:
             outcome.degraded = f"{outcome.rung}:fallback"
+            settle(outcome.rung)
             session._mark_degraded(outcome.rung, "fallback")
+        else:
+            settle(outcome.rung)
         return answers
 
     def _salvage_answers(self, session, query, exc: BudgetExceededError

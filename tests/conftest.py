@@ -1,12 +1,58 @@
-"""Shared fixtures: the paper's canonical objects plus common lattices."""
+"""Shared fixtures: the paper's canonical objects plus common lattices.
+
+Also hosts the CI trace-artifact plugin: when ``MULTILOG_TRACE_ARTIFACT``
+names a file, every test runs under an ambient observation context and
+the *slowest* test's span forest is written there in Chrome-trace format
+at session end -- CI uploads it on failure so the heaviest evaluation of
+a red run can be opened in Perfetto without a local repro.
+"""
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
 from repro.lattice import SecurityLattice, diamond, military_chain
 from repro.workloads.d1 import d1_database, mission_multilog
 from repro.workloads.mission import mission_relation, mission_schema
+
+_TRACE_ARTIFACT = os.environ.get("MULTILOG_TRACE_ARTIFACT")
+_slowest: dict = {"elapsed": -1.0, "nodeid": None, "recorder": None}
+
+
+@pytest.fixture(autouse=_TRACE_ARTIFACT is not None)
+def _trace_artifact_recorder(request):
+    """Trace each test; remember the slowest one's span forest."""
+    if _TRACE_ARTIFACT is None:  # autouse disabled, but be defensive
+        yield
+        return
+    from repro.obs import observe, use
+
+    ctx = observe()
+    started = time.perf_counter()
+    with use(ctx):
+        yield
+    elapsed = time.perf_counter() - started
+    if elapsed > _slowest["elapsed"] and ctx.recorder.roots:
+        _slowest.update(elapsed=elapsed, nodeid=request.node.nodeid,
+                        recorder=ctx.recorder)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _TRACE_ARTIFACT is None or _slowest["recorder"] is None:
+        return
+    from repro.obs import render_chrome_trace
+
+    try:
+        with open(_TRACE_ARTIFACT, "w", encoding="utf-8") as handle:
+            handle.write(render_chrome_trace(_slowest["recorder"]))
+            handle.write("\n")
+        print(f"\n[trace-artifact] slowest traced test {_slowest['nodeid']} "
+              f"({_slowest['elapsed']:.3f}s) -> {_TRACE_ARTIFACT}")
+    except OSError as exc:  # never fail the run over telemetry
+        print(f"\n[trace-artifact] could not write {_TRACE_ARTIFACT}: {exc}")
 
 
 @pytest.fixture()

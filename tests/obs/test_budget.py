@@ -66,9 +66,12 @@ class TestDatalogBudgets:
         assert metrics.spans  # the partial span tree is included
 
     def test_no_metrics_attached_without_collector(self):
+        from repro.obs.context import DISABLED
+
         program = parse_program(chain_tc(30))
-        with pytest.raises(BudgetExceededError) as info:
-            evaluate(program, budget=EvaluationBudget(max_rounds=2))
+        with use(DISABLED):  # pin: ambient obs (e.g. CI tracing) must not leak in
+            with pytest.raises(BudgetExceededError) as info:
+                evaluate(program, budget=EvaluationBudget(max_rounds=2))
         assert info.value.metrics is None
 
 

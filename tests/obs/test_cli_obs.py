@@ -1,0 +1,129 @@
+"""CLI telemetry surface: ``multilog metrics`` / ``multilog audit``,
+``:metrics`` / ``:audit`` / ``:explain QUERY`` / ``--trace-out``."""
+
+import json
+
+import pytest
+
+from repro.cli import Shell, audit_main, main, metrics_main
+from repro.resilience import FaultPlan
+
+SOURCE = """\
+level(u). level(s). order(u, s).
+u[acct(alice : name -u-> alice)].
+u[acct(alice : balance -u-> 100)].
+s[acct(alice : balance -s-> 900)].
+?- s[acct(alice : balance -C-> B)] << cau.
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    path = tmp_path / "bank.mlog"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestMetricsSubcommand:
+    def test_emits_prometheus_text(self, program, capsys):
+        assert main(["metrics", str(program), "--clearance", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE multilog_asks_total counter" in out
+        assert "multilog_asks_total 1" in out
+        assert 'multilog_span_latency_seconds_bucket{family="query"' in out
+        for line in out.splitlines():
+            if line and not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])    # scrapable sample lines
+
+    def test_builtin_workload(self, capsys):
+        assert metrics_main(["--workload", "d1"]) == 0
+        assert "multilog_asks_total" in capsys.readouterr().out
+
+    def test_trace_out_writes_valid_chrome_json(self, program, tmp_path, capsys):
+        out_file = tmp_path / "trace.chrome"
+        assert main(["metrics", str(program), "--clearance", "s",
+                     "--trace-out", str(out_file)]) == 0
+        capsys.readouterr()
+        document = json.loads(out_file.read_text())
+        assert document["traceEvents"]
+        assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_nothing_to_run_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            metrics_main([])
+        assert err.value.code == 2
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert metrics_main([str(tmp_path / "nope.mlog")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAuditSubcommand:
+    def test_text_trail_names_cross_level_reads(self, program, capsys):
+        assert main(["audit", str(program), "--clearance", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "cross_level_read" in out
+        assert "subject=s" in out and "object=u" in out
+
+    def test_jsonl_is_machine_readable(self, program, capsys):
+        assert audit_main([str(program), "--clearance", "s",
+                           "--format", "jsonl"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in ("cross_level_read", "override")
+            assert record["count"] >= 1
+
+    def test_workload_d1(self, capsys):
+        assert audit_main(["--workload", "d1"]) == 0
+        assert "cross_level_read" in capsys.readouterr().out
+
+
+class TestShellObsCommands:
+    def test_metrics_command_emits_prometheus(self):
+        shell = Shell(SOURCE, clearance="s")
+        shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        out = shell.execute_line(":metrics")
+        assert "multilog_asks_total 1" in out
+        # Telemetry was enabled lazily; the *next* query lands in histograms.
+        shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert 'family="query"' in shell.execute_line(":metrics")
+
+    def test_audit_command_and_clear(self):
+        shell = Shell(SOURCE, clearance="s")
+        first = shell.execute_line(":audit")        # enables the trail
+        assert "audit" in first                     # "(audit trail empty)" note
+        shell.execute_line("s[acct(alice : balance -C-> B)] << opt")
+        out = shell.execute_line(":audit")
+        assert "cross_level_read" in out
+        jsonl = shell.execute_line(":audit jsonl")
+        assert all(json.loads(line) for line in jsonl.splitlines())
+        shell.execute_line(":audit clear")
+        assert "cross_level_read" not in shell.execute_line(":audit")
+
+    def test_audit_usage_error(self):
+        shell = Shell(SOURCE, clearance="s")
+        assert shell.execute_line(":audit bogus").startswith("error:")
+
+    def test_explain_query_renders_provenance(self):
+        shell = Shell(SOURCE, clearance="s")
+        out = shell.execute_line(":explain s[acct(alice : balance -C-> B)] << cau")
+        assert "rules: BELIEF" in out
+        assert "proof sketch:" in out
+
+    def test_trace_out_dumps_each_query(self, tmp_path):
+        out_file = tmp_path / "q.jsonl"
+        shell = Shell(SOURCE, clearance="s", trace_out=str(out_file))
+        shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        lines = out_file.read_text().splitlines()
+        assert json.loads(lines[0])["name"] == "query"
+
+    def test_trace_renders_aborted_tree_on_error(self):
+        shell = Shell(SOURCE, clearance="s", trace=True)
+        plan = FaultPlan()
+        plan.arm("query", error="permanent")
+        shell.session.arm_faults(plan)
+        out = shell.execute_line("s[acct(alice : balance -C-> B)] << cau")
+        assert out.startswith("error:")
+        assert "query" in out.splitlines()[-1]      # the aborted span tree

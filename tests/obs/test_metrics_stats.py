@@ -97,11 +97,20 @@ class TestAmbientContext:
         assert ctx.recorder.find("stratum[0]")
 
     def test_default_context_is_disabled(self):
+        import contextvars
+
         from repro.obs.context import current
 
-        ctx = current()
-        assert not ctx.enabled
-        assert ctx.metrics is NULL_METRICS
+        # Run in a fresh contextvars context: the *default* must be the
+        # disabled null context even when the surrounding test process
+        # (e.g. the CI trace-artifact plugin) observes ambiently.
+        def probe():
+            ctx = current()
+            return ctx.enabled, ctx.metrics
+
+        enabled, metrics = contextvars.Context().run(probe)
+        assert not enabled
+        assert metrics is NULL_METRICS
 
     def test_collector_reset(self):
         collector = MetricsCollector()

@@ -1,0 +1,98 @@
+"""Answer provenance (PR 5 tentpole): Figure 9-11 proof sketches.
+
+The golden assertions pin provenance for the paper's D1 example
+database to the rules and levels its own proof trees use (Figures
+9-11): optimistic descent uses DESCEND-O over the believed u-fact,
+cautious survival of the local c-cell is DESCEND-C4, and the belief-fed
+s-rule stacks DEDUCTION-G' on a nested BELIEF.
+"""
+
+import pytest
+
+from repro.errors import MultiLogError
+from repro.multilog import MultiLogSession
+from repro.obs import AnswerProvenance, provenance
+from repro.workloads.d1 import d1_database
+
+
+@pytest.fixture()
+def session():
+    return MultiLogSession(d1_database(), clearance="s")
+
+
+class TestD1Golden:
+    def test_optimistic_descent_answer(self, session):
+        text = session.explain(query="c[p(k : a -C-> V)] << opt", answer={"C": "u"})
+        assert "answer {C=u, V=v}" in text
+        assert "rules: BELIEF, TRANSITIVITY, ORDER, DESCEND-O, DEDUCTION-G'" in text
+        assert "levels: c, u" in text
+        assert "u[p(k : a -u-> v)]" in text          # believed base cell
+        assert "(DESCEND-O) opt u[p(k : a -u-> v)] believed at c" in text
+
+    def test_local_optimistic_answer_fires_the_rule(self, session):
+        text = session.explain(query="c[p(k : a -C-> V)] << opt", answer={"C": "c"})
+        assert "answer {C=c, V=t}" in text
+        assert "DEDUCTION-G" in text
+        assert "via clauses:" in text
+        assert "c[p(k : a -c-> t)] :- q(j)." in text
+        assert "(REFLEXIVITY) c <= c" in text
+
+    def test_belief_fed_rule_stacks_descend_c4(self, session):
+        text = session.explain(query="s[p(k : a -u-> v)] << fir", answer={})
+        assert "answer (ground)" in text
+        assert "DESCEND-C4" in text
+        assert "(BELIEF) c[p(k : a -c-> t)] << cau" in text
+        assert "s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau." in text
+        assert text.count("via clause:") == 2        # both rule firings noted
+        assert "levels: c, s, u" in text
+
+    def test_provenance_objects_match_render(self, session):
+        provs = provenance(session, "c[p(k : a -C-> V)] << opt")
+        assert len(provs) == 2
+        by_c = {p.answer["C"] for p in provs}
+        assert by_c == {"u", "c"}
+        for p in provs:
+            assert p.rules[0] == "BELIEF"            # Figure 9 root rule
+            assert p.render().startswith("answer {")
+
+
+class TestSessionExplainAnswer:
+    def test_defaults_to_last_query(self, session):
+        session.ask("c[p(k : a -C-> V)] << opt")
+        text = session.explain(answer={"C": "u"})
+        assert "DESCEND-O" in text
+
+    def test_no_query_anywhere_is_an_error(self, session):
+        with pytest.raises(MultiLogError):
+            session.explain(answer={})
+
+    def test_non_answer_lists_the_real_answers(self, session):
+        with pytest.raises(MultiLogError) as err:
+            session.explain(query="c[p(k : a -C-> V)] << opt",
+                            answer={"C": "zz"})
+        assert "C" in str(err.value)                 # names the answers seen
+
+    def test_empty_pattern_explains_every_answer(self, session):
+        text = session.explain(query="c[p(k : a -C-> V)] << opt", answer={})
+        assert text.count("answer {") == 2
+
+
+class TestAnswerProvenanceUnit:
+    def test_matches_string_coercion(self):
+        p = AnswerProvenance(answer={"B": 900}, query="", rules=(),
+                             levels=(), base_cells=(), clauses=(), tree=None)
+        assert p.matches({"B": "900"})
+        assert p.matches({})
+        assert not p.matches({"B": "901"})
+        assert not p.matches({"C": "900"})
+
+    def test_from_proof_collects_in_preorder_without_dups(self, session):
+        [(answer, tree)] = [
+            (a, t) for a, t in session.proofs("c[p(k : a -C-> V)] << opt")
+            if a["C"] == "u"]
+        p = AnswerProvenance.from_proof(answer, tree, "q")
+        assert p.rules == ("BELIEF", "TRANSITIVITY", "ORDER",
+                           "DESCEND-O", "DEDUCTION-G'")
+        assert p.levels == ("c", "u")
+        assert p.base_cells == ("u[p(k : a -u-> v)]",)
+        assert p.query == "q"
