@@ -53,6 +53,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.datalog.storage import BACKENDS
 from repro.errors import ReproError
 from repro.multilog.ast import MultiLogDatabase
 from repro.multilog.session import MultiLogSession
@@ -99,9 +100,9 @@ class Shell:
 
     def __init__(self, source: str | MultiLogDatabase = "", clearance: str | None = None,
                  trace: bool = False, journal: str | None = None,
-                 trace_out: str | None = None):
+                 trace_out: str | None = None, backend: str | None = None):
         self.session = MultiLogSession(source or "level(system).", clearance,
-                                       journal=journal)
+                                       journal=journal, backend=backend)
         self.engine_name = "operational"
         self.trace = trace
         #: dump each query's span forest here (.json/.chrome/.jsonl).
@@ -262,18 +263,19 @@ class Shell:
         journal = self.session.journal
         plan = self.session._fault_plan
         previous = self.session
+        backend = self.session.backend
         if self._pristine:
             # Nothing asserted yet: adopt the file wholesale, including
             # its lattice, and re-derive the clearance from its top.
-            self.session = MultiLogSession(parse_database(source))
+            self.session = MultiLogSession(parse_database(source), backend=backend)
             self._pristine = False
         else:
             database = self.session.database
-            for clause in loaded.clauses():
-                database.add(clause)
+            database.add_clauses(loaded.clauses())  # one version bump
             for query in loaded.queries:
                 database.add_query(query)
-            self.session = MultiLogSession(database, self.clearance)
+            self.session = MultiLogSession(database, self.clearance,
+                                           backend=backend)
         self._carry_obs(previous)
         if journal is not None:
             # A load bypasses assert_clause, so bring the journal back in
@@ -465,6 +467,10 @@ def run_main(argv: list[str]) -> int:
                              "instead of failing")
     parser.add_argument("--journal", default=None,
                         help="arm write-ahead journaling to this path")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="storage backend for the reduced program "
+                             "(default: $MULTILOG_BACKEND or 'dict'; "
+                             "'columnar' evaluates vectorized)")
     args = parser.parse_args(argv)
 
     from repro.obs import EvaluationBudget
@@ -474,7 +480,8 @@ def run_main(argv: list[str]) -> int:
               if args.timeout is not None else None)
     try:
         session = MultiLogSession(Path(args.program).read_text(), args.clearance,
-                                  budget=budget, journal=args.journal)
+                                  budget=budget, journal=args.journal,
+                                  backend=args.backend)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -644,7 +651,7 @@ def recover_main(argv: list[str]) -> int:
         session.journal.compact(db)
         print(f"compacted journal to {args.journal}")
     if args.shell:
-        shell = Shell(db, session.clearance)
+        shell = Shell(db, session.clearance, backend=session.backend)
         shell.session.journal = session.journal
         return _repl(shell)
     return 0
@@ -698,6 +705,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--journal", default=None,
                         help="arm crash-safe write-ahead journaling of "
                              "asserted clauses to this path")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="storage backend for the reduced program "
+                             "(default: $MULTILOG_BACKEND or 'dict'; "
+                             "'columnar' evaluates vectorized)")
     args = parser.parse_args(argv)
 
     source = Path(args.program).read_text() if args.program else ""
@@ -706,7 +717,7 @@ def main(argv: list[str] | None = None) -> int:
         print(report.render_text())
         return report.exit_code(strict=False)
     shell = Shell(source, args.clearance, trace=args.trace, journal=args.journal,
-                  trace_out=args.trace_out)
+                  trace_out=args.trace_out, backend=args.backend)
     if args.explain:
         print(shell.session.explain())
         return 0

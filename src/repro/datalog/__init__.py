@@ -7,6 +7,7 @@ queries for tuple-level demand; :mod:`parse` provides a concrete syntax.
 """
 
 from repro.datalog.atoms import BUILTIN_PREDICATES, Atom, Literal, atom, neg, pos
+from repro.datalog.columnar import ColumnarDatabase
 from repro.datalog.database import Database, Row
 from repro.datalog.engine import (
     answer_rows,
@@ -18,9 +19,16 @@ from repro.datalog.engine import (
     reorder_body,
 )
 from repro.datalog.magic import MagicProgram, magic_query, magic_transform
-from repro.datalog.plan import CompiledRule, compile_rule
+from repro.datalog.plan import BatchRule, CompiledRule, compile_batch_rule, compile_rule
 from repro.datalog.parse import parse_atom, parse_program
 from repro.datalog.rules import Program, Rule, SafetyViolation
+from repro.datalog.storage import (
+    BACKEND_ENV,
+    BACKENDS,
+    StorageBackend,
+    make_database,
+    resolve_backend,
+)
 from repro.datalog.stratify import dependencies, strata, stratify
 from repro.datalog.terms import Constant, Term, Variable, fresh_variable, make_term
 from repro.datalog.topdown import TopDownEngine
@@ -35,7 +43,11 @@ from repro.datalog.unify import (
 
 __all__ = [
     "Atom",
+    "BACKEND_ENV",
+    "BACKENDS",
     "BUILTIN_PREDICATES",
+    "BatchRule",
+    "ColumnarDatabase",
     "CompiledRule",
     "Constant",
     "Database",
@@ -45,6 +57,7 @@ __all__ = [
     "Row",
     "Rule",
     "SafetyViolation",
+    "StorageBackend",
     "Substitution",
     "Term",
     "TopDownEngine",
@@ -53,6 +66,7 @@ __all__ = [
     "apply_to_atom",
     "apply_to_literal",
     "atom",
+    "compile_batch_rule",
     "compile_rule",
     "dependencies",
     "evaluate",
@@ -61,6 +75,7 @@ __all__ = [
     "greedy_join_order",
     "magic_query",
     "magic_transform",
+    "make_database",
     "make_term",
     "match_atom",
     "neg",
@@ -70,6 +85,7 @@ __all__ = [
     "query",
     "query_database",
     "reorder_body",
+    "resolve_backend",
     "strata",
     "stratify",
     "unify_atoms",

@@ -39,6 +39,14 @@ class Database:
     __slots__ = ("_facts", "_indexes", "_version", "probe_count",
                  "candidate_calls", "__weakref__")
 
+    #: registry name for the storage-backend seam (repro.datalog.storage).
+    backend = "dict"
+    #: batch-operator counters of the columnar backend; class-level zeros
+    #: here so metrics readers can diff them uniformly on any backend.
+    batch_probe_count = 0
+    batch_build_count = 0
+    batch_dedup_rows = 0
+
     def __init__(self) -> None:
         self._facts: dict[str, set[Row]] = {}
         # (predicate -> positions-tuple -> key-tuple -> rows)
@@ -77,6 +85,31 @@ class Database:
     def add_atom(self, atom: Atom) -> bool:
         return self.add(atom.predicate, atom.ground_tuple())
 
+    def add_facts(self, predicate: str, rows: Iterable[Row]) -> int:
+        """Bulk-insert rows for one predicate; returns how many were new.
+
+        The fast path for loaders (program facts, journal replay,
+        generated workloads): the fresh rows are computed with one set
+        difference, already-materialized indexes are extended in a single
+        pass, and the version counter is bumped **once** -- so memo
+        layers keyed on ``version`` revalidate once per bulk load instead
+        of once per row.
+        """
+        mine = self._facts.setdefault(predicate, set())
+        fresh = set(rows) - mine
+        if not fresh:
+            return 0
+        mine |= fresh
+        self._version += 1
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for positions, index in indexes.items():
+                for row in fresh:
+                    if all(p < len(row) for p in positions):
+                        key = tuple(row[p] for p in positions)
+                        index.setdefault(key, []).append(row)
+        return len(fresh)
+
     def rows(self, predicate: str) -> set[Row]:
         return self._facts.get(predicate, set())
 
@@ -105,19 +138,7 @@ class Database:
     def merge(self, other: "Database") -> None:
         """Bulk-insert ``other``'s facts, maintaining indexes incrementally."""
         for predicate, rows in other._facts.items():
-            mine = self._facts.setdefault(predicate, set())
-            fresh = rows - mine
-            if not fresh:
-                continue
-            mine |= fresh
-            self._version += len(fresh)
-            indexes = self._indexes.get(predicate)
-            if indexes:
-                for positions, index in indexes.items():
-                    for row in fresh:
-                        if all(p < len(row) for p in positions):
-                            key = tuple(row[p] for p in positions)
-                            index.setdefault(key, []).append(row)
+            self.add_facts(predicate, rows)
 
     # ------------------------------------------------------------------
     def index(self, predicate: str, positions: tuple[int, ...]) -> Index:

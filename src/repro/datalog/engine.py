@@ -5,7 +5,7 @@ CORAL stand-in.  Programs are stratified; each stratum is evaluated to a
 least fixpoint before the next begins, so negation always consults a
 fully computed lower stratum.
 
-Three strategies:
+Four strategies:
 
 * ``naive`` -- re-derive everything each round; the textbook baseline
   kept for differential testing and the ablation bench.
@@ -15,6 +15,16 @@ Three strategies:
   :class:`~repro.datalog.plan.CompiledRule` join plans: each rule body is
   compiled once per stratum into a nested-loop function probing composite
   indexes, with delta-specialized variants for the refiring step.
+* ``vectorized`` -- semi-naive iteration over
+  :class:`~repro.datalog.plan.BatchRule` batch pipelines against the
+  columnar backend: each round probes the entire delta batch through
+  build-side hash tables in a handful of comprehensions over interned
+  codes, instead of one Python frame per candidate row.
+
+The first three run unchanged on either storage backend (they only use
+the row-level :class:`~repro.datalog.storage.StorageBackend` contract);
+``vectorized`` requires -- and, when no backend is forced, implies --
+the columnar backend.
 """
 
 from __future__ import annotations
@@ -24,8 +34,9 @@ from collections.abc import Iterable
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.builtins import evaluate_builtin
 from repro.datalog.database import Database, Row
-from repro.datalog.plan import CompiledRule, compile_rule
+from repro.datalog.plan import CompiledRule, compile_batch_rule, compile_rule
 from repro.datalog.rules import Program, Rule
+from repro.datalog.storage import make_database, resolve_backend
 from repro.datalog.stratify import stratify
 from repro.datalog.terms import Variable
 from repro.datalog.unify import Substitution, apply_to_atom, match_atom
@@ -239,6 +250,79 @@ def _evaluate_stratum_compiled(rules: list[Rule], db: Database,
     metrics.record_rounds(scope, rounds + 1)
 
 
+def _merge_delta(delta: dict, key: tuple[str, int], fresh) -> None:
+    """File a fresh batch (list or set) under ``key`` without copying.
+
+    The frontier batches only ever get iterated, so the first
+    contribution is stored as-is; a list is materialized only when a
+    second rule head lands on the same ``(predicate, arity)``.
+    """
+    have = delta.get(key)
+    if have is None:
+        delta[key] = fresh
+    else:
+        if not isinstance(have, list):
+            have = list(have)
+            delta[key] = have
+        have.extend(fresh)
+
+
+def _evaluate_stratum_vectorized(rules: list[Rule], db, stratum_predicates: set[str],
+                                 recorder, metrics, meter, scope: str) -> None:
+    """Semi-naive iteration driven by batch pipelines (columnar only).
+
+    Deltas are coded-row batches keyed ``(predicate, arity)``;
+    :meth:`~repro.datalog.columnar.ColumnarDatabase.insert_coded` stores
+    a whole derived batch with one dedup pass and hands back the
+    genuinely fresh rows as the next round's frontier.
+    """
+    compiled = [compile_batch_rule(rule, stratum_predicates) for rule in rules]
+    labels = [repr(plan.rule) for plan in compiled]
+    delta: dict[tuple[str, int], list | set] = {}
+    with recorder.span("rule-fire", scope=scope, phase="initial") as span:
+        total = 0
+        for plan, label in zip(compiled, labels):
+            rows = plan.fire(db)
+            metrics.rule_fired(label, len(rows))
+            fresh = db.insert_coded(plan.head_predicate, plan.head_arity, rows)
+            if fresh:
+                _merge_delta(delta, (plan.head_predicate, plan.head_arity),
+                             fresh)
+                total += len(fresh)
+        span.set(delta=total)
+    if meter is not None:
+        meter.charge_rows(total, scope)
+    recursive = [(plan, label) for plan, label in zip(compiled, labels)
+                 if plan.delta_variants]
+    rounds = 0
+    while delta:
+        rounds += 1
+        if meter is not None:
+            meter.begin_round(scope)
+        with _round_span(recorder, rounds, scope) as span:
+            new_delta: dict[tuple[str, int], list | set] = {}
+            total = 0
+            for plan, label in recursive:
+                for delta_predicate, delta_arity, fire in plan.delta_variants:
+                    batch = delta.get((delta_predicate, delta_arity))
+                    if not batch:
+                        continue
+                    rows = fire(db, batch)
+                    metrics.rule_fired(label, len(rows))
+                    fresh = db.insert_coded(plan.head_predicate,
+                                            plan.head_arity, rows)
+                    if fresh:
+                        _merge_delta(new_delta,
+                                     (plan.head_predicate, plan.head_arity),
+                                     fresh)
+                        total += len(fresh)
+            span.set(delta=total)
+        if meter is not None:
+            meter.charge_rows(total, scope)
+        delta = new_delta
+    metrics.record_rounds(scope, rounds + 1)
+
+
 def _evaluate_stratum_naive(rules: list[Rule], db: Database,
                             recorder, metrics, meter, scope: str) -> None:
     labels = [repr(rule) for rule in rules]
@@ -315,14 +399,21 @@ def _evaluate_stratum_seminaive(rules: list[Rule], db: Database,
 def evaluate(program: Program, strategy: str = "compiled",
              optimize_joins: bool = False,
              budget: EvaluationBudget | None = None,
-             analyze: bool = False) -> Database:
-    """The stratified least model of ``program`` as a :class:`Database`.
+             analyze: bool = False,
+             backend: str | None = None):
+    """The stratified least model of ``program`` as a fact store.
 
     ``optimize_joins`` reorders rule bodies most-bound-first before
     evaluation (see :func:`greedy_join_order`); answers are identical,
     only the join work changes -- ``bench_ablation_strategies`` measures
-    the effect.  The ``compiled`` strategy always applies the greedy
-    order, since literal order is part of the compiled plan.
+    the effect.  The ``compiled`` and ``vectorized`` strategies always
+    apply the greedy order, since literal order is part of the plan.
+
+    ``backend`` picks the storage backend (explicit argument >
+    ``MULTILOG_BACKEND`` env var > ``dict``); answers are identical
+    across backends.  The ``vectorized`` strategy requires the columnar
+    backend and selects it when none is forced; pairing it with an
+    explicit ``dict`` raises :class:`~repro.errors.DatalogError`.
 
     Observability: spans, per-rule firing counts and join-probe totals
     are reported into the ambient :class:`repro.obs.ObsContext` (no-ops
@@ -337,8 +428,14 @@ def evaluate(program: Program, strategy: str = "compiled",
     error-severity finding -- unlike the default fail-fast path, which
     stops at the first unsafe rule or stratification failure.
     """
-    if strategy not in ("naive", "seminaive", "compiled"):
+    if strategy not in ("naive", "seminaive", "compiled", "vectorized"):
         raise DatalogError(f"unknown evaluation strategy {strategy!r}")
+    if strategy == "vectorized":
+        if backend is not None and resolve_backend(backend) != "columnar":
+            raise DatalogError(
+                "the vectorized strategy requires the columnar backend; "
+                f"got backend={backend!r}")
+        backend = "columnar"
     ctx = _current_obs()
     recorder, metrics = ctx.recorder, ctx.metrics
     meter = BudgetMeter(budget) if budget is not None else ctx.meter
@@ -353,20 +450,27 @@ def evaluate(program: Program, strategy: str = "compiled",
         with recorder.span("stratify") as span:
             assignment = stratify(program)
             span.set(strata=max(assignment.values(), default=0) + 1)
-        db = Database()
+        db = make_database(backend)
+        facts_by_predicate: dict[str, list[Row]] = {}
         for fact in program.facts:
-            db.add_atom(fact)
+            facts_by_predicate.setdefault(fact.predicate, []).append(
+                fact.ground_tuple())
+        for predicate, rows in facts_by_predicate.items():
+            db.add_facts(predicate, rows)
         if not program.rules:
             evaluate_span.set(facts=len(db))
             return db
         probes_before = db.probe_count
         candidates_before = db.candidate_calls
+        batch_before = (db.batch_probe_count, db.batch_build_count,
+                        db.batch_dedup_rows)
         try:
             max_stratum = max(assignment.values(), default=0)
             for level in range(max_stratum + 1):
                 stratum_predicates = {p for p, s in assignment.items() if s == level}
-                rules = _stratum_rules(program, stratum_predicates,
-                                       optimize_joins or strategy == "compiled")
+                rules = _stratum_rules(
+                    program, stratum_predicates,
+                    optimize_joins or strategy in ("compiled", "vectorized"))
                 if not rules:
                     continue
                 scope = f"stratum[{level}]"
@@ -377,6 +481,9 @@ def evaluate(program: Program, strategy: str = "compiled",
                     elif strategy == "seminaive":
                         _evaluate_stratum_seminaive(rules, db, stratum_predicates,
                                                     recorder, metrics, meter, scope)
+                    elif strategy == "vectorized":
+                        _evaluate_stratum_vectorized(rules, db, stratum_predicates,
+                                                     recorder, metrics, meter, scope)
                     else:
                         _evaluate_stratum_compiled(rules, db, stratum_predicates,
                                                    recorder, metrics, meter, scope)
@@ -384,6 +491,9 @@ def evaluate(program: Program, strategy: str = "compiled",
         except BudgetExceededError as exc:
             metrics.add_probes(db.probe_count - probes_before)
             metrics.add_candidate_calls(db.candidate_calls - candidates_before)
+            metrics.add_batch_ops(db.batch_probe_count - batch_before[0],
+                                  db.batch_build_count - batch_before[1],
+                                  db.batch_dedup_rows - batch_before[2])
             if exc.metrics is None and metrics.enabled:
                 exc.metrics = metrics.snapshot(recorder)
             # Everything derived before the abort; the resilience layer
@@ -392,6 +502,9 @@ def evaluate(program: Program, strategy: str = "compiled",
             raise
         metrics.add_probes(db.probe_count - probes_before)
         metrics.add_candidate_calls(db.candidate_calls - candidates_before)
+        metrics.add_batch_ops(db.batch_probe_count - batch_before[0],
+                              db.batch_build_count - batch_before[1],
+                              db.batch_dedup_rows - batch_before[2])
         evaluate_span.set(facts=len(db))
     return db
 

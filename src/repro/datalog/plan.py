@@ -69,6 +69,15 @@ _BUILTIN_GUARDS = {
     ">=": "not _ge({a}, {b})",
 }
 
+#: batch-filter keep condition per order built-in ({a}/{b} are *decoded*
+#: value expressions -- interned codes are not value-ordered).
+_BATCH_ORDER_KEEPS = {
+    "<": "_lt({a}, {b})",
+    "<=": "_le({a}, {b})",
+    ">": "_gt({a}, {b})",
+    ">=": "_ge({a}, {b})",
+}
+
 
 class CompiledRule:
     """One rule compiled to closures; see :func:`compile_rule`."""
@@ -214,8 +223,339 @@ class _Emitter:
         return namespace["_fire"], source
 
 
+class BatchRule:
+    """One rule compiled to a batch pipeline; see :func:`compile_batch_rule`."""
+
+    __slots__ = ("rule", "head_predicate", "head_arity", "fire",
+                 "delta_variants", "source", "access_paths")
+
+    def __init__(self, rule: Rule, head_predicate: str, head_arity: int, fire,
+                 delta_variants, source: str, access_paths: tuple[dict, ...] = ()):
+        self.rule = rule
+        self.head_predicate = head_predicate
+        self.head_arity = head_arity
+        #: ``fire(db)`` -- deduplicated coded head rows (list or set).
+        self.fire = fire
+        #: ``(predicate, arity, fire(db, delta_rows))`` per recursive literal.
+        self.delta_variants = delta_variants
+        self.source = source
+        self.access_paths = access_paths
+
+
+class _BatchEmitter:
+    """Generates the batch-pipeline source for one rule variant.
+
+    Where :class:`_Emitter` nests row loops, this emits a linear pipeline
+    over ``batch`` -- a list of coded tuples, one slot per bound variable
+    in binding order.  Each positive literal becomes one hash-join
+    comprehension probing the whole batch against a build-side table from
+    :meth:`~repro.datalog.columnar.ColumnarDatabase.batch_index`; guards
+    and negated literals become whole-batch filters on codes.  Equality
+    built-ins compare codes directly (value equality *is* code equality
+    under the shared intern table; a never-stored constant probes to the
+    ``-1`` sentinel, which no code equals), order built-ins decode
+    through ``db.values_list``, and constant-vs-constant guards compare
+    the raw values (two absent constants both probe to ``-1`` and must
+    not be conflated).
+    """
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.namespace: dict[str, object] = {
+            "_lt": _lt, "_le": _le, "_gt": _gt, "_ge": _ge,
+        }
+        self._slots: dict[Variable, int] = {}
+        self._counter = 0
+        self._uses: set[str] = set()
+        self.access_paths: list[dict] = []
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _const(self, value: object) -> str:
+        name = self._name("C")
+        self.namespace[name] = value
+        return name
+
+    def emit(self, delta_position: int | None) -> str:
+        rule = self.rule
+        ops: list[str] = []
+        started = False  # whether ``batch`` exists yet
+        #: set when the latest op is a ``t + m`` join: (probe source,
+        #: probe key, slot width before the join, len(ops) afterwards).
+        #: The head fuses into that join when nothing follows it.
+        fuse: tuple[str, str, int, int] | None = None
+
+        def slot_expr(var: Variable) -> str:
+            return f"t[{self._slots[var]}]"
+
+        def probe_const(value: object) -> str:
+            self._uses.add("_probe")
+            name = self._name("K")
+            ops.append(f"    {name} = _probe({self._const(value)})")
+            return name
+
+        for index, literal in enumerate(rule.body):
+            fuse = None  # any later op invalidates a pending join fusion
+            this_join: tuple[str, str, int, int, str | None] | None = None
+            atom = literal.atom
+            if atom.is_builtin:
+                if len(atom.args) != 2:
+                    raise DatalogError(f"built-in {atom.predicate!r} takes two arguments")
+                op = atom.predicate
+                left, right = atom.args
+                for term in (left, right):
+                    if isinstance(term, Variable) and term not in self._slots:
+                        raise DatalogError(
+                            f"variable {term!r} of built-in {atom!r} in rule "
+                            f"{rule!r} is not bound at evaluation time")
+                if isinstance(left, Constant) and isinstance(right, Constant):
+                    a, b = self._const(left.value), self._const(right.value)
+                    condition = _BUILTIN_GUARDS[op].format(a=a, b=b)
+                    if started and op not in ("=", "!="):
+                        # Order guards can raise on incomparable values;
+                        # only evaluate when rows exist, matching the
+                        # row-compiled plan where the guard sits inside
+                        # the join loops.
+                        ops.append("    if batch:")
+                        ops.append(f"        if {condition}: return []")
+                    else:
+                        ops.append(f"    if {condition}: return []")
+                elif op in ("=", "!="):
+                    sides = [
+                        probe_const(term.value) if isinstance(term, Constant)
+                        else slot_expr(term)
+                        for term in (left, right)
+                    ]
+                    comparator = "==" if op == "=" else "!="
+                    ops.append(f"    batch = [t for t in batch "
+                               f"if {sides[0]} {comparator} {sides[1]}]")
+                else:
+                    self._uses.add("_vals")
+                    sides = [
+                        self._const(term.value) if isinstance(term, Constant)
+                        else f"_vals[{slot_expr(term)}]"
+                        for term in (left, right)
+                    ]
+                    keep = _BATCH_ORDER_KEEPS[op].format(a=sides[0], b=sides[1])
+                    ops.append(f"    batch = [t for t in batch if {keep}]")
+                self.access_paths.append({"literal": repr(literal), "access": "guard"})
+                continue
+            if not literal.positive:
+                exprs: list[str] = []
+                all_const = True
+                for term in atom.args:
+                    if isinstance(term, Constant):
+                        exprs.append(probe_const(term.value))
+                    elif term in self._slots:
+                        exprs.append(slot_expr(term))
+                        all_const = False
+                    else:
+                        raise DatalogError(
+                            f"variable {term!r} of negated literal {literal!r} in "
+                            f"rule {rule!r} is not bound at evaluation time")
+                self._uses.add("_cs")
+                nset = self._name("N")
+                ops.append(f"    {nset} = _cs({atom.predicate!r}, {len(atom.args)})")
+                row = f"({', '.join(exprs)},)" if exprs else "()"
+                if all_const:
+                    ops.append(f"    if {row} in {nset}: return []")
+                else:
+                    ops.append(f"    batch = [t for t in batch if {row} not in {nset}]")
+                self.access_paths.append({"literal": repr(literal), "access": "anti-join"})
+                continue
+
+            arity = len(atom.args)
+            is_delta = index == delta_position
+            source = "delta" if is_delta else "db"
+            key_positions: list[int] = []
+            key_exprs: list[str] = []
+            keeps: list[int] = []
+            new_vars: list[Variable] = []
+            eq_pairs: list[tuple[int, int]] = []
+            first_here: dict[Variable, int] = {}
+            for position, term in enumerate(atom.args):
+                if isinstance(term, Constant):
+                    key_positions.append(position)
+                    key_exprs.append(probe_const(term.value))
+                elif term in self._slots:
+                    key_positions.append(position)
+                    key_exprs.append(slot_expr(term))
+                elif term in first_here:
+                    eq_pairs.append((first_here[term], position))
+                else:
+                    first_here[term] = position
+                    keeps.append(position)
+                    new_vars.append(term)
+            identity = (not key_positions and not eq_pairs
+                        and keeps == list(range(arity)))
+            width = len(self._slots)
+            path: dict = {"literal": repr(literal), "source": source}
+            if len(key_exprs) == 1:
+                probe_key = key_exprs[0]
+            else:
+                probe_key = "(" + "".join(e + ", " for e in key_exprs) + ")"
+            keep_proj = "(" + "".join(f"_r[{p}], " for p in keeps) + ")"
+            if not started:
+                if is_delta:
+                    if identity:
+                        ops.append("    batch = delta")
+                    else:
+                        checks = [f"_r[{p}] == {e}"
+                                  for p, e in zip(key_positions, key_exprs)]
+                        checks += [f"_r[{a}] == _r[{b}]" for a, b in eq_pairs]
+                        guard = f" if {' and '.join(checks)}" if checks else ""
+                        ops.append(f"    batch = [{keep_proj} for _r in delta{guard}]")
+                elif identity:
+                    self._uses.add("_rows")
+                    ops.append(f"    batch = _rows({atom.predicate!r}, {arity})")
+                else:
+                    self._uses.add("_bi")
+                    table = self._name("G")
+                    ops.append(
+                        f"    {table} = _bi({atom.predicate!r}, {arity}, "
+                        f"{tuple(key_positions)!r}, {tuple(keeps)!r}, "
+                        f"{tuple(eq_pairs)!r})")
+                    if key_positions:
+                        ops.append("    db.batch_probe_count += 1")
+                    ops.append(f"    batch = {table}.get({probe_key}, _ET)")
+                started = True
+            else:
+                if is_delta:
+                    # Build a hash table over the (small) frontier batch
+                    # inline, then probe the whole accumulated batch.
+                    build = self._name("D")
+                    if len(key_positions) == 1:
+                        key_build = f"_r[{key_positions[0]}]"
+                    else:
+                        key_build = ("(" + "".join(f"_r[{p}], "
+                                                   for p in key_positions) + ")")
+                    ops.append(f"    {build} = {{}}")
+                    ops.append(f"    {build}_add = {build}.setdefault")
+                    ops.append("    for _r in delta:")
+                    for a, b in eq_pairs:
+                        ops.append(f"        if _r[{a}] != _r[{b}]: continue")
+                    ops.append(f"        {build}_add({key_build}, []).append({keep_proj})")
+                    probe_source = build
+                    bare_line = (f"        {build}_add({key_build}, [])"
+                                 f".append(_r[{keeps[0]}])"
+                                 if len(keeps) == 1 else None)
+                else:
+                    self._uses.add("_bi")
+                    probe_source = self._name("G")
+                    ops.append(
+                        f"    {probe_source} = _bi({atom.predicate!r}, {arity}, "
+                        f"{tuple(key_positions)!r}, {tuple(keeps)!r}, "
+                        f"{tuple(eq_pairs)!r})")
+                    bare_line = (ops[-1][:-1] + ", bare_keep=True)"
+                                 if len(keeps) == 1 else None)
+                build_index = len(ops) - 1
+                ops.append("    db.batch_probe_count += 1")
+                ops.append(f"    batch = [t + m for t in batch "
+                           f"for m in {probe_source}.get({probe_key}, _ET)]")
+                this_join = (probe_source, probe_key, width,
+                             build_index, bare_line)
+            path["access"] = "batch-probe" if key_positions else "batch-scan"
+            if key_positions:
+                path["positions"] = tuple(key_positions)
+            self.access_paths.append(path)
+            for offset, var in enumerate(new_vars):
+                self._slots[var] = width + offset
+            ops.append("    if not batch: return []")
+            if this_join is not None:
+                fuse = (*this_join, len(ops))
+
+        head = rule.head
+        head_parts: list[tuple[str, object]] = []  # ("expr", name) | ("slot", i)
+        for term in head.args:
+            if isinstance(term, Constant):
+                self._uses.add("_encode")
+                code = self._name("H")
+                ops.append(f"    {code} = _encode({self._const(term.value)})")
+                head_parts.append(("expr", code))
+            elif term in self._slots:
+                head_parts.append(("slot", self._slots[term]))
+            else:
+                raise DatalogError(
+                    f"variable {term!r} of head {head!r} in rule {rule!r} is "
+                    "not bound at evaluation time")
+
+        def head_row(join_width: int | None = None, bare: bool = False) -> str:
+            exprs = []
+            for kind, value in head_parts:
+                if kind == "expr":
+                    exprs.append(value)
+                elif join_width is not None and value >= join_width:
+                    exprs.append("m" if bare else f"m[{value - join_width}]")
+                else:
+                    exprs.append(f"t[{value}]")
+            return "(" + "".join(e + ", " for e in exprs) + ")"
+
+        if not started:
+            ops.append(f"    return [{head_row()}]")
+        elif not head_parts:
+            ops.append("    return [()] if batch else []")
+        elif fuse is not None:
+            # Fuse the final join with the head projection: one set
+            # comprehension replaces join-materialize + project-dedup,
+            # the two biggest costs of a vectorized round.  A
+            # single-position keep side additionally switches its build
+            # to bare codes, sparing the per-probe-row 1-tuple subscript.
+            (probe_source, probe_key, join_width,
+             build_index, bare_line, join_len) = fuse
+            del ops[join_len - 2:join_len]  # the join + its emptiness guard
+            if bare_line is not None:
+                ops[build_index] = bare_line
+            ops.append(f"    _get = {probe_source}.get")
+            ops.append(f"    return {{{head_row(join_width, bare_line is not None)} "
+                       f"for t in batch for m in _get({probe_key}, _ET)}}")
+        else:
+            ops.append(f"    return {{{head_row()} for t in batch}}")
+
+        prologue = ["def _fire(db, delta=None):"]
+        for helper, binding in (("_probe", "db.probe_code"),
+                                ("_bi", "db.batch_index"),
+                                ("_cs", "db.coded_set"),
+                                ("_rows", "db.coded_rows"),
+                                ("_encode", "db.encode_value"),
+                                ("_vals", "db.values_list")):
+            if helper in self._uses:
+                prologue.append(f"    {helper} = {binding}")
+        prologue.append("    _ET = ()")
+        return "\n".join(prologue + ops)
+
+    def compile(self, delta_position: int | None):
+        source = self.emit(delta_position)
+        namespace = dict(self.namespace)
+        exec(compile(source, f"<batch-plan {self.rule.head.predicate}>", "exec"),
+             namespace)
+        return namespace["_fire"], source
+
+
 def _is_positive_relation(literal: Literal) -> bool:
     return literal.positive and not literal.atom.is_builtin
+
+
+def compile_batch_rule(rule: Rule,
+                       stratum_predicates: set[str] = frozenset()) -> BatchRule:
+    """Compile ``rule`` into a batch pipeline for the columnar backend.
+
+    Same contract as :func:`compile_rule`, lifted batch-at-a-time: the
+    returned plan's ``fire(db)`` takes a
+    :class:`~repro.datalog.columnar.ColumnarDatabase` and returns
+    deduplicated **coded** head rows; each delta variant takes the
+    round's frontier for one recursive literal as a coded-row batch.
+    """
+    emitter = _BatchEmitter(rule)
+    fire, source = emitter.compile(None)
+    variants = []
+    for index, literal in enumerate(rule.body):
+        if _is_positive_relation(literal) and literal.predicate in stratum_predicates:
+            variant, _ = _BatchEmitter(rule).compile(index)
+            variants.append((literal.predicate, len(literal.atom.args), variant))
+    return BatchRule(rule, rule.head.predicate, len(rule.head.args), fire,
+                     tuple(variants), source, tuple(emitter.access_paths))
 
 
 def compile_rule(rule: Rule, stratum_predicates: set[str] = frozenset()) -> CompiledRule:

@@ -270,16 +270,36 @@ class MultiLogDatabase:
     #: memo (:mod:`repro.cache`) keys reduced programs on it.
     version: int = field(default=0, compare=False, repr=False)
 
-    def add(self, clause: Clause) -> None:
-        """File a clause into the right component by its head kind."""
+    def _component_for(self, clause: Clause) -> list[Clause]:
+        """The Lambda/Sigma/Pi list a clause files into, by head kind."""
         kind = clause.kind()
         if kind in ("l", "h"):
-            self.lattice_clauses.append(clause)
-        elif kind == "m":
-            self.secured_clauses.append(clause)
-        else:
-            self.plain_clauses.append(clause)
+            return self.lattice_clauses
+        if kind == "m":
+            return self.secured_clauses
+        return self.plain_clauses
+
+    def add(self, clause: Clause) -> None:
+        """File a clause into the right component by its head kind."""
+        self._component_for(clause).append(clause)
         self.version += 1
+
+    def add_clauses(self, clauses: Iterable[Clause]) -> int:
+        """Bulk-load: file every clause, bump ``version`` once.
+
+        The single bump is the point -- loaders (program text, journal
+        replay, workload generators) add thousands of clauses before the
+        first query, and a per-clause bump would invalidate version-keyed
+        memo layers once per clause instead of once per load.  Returns
+        the number of clauses filed.
+        """
+        count = 0
+        for clause in clauses:
+            self._component_for(clause).append(clause)
+            count += 1
+        if count:
+            self.version += 1
+        return count
 
     def add_query(self, query: Query) -> None:
         self.queries.append(query)

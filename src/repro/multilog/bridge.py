@@ -52,10 +52,10 @@ def relation_to_multilog(relation: MLSRelation) -> MultiLogDatabase:
     """
     db = MultiLogDatabase()
     lattice = relation.schema.lattice
-    for level in sorted(lattice.levels):
-        db.add(Clause(LAtom(Constant(level))))
-    for low, high in sorted(lattice.cover_pairs):
-        db.add(Clause(HAtom(Constant(low), Constant(high))))
+    clauses = [Clause(LAtom(Constant(level)))
+               for level in sorted(lattice.levels)]
+    clauses.extend(Clause(HAtom(Constant(low), Constant(high)))
+                   for low, high in sorted(lattice.cover_pairs))
     if len(relation.schema.key) != 1:
         raise ValueError(
             "relation_to_multilog expects a single-attribute apparent key; "
@@ -71,7 +71,8 @@ def relation_to_multilog(relation: MLSRelation) -> MultiLogDatabase:
             Constant(t.tc), relation.schema.name, Constant(_encode_value(key_value)),
             assignments,
         )
-        db.add(Clause(molecule))
+        clauses.append(Clause(molecule))
+    db.add_clauses(clauses)  # bulk load: one version bump
     return db
 
 

@@ -282,12 +282,14 @@ class _Parser:
 
     def parse_database(self) -> MultiLogDatabase:
         database = MultiLogDatabase()
+        clauses = []
         while self._peek() is not None:
             item = self.parse_clause_or_query()
             if isinstance(item, Query):
                 database.add_query(item)
             else:
-                database.add(item)
+                clauses.append(item)
+        database.add_clauses(clauses)  # bulk load: one version bump
         return database
 
 

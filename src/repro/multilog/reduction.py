@@ -44,6 +44,7 @@ from repro.datalog import (
     Rule,
     evaluate,
     evaluate_goal_rules,
+    resolve_backend,
 )
 from repro.datalog.terms import Constant, Term, Variable
 from repro.errors import MultiLogError
@@ -262,6 +263,9 @@ class ReducedProgram:
     context: LatticeContext
     specialized: bool
     user_modes: frozenset[str]
+    #: resolved storage backend the least model is computed on; the
+    #: columnar backend is paired with the vectorized strategy.
+    backend: str = "dict"
     _model: Database | None = None
     #: how many times the full fixpoint actually ran -- repeated queries
     #: against the cached least model must leave this at 1.
@@ -272,7 +276,9 @@ class ReducedProgram:
         """The stratified least model (cached)."""
         if self._model is None:
             self.fixpoint_runs += 1
-            self._model = evaluate(self.program)
+            strategy = "vectorized" if self.backend == "columnar" else "compiled"
+            self._model = evaluate(self.program, strategy=strategy,
+                                   backend=self.backend)
         return self._model
 
     def rel_rows(self) -> set[tuple]:
@@ -596,30 +602,33 @@ def needs_specialization(db: MultiLogDatabase) -> bool:
     return False
 
 
-#: tau-translations memoized per database: key ``(clearance, specialize)``,
-#: stamped with the database's clause-count version.  Sessions over the
-#: same database at the same clearance share one ReducedProgram -- and
-#: therefore one cached least model.
+#: tau-translations memoized per database: key ``(clearance, specialize,
+#: backend)``, stamped with the database's clause-count version.  Sessions
+#: over the same database at the same clearance (and backend) share one
+#: ReducedProgram -- and therefore one cached least model.
 _TRANSLATE_MEMO = VersionedMemo("tau-translations")
 
 
 def translate(db: MultiLogDatabase, clearance: str,
               context: LatticeContext | None = None,
-              specialize: bool | None = None) -> ReducedProgram:
+              specialize: bool | None = None,
+              backend: str | None = None) -> ReducedProgram:
     """``tau`` applied to a whole database, plus the axiom set **A**.
 
-    Memoized per ``(database-version, clearance, specialize)``; adding any
-    clause bumps the database version and invalidates.
+    Memoized per ``(database-version, clearance, specialize, backend)``;
+    adding any clause bumps the database version and invalidates.
     """
+    resolved = resolve_backend(backend)
     return _TRANSLATE_MEMO.get_or_compute(
-        db, db.version, (clearance, specialize),
-        lambda: _translate(db, clearance, context, specialize),
+        db, db.version, (clearance, specialize, resolved),
+        lambda: _translate(db, clearance, context, specialize, resolved),
     )
 
 
 def _translate(db: MultiLogDatabase, clearance: str,
                context: LatticeContext | None = None,
-               specialize: bool | None = None) -> ReducedProgram:
+               specialize: bool | None = None,
+               backend: str = "dict") -> ReducedProgram:
     with _current_obs().recorder.span("tau-translate", clearance=clearance) as span:
         resolved_context = context if context is not None else check_admissibility(db)
         resolved_context.lattice.check_level(clearance)
@@ -653,4 +662,4 @@ def _translate(db: MultiLogDatabase, clearance: str,
         span.set(rules=len(program.rules), facts=len(program.facts),
                  specialized=specialized)
     return ReducedProgram(program, clearance, resolved_context, specialized,
-                          frozenset(user_modes))
+                          frozenset(user_modes), backend=backend)

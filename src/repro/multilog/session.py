@@ -35,6 +35,7 @@ import random
 from pathlib import Path
 from time import perf_counter
 
+from repro.datalog.storage import resolve_backend
 from repro.datalog.terms import Constant
 from repro.errors import (
     BudgetExceededError,
@@ -74,11 +75,16 @@ class MultiLogSession:
 
     def __init__(self, source: str | MultiLogDatabase, clearance: str | None = None,
                  budget: EvaluationBudget | None = None, lint: bool = False,
-                 journal=None):
+                 journal=None, backend: str | None = None):
         if isinstance(source, str):
             self.database = parse_database(source)
         else:
             self.database = source
+        #: storage backend for the reduction engine's least model,
+        #: resolved once at construction (explicit > ``MULTILOG_BACKEND``
+        #: env var > ``dict``); ``columnar`` pairs with the vectorized
+        #: evaluation strategy.  Answers are identical across backends.
+        self.backend = resolve_backend(backend)
         if not self.database.lattice_clauses:
             self.database.add(Clause(LAtom(Constant(SYSTEM_LEVEL))))
         self.context: LatticeContext = check_admissibility(self.database)
@@ -160,7 +166,8 @@ class MultiLogSession:
         """The tau-translated Datalog program (Section 6), cached."""
         self._revalidate()
         if self._reduced is None:
-            self._reduced = translate(self.database, self.clearance, self.context)
+            self._reduced = translate(self.database, self.clearance, self.context,
+                                      backend=self.backend)
         return self._reduced
 
     @property
@@ -175,7 +182,7 @@ class MultiLogSession:
         the journal was attached to.
         """
         return MultiLogSession(self.database, clearance, budget=self.budget,
-                               journal=self.journal)
+                               journal=self.journal, backend=self.backend)
 
     # ------------------------------------------------------------------
     def attach_journal(self, journal) -> None:
@@ -449,7 +456,7 @@ class MultiLogSession:
         explains every answer of the query.
         """
         if query is None and answer is None:
-            return explain_program(self.reduced.program)
+            return explain_program(self.reduced.program, backend=self.backend)
         from repro.obs.provenance import AnswerProvenance
 
         target = query if query is not None else self._last_query

@@ -21,33 +21,46 @@ def _render_path(step: dict) -> str:
     if access == "index-probe":
         positions = ",".join(str(p) for p in step["positions"])
         source = step["source"]
-        return f"index probe on positions ({positions}) of {source}"
+        return f"index probe on positions ({positions}) of {source} (row loop)"
     if access == "full-scan":
-        return f"full scan of {step['source']}"
+        return f"full scan of {step['source']} (row loop)"
+    if access == "batch-probe":
+        positions = ",".join(str(p) for p in step.get("positions", ()))
+        return f"batch hash join on positions ({positions}) of {step['source']}"
+    if access == "batch-scan":
+        return f"batch scan of {step['source']} (column batch)"
     if access == "anti-join":
         return "anti-join (negated, contains() check)"
     return "inlined guard (built-in)"
 
 
-def explain_rule(rule, stratum_predicates: frozenset[str] = frozenset()) -> str:
-    """The access-path listing for one rule (body already ordered)."""
-    from repro.datalog.plan import compile_rule
+def explain_rule(rule, stratum_predicates: frozenset[str] = frozenset(),
+                 backend: str = "dict") -> str:
+    """The access-path listing for one rule (body already ordered).
 
-    plan = compile_rule(rule, set(stratum_predicates))
+    ``backend="columnar"`` explains the batch pipeline the ``vectorized``
+    strategy would run (``batch hash join`` operators); the default
+    explains the row-compiled plan (``row loop`` probes).
+    """
+    from repro.datalog.plan import compile_batch_rule, compile_rule
+
+    compiler = compile_batch_rule if backend == "columnar" else compile_rule
+    plan = compiler(rule, set(stratum_predicates))
     lines = [f"plan for {plan.rule!r}"]
     for index, step in enumerate(plan.access_paths, start=1):
         lines.append(f"  {index}. {step['literal']}  --  {_render_path(step)}")
     if plan.delta_variants:
-        deltas = ", ".join(pred for pred, _fire in plan.delta_variants)
+        deltas = ", ".join(variant[0] for variant in plan.delta_variants)
         lines.append(f"  delta-specialized variants: {deltas}")
     return "\n".join(lines)
 
 
-def explain_program(program) -> str:
+def explain_program(program, backend: str = "dict") -> str:
     """An EXPLAIN dump of every compiled rule, grouped by stratum.
 
-    Mirrors exactly what ``evaluate(program, "compiled")`` runs: the same
-    stratification, the same greedy join order, the same compiled plans.
+    Mirrors exactly what ``evaluate(program, "compiled")`` runs (or, for
+    ``backend="columnar"``, ``evaluate(program, "vectorized")``): the
+    same stratification, the same greedy join order, the same plans.
     """
     from repro.datalog.engine import _stratum_rules
     from repro.datalog.stratify import stratify
@@ -65,6 +78,7 @@ def explain_program(program) -> str:
         lines.append(f"stratum[{level}]  predicates: "
                      f"{', '.join(sorted(stratum_predicates))}")
         for rule in rules:
-            for line in explain_rule(rule, frozenset(stratum_predicates)).splitlines():
+            explained = explain_rule(rule, frozenset(stratum_predicates), backend)
+            for line in explained.splitlines():
                 lines.append("  " + line)
     return "\n".join(lines)

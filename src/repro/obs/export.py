@@ -87,6 +87,15 @@ def render_prometheus(metrics: EngineMetrics | None = None,
                 [("", metrics.join_probes)])
         counter("candidate_calls_total", "Interpreted-path candidate scans.",
                 [("", metrics.candidate_calls)])
+        counter("batch_probes_total",
+                "Whole-delta hash-join probes (vectorized strategy).",
+                [("", getattr(metrics, "batch_probes", 0))])
+        counter("batch_builds_total",
+                "Build-side hash-table builds/extensions (columnar backend).",
+                [("", getattr(metrics, "batch_builds", 0))])
+        counter("batch_dedup_rows_total",
+                "Rows dropped as duplicates by columnar bulk inserts.",
+                [("", getattr(metrics, "batch_dedup_rows", 0))])
         if metrics.rounds:
             counter("fixpoint_rounds_total", "Fixpoint rounds per scope.",
                     [(_labels(scope=scope), count)

@@ -66,6 +66,13 @@ class EngineMetrics:
     rounds: dict[str, int] = field(default_factory=dict)
     join_probes: int = 0
     candidate_calls: int = 0
+    #: batch operators of the columnar backend's vectorized strategy:
+    #: whole-delta hash-join probes, build-side hash-table builds (or
+    #: incremental extensions), and rows dropped as duplicates by bulk
+    #: inserts.  Zero on the row-at-a-time paths.
+    batch_probes: int = 0
+    batch_builds: int = 0
+    batch_dedup_rows: int = 0
     cache: dict[str, CacheSnapshot] = field(default_factory=dict)
     spans: tuple[dict, ...] = ()
     budget_exceeded: str | None = None
@@ -100,6 +107,9 @@ class EngineMetrics:
             "rounds": dict(self.rounds),
             "join_probes": self.join_probes,
             "candidate_calls": self.candidate_calls,
+            "batch_probes": self.batch_probes,
+            "batch_builds": self.batch_builds,
+            "batch_dedup_rows": self.batch_dedup_rows,
             "cache": {name: snap.to_dict() for name, snap in self.cache.items()},
             "spans": list(self.spans),
             "budget_exceeded": self.budget_exceeded,
@@ -124,6 +134,10 @@ class EngineMetrics:
             f"join probes: {self.join_probes}  "
             f"candidate scans: {self.candidate_calls}",
         ]
+        if self.batch_probes or self.batch_builds or self.batch_dedup_rows:
+            lines.append(f"batch ops: {self.batch_probes} probes / "
+                         f"{self.batch_builds} builds / "
+                         f"{self.batch_dedup_rows} duplicate rows dropped")
         if self.rounds:
             rounds = ", ".join(f"{k}={v}" for k, v in sorted(self.rounds.items()))
             lines.append(f"fixpoint rounds: {rounds}")
@@ -162,7 +176,8 @@ class MetricsCollector:
     """
 
     __slots__ = ("rule_firings", "rows_derived", "rounds",
-                 "join_probes", "candidate_calls", "asks",
+                 "join_probes", "candidate_calls",
+                 "batch_probes", "batch_builds", "batch_dedup_rows", "asks",
                  "attempts", "retries", "fallbacks", "degraded_asks")
 
     enabled = True
@@ -173,6 +188,9 @@ class MetricsCollector:
         self.rounds: dict[str, int] = {}
         self.join_probes = 0
         self.candidate_calls = 0
+        self.batch_probes = 0
+        self.batch_builds = 0
+        self.batch_dedup_rows = 0
         self.asks = 0
         self.attempts = 0
         self.retries = 0
@@ -193,6 +211,11 @@ class MetricsCollector:
     def add_candidate_calls(self, n: int) -> None:
         self.candidate_calls += n
 
+    def add_batch_ops(self, probes: int, builds: int, dedup_rows: int) -> None:
+        self.batch_probes += probes
+        self.batch_builds += builds
+        self.batch_dedup_rows += dedup_rows
+
     def count_ask(self) -> None:
         self.asks += 1
         self.attempts += 1
@@ -211,7 +234,8 @@ class MetricsCollector:
         """An opaque restore point taken before a retry-ladder attempt."""
         return (dict(self.rule_firings), dict(self.rows_derived),
                 dict(self.rounds), self.join_probes, self.candidate_calls,
-                self.asks)
+                self.asks, self.batch_probes, self.batch_builds,
+                self.batch_dedup_rows)
 
     def rollback(self, state: tuple) -> None:
         """Restore the engine counters to ``state`` (aborted attempt).
@@ -219,13 +243,17 @@ class MetricsCollector:
         ``attempts`` and the resilience counters are *not* restored: the
         aborted attempt still happened and should still be countable.
         """
-        firings, rows, rounds, probes, candidates, asks = state
+        (firings, rows, rounds, probes, candidates, asks,
+         batch_probes, batch_builds, batch_dedup) = state
         self.rule_firings = Counter(firings)
         self.rows_derived = Counter(rows)
         self.rounds = dict(rounds)
         self.join_probes = probes
         self.candidate_calls = candidates
         self.asks = asks
+        self.batch_probes = batch_probes
+        self.batch_builds = batch_builds
+        self.batch_dedup_rows = batch_dedup
 
     # -- snapshotting ----------------------------------------------------
     def snapshot(self, recorder=None, budget_exceeded: str | None = None,
@@ -245,6 +273,9 @@ class MetricsCollector:
             rounds=dict(self.rounds),
             join_probes=self.join_probes,
             candidate_calls=self.candidate_calls,
+            batch_probes=self.batch_probes,
+            batch_builds=self.batch_builds,
+            batch_dedup_rows=self.batch_dedup_rows,
             cache=cache,
             spans=spans,
             budget_exceeded=budget_exceeded,
@@ -261,6 +292,9 @@ class MetricsCollector:
         self.rounds.clear()
         self.join_probes = 0
         self.candidate_calls = 0
+        self.batch_probes = 0
+        self.batch_builds = 0
+        self.batch_dedup_rows = 0
         self.asks = 0
         self.attempts = 0
         self.retries = 0
@@ -285,6 +319,9 @@ class NullMetrics:
         pass
 
     def add_candidate_calls(self, n: int) -> None:
+        pass
+
+    def add_batch_ops(self, probes: int, builds: int, dedup_rows: int) -> None:
         pass
 
     def count_ask(self) -> None:

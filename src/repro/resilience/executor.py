@@ -8,9 +8,10 @@ with a three-step failure policy:
    same ladder rung, with capped exponential backoff.
 2. **Fall back** one rung when a rung fails in a strategy-specific way
    (:class:`~repro.errors.StrategyFailureError`) or keeps failing after
-   all retries: ``compiled -> seminaive -> naive``.  The lower rungs are
-   slower but simpler -- fewer moving parts (no compiled plans, then no
-   delta bookkeeping), so they dodge whole classes of failures, the
+   all retries: ``vectorized -> compiled -> seminaive -> naive``.  The
+   lower rungs are slower but simpler -- fewer moving parts (no column
+   batches, then no compiled plans, then no delta bookkeeping), so they
+   dodge whole classes of failures, the
    module-level evaluation-choice idea from CORAL read as a fallback
    ladder.
 3. **Degrade** on budget exhaustion: with ``allow_partial=True`` the
@@ -32,6 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.datalog.columnar import ColumnarDatabase
 from repro.datalog.database import Database
 from repro.datalog.engine import evaluate as _engine_evaluate
 from repro.datalog.rules import Program
@@ -44,8 +46,10 @@ from repro.errors import (
 from repro.obs.budget import EvaluationBudget
 
 #: The full ladder, fastest first.  An executor's ladder may start lower
-#: (the requested strategy) but always descends in this order.
-LADDER = ("compiled", "seminaive", "naive")
+#: (the requested strategy) but always descends in this order.  The
+#: ``vectorized`` rung only serves sessions on the columnar backend; row
+#: sessions enter at ``compiled`` (see :meth:`ResilientExecutor.ask`).
+LADDER = ("vectorized", "compiled", "seminaive", "naive")
 
 
 @dataclass(frozen=True)
@@ -85,7 +89,7 @@ class PartialResult:
     rung: str
     reason: str
     answers: list[dict[str, object]] | None = None
-    database: Database | None = None
+    database: Database | ColumnarDatabase | None = None
     attempts: int = 1
 
     def __bool__(self) -> bool:
@@ -199,7 +203,9 @@ class ResilientExecutor:
             return PartialResult(
                 complete=False, rung=outcome.rung,
                 reason=f"budget-{exc.reason}",
-                database=partial if isinstance(partial, Database) else None,
+                database=(partial
+                          if isinstance(partial, (Database, ColumnarDatabase))
+                          else None),
                 attempts=outcome.attempts,
             )
         if outcome.rung != strategy:
@@ -219,9 +225,14 @@ class ResilientExecutor:
         degradation is surfaced through ``session.last_stats().degraded``
         and a ``degraded`` attribute on the ask's root span.
         """
-        outcome = Outcome(requested=self.ladder[0] if self.ladder else engine)
+        # The session's native rung: a columnar session serves its asks
+        # from the vectorized model, a row session from the compiled one.
+        native = ("vectorized"
+                  if getattr(session, "backend", "dict") == "columnar"
+                  else "compiled")
+        outcome = Outcome(requested=native)
         self.last_outcome = outcome
-        rungs = self.ladder or ("compiled",)
+        rungs = self._rungs_from(native) if self.ladder else (native,)
         collector = getattr(session, "_metrics", None)
 
         def attempt_rung(rung: str) -> list[dict[str, object]]:
@@ -297,7 +308,7 @@ class ResilientExecutor:
         empty list (the result is flagged incomplete either way).
         """
         partial = exc.partial_database
-        if not isinstance(partial, Database):
+        if not isinstance(partial, (Database, ColumnarDatabase)):
             return []
         try:
             from repro.multilog.parser import parse_query

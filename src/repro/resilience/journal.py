@@ -162,6 +162,7 @@ class SessionJournal:
             if record["type"] == "snapshot":
                 start = index
         db = MultiLogDatabase()
+        pending: list = []
         for record in entries[start:]:
             kind = record["type"]
             if kind == "open":
@@ -170,9 +171,14 @@ class SessionJournal:
                         f"{self.path}: unknown journal format {record.get('format')!r}")
             elif kind == "snapshot":
                 db = parse_database(record["source"])
+                pending.clear()
             elif kind == "clause":
-                db.add(parse_clause(record["text"]))
+                pending.append(parse_clause(record["text"]))
             else:
                 raise JournalError(
                     f"{self.path}: unknown journal record type {kind!r}")
+        # Bulk-load the tail in one version bump: recovery replays every
+        # clause before the first query, so per-clause memo invalidation
+        # would be pure overhead.
+        db.add_clauses(pending)
         return db

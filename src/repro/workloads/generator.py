@@ -120,6 +120,7 @@ def random_multilog_database(
         for high in sorted(resolved.levels)
         if resolved.lt(low, high)
     ]
+    generated = []
     for index in range(belief_rules):
         if not ordered_pairs:
             break
@@ -127,12 +128,14 @@ def random_multilog_database(
         mode = rng.choice(["fir", "opt", "cau"])
         attr = rng.choice(attributes)
         derived = f"derived{index}"
-        db.add(parse_clause(
+        generated.append(parse_clause(
             f"{high}[p(K : {attr} -{high}-> {derived})] :- "
             f"{low}[p(K : {attr} -C-> V)] << {mode}."
         ))
     for index in range(plain_facts):
-        db.add(parse_clause(f"aux(c{index}, c{rng.randrange(max(1, plain_facts))})."))
+        generated.append(parse_clause(
+            f"aux(c{index}, c{rng.randrange(max(1, plain_facts))})."))
+    db.add_clauses(generated)  # one version bump for the whole workload
     return db
 
 

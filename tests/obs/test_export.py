@@ -37,6 +37,9 @@ def golden_inputs():
         rounds={"stratum[0]": 4, "operational-inner": 9},
         join_probes=55,
         candidate_calls=2,
+        batch_probes=6,
+        batch_builds=4,
+        batch_dedup_rows=12,
         cache={"beta-views": CacheSnapshot(hits=8, misses=2, invalidations=1)},
         budget_exceeded=None,
         degraded="seminaive:fallback",
