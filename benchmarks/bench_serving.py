@@ -1,0 +1,150 @@
+"""Serving-layer datapoint: sustained concurrency over one database.
+
+PR 7 adds the asyncio serving layer; its design target (docs/SERVING.md)
+is to multiplex >= 1000 concurrent clients over one shared
+MultiLogDatabase without shedding, with bounded tail latency.  This
+bench drives two cases against an in-process server on an ephemeral
+port and read-merge-writes a ``serving_cases`` stanza into the
+repo-root ``BENCH_engine.json``:
+
+* ``ask_storm`` -- N concurrent clients (default 1000; override with
+  ``MULTILOG_BENCH_CLIENTS``), each asking at its clearance, all reads
+  riding the snapshot read lock concurrently.
+* ``mixed_writes`` -- 200 clients interleaving asks with asserts, so
+  the write-preferring lock is exercised: every answer still computed
+  at one frozen version while writers serialize through the journal-
+  backed session path.
+
+Latency is measured per request at the client (so it includes loop
+scheduling and admission control, not just engine time); the stanza
+records p50/p95/p99 and throughput.  In-test assertions stay loose
+(shared CI runners are noisy); the numbers land in the JSON for review.
+"""
+
+import asyncio
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.serving import MultiLogServer, ServerConfig, ServingClient
+from repro.workloads.d1 import D1_SOURCE
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+CLEARANCES = ("u", "c", "s")
+ASKS = {
+    "u": "u[p(K : a -C-> V)] << cau",
+    "c": "c[p(K : a -C-> V)] << opt",
+    "s": "s[p(K : a -C-> V)] << cau",
+}
+
+N_CLIENTS = int(os.environ.get("MULTILOG_BENCH_CLIENTS", "1000"))
+CONNECT_CHUNK = 100  # keep the SYN burst under the listen backlog
+
+
+def _percentile(sorted_latencies, q):
+    index = min(len(sorted_latencies) - 1,
+                int(q * (len(sorted_latencies) - 1) + 0.5))
+    return sorted_latencies[index]
+
+
+async def _connect_all(host, port, count):
+    clients = []
+    for start in range(0, count, CONNECT_CHUNK):
+        chunk = range(start, min(start + CONNECT_CHUNK, count))
+        clients.extend(await asyncio.gather(*(
+            ServingClient.connect(host, port, CLEARANCES[i % len(CLEARANCES)])
+            for i in chunk)))
+    return clients
+
+
+async def _run_case(name, n_clients, ops_per_client, assert_every):
+    """Drive one case; returns the stanza entry."""
+    server = MultiLogServer(
+        D1_SOURCE,
+        ServerConfig(clearance="s", max_inflight=4096, workers=8))
+    await server.start()
+    host, port = server.address
+    base_version = server.root.database.version
+    latencies: list[float] = []
+    failures: list[dict] = []
+
+    async def drive(index, client):
+        clearance = CLEARANCES[index % len(CLEARANCES)]
+        for op in range(ops_per_client):
+            if assert_every and op % assert_every == assert_every - 1:
+                payload = {"op": "assert",
+                           "clause": f"{clearance}[t(b{index}_{op} : "
+                                     f"f -{clearance}-> {op})]."}
+            else:
+                payload = {"op": "ask", "query": ASKS[clearance]}
+            started = time.perf_counter()
+            response = await client.request(payload)
+            latencies.append(time.perf_counter() - started)
+            if not response.get("ok"):
+                failures.append(response)
+
+    clients = await _connect_all(host, port, n_clients)
+    try:
+        assert server.stats.connections == n_clients
+        wall_start = time.perf_counter()
+        await asyncio.gather(*(drive(i, c) for i, c in enumerate(clients)))
+        wall = time.perf_counter() - wall_start
+    finally:
+        await asyncio.gather(*(c.close() for c in clients))
+        await server.stop()
+
+    latencies.sort()
+    entry = {
+        "case": name,
+        "clients": n_clients,
+        "requests": len(latencies),
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(len(latencies) / wall, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "shed": server.stats.shed_total,
+        "degraded": server.stats.degraded_total,
+        "errors": len(failures),
+        "asserts": server.stats.asserts_total,
+        "versions_committed": server.root.database.version - base_version,
+    }
+    assert not failures, failures[:3]
+    assert server.stats.shed_total == 0, entry
+    return entry
+
+
+def test_emit_serving_bench():
+    async def main():
+        cases = [await _run_case("ask_storm", N_CLIENTS,
+                                 ops_per_client=3, assert_every=0)]
+        cases.append(await _run_case("mixed_writes", min(200, N_CLIENTS),
+                                     ops_per_client=5, assert_every=5))
+        return cases
+
+    cases = asyncio.run(main())
+
+    payload = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.setdefault("bench", "bench_scaling_engine")
+    payload.setdefault("python", platform.python_version())
+    payload["serving_cases"] = {
+        "target": ">= 1000 concurrent clients, zero shed, bounded p99",
+        "cases": cases,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    storm = cases[0]
+    assert storm["clients"] >= min(N_CLIENTS, 1000)
+    assert storm["p99_ms"] > 0
+    mixed = cases[1]
+    assert mixed["asserts"] > 0
+    # Writes are serialized: every assert produced exactly one version.
+    assert mixed["versions_committed"] == mixed["asserts"]

@@ -1,0 +1,88 @@
+"""CI serving smoke: 200 concurrent clients, a leak-free audit trail.
+
+Starts an in-process MultiLogServer over the D1 workload, drives
+``--clients`` concurrent connections (mixed clearances, mixed
+ask/assert, reduction asks included so cross-level reads hit the audit
+trail), and asserts the MLS invariant end to end: **every**
+``cross_level_read`` recorded by the server-wide audit log goes *down*
+the lattice (``object <= subject``) — zero cross-clearance leaks.
+
+Exit code 0 on success; prints a one-line summary for the CI log.
+
+    PYTHONPATH=src python scripts/serving_smoke.py --clients 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serving import MultiLogServer, ServerConfig, ServingClient
+from repro.workloads.d1 import D1_SOURCE
+
+CLEARANCES = ("u", "c", "s")
+ASKS = {
+    "u": "u[p(K : a -C-> V)] << cau",
+    "c": "c[p(K : a -C-> V)] << opt",
+    "s": "s[p(K : a -C-> V)] << cau",
+}
+
+
+async def drive(host: str, port: int, index: int) -> int:
+    clearance = CLEARANCES[index % len(CLEARANCES)]
+    requests = 0
+    async with await ServingClient.connect(host, port, clearance) as client:
+        engine = "reduction" if index % 2 else "operational"
+        await client.ask(ASKS[clearance], engine=engine)
+        requests += 1
+        if index % 10 == 0:
+            await client.assert_clause(
+                f"{clearance}[t(s{index} : f -{clearance}-> {index})].")
+            requests += 1
+        await client.ask(ASKS[clearance], engine="reduction")
+        requests += 1
+    return requests
+
+
+async def main(n_clients: int) -> int:
+    server = MultiLogServer(
+        D1_SOURCE, ServerConfig(clearance="s", max_inflight=4096))
+    await server.start()
+    host, port = server.address
+    try:
+        counts = await asyncio.gather(*(
+            drive(host, port, index) for index in range(n_clients)))
+    finally:
+        await server.stop()
+
+    events = server.audit.to_dicts() if server.audit is not None else []
+    crosses = [e for e in events if e["kind"] == "cross_level_read"]
+    lattice = server.root.lattice
+    leaks = [e for e in crosses if not lattice.leq(e["object"], e["subject"])]
+    subjects = {e["subject"] for e in crosses}
+
+    print(f"serving smoke: {n_clients} clients, {sum(counts)} requests, "
+          f"{server.stats.shed_total} shed, {len(crosses)} cross-level reads "
+          f"across {len(subjects)} clearances, {len(leaks)} leaks")
+    if not crosses:
+        print("FAIL: no cross-level reads audited (trail not wired?)")
+        return 1
+    if len(subjects) < 2:
+        print("FAIL: audit trail does not span multiple clearances")
+        return 1
+    if leaks:
+        for event in leaks[:10]:
+            print(f"LEAK: {event}")
+        return 1
+    if server.stats.shed_total:
+        print("FAIL: smoke load must not shed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=200)
+    args = parser.parse_args()
+    sys.exit(asyncio.run(main(args.clients)))

@@ -17,6 +17,11 @@ operational|reduction``, ``:modes``, ``:lattice``, ``:cells``,
 QUERY``, ``:stats``, ``:explain``, ``:trace on|off``, ``:faults ...``,
 ``:quit``.
 
+Serving: ``multilog serve FILE --port 7979`` starts the async
+multi-tenant server (newline-framed JSON protocol; ``--http-port``
+adds the HTTP shim) with admission control and load shedding -- see
+docs/SERVING.md.
+
 Resilience: ``multilog run FILE`` evaluates a program's stored queries
 non-interactively through the :class:`~repro.resilience.
 ResilientExecutor` (``--retries``, ``--timeout``, ``--allow-partial``),
@@ -513,6 +518,94 @@ def run_main(argv: list[str]) -> int:
     return exit_code
 
 
+def serve_main(argv: list[str]) -> int:
+    """``multilog serve``: the async multi-tenant server (docs/SERVING.md).
+
+    Serves one shared database to concurrent clients over the
+    newline-framed JSON protocol (and, with ``--http-port``, the HTTP
+    shim).  Reads are snapshot-isolated, writes are serialized through
+    the write-ahead journal when ``--journal`` is given, and overload
+    degrades (budgeted partial answers) then sheds instead of queuing.
+    """
+    parser = argparse.ArgumentParser(
+        prog="multilog serve",
+        description="Serve a MultiLog database to concurrent clients "
+                    "(newline-framed JSON protocol + optional HTTP shim).")
+    parser.add_argument("program", nargs="?", default=None,
+                        help="MultiLog source file (default: empty database)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7979,
+                        help="framed-protocol port (0 = ephemeral)")
+    parser.add_argument("--http-port", type=int, default=None,
+                        help="also serve the HTTP shim on this port")
+    parser.add_argument("--clearance", default=None,
+                        help="server/root clearance (default: lattice top)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="storage backend (default: $MULTILOG_BACKEND or "
+                             "'dict')")
+    parser.add_argument("--journal", default=None,
+                        help="write-ahead journal path for asserted clauses")
+    parser.add_argument("--engine", choices=("operational", "reduction"),
+                        default="operational",
+                        help="default engine for asks that do not name one")
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="admission cap; requests past it are shed")
+    parser.add_argument("--degrade-at", type=float, default=0.75,
+                        help="fraction of --max-inflight past which asks run "
+                             "degraded (budgeted, partial answers)")
+    parser.add_argument("--shed-timeout", type=float, default=2.0,
+                        help="wall-clock budget per degraded ask in seconds")
+    parser.add_argument("--no-audit", action="store_true",
+                        help="disable the server-wide MLS audit trail")
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    from repro.obs import EvaluationBudget
+    from repro.serving import MultiLogServer, ServerConfig
+
+    try:
+        source = Path(args.program).read_text() if args.program else ""
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        host=args.host, port=args.port, clearance=args.clearance,
+        backend=args.backend, journal=args.journal, engine=args.engine,
+        max_inflight=args.max_inflight, degrade_at=args.degrade_at,
+        shed_budget=EvaluationBudget(timeout_s=args.shed_timeout),
+        audit=not args.no_audit)
+
+    async def _serve() -> int:
+        try:
+            server = MultiLogServer(source, config)
+            host, port = await server.start()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"multilog serving on {host}:{port} "
+              f"(backend={server.root.backend}, "
+              f"clearance={server.root.clearance}, "
+              f"max_inflight={config.max_inflight})")
+        if args.http_port is not None:
+            http_host, http_port = await server.start_http(port=args.http_port)
+            print(f"HTTP shim on http://{http_host}:{http_port} "
+                  f"(POST /v1/ask, GET /metrics, GET /healthz)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+        return 0
+
+
 def _telemetry_session(parser: argparse.ArgumentParser, args
                        ) -> MultiLogSession | None:
     """A session over ``args.program`` or ``--workload`` (telemetry CLIs)."""
@@ -628,12 +721,16 @@ def recover_main(argv: list[str]) -> int:
                              "not satisfy Definition 5.4")
     parser.add_argument("--shell", action="store_true",
                         help="drop into an interactive shell on the recovered session")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="storage backend for the recovered session "
+                             "(default: $MULTILOG_BACKEND or 'dict')")
     args = parser.parse_args(argv)
 
     try:
         session = MultiLogSession.recover(
             args.journal, args.clearance,
-            require_consistent=args.require_consistent)
+            require_consistent=args.require_consistent,
+            backend=args.backend)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -684,6 +781,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_main(argv[1:])
     if argv and argv[0] == "recover":
         return recover_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     if argv and argv[0] == "metrics":
         return metrics_main(argv[1:])
     if argv and argv[0] == "audit":

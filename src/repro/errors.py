@@ -152,6 +152,32 @@ class JournalError(ResilienceError):
     """The write-ahead journal could not be written, read or parsed."""
 
 
+class ServingError(ResilienceError):
+    """Base class for errors raised by the serving layer."""
+
+
+class ProtocolError(ServingError):
+    """A malformed request on the wire (bad framing, JSON, or fields).
+
+    ``code`` is the stable machine-readable error code the server echoes
+    back in the response (``bad-request``, ``line-too-long``, ...).
+    """
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code
+
+
+class OverloadedError(ServingError):
+    """Admission control shed the request (server at capacity).
+
+    Transient by design: the client may retry after backoff -- load
+    shedding is a statement about *now*, not about the request.
+    """
+
+    transient = True
+
+
 class RecoveryError(JournalError):
     """Journal replay produced a database that fails Def 5.3/5.4 checks."""
 
@@ -210,6 +236,19 @@ class ConsistencyError(MultiLogError):
 
 class UnknownModeError(MultiLogError):
     """A belief mode was used that is not declared in the session."""
+
+
+class SessionBusyError(MultiLogError):
+    """Concurrent use of one non-reentrant :class:`MultiLogSession`.
+
+    A session carries per-ask state (trace recorder, metrics snapshot,
+    engine caches mid-revalidation), so ``ask``/``assert_clause`` are
+    single-flight: a second caller entering while one is in progress gets
+    this error instead of silently corrupting the first caller's state.
+    Concurrent callers should hold sessions exclusively -- the serving
+    layer's :class:`~repro.serving.SessionPool` checkout discipline, or
+    one :meth:`MultiLogSession.with_clearance` sibling per worker.
+    """
 
 
 class AnalysisError(MultiLogError):

@@ -32,6 +32,8 @@ served stale answers from the sibling's cached engine).
 from __future__ import annotations
 
 import random
+import threading
+from contextlib import contextmanager
 from pathlib import Path
 from time import perf_counter
 
@@ -43,6 +45,7 @@ from repro.errors import (
     MultiLogError,
     RecoveryError,
     ReproError,
+    SessionBusyError,
     UnknownModeError,
 )
 from repro.multilog.admissibility import LatticeContext, check_admissibility
@@ -109,6 +112,13 @@ class MultiLogSession:
         self._last_recorder: TraceRecorder | None = None
         self._last_stats: EngineMetrics | None = None
         self._last_query: str | Query | None = None
+        #: single-flight guard: a session is *not* reentrant -- ``ask``/
+        #: ``assert_clause``/``analyze`` hold this for their whole run and
+        #: a second concurrent entry raises :class:`SessionBusyError`
+        #: instead of corrupting the first caller's per-ask state.
+        #: Concurrent callers hold sessions exclusively (one sibling per
+        #: worker, or the serving layer's pool checkout).
+        self._flight_lock = threading.Lock()
         #: telemetry (off by default): latency histograms per span family,
         #: an optional streaming sink, and head-based trace sampling.
         self._histograms: HistogramSet | None = None
@@ -136,18 +146,39 @@ class MultiLogSession:
                 raise AnalysisError(report.render_text(), report)
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _single_flight(self, op: str):
+        """Assert exclusive use of this session for the ``with`` body."""
+        if not self._flight_lock.acquire(blocking=False):
+            raise SessionBusyError(
+                f"concurrent {op}() on one MultiLogSession: sessions are "
+                "not reentrant; hold a session exclusively per caller "
+                "(with_clearance() siblings, or a serving SessionPool)")
+        try:
+            yield
+        finally:
+            self._flight_lock.release()
+
     def _revalidate(self) -> None:
         """Drop cached engines when the shared database has moved on.
 
         ``assert_clause`` through any session over the same database
         bumps ``database.version``; comparing against the version our
         caches were built at keeps every sibling session coherent.
+
+        Ordering matters: the stale caches are dropped *first* and the
+        version is committed *last*, only after a fresh context is in
+        place.  A failure mid-revalidation (inadmissible interleaved
+        state, an injected fault in ``check_admissibility``) then leaves
+        the session still marked stale -- the next ask retries the whole
+        rebuild -- instead of a bumped ``_cache_version`` pinning an
+        engine that was never rebuilt against the new database.
         """
         version = self.database.version
         if version != self._cache_version:
-            self.context = check_admissibility(self.database)
             self._engine = None
             self._reduced = None
+            self.context = check_admissibility(self.database)
             self._cache_version = version
 
     @property
@@ -179,7 +210,11 @@ class MultiLogSession:
 
         The sibling shares the journal too: an assert through *any*
         session over this database must be as durable as through the one
-        the journal was attached to.
+        the journal was attached to.  The **resolved** storage backend is
+        propagated explicitly as well -- a sibling must never re-resolve
+        from the ``MULTILOG_BACKEND`` environment variable, or a pool of
+        siblings could silently mix dict and columnar engines over one
+        database when the environment changes between checkouts.
         """
         return MultiLogSession(self.database, clearance, budget=self.budget,
                                journal=self.journal, backend=self.backend)
@@ -204,7 +239,8 @@ class MultiLogSession:
     @classmethod
     def recover(cls, path, clearance: str | None = None,
                 budget: EvaluationBudget | None = None,
-                require_consistent: bool = False) -> "MultiLogSession":
+                require_consistent: bool = False,
+                backend: str | None = None) -> "MultiLogSession":
         """Rebuild a session from a journal after a crash.
 
         Replays the journal (latest snapshot + subsequent clauses) and
@@ -227,7 +263,12 @@ class MultiLogSession:
             raise RecoveryError(f"no journal at {journal.path}")
         database = journal.replay()
         try:
-            session = cls(database, clearance, budget=budget)
+            # ``backend`` is propagated explicitly (not left to re-resolve
+            # from ``MULTILOG_BACKEND`` at construction time) so a caller
+            # recovering on behalf of an existing deployment -- the CLI's
+            # ``recover --backend``, the serving layer -- gets the same
+            # storage backend the crashed process ran on.
+            session = cls(database, clearance, budget=budget, backend=backend)
         except ReproError as exc:
             raise RecoveryError(
                 f"recovered database fails admissibility (Def 5.3): {exc}"
@@ -259,7 +300,17 @@ class MultiLogSession:
         :meth:`last_trace`.  When the session has a budget, an overrun
         raises :class:`~repro.errors.BudgetExceededError` carrying the
         partial :class:`~repro.obs.metrics.EngineMetrics`.
+
+        Asks are **single-flight** per session: all per-ask state (the
+        recorder, the query, the stats snapshot) lives in locals until
+        :meth:`_finish_ask` publishes it, and a second caller entering
+        concurrently raises :class:`~repro.errors.SessionBusyError`
+        rather than racing the engine caches.
         """
+        with self._single_flight("ask"):
+            return self._ask_locked(query, engine)
+
+    def _ask_locked(self, query: str | Query, engine: str) -> list[dict[str, object]]:
         if engine not in ("operational", "reduction"):
             raise MultiLogError(f"unknown engine {engine!r}; use 'operational' or 'reduction'")
         # Head-based sampling: decide before any span exists.  Unsampled
@@ -285,7 +336,6 @@ class MultiLogSession:
         # it so ``query``/``parse`` are injectable fault points too.
         spans = ctx.recorder
         self._metrics.count_ask()
-        self._last_query = query
         started = perf_counter() if self._histograms is not None else 0.0
         try:
             with _use_obs(ctx):
@@ -300,7 +350,7 @@ class MultiLogSession:
                             self._audit_reduction_model(ctx.audit)
                     span.set(answers=len(answers))
         except BudgetExceededError as exc:
-            self._finish_ask(recorder, budget_exceeded=exc.reason)
+            self._finish_ask(recorder, query, budget_exceeded=exc.reason)
             exc.metrics = self._last_stats
             raise
         except Exception:
@@ -309,16 +359,25 @@ class MultiLogSession:
             # unwound through are already closed ``aborted=True``, so
             # snapshot them before propagating -- ``:trace`` and
             # ``last_trace()`` then show where the ask died.
-            self._finish_ask(recorder)
+            self._finish_ask(recorder, query)
             raise
         if self._histograms is not None and not sampled:
             self._histograms.observe("query", perf_counter() - started)
-        self._finish_ask(recorder)
+        self._finish_ask(recorder, query)
         return answers
 
-    def _finish_ask(self, recorder,
+    def _finish_ask(self, recorder, query: str | Query | None = None,
                     budget_exceeded: str | None = None) -> None:
+        """Publish one ask's state onto the session, in one place.
+
+        Per-ask state is ask-local until here; publishing it atomically
+        at the end (success and every failure path) is what lets the
+        single-flight guard make ``last_stats``/``last_trace``/
+        ``explain()`` coherent for exclusive holders.
+        """
         self._last_recorder = recorder
+        if query is not None:
+            self._last_query = query
         self._last_stats = self._metrics.snapshot(recorder, budget_exceeded=budget_exceeded)
 
     def _mark_degraded(self, rung: str, reason: str) -> None:
@@ -406,17 +465,20 @@ class MultiLogSession:
             else self._metrics.snapshot()
         return render_prometheus(stats, self._histograms)
 
-    def enable_audit(self) -> AuditLog:
+    def enable_audit(self, log: AuditLog | None = None) -> AuditLog:
         """Switch on the MLS security-audit trail for subsequent asks.
 
         Returns the (idempotently created) :class:`~repro.obs.audit.
-        AuditLog`; read it back with :meth:`audit_log`.  When the session
-        was built by :meth:`recover`, the recovery itself is the first
-        entry (kind ``recover``) so the trail starts at the journal
-        replay, not at the first post-crash query.
+        AuditLog`; read it back with :meth:`audit_log`.  Pass ``log`` to
+        share one trail across sessions -- the serving layer funnels every
+        pooled session into a single server-wide AuditLog so leak checks
+        see all clearances at once.  When the session was built by
+        :meth:`recover`, the recovery itself is the first entry (kind
+        ``recover``) so the trail starts at the journal replay, not at
+        the first post-crash query.
         """
-        if self._audit is None:
-            self._audit = AuditLog()
+        if self._audit is None or (log is not None and log is not self._audit):
+            self._audit = log if log is not None else AuditLog()
             if self.recovery_report is not None:
                 self._audit.emit(
                     "recover", subject=str(self.clearance),
@@ -531,13 +593,14 @@ class MultiLogSession:
         """
         from repro.analysis import analyze_database
 
-        self._revalidate()
-        recorder = TraceRecorder(histograms=self._histograms, sink=self._sink)
-        ctx = ObsContext(recorder, self._metrics, audit=self._audit)
-        with _use_obs(ctx):
-            report = analyze_database(self.database, self.clearance)
-        self._finish_ask(recorder)
-        return report
+        with self._single_flight("analyze"):
+            self._revalidate()
+            recorder = TraceRecorder(histograms=self._histograms, sink=self._sink)
+            ctx = ObsContext(recorder, self._metrics, audit=self._audit)
+            with _use_obs(ctx):
+                report = analyze_database(self.database, self.clearance)
+            self._finish_ask(recorder)
+            return report
 
     def run_stored_queries(self, engine: str = "operational") -> list[tuple[Query, list[dict[str, object]]]]:
         """Answer every query stored in the database's Q component.
@@ -566,7 +629,15 @@ class MultiLogSession:
 
         Sibling sessions over the same database invalidate lazily via
         :meth:`_revalidate` (the shared ``database.version`` moved on).
+
+        Like :meth:`ask`, single-flight per session: concurrent writers
+        must serialize (the serving layer holds a global write lock);
+        a second entry raises :class:`~repro.errors.SessionBusyError`.
         """
+        with self._single_flight("assert_clause"):
+            self._assert_clause_locked(clause, strict)
+
+    def _assert_clause_locked(self, clause: str | Clause, strict: bool) -> None:
         parsed = parse_clause(clause) if isinstance(clause, str) else clause
         database = self.database
         database.add(parsed)

@@ -1,0 +1,65 @@
+"""The async multi-tenant serving layer.
+
+The paper's MLS model is inherently multi-user -- one shared database
+queried concurrently by subjects at different clearances -- and this
+package is that front-end: an asyncio server multiplexing thousands of
+concurrent clients over one :class:`~repro.multilog.ast.
+MultiLogDatabase` through per-clearance pools of exclusively-held
+:class:`~repro.multilog.session.MultiLogSession` siblings.
+
+Pieces (docs/SERVING.md is the operator walkthrough):
+
+* :mod:`repro.serving.protocol` -- the newline-framed JSON wire protocol.
+* :mod:`repro.serving.pool` -- exclusive-checkout per-clearance pools.
+* :mod:`repro.serving.server` -- admission control, snapshot-isolated
+  reads, serialized journaled writes, the Prometheus serving dashboard.
+* :mod:`repro.serving.http` -- a minimal HTTP/1.1 shim over the same
+  dispatch (``POST /v1/ask``, ``GET /metrics``, ``GET /healthz``).
+* :mod:`repro.serving.client` -- the reference asyncio client.
+
+Start one from the CLI with ``multilog serve PROGRAM.mlog --port 7979``
+or in-process::
+
+    from repro.serving import MultiLogServer
+    server = MultiLogServer(source, max_inflight=128)
+    await server.start()
+"""
+
+from repro.serving.client import ServingCallError, ServingClient
+from repro.serving.pool import SessionPool
+from repro.serving.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from repro.serving.server import (
+    DEFAULT_SHED_BUDGET,
+    MultiLogServer,
+    ServerConfig,
+    ServingStats,
+    serve,
+)
+
+__all__ = [
+    "DEFAULT_SHED_BUDGET",
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "MultiLogServer",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ServerConfig",
+    "ServingCallError",
+    "ServingClient",
+    "ServingStats",
+    "SessionPool",
+    "decode_request",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "serve",
+]

@@ -1,0 +1,137 @@
+"""An asyncio client for the framed MultiLog serving protocol.
+
+Used by the test suite, the serving benchmark and the CI smoke driver;
+it is also the reference implementation for anyone writing a client in
+another language (the protocol is one JSON object per line in each
+direction -- see :mod:`repro.serving.protocol`).
+
+>>> client = await ServingClient.connect(host, port, clearance="s")
+>>> answers = await client.ask("s[acct(K : balance -C-> V)] << cau")
+>>> await client.assert_clause("u[acct(k2 : balance -u-> 7)].")
+>>> await client.close()
+
+``ask``/``assert_clause`` raise :class:`ServingCallError` on an error
+response (carrying the machine-readable ``code``); ``request`` returns
+the raw response dict for callers that want to handle shedding or
+degradation themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ProtocolError, ServingError
+from repro.serving.protocol import MAX_LINE_BYTES, encode_message
+
+import json
+
+
+class ServingCallError(ServingError):
+    """The server answered with an error response."""
+
+    def __init__(self, message: str, code: str = "internal",
+                 response: dict | None = None):
+        super().__init__(message)
+        self.code = code
+        self.response = response if response is not None else {}
+
+
+class ServingClient:
+    """One framed-protocol connection to a :class:`MultiLogServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, clearance: str | None = None):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self.clearance = clearance
+        self.hello: dict = {}
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      clearance: str | None = None) -> "ServingClient":
+        """Open a connection and complete the ``hello`` handshake."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES + 2)
+        client = cls(reader, writer, clearance)
+        payload: dict = {"op": "hello"}
+        if clearance is not None:
+            payload["clearance"] = clearance
+        client.hello = await client.request(payload)
+        if not client.hello.get("ok"):
+            await client.close()
+            raise ServingCallError(
+                client.hello.get("error", "hello rejected"),
+                code=client.hello.get("code", "internal"),
+                response=client.hello)
+        return client
+
+    # ------------------------------------------------------------------
+    async def request(self, payload: dict) -> dict:
+        """Send one request, await its response (raw dict)."""
+        if "id" not in payload:
+            self._next_id += 1
+            payload = {"id": self._next_id, **payload}
+        self._writer.write(encode_message(payload))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection mid-request")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ProtocolError(f"non-object response: {response!r}")
+        return response
+
+    def _checked(self, response: dict) -> dict:
+        if not response.get("ok"):
+            raise ServingCallError(
+                response.get("error", "server error"),
+                code=response.get("code", "internal"), response=response)
+        return response
+
+    # ------------------------------------------------------------------
+    async def ask(self, query: str, engine: str | None = None,
+                  clearance: str | None = None) -> list[dict]:
+        """The answers of one ask (degraded partial answers included --
+        check :meth:`ask_full` for the ``complete`` flag)."""
+        return (await self.ask_full(query, engine, clearance))["answers"]
+
+    async def ask_full(self, query: str, engine: str | None = None,
+                       clearance: str | None = None) -> dict:
+        """The full ask response (``answers``/``version``/``complete``)."""
+        payload: dict = {"op": "ask", "query": query}
+        if engine is not None:
+            payload["engine"] = engine
+        if clearance is not None:
+            payload["clearance"] = clearance
+        return self._checked(await self.request(payload))
+
+    async def assert_clause(self, clause: str, strict: bool = False,
+                            clearance: str | None = None) -> dict:
+        payload: dict = {"op": "assert", "clause": clause, "strict": strict}
+        if clearance is not None:
+            payload["clearance"] = clearance
+        return self._checked(await self.request(payload))
+
+    async def ping(self) -> dict:
+        return self._checked(await self.request({"op": "ping"}))
+
+    async def metrics(self) -> str:
+        return self._checked(await self.request({"op": "metrics"}))["text"]
+
+    async def audit(self) -> list[dict]:
+        return self._checked(await self.request({"op": "audit"}))["events"]
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,168 @@
+"""A minimal HTTP/1.1 shim over the MultiLog server.
+
+Some callers (dashboards, load balancers, ``curl``) prefer HTTP to a
+framed socket protocol.  This module serves the same dispatch as the
+framed protocol over a deliberately tiny, dependency-free HTTP/1.1
+subset -- enough for request/response JSON with ``Content-Length``
+bodies, nothing more (no chunked encoding, no keep-alive)::
+
+    POST /v1/ask      {"query": "...", "engine": "...", "clearance": "..."}
+    POST /v1/assert   {"clause": "...", "strict": false, "clearance": "..."}
+    GET  /metrics     Prometheus text exposition (the serving dashboard)
+    GET  /v1/audit    the server-wide audit trail as JSON
+    GET  /healthz     liveness: {"ok": true, "version": N}
+
+Error codes map onto HTTP status: ``shed`` -> 503 (with ``Retry-After``),
+``bad-request``/``bad-query``/``bad-clearance``/``unknown-op`` -> 400,
+``rejected`` -> 409, ``busy`` -> 503, ``internal`` -> 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ProtocolError
+from repro.serving.protocol import decode_request
+
+#: protocol error code -> HTTP status line.
+STATUS_FOR_CODE = {
+    "bad-request": "400 Bad Request",
+    "line-too-long": "413 Payload Too Large",
+    "unknown-op": "400 Bad Request",
+    "bad-clearance": "400 Bad Request",
+    "bad-query": "400 Bad Request",
+    "rejected": "409 Conflict",
+    "shed": "503 Service Unavailable",
+    "busy": "503 Service Unavailable",
+    "internal": "500 Internal Server Error",
+}
+
+#: route table: (method, path) -> the protocol op the body parameterizes.
+ROUTES = {
+    ("POST", "/v1/ask"): "ask",
+    ("POST", "/v1/assert"): "assert",
+    ("GET", "/v1/audit"): "audit",
+    ("GET", "/v1/hello"): "hello",
+}
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+def _response_bytes(status: str, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: tuple[tuple[str, str], ...] = ()) -> bytes:
+    head = [f"HTTP/1.1 {status}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_body(payload: dict) -> bytes:
+    return (json.dumps(payload, default=repr) + "\n").encode("utf-8")
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse request line, headers and (length-framed) body."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("ascii", "replace").split()
+    if len(parts) < 3:
+        raise ProtocolError(f"malformed HTTP request line: {request_line!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise ProtocolError("HTTP headers too large", code="line-too-long")
+        if not line.strip():
+            break
+        name, _, value = line.decode("ascii", "replace").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+async def handle_http_connection(server, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+    """Serve one HTTP request on a fresh connection, then close it."""
+    server.stats.connections_total += 1
+    server.stats.connections += 1
+    try:
+        try:
+            parsed = await _read_request(reader)
+        except ProtocolError as exc:
+            writer.write(_response_bytes(
+                STATUS_FOR_CODE.get(exc.code, "400 Bad Request"),
+                _json_body({"ok": False, "code": exc.code, "error": str(exc)})))
+            await writer.drain()
+            return
+        except (asyncio.IncompleteReadError, ValueError) as exc:
+            writer.write(_response_bytes(
+                "400 Bad Request",
+                _json_body({"ok": False, "code": "bad-request",
+                            "error": f"malformed HTTP request: {exc}"})))
+            await writer.drain()
+            return
+        if parsed is None:
+            return
+        method, path, _headers, body = parsed
+        writer.write(await _route(server, method, path, body))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        server.stats.disconnects_total += 1
+    finally:
+        server.stats.connections -= 1
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError):
+            pass
+
+
+async def _route(server, method: str, path: str, body: bytes) -> bytes:
+    if (method, path) == ("GET", "/healthz"):
+        return _response_bytes("200 OK", _json_body(
+            {"ok": True, "version": server.root.database.version}))
+    if (method, path) == ("GET", "/metrics"):
+        return _response_bytes("200 OK", server.metrics_text().encode("utf-8"),
+                               content_type="text/plain; version=0.0.4")
+    op = ROUTES.get((method, path))
+    if op is None:
+        return _response_bytes("404 Not Found", _json_body(
+            {"ok": False, "code": "bad-request",
+             "error": f"no route for {method} {path}"}))
+    payload: dict = {"op": op}
+    if body:
+        try:
+            fields = json.loads(body)
+        except ValueError as exc:
+            return _response_bytes("400 Bad Request", _json_body(
+                {"ok": False, "code": "bad-request",
+                 "error": f"body is not valid JSON: {exc}"}))
+        if not isinstance(fields, dict):
+            return _response_bytes("400 Bad Request", _json_body(
+                {"ok": False, "code": "bad-request",
+                 "error": "body must be a JSON object"}))
+        fields.pop("op", None)
+        payload.update(fields)
+    try:
+        request = decode_request(json.dumps(payload))
+    except ProtocolError as exc:
+        return _response_bytes(
+            STATUS_FOR_CODE.get(exc.code, "400 Bad Request"),
+            _json_body({"ok": False, "code": exc.code, "error": str(exc)}))
+    response = await server.dispatch(request)
+    if response.get("ok"):
+        return _response_bytes("200 OK", _json_body(response))
+    status = STATUS_FOR_CODE.get(response.get("code", "internal"),
+                                 "500 Internal Server Error")
+    extra = (("Retry-After", "1"),) if response.get("code") == "shed" else ()
+    return _response_bytes(status, _json_body(response), extra_headers=extra)

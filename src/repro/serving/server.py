@@ -1,0 +1,598 @@
+"""The asyncio MultiLog server: thousands of clients, one database.
+
+Architecture (docs/SERVING.md has the full walkthrough)::
+
+    clients --newline-framed JSON--> MultiLogServer
+                                        |  admission control (shed / degrade)
+                                        |  read-write lock (snapshot isolation)
+                                        v
+                     SessionPool -- exclusive with_clearance() siblings
+                                        |
+                                        v
+                        one shared MultiLogDatabase (+ journal)
+
+* **Reads** (``ask``) take the read side of an asyncio read-write lock
+  and run on a thread pool; any number proceed concurrently.  Because
+  writers are excluded while any read is in flight, ``database.version``
+  is frozen for the whole ask -- every answer is computed against exactly
+  one version, which the response reports (snapshot isolation riding the
+  existing version counter; the engine caches are already keyed on it).
+* **Writes** (``assert``) take the write side -- they wait for in-flight
+  reads to drain, run one at a time, and go through
+  ``MultiLogSession.assert_clause`` so Definition 5.3 validation,
+  atomic rollback and the PR 4 write-ahead journal all apply unchanged.
+  The lock is write-preferring: a waiting writer blocks new readers, so
+  sustained ask traffic cannot starve asserts.
+* **Admission control** keeps the queue bounded instead of letting load
+  build unboundedly: past ``max_inflight`` requests are **shed** with a
+  ``shed`` error (transient -- clients retry after backoff); past
+  ``degrade_at * max_inflight`` asks are served **degraded** through the
+  :class:`~repro.resilience.ResilientExecutor` under ``shed_budget``,
+  returning partial answers flagged ``complete: false`` rather than
+  queuing for a full evaluation (the PR 2 budget + PR 4 PartialResult
+  ladder, promoted to a serving policy).
+* **Observability**: every request feeds a per-op latency histogram and
+  the ``multilog_serving_*`` Prometheus counters
+  (accepted/shed/degraded/inflight/...); with ``audit=True`` every
+  pooled session funnels into one server-wide
+  :class:`~repro.obs.audit.AuditLog`, so cross-clearance leak checks see
+  all levels at once (the CI smoke job asserts the trail is leak-free
+  under 200 concurrent clients).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import asynccontextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.errors import (
+    LatticeError,
+    MultiLogSyntaxError,
+    ProtocolError,
+    ReproError,
+    SessionBusyError,
+)
+from repro.multilog.ast import MultiLogDatabase
+from repro.multilog.session import MultiLogSession
+from repro.obs.audit import AuditLog
+from repro.obs.budget import EvaluationBudget
+from repro.obs.histogram import HistogramSet
+from repro.serving.pool import SessionPool
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+#: budget applied to degraded asks when the config leaves it unset: deep
+#: enough for the paper-scale workloads, shallow enough that an overload
+#: cannot pin a worker thread for long.
+DEFAULT_SHED_BUDGET = EvaluationBudget(max_derived_rows=200_000,
+                                       max_rounds=500, timeout_s=2.0)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`MultiLogServer` (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off ``server.address``
+    clearance: str | None = None
+    backend: str | None = None
+    journal: str | None = None
+    engine: str = "operational"
+    #: hard admission cap: requests past this many in flight are shed.
+    max_inflight: int = 64
+    #: fraction of ``max_inflight`` past which asks run degraded
+    #: (budgeted, partial answers allowed) instead of full evaluations.
+    degrade_at: float = 0.75
+    #: budget for degraded asks (``None`` -> :data:`DEFAULT_SHED_BUDGET`).
+    shed_budget: EvaluationBudget | None = None
+    max_sessions_per_clearance: int = 32
+    #: worker threads the blocking engine calls run on.  The engine is
+    #: pure Python (GIL-bound), so a handful is plenty; more threads buy
+    #: fairness between requests, not throughput.
+    workers: int = 8
+    audit: bool = True
+    max_line_bytes: int = MAX_LINE_BYTES
+
+    def degrade_threshold(self) -> int:
+        return max(1, int(self.max_inflight * self.degrade_at))
+
+
+class ServingStats:
+    """The serving dashboard: counters + per-op latency histograms."""
+
+    COUNTERS = (
+        ("accepted_total", "Requests admitted past admission control."),
+        ("completed_total", "Requests finished with an ok response."),
+        ("shed_total", "Requests dropped by admission control (overload)."),
+        ("degraded_total", "Asks served degraded (budgeted partial answers)."),
+        ("errors_total", "Requests answered with an error response."),
+        ("asks_total", "Ask operations served."),
+        ("asserts_total", "Assert operations applied."),
+        ("connections_total", "Client connections accepted."),
+        ("disconnects_total", "Connections dropped mid-request by the peer."),
+    )
+
+    def __init__(self) -> None:
+        for name, _help in self.COUNTERS:
+            setattr(self, name, 0)
+        self.inflight = 0
+        self.connections = 0
+        self.histograms = HistogramSet()
+
+    def observe(self, op: str, seconds: float) -> None:
+        self.histograms.observe(f"serve[{op}]", seconds)
+
+    def snapshot(self) -> dict:
+        out = {name: getattr(self, name) for name, _help in self.COUNTERS}
+        out["inflight"] = self.inflight
+        out["connections"] = self.connections
+        out["latency"] = self.histograms.to_dict()
+        return out
+
+    def render_prometheus(self, namespace: str = "multilog_serving",
+                          pool: SessionPool | None = None) -> str:
+        """Prometheus text exposition of the serving dashboard."""
+        from repro.obs.export import _fmt_bound, _labels
+
+        lines: list[str] = []
+        for name, help_text in self.COUNTERS:
+            full = f"{namespace}_{name}"
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {getattr(self, name)}")
+        for name, help_text in (("inflight", "Requests currently in flight."),
+                                ("connections", "Open client connections.")):
+            full = f"{namespace}_{name}"
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {getattr(self, name)}")
+        if pool is not None:
+            full = f"{namespace}_pool_sessions"
+            lines.append(f"# HELP {full} Pooled sessions per clearance and state.")
+            lines.append(f"# TYPE {full} gauge")
+            for level, counts in pool.stats().items():
+                for state in ("busy", "free"):
+                    labels = _labels(clearance=level, state=state)
+                    lines.append(f"{full}{labels} {counts[state]}")
+        if self.histograms.histograms:
+            full = f"{namespace}_request_seconds"
+            lines.append(f"# HELP {full} Request latency per operation.")
+            lines.append(f"# TYPE {full} histogram")
+            for family in self.histograms.families():
+                hist = self.histograms.histograms[family]
+                op = family[len("serve["):-1] if family.startswith("serve[") else family
+                cumulative = 0
+                for bound, count in zip(hist.bounds, hist.counts):
+                    cumulative += count
+                    labels = _labels(op=op, le=_fmt_bound(bound))
+                    lines.append(f"{full}_bucket{labels} {cumulative}")
+                lines.append(f"{full}_bucket{_labels(op=op, le='+Inf')} {hist.count}")
+                lines.append(f"{full}_sum{_labels(op=op)} {hist.sum:.6f}")
+                lines.append(f"{full}_count{_labels(op=op)} {hist.count}")
+        return "\n".join(lines) + "\n"
+
+
+class _ReadWriteLock:
+    """Write-preferring asyncio read-write lock.
+
+    Any number of readers proceed together; a writer waits for in-flight
+    readers to drain and excludes everything while it runs.  A *waiting*
+    writer blocks new readers, so sustained reads cannot starve writes.
+    """
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+        self._cond = asyncio.Condition()
+
+    @asynccontextmanager
+    async def read(self):
+        async with self._cond:
+            while self._writer or self._waiting_writers:
+                await self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @asynccontextmanager
+    async def write(self):
+        async with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+@dataclass
+class _Connection:
+    """Per-connection state (the ``hello``-pinned default clearance)."""
+
+    clearance: str | None = None
+    peer: str = ""
+    requests: int = 0
+    closing: bool = field(default=False)
+
+
+class MultiLogServer:
+    """Serve one shared MultiLog database to many concurrent clients."""
+
+    def __init__(self, source: str | MultiLogDatabase | MultiLogSession,
+                 config: ServerConfig | None = None, **overrides):
+        self.config = config if config is not None else ServerConfig()
+        for key, value in overrides.items():
+            if not hasattr(self.config, key):
+                raise TypeError(f"unknown server config field {key!r}")
+            setattr(self.config, key, value)
+        if isinstance(source, MultiLogSession):
+            self.root = source
+        else:
+            self.root = MultiLogSession(source, self.config.clearance,
+                                        backend=self.config.backend)
+        if self.config.journal is not None and self.root.journal is None:
+            self.root.attach_journal(self.config.journal)
+        self.audit: AuditLog | None = None
+        if self.config.audit:
+            self.audit = self.root.enable_audit()
+        self.stats = ServingStats()
+        self.pool = SessionPool(
+            self.root,
+            max_per_clearance=self.config.max_sessions_per_clearance,
+            on_create=self._setup_session)
+        self._rw = _ReadWriteLock()
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="multilog-serve")
+        self._shed_budget = (self.config.shed_budget
+                             if self.config.shed_budget is not None
+                             else DEFAULT_SHED_BUDGET)
+        self._server: asyncio.AbstractServer | None = None
+        self._http_server: asyncio.AbstractServer | None = None
+        #: open connection-handler tasks; ``stop()`` drains them so no
+        #: handler is left to be cancelled noisily at loop shutdown.
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    def _setup_session(self, session: MultiLogSession) -> None:
+        """Wire a fresh pooled sibling into the server-wide observability."""
+        if self.audit is not None:
+            session.enable_audit(self.audit)
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting framed-protocol connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=self.config.max_line_bytes + 2)
+        return self.address
+
+    async def start_http(self, host: str | None = None,
+                         port: int = 0) -> tuple[str, int]:
+        """Additionally serve the HTTP shim (see :mod:`repro.serving.http`)."""
+        from repro.serving.http import handle_http_connection
+
+        async def handler(reader, writer):
+            task = asyncio.current_task()
+            if task is not None:
+                self._conn_tasks.add(task)
+            try:
+                await handle_http_connection(self, reader, writer)
+            except asyncio.CancelledError:
+                pass
+            finally:
+                if task is not None:
+                    self._conn_tasks.discard(task)
+
+        self._http_server = await asyncio.start_server(
+            handler, host if host is not None else self.config.host, port,
+            limit=self.config.max_line_bytes + 2)
+        return self.http_address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def http_address(self) -> tuple[str, int]:
+        if self._http_server is None:
+            raise RuntimeError("HTTP shim not started")
+        sock = self._http_server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._server = self._http_server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._threads.shutdown(wait=False, cancel_futures=True)
+
+    # -- framed-protocol connection handling ---------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        # A task that *ends* cancelled trips asyncio.streams' done-callback
+        # into logging a spurious "Exception in callback" on 3.11; ``stop``
+        # cancels handlers on shutdown, so absorb that cancellation here.
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.stats.connections_total += 1
+        self.stats.connections += 1
+        conn = _Connection(peer=str(writer.get_extra_info("peername", "")))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Unframed or oversized input: answer once, hang up.
+                    writer.write(encode_message(error_response(
+                        None, "line-too-long",
+                        f"request line exceeds {self.config.max_line_bytes} bytes")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # peer closed cleanly
+                if not line.strip():
+                    continue
+                response = await self.handle_line(line, conn)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if conn.closing:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            # Mid-request disconnect: the request (if any) already ran to
+            # completion and its session went back to the pool; all that
+            # is lost is the response bytes.
+            self.stats.disconnects_total += 1
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self.stats.connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    async def handle_line(self, line: bytes, conn: _Connection | None = None) -> dict:
+        """Decode one framed request line and dispatch it."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.stats.errors_total += 1
+            return error_response(None, exc.code, str(exc))
+        return await self.dispatch(request, conn)
+
+    # -- dispatch ------------------------------------------------------
+    async def dispatch(self, request: dict, conn: _Connection | None = None) -> dict:
+        """Serve one validated request (shared by framed and HTTP paths)."""
+        op = request["op"]
+        request_id = request.get("id")
+        if conn is not None:
+            conn.requests += 1
+        clearance = request.get("clearance")
+        if clearance is None and conn is not None:
+            clearance = conn.clearance
+        started = perf_counter()
+        try:
+            if op == "hello":
+                if request.get("clearance") is not None and conn is not None:
+                    try:
+                        self.root.lattice.check_level(request["clearance"])
+                    except LatticeError as exc:
+                        self.stats.errors_total += 1
+                        return error_response(request_id, "bad-clearance", str(exc))
+                    conn.clearance = request["clearance"]
+                return ok_response(
+                    request_id, server=PROTOCOL_VERSION,
+                    clearance=str(clearance or self.root.clearance),
+                    backend=self.root.backend,
+                    version=self.root.database.version,
+                    levels=sorted(str(level) for level
+                                  in self.root.lattice.levels))
+            if op == "ping":
+                return ok_response(request_id,
+                                   version=self.root.database.version)
+            if op == "metrics":
+                return ok_response(request_id, text=self.metrics_text())
+            if op == "audit":
+                events = self.audit.to_dicts() if self.audit is not None else []
+                return ok_response(request_id, events=events,
+                                   enabled=self.audit is not None)
+            if op == "ask":
+                return await self._serve_ask(request, request_id, clearance)
+            if op == "assert":
+                return await self._serve_assert(request, request_id, clearance)
+            self.stats.errors_total += 1
+            return error_response(request_id, "unknown-op", f"unknown op {op!r}")
+        finally:
+            self.stats.observe(op, perf_counter() - started)
+
+    # -- the two data paths --------------------------------------------
+    def _admit(self) -> bool:
+        """Admission control: count the request in, or shed it."""
+        if self.stats.inflight >= self.config.max_inflight:
+            self.stats.shed_total += 1
+            return False
+        self.stats.inflight += 1
+        self.stats.accepted_total += 1
+        return True
+
+    async def _serve_ask(self, request: dict, request_id, clearance) -> dict:
+        if not self._admit():
+            return error_response(
+                request_id, "shed",
+                f"server at capacity ({self.config.max_inflight} in flight); "
+                "retry after backoff")
+        engine = request.get("engine") or self.config.engine
+        degrade = self.stats.inflight >= self.config.degrade_threshold()
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._rw.read():
+                # Writers are excluded while we hold the read side, so the
+                # version is the snapshot every answer is computed at.
+                version = self.root.database.version
+                async with self.pool.lease(clearance) as session:
+                    if degrade:
+                        answers, degraded = await loop.run_in_executor(
+                            self._threads,
+                            functools.partial(self._degraded_ask, session,
+                                              request["query"], engine))
+                    else:
+                        answers = await loop.run_in_executor(
+                            self._threads,
+                            functools.partial(session.ask, request["query"],
+                                              engine=engine))
+                        degraded = None
+            self.stats.asks_total += 1
+            self.stats.completed_total += 1
+            if degraded is not None:
+                self.stats.degraded_total += 1
+                return ok_response(request_id, answers=answers, version=version,
+                                   complete=False, degraded=degraded,
+                                   engine=engine)
+            return ok_response(request_id, answers=answers, version=version,
+                               complete=True, engine=engine)
+        except MultiLogSyntaxError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "bad-query", str(exc))
+        except LatticeError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "bad-clearance", str(exc))
+        except SessionBusyError as exc:
+            # Should be impossible behind the pool's exclusive checkout;
+            # if it surfaces, report it as its own code so it is visible.
+            self.stats.errors_total += 1
+            return error_response(request_id, "busy", str(exc))
+        except ReproError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "rejected", str(exc))
+        except Exception as exc:  # noqa: BLE001 -- server must not die
+            self.stats.errors_total += 1
+            return error_response(request_id, "internal",
+                                  f"{type(exc).__name__}: {exc}")
+        finally:
+            self.stats.inflight -= 1
+
+    def _degraded_ask(self, session, query: str, engine: str):
+        """One budgeted ask that prefers partial answers over queueing.
+
+        Runs on a worker thread.  Returns ``(answers, degraded)`` where
+        ``degraded`` is ``None`` for a complete result and the
+        ``rung:reason`` string for a salvaged partial one.
+        """
+        from repro.resilience import PartialResult, ResilientExecutor
+
+        executor = ResilientExecutor(allow_partial=True,
+                                     budget=self._shed_budget)
+        saved = session.budget
+        session.budget = self._shed_budget
+        try:
+            result = executor.ask(session, query, engine=engine)
+        finally:
+            session.budget = saved
+        if isinstance(result, PartialResult):
+            return result.answers or [], f"{result.rung}:{result.reason}"
+        return result, None
+
+    async def _serve_assert(self, request: dict, request_id, clearance) -> dict:
+        if not self._admit():
+            return error_response(
+                request_id, "shed",
+                f"server at capacity ({self.config.max_inflight} in flight); "
+                "retry after backoff")
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._rw.write():
+                # The write side drained every reader: no ask is mid-flight
+                # over the database while the clause lands, and the version
+                # bump below is the next snapshot readers will see.
+                async with self.pool.lease(clearance) as session:
+                    await loop.run_in_executor(
+                        self._threads,
+                        functools.partial(session.assert_clause,
+                                          request["clause"],
+                                          strict=bool(request.get("strict"))))
+                version = self.root.database.version
+            self.stats.asserts_total += 1
+            self.stats.completed_total += 1
+            return ok_response(request_id, version=version)
+        except MultiLogSyntaxError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "bad-query", str(exc))
+        except LatticeError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "bad-clearance", str(exc))
+        except SessionBusyError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "busy", str(exc))
+        except ReproError as exc:
+            self.stats.errors_total += 1
+            return error_response(request_id, "rejected", str(exc))
+        except Exception as exc:  # noqa: BLE001
+            self.stats.errors_total += 1
+            return error_response(request_id, "internal",
+                                  f"{type(exc).__name__}: {exc}")
+        finally:
+            self.stats.inflight -= 1
+
+    # -- dashboard -----------------------------------------------------
+    def metrics_text(self) -> str:
+        """The serving dashboard in Prometheus text exposition format."""
+        return self.stats.render_prometheus(pool=self.pool)
+
+
+async def serve(source, config: ServerConfig | None = None,
+                http: bool = False, **overrides) -> MultiLogServer:
+    """Convenience: build and start a server; caller owns ``stop()``."""
+    server = MultiLogServer(source, config, **overrides)
+    await server.start()
+    if http:
+        await server.start_http()
+    return server

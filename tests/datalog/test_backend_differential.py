@@ -177,7 +177,11 @@ def canon(answers):
 class TestSessionBackend:
     @pytest.mark.parametrize("engine", ["operational", "reduction"])
     def test_interleaved_trace_agrees(self, engine):
-        dict_session = MultiLogSession(MLOG_SOURCE, clearance="s")
+        # Both backends pinned explicitly: the differential must hold
+        # regardless of what MULTILOG_BACKEND says (the CI backend
+        # matrix runs this file under both values).
+        dict_session = MultiLogSession(MLOG_SOURCE, clearance="s",
+                                       backend="dict")
         col_session = MultiLogSession(MLOG_SOURCE, clearance="s",
                                       backend="columnar")
         assert dict_session.backend == "dict"

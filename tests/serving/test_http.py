@@ -1,0 +1,138 @@
+"""Units for the minimal HTTP/1.1 shim over the serving dispatch."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serving import MultiLogServer, ServerConfig
+from repro.workloads.d1 import D1_SOURCE
+
+ASK = "s[p(K : a -C-> V)] << cau"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: bytes | None = None) -> tuple[str, dict, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    head = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+                 + (body or b""))
+    await writer.drain()
+    status_line = (await reader.readline()).decode("ascii")
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line.strip():
+            break
+        name, _, value = line.decode("ascii").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload = await reader.read()
+    writer.close()
+    return status_line.split(" ", 1)[1].strip(), headers, payload
+
+
+async def started_http() -> MultiLogServer:
+    server = MultiLogServer(D1_SOURCE, ServerConfig(clearance="s"))
+    await server.start()
+    await server.start_http()
+    return server
+
+
+def test_healthz_and_metrics():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            status, _headers, body = await http_request(host, port,
+                                                        "GET", "/healthz")
+            assert status == "200 OK"
+            assert json.loads(body)["ok"] is True
+            status, headers, body = await http_request(host, port,
+                                                       "GET", "/metrics")
+            assert status == "200 OK"
+            assert headers["content-type"].startswith("text/plain")
+            assert b"multilog_serving_accepted_total" in body
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_post_ask_and_assert():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            status, _h, body = await http_request(
+                host, port, "POST", "/v1/ask",
+                json.dumps({"query": ASK, "clearance": "s"}).encode())
+            assert status == "200 OK"
+            response = json.loads(body)
+            assert response["complete"] is True
+            assert response["answers"]
+            status, _h, body = await http_request(
+                host, port, "POST", "/v1/assert",
+                json.dumps({"clause": "u[p(k8 : a -u-> 8)].",
+                            "clearance": "s"}).encode())
+            assert status == "200 OK"
+            assert json.loads(body)["version"] == server.root.database.version
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_http_error_mapping():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            # No route.
+            status, _h, _b = await http_request(host, port, "GET", "/nope")
+            assert status == "404 Not Found"
+            # Unparseable body.
+            status, _h, body = await http_request(
+                host, port, "POST", "/v1/ask", b"{not json")
+            assert status == "400 Bad Request"
+            assert json.loads(body)["code"] == "bad-request"
+            # Structurally invalid request (missing query).
+            status, _h, _b = await http_request(
+                host, port, "POST", "/v1/ask", b"{}")
+            assert status == "400 Bad Request"
+            # Engine rejection: inadmissible clause (undeclared label
+            # -- Def 5.3 condition 2) -> 409.
+            status, _h, body = await http_request(
+                host, port, "POST", "/v1/assert",
+                json.dumps({"clause": "x[p(k : a -x-> 1)].",
+                            "clearance": "s"}).encode())
+            assert status == "409 Conflict"
+            assert json.loads(body)["code"] == "rejected"
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_http_shed_maps_to_503_with_retry_after():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            server.stats.inflight = server.config.max_inflight  # saturate
+            status, headers, body = await http_request(
+                host, port, "POST", "/v1/ask",
+                json.dumps({"query": ASK, "clearance": "s"}).encode())
+            server.stats.inflight = 0
+            assert status == "503 Service Unavailable"
+            assert headers.get("retry-after") == "1"
+            assert json.loads(body)["code"] == "shed"
+        finally:
+            await server.stop()
+
+    run(main())

@@ -1,0 +1,89 @@
+"""Units for the newline-framed JSON wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serving.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    decode_request,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+
+def test_encode_message_is_one_framed_line():
+    raw = encode_message({"id": 1, "op": "ping"})
+    assert raw.endswith(b"\n")
+    assert raw.count(b"\n") == 1
+    assert json.loads(raw) == {"id": 1, "op": "ping"}
+
+
+def test_encode_message_compact_and_utf8():
+    raw = encode_message({"q": "café", "n": 2})
+    assert b", " not in raw  # compact separators
+    assert json.loads(raw.decode("utf-8"))["q"] == "café"
+
+
+def test_encode_message_falls_back_to_repr():
+    class Odd:
+        def __repr__(self):
+            return "<odd>"
+
+    assert json.loads(encode_message({"x": Odd()}))["x"] == "<odd>"
+
+
+def test_ok_and_error_response_shapes():
+    ok = ok_response(7, answers=[], version=3)
+    assert ok == {"id": 7, "ok": True, "answers": [], "version": 3}
+    err = error_response(8, "shed", "busy now")
+    assert err == {"id": 8, "ok": False, "code": "shed", "error": "busy now"}
+
+
+def test_error_response_sanitizes_unknown_code():
+    assert error_response(None, "not-a-code", "x")["code"] == "internal"
+
+
+def test_decode_request_roundtrip():
+    line = encode_message({"id": 1, "op": "ask", "query": "q(X)"})
+    request = decode_request(line)
+    assert request["op"] == "ask"
+    assert request["query"] == "q(X)"
+
+
+@pytest.mark.parametrize("line,code", [
+    (b"not json\n", "bad-request"),
+    (b"[1, 2]\n", "bad-request"),
+    (b'{"no": "op"}\n', "bad-request"),
+    (b'{"op": 3}\n', "bad-request"),
+    (b'{"op": "frobnicate"}\n', "unknown-op"),
+    (b'{"op": "ask"}\n', "bad-request"),
+    (b'{"op": "ask", "query": "  "}\n', "bad-request"),
+    (b'{"op": "ask", "query": "q(X)", "engine": "warp"}\n', "bad-request"),
+    (b'{"op": "ask", "query": "q(X)", "clearance": 4}\n', "bad-request"),
+    (b'{"op": "assert"}\n', "bad-request"),
+    (b'{"op": "assert", "clause": "p.", "strict": "yes"}\n', "bad-request"),
+    (b"\xff\xfe{}\n", "bad-request"),
+])
+def test_decode_request_rejections(line, code):
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(line)
+    assert excinfo.value.code == code
+    assert excinfo.value.code in ERROR_CODES
+
+
+def test_decode_request_oversized_line():
+    line = b'{"op": "ask", "query": "' + b"x" * MAX_LINE_BYTES + b'"}\n'
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(line)
+    assert excinfo.value.code == "line-too-long"
+
+
+def test_every_op_documented():
+    assert set(OPS) == {"hello", "ping", "ask", "assert", "metrics", "audit"}
