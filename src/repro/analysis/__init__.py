@@ -22,12 +22,38 @@ ML010   warning   dead predicate (unreachable from Q)
 ML011   info      unused security level
 ML012   info      belief feedback forces level specialization
 ML013   error     unknown belief mode
+ML014   error     unsound compiled plan (codegen vs. rule semantics)
+ML015   error     guard evaluated before its variables are bound
+ML016   warning   dead op in compiled plan pipeline
+ML017   warning   statically-empty relation (no rule can ever fire)
+ML018   info      delta not monotone: needs DRed-style overdeletion
+ML019   warning   built-in guard can never be satisfied
+ML020   error     blocking call inside an async function
+ML021   error     await while holding the RW lock's write side
 ======  ========  ====================================================
 
-See ``docs/ANALYSIS.md`` for each code with a minimal trigger.
+ML000--ML013 judge the declarative program.  ML014--ML016 come from the
+plan verifier (:mod:`repro.analysis.planverify`), which re-checks every
+codegen'd join/batch plan against its rule before the ``exec``;
+ML017--ML019 from the binding-mode abstract interpretation
+(:mod:`repro.analysis.absint`); ML020/ML021 from the async-safety lint
+(:mod:`repro.analysis.asyncsafe`, ``multilog lint --self``) over the
+serving layer.  See ``docs/ANALYSIS.md`` for each code with a minimal
+trigger.
 """
 
+from repro.analysis.absint import (
+    BindingAnalysis,
+    analyze_bindings,
+    delta_safety,
+    lint_bindings,
+)
 from repro.analysis.analyzer import analyze_database, analyze_program
+from repro.analysis.asyncsafe import (
+    analyze_async_safety,
+    lint_async_source,
+    serving_sources,
+)
 from repro.analysis.arity import (
     ArityClash,
     database_arity_clashes,
@@ -39,12 +65,14 @@ from repro.analysis.deadcode import (
     unused_levels,
 )
 from repro.analysis.diagnostics import (
+    ANALYZER_VERSION,
     CODES,
     AnalysisReport,
     Diagnostic,
     Severity,
     code_title,
     default_severity,
+    fingerprint,
 )
 from repro.analysis.flow import (
     FlowFinding,
@@ -56,10 +84,13 @@ from repro.analysis.flow import (
     unknown_modes,
 )
 from repro.analysis.graph import DependencyGraph, Edge, render_cycle
+from repro.analysis.planverify import verify_plan, verify_plan_source
 
 __all__ = [
+    "ANALYZER_VERSION",
     "AnalysisReport",
     "ArityClash",
+    "BindingAnalysis",
     "CODES",
     "DependencyGraph",
     "Diagnostic",
@@ -67,6 +98,8 @@ __all__ = [
     "FlowFinding",
     "Severity",
     "SurpriseRisk",
+    "analyze_async_safety",
+    "analyze_bindings",
     "analyze_database",
     "analyze_program",
     "belief_feedback",
@@ -76,10 +109,17 @@ __all__ = [
     "dead_predicates",
     "declared_modes",
     "default_severity",
+    "delta_safety",
     "downward_flows",
+    "fingerprint",
+    "lint_async_source",
+    "lint_bindings",
     "program_arity_clashes",
     "render_cycle",
+    "serving_sources",
     "surprise_risks",
     "unknown_modes",
     "unused_levels",
+    "verify_plan",
+    "verify_plan_source",
 ]

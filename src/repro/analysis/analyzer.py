@@ -42,13 +42,14 @@ from repro.multilog.admissibility import (
 from repro.multilog.ast import Clause, LAtom, MultiLogDatabase
 from repro.obs.context import current as _current_obs
 
+from repro.analysis.absint import delta_safety, lint_bindings
 from repro.analysis.arity import database_arity_clashes, program_arity_clashes
 from repro.analysis.deadcode import (
     dead_database_predicates,
     dead_predicates,
     unused_levels,
 )
-from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.diagnostics import AnalysisReport, fingerprint
 from repro.analysis.flow import (
     belief_feedback,
     downward_flows,
@@ -69,6 +70,7 @@ _DEFAULT_LEVEL = "system"
 def analyze_program(program: Program, roots: Iterable[str] = ()) -> AnalysisReport:
     """Lint a plain Datalog program; ``roots`` enable the dead-code pass."""
     report = AnalysisReport()
+    report.program_hash = fingerprint(program.pretty())
     with _current_obs().recorder.span("analyze", language="datalog"):
         lint_program_safety(program, report)
         for clash in program_arity_clashes(program):
@@ -82,6 +84,7 @@ def analyze_program(program: Program, roots: Iterable[str] = ()) -> AnalysisRepo
                        f"query root(s) {sorted(roots)}",
                        location=f"predicate {predicate}",
                        hint="delete the rules/facts or query the predicate")
+        lint_bindings(program, report)
     return report
 
 
@@ -111,6 +114,7 @@ def analyze_database(db: MultiLogDatabase,
                      clearance: str | None = None) -> AnalysisReport:
     """Lint a MultiLog database end to end; never raises on bad input."""
     report = AnalysisReport()
+    report.program_hash = fingerprint(_database_text(db))
     with _current_obs().recorder.span("analyze", language="multilog",
                                       clearance=clearance or ""):
         db = _with_default_lattice(db)
@@ -133,6 +137,15 @@ def analyze_database(db: MultiLogDatabase,
         if report.ok:
             _lint_reduction(db, context, clearance, report)
     return report
+
+
+def _database_text(db: MultiLogDatabase) -> str:
+    """A canonical text of ``Delta = <Lambda, Sigma, Pi, Q>`` for hashing."""
+    sections = []
+    for clauses in (db.lattice_clauses, db.secured_clauses, db.plain_clauses,
+                    db.queries):
+        sections.append("\n".join(str(clause) for clause in clauses))
+    return "\n%%\n".join(sections)
 
 
 def _with_default_lattice(db: MultiLogDatabase) -> MultiLogDatabase:
@@ -242,3 +255,27 @@ def _lint_reduction(db: MultiLogDatabase, context: LatticeContext,
             continue
         _lint_stratification(reduced.program, report,
                              location=f"reduction at clearance {point!r}")
+        _lint_delta_safety(reduced.program, point, report)
+
+
+def _lint_delta_safety(program: Program, clearance: str,
+                       report: AnalysisReport) -> None:
+    """One ML018 summary per clearance: the incremental-maintenance cost.
+
+    The tau reduction leans heavily on negation (believability is
+    non-monotone by construction), so a per-rule listing would be noise;
+    the count of overdeletion-bound predicates is the number ROADMAP
+    item 2 needs to size a DRed implementation against.
+    """
+    safety = delta_safety(program)
+    overdelete = sorted(p for p, verdict in safety.items()
+                        if verdict == "overdelete")
+    if not overdelete:
+        return
+    report.add(
+        "ML018",
+        f"reduction at clearance {clearance!r}: {len(overdelete)} of "
+        f"{len(safety)} derived predicates need DRed-style overdeletion "
+        f"for incremental maintenance (the rest are delta-monotone)",
+        location=f"clearance {clearance}",
+        hint="see ROADMAP item 2 (incremental maintenance)")

@@ -1,0 +1,261 @@
+"""Async-safety lint for the serving layer (ML020/ML021).
+
+One stray blocking call inside the asyncio event loop stalls *every*
+multiplexed client, and one ``await`` while holding the write side of
+the serving layer's write-preferring RW lock can deadlock writers
+against the work they are waiting on.  Both defects are invisible to
+tests that drive the server lightly -- they only bite under load -- so
+this pass finds them statically, from the Python :mod:`ast`:
+
+* **ML020** -- a known-blocking call in an ``async def`` body that is
+  not offloaded: bare ``open()``/``input()``, sync module calls
+  (``time.sleep``, ``os.fsync``, ``subprocess.run``, ...), engine entry
+  points (``.ask()``, ``.assert_clause()``, ``.evaluate()``,
+  ``.analyze()``, ``.recover()``, journal ``.replay()``/``.compact()``),
+  blocking file methods (``.read_text()`` & friends) and a sync lock
+  ``.acquire()``.  A call that is directly ``await``-ed is the async
+  flavour of the same name (``await client.ask(...)``,
+  ``await lock.acquire()``) and passes; deferring a callable through
+  ``functools.partial``/``run_in_executor`` never creates a ``Call``
+  node for the blocked work, so the sanctioned offload pattern is clean
+  by construction.
+* **ML021** -- an ``await`` inside ``async with <rw-lock>.write():``
+  whose target is not the executor offload (``run_in_executor`` /
+  ``asyncio.to_thread``).  Entering a nested ``async with`` (the pool's
+  ``lease`` checkout) is sanctioned: it parks on pool capacity, not on
+  foreign I/O.
+
+Scope and soundness: only ``async def`` bodies are scanned; nested sync
+``def``/``lambda`` bodies are skipped (they run wherever they are
+called, which the caller's scan judges).  The pass is a lint, not a
+proof -- it knows names, not types -- but its allow/deny lists are the
+exact idioms ``src/repro/serving/`` commits to, and CI runs it strict
+(``multilog lint --self --strict``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.diagnostics import AnalysisReport
+
+__all__ = ["analyze_async_safety", "lint_async_source", "serving_sources"]
+
+#: bare-name calls that block the event loop.
+_BLOCKING_NAMES = frozenset({"open", "input"})
+
+#: ``module.function`` calls that block (receiver is the module name).
+_BLOCKING_MODULE_CALLS: dict[str, frozenset[str]] = {
+    "time": frozenset({"sleep"}),
+    "os": frozenset({"fsync", "remove", "replace", "rename", "listdir",
+                     "stat", "system"}),
+    "subprocess": frozenset({"run", "call", "check_call", "check_output"}),
+    "shutil": frozenset({"copy", "copyfile", "move", "rmtree"}),
+}
+
+#: method names that block regardless of receiver -- engine entry points
+#: and sync file I/O.  Excused when directly awaited (the async flavour).
+_BLOCKING_METHODS = frozenset({
+    "ask", "assert_clause", "analyze", "evaluate", "run_stored_queries",
+    "recover", "replay", "compact",
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+#: sync lock acquisition; ``await lock.acquire()`` is the asyncio flavour.
+_LOCK_ACQUIRE = "acquire"
+
+#: awaits that are *allowed* while holding the RW write lock: handing the
+#: blocking work to the thread pool is exactly what the lock protects.
+_OFFLOAD_METHODS = frozenset({"run_in_executor", "to_thread"})
+
+
+def serving_sources() -> list[Path]:
+    """The Python files of ``repro.serving`` -- the lint's default scope."""
+    import repro.serving
+
+    package_dir = Path(repro.serving.__file__).resolve().parent
+    return sorted(package_dir.glob("*.py"))
+
+
+def analyze_async_safety(paths=None) -> AnalysisReport:
+    """Lint ``paths`` (files or directories; default: ``repro.serving``)."""
+    report = AnalysisReport()
+    files: list[Path] = []
+    if paths is None:
+        files = serving_sources()
+    else:
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                files.extend(sorted(entry.glob("**/*.py")))
+            else:
+                files.append(entry)
+    for path in files:
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            report.add("ML000", f"cannot read {path}: {exc}",
+                       location=str(path))
+            continue
+        lint_async_source(source, path.name, report)
+    return report
+
+
+def lint_async_source(source: str, filename: str,
+                      report: AnalysisReport) -> None:
+    """Lint one module's source text; parse errors become ML000."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.add("ML000", f"syntax error: {exc}", location=filename)
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            _FunctionLint(filename, node.name, report).scan(node.body)
+
+
+def _receiver_mentions_lock(node: ast.expr) -> bool:
+    """Heuristic: does the ``.write()`` receiver look like an RW lock?"""
+    name = ""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    lowered = name.lower()
+    return "rw" in lowered or "lock" in lowered
+
+
+def _is_write_lock_entry(node: ast.expr) -> bool:
+    """``<receiver>.write()`` where the receiver names an RW lock."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "write"
+            and not node.args and not node.keywords
+            and _receiver_mentions_lock(node.func.value))
+
+
+def _is_offload_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _OFFLOAD_METHODS)
+
+
+class _FunctionLint:
+    """Scans one ``async def`` body, tracking the RW write-lock scope."""
+
+    def __init__(self, filename: str, function: str, report: AnalysisReport):
+        self.filename = filename
+        self.function = function
+        self.report = report
+
+    def _where(self, node: ast.AST) -> str:
+        return f"{self.filename}:{getattr(node, 'lineno', 0)}"
+
+    # -- statements -----------------------------------------------------
+
+    def scan(self, statements, write_held: bool = False) -> None:
+        for statement in statements:
+            self._scan_statement(statement, write_held)
+
+    def _scan_statement(self, statement: ast.stmt, write_held: bool) -> None:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # its body runs (and is judged) elsewhere
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            held = write_held
+            for item in statement.items:
+                self._scan_expression(item.context_expr, write_held)
+                if (isinstance(statement, ast.AsyncWith)
+                        and _is_write_lock_entry(item.context_expr)):
+                    held = True
+            self.scan(statement.body, held)
+            return
+        for _field, value in ast.iter_fields(statement):
+            if isinstance(value, ast.expr):
+                self._scan_expression(value, write_held)
+            elif isinstance(value, ast.stmt):
+                self._scan_statement(value, write_held)
+            elif isinstance(value, list):
+                for child in value:
+                    if isinstance(child, ast.stmt):
+                        self._scan_statement(child, write_held)
+                    elif isinstance(child, ast.expr):
+                        self._scan_expression(child, write_held)
+                    elif isinstance(child, ast.excepthandler):
+                        self.scan(child.body, write_held)
+
+    # -- expressions ----------------------------------------------------
+
+    def _scan_expression(self, node: ast.expr, write_held: bool,
+                         awaited: bool = False) -> None:
+        if isinstance(node, ast.Await):
+            if write_held and not _is_offload_call(node.value):
+                self.report.add(
+                    "ML021",
+                    f"await while holding the RW lock's write side in "
+                    f"async {self.function}(): every reader and writer is "
+                    f"stalled until this completes",
+                    location=self._where(node),
+                    hint="offload via loop.run_in_executor(...) or move "
+                         "the await outside the write lock")
+            self._scan_expression(node.value, write_held, awaited=True)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # deferred: judged where it is called
+        if isinstance(node, ast.Call):
+            self._check_call(node, awaited)
+            self._scan_expression(node.func, write_held)
+            for argument in node.args:
+                self._scan_expression(argument, write_held)
+            for keyword in node.keywords:
+                self._scan_expression(keyword.value, write_held)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expression(child, write_held)
+            elif isinstance(child, ast.comprehension):
+                self._scan_expression(child.iter, write_held)
+                for condition in child.ifs:
+                    self._scan_expression(condition, write_held)
+
+    def _check_call(self, node: ast.Call, awaited: bool) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_NAMES:
+                self._blocking(node, f"{func.id}()")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        if isinstance(func.value, ast.Name):
+            module_blocked = _BLOCKING_MODULE_CALLS.get(func.value.id)
+            if module_blocked and attr in module_blocked:
+                self._blocking(node, f"{func.value.id}.{attr}()")
+                return
+        if awaited:
+            return  # the async flavour of the name
+        if attr in _BLOCKING_METHODS:
+            self._blocking(node, f".{attr}()")
+        elif attr == _LOCK_ACQUIRE and not _non_blocking_acquire(node):
+            self._blocking(node, ".acquire()")
+
+    def _blocking(self, node: ast.Call, what: str) -> None:
+        self.report.add(
+            "ML020",
+            f"blocking call {what} inside async {self.function}(): the "
+            f"event loop stalls for its full duration",
+            location=self._where(node),
+            hint="offload it: await loop.run_in_executor(pool, "
+                 "functools.partial(...))")
+
+
+def _non_blocking_acquire(node: ast.Call) -> bool:
+    """``lock.acquire(blocking=False)`` / ``acquire(False)`` never blocks."""
+    for keyword in node.keywords:
+        if keyword.arg == "blocking":
+            return (isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False)
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is False
+    return False

@@ -1,7 +1,7 @@
 """Structured diagnostics: the currency of the static analyzer.
 
 Every check in :mod:`repro.analysis` reports :class:`Diagnostic` objects
--- a stable code (``ML001`` ... ``ML013``), a severity, a human message,
+-- a stable code (``ML001`` ... ``ML021``), a severity, a human message,
 the offending clause/rule text and a fix hint -- collected into an
 :class:`AnalysisReport` that renders as text or JSON and maps to a
 process exit code (``multilog lint --strict``).
@@ -13,9 +13,24 @@ one with a minimal triggering program).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from enum import IntEnum
+
+#: Version of the analyzer contract, stamped into JSON envelopes so
+#: downstream consumers (CI diffs, dashboards) can detect registry growth.
+#: Bump the major on new diagnostic codes, the minor on message changes.
+ANALYZER_VERSION = "2.0"
+
+
+def fingerprint(text: str) -> str:
+    """A short stable hash of a program's canonical text.
+
+    Reports carry it (``program_hash`` in the JSON envelope) so a stored
+    lint result can be matched against the exact program it judged.
+    """
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()[:16]
 
 
 class Severity(IntEnum):
@@ -46,6 +61,14 @@ CODES: dict[str, tuple[Severity, str]] = {
     "ML011": (Severity.INFO, "unused security level"),
     "ML012": (Severity.INFO, "belief feedback: reduction requires level specialization"),
     "ML013": (Severity.ERROR, "unknown belief mode"),
+    "ML014": (Severity.ERROR, "unsound compiled plan (codegen violates rule semantics)"),
+    "ML015": (Severity.ERROR, "guard evaluated before its variables are bound"),
+    "ML016": (Severity.WARNING, "dead op in compiled plan pipeline"),
+    "ML017": (Severity.WARNING, "statically-empty relation: no rule can ever fire"),
+    "ML018": (Severity.INFO, "rule delta not monotone: needs DRed-style overdeletion"),
+    "ML019": (Severity.WARNING, "built-in guard can never be satisfied"),
+    "ML020": (Severity.ERROR, "blocking call inside an async function"),
+    "ML021": (Severity.ERROR, "await while holding the RW lock's write side"),
 }
 
 
@@ -93,9 +116,19 @@ class Diagnostic:
 
 @dataclass
 class AnalysisReport:
-    """An ordered collection of diagnostics with rendering helpers."""
+    """An ordered collection of diagnostics with rendering helpers.
+
+    Rendering (text and JSON) always goes through :meth:`normalized` --
+    exact duplicates collapse and the order is the stable ``(code,
+    location, message)`` sort -- so two runs over the same program
+    produce byte-identical output regardless of pass scheduling or set
+    iteration order inside individual checks.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Short hash of the analyzed program (see :func:`fingerprint`);
+    #: empty when the analyzer had no canonical text to hash.
+    program_hash: str = ""
 
     # -- construction ---------------------------------------------------
     def add(self, code: str, message: str, *, location: str = "", hint: str = "",
@@ -113,6 +146,8 @@ class AnalysisReport:
 
     def extend(self, other: "AnalysisReport") -> None:
         self.diagnostics.extend(other.diagnostics)
+        if not self.program_hash:
+            self.program_hash = other.program_hash
 
     # -- queries --------------------------------------------------------
     def __iter__(self):
@@ -155,33 +190,49 @@ class AnalysisReport:
         """Process exit status for CI: 0 clean, 1 otherwise."""
         return 0 if self.clean(strict) else 1
 
+    def normalized(self) -> list[Diagnostic]:
+        """Deduplicated diagnostics in stable ``(code, location)`` order."""
+        ordered = sorted(
+            set(self.diagnostics),
+            key=lambda d: (d.code, d.location, d.message, int(d.severity)),
+        )
+        return ordered
+
     # -- rendering ------------------------------------------------------
     def summary(self) -> str:
-        return (f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
-                f"{len(self.infos)} info(s)")
+        deduped = self.normalized()
+        errors = sum(1 for d in deduped if d.severity is Severity.ERROR)
+        warnings = sum(1 for d in deduped if d.severity is Severity.WARNING)
+        infos = sum(1 for d in deduped if d.severity is Severity.INFO)
+        return f"{errors} error(s), {warnings} warning(s), {infos} info(s)"
 
     def render_text(self) -> str:
         """Human-readable listing, most severe first, summary last."""
         if not self.diagnostics:
             return "no findings: program is clean."
         ordered = sorted(
-            self.diagnostics,
-            key=lambda d: (-int(d.severity), d.code, d.message),
+            self.normalized(),
+            key=lambda d: (-int(d.severity), d.code, d.location, d.message),
         )
         lines = [d.render() for d in ordered]
         lines.append(self.summary())
         return "\n".join(lines)
 
     def to_dicts(self) -> dict:
-        return {
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        deduped = self.normalized()
+        out: dict = {
+            "analyzer": ANALYZER_VERSION,
+            "diagnostics": [d.to_dict() for d in deduped],
             "summary": {
-                "errors": len(self.errors),
-                "warnings": len(self.warnings),
-                "infos": len(self.infos),
+                "errors": sum(1 for d in deduped if d.severity is Severity.ERROR),
+                "warnings": sum(1 for d in deduped if d.severity is Severity.WARNING),
+                "infos": sum(1 for d in deduped if d.severity is Severity.INFO),
             },
             "ok": self.ok,
         }
+        if self.program_hash:
+            out["program_hash"] = self.program_hash
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dicts(), indent=indent, sort_keys=False)

@@ -360,8 +360,16 @@ class Shell:
 
 
 def _analyze_text(name: str, text: str, clearance: str | None):
-    """Analyze one source text; parse failures become ML000 diagnostics."""
+    """Analyze one source text; *any* failure becomes an ML000 diagnostic.
+
+    The lint subcommand promises a report per input -- in particular
+    ``--format=json`` must emit a well-formed envelope even when the
+    program does not parse -- so crashes of any flavour (syntax errors,
+    recursion blowups on hostile input) are folded into the report
+    instead of escaping as a traceback.
+    """
     from repro.analysis import AnalysisReport, analyze_database, analyze_program
+    from repro.analysis.diagnostics import fingerprint
 
     try:
         if name.endswith(".dl"):
@@ -373,25 +381,43 @@ def _analyze_text(name: str, text: str, clearance: str | None):
         return analyze_database(parse_database(text), clearance)
     except ReproError as exc:
         report = AnalysisReport()
+        report.program_hash = fingerprint(text)
         report.add("ML000", str(exc), location=name,
                    hint="fix the syntax error; nothing else was checked")
+        return report
+    except (RecursionError, ValueError, TypeError) as exc:
+        report = AnalysisReport()
+        report.program_hash = fingerprint(text)
+        report.add("ML000",
+                   f"analysis crashed: {type(exc).__name__}: {exc}",
+                   location=name,
+                   hint="the input is malformed beyond what the parser "
+                        "reports cleanly")
         return report
 
 
 def _lint_inputs(args) -> list[tuple[str, object]]:
     """``(name, report)`` per input file / workload, in argument order."""
+    from repro.analysis import AnalysisReport
+
     reports: list[tuple[str, object]] = []
     for path_arg in args.paths:
         path = Path(path_arg)
-        if not path.exists():
-            from repro.analysis import AnalysisReport
-
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
             report = AnalysisReport()
-            report.add("ML000", f"no such file: {path_arg}", location=path_arg)
+            if not path.exists():
+                report.add("ML000", f"no such file: {path_arg}",
+                           location=path_arg)
+            else:
+                report.add("ML000", f"cannot read {path_arg}: {exc}",
+                           location=path_arg,
+                           hint="lint inputs must be UTF-8 text files")
             reports.append((path_arg, report))
             continue
         reports.append(
-            (path_arg, _analyze_text(path_arg, path.read_text(), args.clearance)))
+            (path_arg, _analyze_text(path_arg, text, args.clearance)))
     for workload in args.workload:
         from repro.analysis import analyze_database
         from repro.workloads import d1_database, mission_multilog
@@ -399,6 +425,10 @@ def _lint_inputs(args) -> list[tuple[str, object]]:
         db = d1_database() if workload == "d1" else mission_multilog()
         reports.append((f"workload:{workload}",
                         analyze_database(db, args.clearance)))
+    if getattr(args, "lint_self", False):
+        from repro.analysis import analyze_async_safety
+
+        reports.append(("self:serving", analyze_async_safety()))
     return reports
 
 
@@ -420,16 +450,23 @@ def lint_main(argv: list[str]) -> int:
     parser.add_argument("--workload", action="append", default=[],
                         choices=("d1", "mission"),
                         help="also lint a built-in workload (repeatable)")
+    parser.add_argument("--self", dest="lint_self", action="store_true",
+                        help="run the async-safety lint (ML020/ML021) over "
+                             "this installation's serving layer")
     args = parser.parse_args(argv)
-    if not args.paths and not args.workload:
-        parser.error("nothing to lint: give at least one file or --workload")
+    if not args.paths and not args.workload and not args.lint_self:
+        parser.error("nothing to lint: give at least one file, --workload "
+                     "or --self")
 
     reports = _lint_inputs(args)
     exit_code = 0
     if args.format == "json":
         import json
 
+        from repro.analysis import ANALYZER_VERSION
+
         payload = {
+            "analyzer": ANALYZER_VERSION,
             "inputs": {name: report.to_dicts() for name, report in reports},
             "ok": all(report.clean(args.strict) for _, report in reports),
         }

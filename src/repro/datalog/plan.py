@@ -24,10 +24,55 @@ time.
 
 from __future__ import annotations
 
+import os
+
 from repro.datalog.atoms import Literal
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
-from repro.errors import DatalogError
+from repro.errors import DatalogError, PlanVerificationError
+
+#: Static plan verification (repro.analysis.planverify) runs on every
+#: generated plan before its ``exec`` unless disabled.  The check is
+#: memoized on the generated source text, so steady-state compilation
+#: pays one verification per distinct plan shape.
+_VERIFY_PLANS = os.environ.get("MULTILOG_VERIFY_PLANS", "1") not in ("0", "false", "")
+_VERIFIED_SOURCES: set[str] = set()
+
+
+def set_plan_verification(enabled: bool) -> bool:
+    """Toggle pre-exec plan verification; returns the previous setting."""
+    global _VERIFY_PLANS
+    previous = _VERIFY_PLANS
+    _VERIFY_PLANS = bool(enabled)
+    return previous
+
+
+def plan_verification_enabled() -> bool:
+    return _VERIFY_PLANS
+
+
+def _verify_before_exec(rule: Rule, source: str, access_paths, kind: str,
+                        namespace, delta_position: int | None) -> None:
+    """Raise :class:`PlanVerificationError` when the plan is unsound.
+
+    Imported lazily to keep ``repro.datalog`` free of an analysis-layer
+    dependency at import time; memoized on ``source`` because identical
+    rules re-compile on every evaluation of a reduced program.
+    """
+    if not _VERIFY_PLANS or source in _VERIFIED_SOURCES:
+        return
+    from repro.analysis.planverify import verify_plan_source
+
+    report = verify_plan_source(rule, source, access_paths, kind,
+                                namespace=namespace,
+                                delta_position=delta_position)
+    if not report.ok:
+        first = report.errors[0]
+        raise PlanVerificationError(
+            f"refusing to exec an unsound {kind} plan for rule {rule!r}: "
+            f"{first.code}: {first.message}",
+            report=report)
+    _VERIFIED_SOURCES.add(source)
 
 
 def _lt(a, b):
@@ -218,6 +263,8 @@ class _Emitter:
 
     def compile(self, delta_position: int | None):
         source = self.emit(delta_position)
+        _verify_before_exec(self.rule, source, tuple(self.access_paths),
+                            "row", self.namespace, delta_position)
         namespace = dict(self.namespace)
         exec(compile(source, f"<join-plan {self.rule.head.predicate}>", "exec"), namespace)
         return namespace["_fire"], source
@@ -527,6 +574,8 @@ class _BatchEmitter:
 
     def compile(self, delta_position: int | None):
         source = self.emit(delta_position)
+        _verify_before_exec(self.rule, source, tuple(self.access_paths),
+                            "batch", self.namespace, delta_position)
         namespace = dict(self.namespace)
         exec(compile(source, f"<batch-plan {self.rule.head.predicate}>", "exec"),
              namespace)

@@ -207,6 +207,20 @@ class UnsafeRuleError(DatalogError):
     """A rule is not range-restricted (unsafe head or negated variables)."""
 
 
+class PlanVerificationError(DatalogError):
+    """A codegen'd join/batch plan failed static verification before exec.
+
+    Raised by :mod:`repro.datalog.plan` when the plan verifier
+    (:mod:`repro.analysis.planverify`) finds error-severity diagnostics
+    (ML014/ML015) in a generated plan -- the compiled source never runs.
+    ``report`` carries the full :class:`~repro.analysis.AnalysisReport`.
+    """
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        self.report = report
+
+
 class StratificationError(DatalogError):
     """The program has negation that cannot be stratified."""
 

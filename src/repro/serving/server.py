@@ -122,6 +122,18 @@ class ServingStats:
         ("disconnects_total", "Connections dropped mid-request by the peer."),
     )
 
+    # counter slots (one per COUNTERS row, created in __init__); declared
+    # so incrementing them as plain attributes typechecks
+    accepted_total: int
+    completed_total: int
+    shed_total: int
+    degraded_total: int
+    errors_total: int
+    asks_total: int
+    asserts_total: int
+    connections_total: int
+    disconnects_total: int
+
     def __init__(self) -> None:
         for name, _help in self.COUNTERS:
             setattr(self, name, 0)
@@ -330,7 +342,10 @@ class MultiLogServer:
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
-        await self._server.serve_forever()
+        server = self._server
+        if server is None:  # pragma: no cover - start() always binds
+            raise RuntimeError("server not started")
+        await server.serve_forever()
 
     async def stop(self) -> None:
         for server in (self._server, self._http_server):

@@ -1,0 +1,150 @@
+"""Binding-mode abstract interpretation (ML017/ML018/ML019)."""
+
+from repro.analysis import analyze_program
+from repro.analysis.absint import (
+    MAX_WIDTH,
+    analyze_bindings,
+    delta_safety,
+    lint_bindings,
+)
+from repro.analysis.diagnostics import AnalysisReport
+from repro.datalog import evaluate, parse_program
+
+
+def _lint(text):
+    report = AnalysisReport()
+    analysis = lint_bindings(parse_program(text), report)
+    return report, analysis
+
+
+class TestDomains:
+    def test_fact_domains_seed_the_fixpoint(self):
+        analysis = analyze_bindings(parse_program("p(1). p(2). q(a)."))
+        assert analysis.domains[("p", 1)][0] == frozenset({1, 2})
+        assert ("p", 1) in analysis.nonempty
+
+    def test_domains_flow_through_rules(self):
+        analysis = analyze_bindings(parse_program(
+            "n(1). n(2). copy(X) :- n(X). tagged(lab, X) :- copy(X)."))
+        assert analysis.domains[("copy", 1)][0] == frozenset({1, 2})
+        tagged = analysis.domains[("tagged", 2)]
+        assert tagged[0] == frozenset({"lab"})
+        assert tagged[1] == frozenset({1, 2})
+
+    def test_widening_past_the_cap(self):
+        facts = " ".join(f"p({i})." for i in range(MAX_WIDTH + 1))
+        analysis = analyze_bindings(parse_program(facts))
+        assert analysis.domains[("p", 1)][0] is None  # TOP
+
+    def test_binding_pattern(self):
+        analysis = analyze_bindings(parse_program(
+            "n(1). n(2). tagged(lab, X) :- n(X)."))
+        assert analysis.binding_pattern("tagged", 2) == "bf"
+        assert analysis.binding_pattern("n", 1) == "f"
+        assert analysis.binding_pattern("unknown", 3) == "fff"
+
+    def test_recursion_reaches_a_fixpoint(self):
+        analysis = analyze_bindings(parse_program(
+            "edge(1, 2). edge(2, 3). path(X, Y) :- edge(X, Y). "
+            "path(X, Z) :- edge(X, Y), path(Y, Z)."))
+        assert ("path", 2) in analysis.nonempty
+        assert analysis.domains[("path", 2)][0] == frozenset({1, 2})
+
+
+class TestStaticallyEmpty:
+    def test_rule_over_empty_relation_is_ml017(self):
+        report, analysis = _lint(
+            "q(1). r(X) :- phantom(X). root(X) :- r(X), q(X).")
+        assert "ML017" in report.codes()
+        assert analysis.is_statically_empty("r", 1)
+        # warning, not error: evaluation still succeeds (empty answer)
+        assert report.ok
+
+    def test_disjoint_join_is_ml017(self):
+        report, _ = _lint("a(1). b(2). both(X) :- a(X), b(X).")
+        assert "ML017" in report.codes()
+
+    def test_populated_relations_are_not_flagged(self):
+        report, _ = _lint("a(1). b(1). both(X) :- a(X), b(X).")
+        assert "ML017" not in report.codes()
+
+    def test_stronger_than_reachability(self):
+        # ML010 needs roots; ML017 judges satisfiability with none.
+        report = analyze_program(parse_program(
+            "q(1). r(X) :- phantom(X)."), roots=("r",))
+        assert "ML017" in report.codes()
+        assert "ML010" not in [d.code for d in report.by_code("ML017")]
+
+
+class TestUnsatGuards:
+    def test_disjoint_constant_domains_are_ml019(self):
+        report, analysis = _lint("n(1). n(2). big(X) :- n(X), X > 5.")
+        assert "ML019" in report.codes()
+        assert analysis.unsat_guards
+
+    def test_self_comparison_is_ml019(self):
+        report, _ = _lint("p(a). weird(X) :- p(X), X != X.")
+        assert "ML019" in report.codes()
+
+    def test_satisfiable_guard_is_clean(self):
+        report, _ = _lint("n(1). n(9). big(X) :- n(X), X > 5.")
+        assert "ML019" not in report.codes()
+
+    def test_top_domains_never_flag(self):
+        facts = " ".join(f"n({i})." for i in range(MAX_WIDTH + 1))
+        report, _ = _lint(facts + " big(X) :- n(X), X > 99999.")
+        # widened to TOP: the analysis cannot prove unsatisfiability
+        assert "ML019" not in report.codes()
+
+    def test_verdict_is_sound(self):
+        # the flagged rule really derives nothing
+        text = "n(1). n(2). big(X) :- n(X), X > 5."
+        report, _ = _lint(text)
+        assert "ML019" in report.codes()
+        db = evaluate(parse_program(text))
+        assert list(db.rows("big")) == []
+
+
+class TestDeltaSafety:
+    def test_positive_program_is_monotone(self):
+        safety = delta_safety(parse_program(
+            "e(1, 2). p(X, Y) :- e(X, Y). p(X, Z) :- e(X, Y), p(Y, Z)."))
+        assert safety == {"p": "monotone"}
+
+    def test_negation_needs_overdeletion(self):
+        safety = delta_safety(parse_program(
+            "b(1). m(1). u(X) :- b(X), not m(X)."))
+        assert safety["u"] == "overdelete"
+
+    def test_taint_is_transitive(self):
+        safety = delta_safety(parse_program(
+            "b(1). m(1). u(X) :- b(X), not m(X). v(X) :- u(X). w(X) :- b(X)."))
+        assert safety["v"] == "overdelete"  # consumes negation-derived u
+        assert safety["w"] == "monotone"
+
+    def test_ml018_reported_per_overdelete_rule(self):
+        report, _ = _lint("b(1). m(1). u(X) :- b(X), not m(X). v(X) :- u(X).")
+        messages = [d.message for d in report.by_code("ML018")]
+        assert len(messages) == 2
+        assert any("uses negation" in m for m in messages)
+        assert any("depends on" in m for m in messages)
+        # info severity: never fails strict lint
+        assert report.clean(strict=True)
+
+
+class TestAnalyzerWiring:
+    def test_analyze_program_surfaces_absint(self):
+        report = analyze_program(parse_program(
+            "a(1). b(2). both(X) :- a(X), b(X), X > 9."))
+        codes = report.codes()
+        assert "ML017" in codes or "ML019" in codes
+
+    def test_database_reduction_gets_ml018_summary(self):
+        from repro.analysis import analyze_database
+        from repro.workloads import d1_database
+
+        report = analyze_database(d1_database())
+        summaries = report.by_code("ML018")
+        assert summaries  # the tau reduction is negation-heavy
+        assert any("DRed" in d.message for d in summaries)
+        assert report.ok

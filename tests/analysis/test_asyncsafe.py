@@ -1,0 +1,165 @@
+"""Async-safety lint (ML020/ML021) -- and the serving layer stays clean."""
+
+import textwrap
+
+from repro.analysis import analyze_async_safety, serving_sources
+from repro.analysis.asyncsafe import lint_async_source
+from repro.analysis.diagnostics import AnalysisReport
+
+
+def _lint(source):
+    report = AnalysisReport()
+    lint_async_source(textwrap.dedent(source), "case.py", report)
+    return report
+
+
+class TestBlockingCalls:
+    def test_injected_time_sleep_is_ml020(self):
+        report = _lint("""
+            import time
+            async def handler():
+                time.sleep(0.5)
+        """)
+        [d] = report.by_code("ML020")
+        assert "time.sleep" in d.message
+        assert d.location == "case.py:4"
+
+    def test_injected_session_ask_is_ml020(self):
+        report = _lint("""
+            async def serve(session, query):
+                return session.ask(query)
+        """)
+        assert report.by_code("ML020")
+
+    def test_sync_lock_acquire_is_ml020(self):
+        report = _lint("""
+            async def critical(lock):
+                lock.acquire()
+        """)
+        assert report.by_code("ML020")
+
+    def test_bare_open_is_ml020(self):
+        report = _lint("""
+            async def loader(path):
+                with open(path) as fh:
+                    return fh.read()
+        """)
+        assert report.by_code("ML020")
+
+    def test_awaited_flavour_is_clean(self):
+        # await client.ask(...) / await lock.acquire() are the async APIs
+        report = _lint("""
+            async def relay(client, lock, query):
+                async with lock:
+                    pass
+                await lock.acquire()
+                return await client.ask(query)
+        """)
+        assert not report.by_code("ML020")
+
+    def test_executor_offload_is_clean(self):
+        report = _lint("""
+            import asyncio, functools
+            async def serve(session, query, threads):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    threads, functools.partial(session.ask, query))
+        """)
+        assert not report.diagnostics
+
+    def test_nonblocking_acquire_is_clean(self):
+        report = _lint("""
+            async def try_lock(lock):
+                return lock.acquire(blocking=False)
+        """)
+        assert not report.by_code("ML020")
+
+    def test_sync_functions_are_out_of_scope(self):
+        report = _lint("""
+            import time
+            def worker():
+                time.sleep(1)  # runs on a thread: fine
+            async def outer():
+                def nested():
+                    time.sleep(1)  # judged where it is called
+                return nested
+        """)
+        assert not report.diagnostics
+
+    def test_nested_async_def_is_scanned(self):
+        report = _lint("""
+            import time
+            def factory():
+                async def handler():
+                    time.sleep(1)
+                return handler
+        """)
+        assert report.by_code("ML020")
+
+
+class TestAwaitUnderWriteLock:
+    def test_injected_await_under_write_lock_is_ml021(self):
+        report = _lint("""
+            async def publish(self, payload):
+                async with self._rw.write():
+                    await self.notify_all(payload)
+        """)
+        [d] = report.by_code("ML021")
+        assert d.location == "case.py:4"
+
+    def test_executor_offload_under_write_lock_is_sanctioned(self):
+        report = _lint("""
+            import functools
+            async def store(self, clause, loop):
+                async with self._rw.write():
+                    await loop.run_in_executor(
+                        self._threads,
+                        functools.partial(self.session.assert_clause, clause))
+        """)
+        assert not report.diagnostics
+
+    def test_await_after_the_lock_is_released_is_clean(self):
+        report = _lint("""
+            async def store(self, clause):
+                async with self._rw.write():
+                    pass
+                await self.notify_all(clause)
+        """)
+        assert not report.by_code("ML021")
+
+    def test_read_side_is_not_the_write_side(self):
+        report = _lint("""
+            async def fetch(self, query):
+                async with self._rw.read():
+                    return await self.lookup(query)
+        """)
+        assert not report.by_code("ML021")
+
+    def test_unrelated_write_method_is_not_a_lock(self):
+        # stream.write() is a plain method; only rw/lock receivers count
+        report = _lint("""
+            async def flush(self, writer, data):
+                async with writer.write():
+                    await self.step()
+        """)
+        assert not report.by_code("ML021")
+
+
+class TestServingLayerIsClean:
+    def test_scope_covers_the_serving_package(self):
+        names = {path.name for path in serving_sources()}
+        assert {"server.py", "pool.py", "http.py", "client.py",
+                "protocol.py"} <= names
+
+    def test_serving_layer_lints_clean_strict(self):
+        report = analyze_async_safety()
+        assert report.clean(strict=True), report.render_text()
+
+    def test_explicit_paths_accepted(self):
+        [server] = [p for p in serving_sources() if p.name == "server.py"]
+        report = analyze_async_safety([server])
+        assert report.clean(strict=True)
+
+    def test_unreadable_path_reports_ml000(self):
+        report = analyze_async_safety(["/nonexistent/zzz.py"])
+        assert report.by_code("ML000")

@@ -29,6 +29,14 @@ class TestRegistry:
             "ML011": Severity.INFO,
             "ML012": Severity.INFO,
             "ML013": Severity.ERROR,
+            "ML014": Severity.ERROR,
+            "ML015": Severity.ERROR,
+            "ML016": Severity.WARNING,
+            "ML017": Severity.WARNING,
+            "ML018": Severity.INFO,
+            "ML019": Severity.WARNING,
+            "ML020": Severity.ERROR,
+            "ML021": Severity.ERROR,
         }
         for code, severity in expected.items():
             assert CODES[code][0] is severity
@@ -94,3 +102,38 @@ class TestReport:
         report.add("ML010", "c")
         assert report.codes() == ["ML002", "ML010"]
         assert len(report.by_code("ML002")) == 2
+
+    def test_json_is_deduplicated_and_stably_sorted(self):
+        # Two reports fed the same findings in different orders (and one
+        # with an exact duplicate) must serialize byte-identically.
+        forward, backward = AnalysisReport(), AnalysisReport()
+        findings = [
+            ("ML010", "dead", "predicate b"),
+            ("ML002", "unsafe", "rule r2"),
+            ("ML002", "unsafe", "rule r1"),
+        ]
+        for code, message, location in findings:
+            forward.add(code, message, location=location)
+        for code, message, location in reversed(findings):
+            backward.add(code, message, location=location)
+        backward.add("ML010", "dead", location="predicate b")  # duplicate
+        assert forward.to_json() == backward.to_json()
+        ordered = [(d["code"], d["location"])
+                   for d in forward.to_dicts()["diagnostics"]]
+        assert ordered == [("ML002", "rule r1"), ("ML002", "rule r2"),
+                           ("ML010", "predicate b")]
+        # the duplicate also collapses out of the summary counts
+        assert backward.to_dicts()["summary"]["warnings"] == 1
+
+    def test_envelope_carries_version_and_hash(self):
+        from repro.analysis import ANALYZER_VERSION, fingerprint
+
+        report = AnalysisReport()
+        report.program_hash = fingerprint("p(1).")
+        payload = json.loads(report.to_json())
+        assert payload["analyzer"] == ANALYZER_VERSION
+        assert payload["program_hash"] == fingerprint("p(1).")
+        assert len(payload["program_hash"]) == 16
+        # hash is content-addressed: same text, same hash
+        assert fingerprint("p(1).") == fingerprint("p(1).")
+        assert fingerprint("p(1).") != fingerprint("p(2).")
