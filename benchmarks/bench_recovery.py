@@ -1,0 +1,125 @@
+"""Recovery-time datapoint: journal replay cost vs checkpoint cadence.
+
+Two questions drive the checkpoint defaults (docs/RESILIENCE.md):
+
+1. **How does recovery time grow with journal length?**  Replay is
+   linear in the records after the last snapshot, so a server that
+   never checkpoints pays its whole write history on every restart.
+   This module times ``SessionJournal.replay()`` at several journal
+   lengths, with and without a final checkpoint, and records the ratio.
+2. **What does checkpointing cost the write path?**  The design target
+   is that periodic compaction (every ``checkpoint_records`` appends)
+   adds under 5% to sustained assert throughput -- a compaction is one
+   snapshot write amortized over the whole window.
+
+The measurements land in a ``recovery_cases`` stanza of the repo-root
+``BENCH_engine.json`` (read-merge-write; other benchmarks own the other
+keys).  The in-test assertions are deliberately looser than the design
+targets -- shared CI runners are noisy -- the measured numbers are the
+artifact.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.multilog.session import MultiLogSession
+from repro.resilience.journal import SessionJournal, database_source
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+SOURCE = """\
+level(u). level(s). order(u, s).
+u[acct(seed : balance -u-> 0)].
+"""
+
+#: journal lengths (clause records) to replay.
+LENGTHS = (200, 1000, 3000)
+#: checkpoint cadence used for the overhead comparison.
+CHECKPOINT_EVERY = 250
+REPEAT = 3
+
+
+def _best_of(fn, repeat=REPEAT):
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _write_journal(path: Path, n: int, checkpoint_every: int | None = None):
+    """A session that asserted ``n`` clauses, optionally compacting."""
+    session = MultiLogSession(SOURCE, clearance="s", journal=path)
+    for i in range(n):
+        session.assert_clause(f"u[acct(k{i} : balance -u-> {i})].")
+        if checkpoint_every and (i + 1) % checkpoint_every == 0:
+            session.journal.compact(session.database)
+    session.journal.close()
+    return session
+
+
+def test_emit_recovery_cases(tmp_path):
+    cases = []
+    for n in LENGTHS:
+        raw = tmp_path / f"raw-{n}.jsonl"
+        session = _write_journal(raw, n)
+        replay_s = _best_of(lambda: SessionJournal(raw).replay())
+
+        compacted = tmp_path / f"compacted-{n}.jsonl"
+        _write_journal(compacted, n, checkpoint_every=CHECKPOINT_EVERY)
+        SessionJournal(compacted).compact(session.database)
+        compacted_replay_s = _best_of(
+            lambda: SessionJournal(compacted).replay())
+
+        # Replay must reconstruct the same database either way.
+        assert (database_source(SessionJournal(raw).replay())
+                == database_source(SessionJournal(compacted).replay())
+                == database_source(session.database))
+        cases.append({
+            "journal_records": n,
+            "replay_s": round(replay_s, 6),
+            "replay_after_checkpoint_s": round(compacted_replay_s, 6),
+            "speedup_x": round(replay_s / max(compacted_replay_s, 1e-9), 2),
+        })
+
+    # Checkpoint overhead on the write path: sustained asserts with and
+    # without periodic compaction every CHECKPOINT_EVERY records.
+    n = LENGTHS[0]
+    plain_s = _best_of(
+        lambda: _write_journal(tmp_path / "plain.jsonl", n), repeat=2)
+    periodic_s = _best_of(
+        lambda: _write_journal(tmp_path / "periodic.jsonl", n,
+                               checkpoint_every=CHECKPOINT_EVERY), repeat=2)
+    overhead_pct = round((periodic_s / plain_s - 1.0) * 100.0, 2)
+
+    entry = {
+        "cases": cases,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "assert_plain_s": round(plain_s, 6),
+        "assert_with_checkpoints_s": round(periodic_s, 6),
+        "checkpoint_overhead_pct": overhead_pct,
+        "target": "checkpointing < 5% on sustained asserts; "
+                  "replay linear in records since last snapshot",
+    }
+
+    payload = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload.setdefault("bench", "bench_scaling_engine")
+    payload.setdefault("python", platform.python_version())
+    payload["recovery_cases"] = entry
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Loose CI-safe bounds; the design targets are recorded in the JSON.
+    assert overhead_pct < 50.0, entry
+    # A checkpointed journal must never replay slower than the raw log
+    # by more than noise (it has strictly fewer records to apply).
+    assert cases[-1]["speedup_x"] > 0.5, cases

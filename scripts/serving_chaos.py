@@ -1,0 +1,181 @@
+"""CI serving chaos: seeded mayhem, then a byte-identical recovery.
+
+Starts an in-process journaled MultiLogServer over the D1 workload and
+drives ``--clients`` connections through a seeded mix of chaos:
+
+* well-behaved asks and asserts at mixed clearances (reduction asks
+  included, so cross-level reads hit the audit trail);
+* torn frames -- half a JSON request, then an abrupt RST;
+* slow-loris connections that open and never speak;
+* requests with near-zero deadlines (must die with ``deadline``, not
+  wedge a worker);
+* one injected ENOSPC burst against the journal mid-run (asserts must
+  fail clean and roll back, then heal).
+
+Afterwards the server drains (final checkpoint included) and the
+invariants are checked end to end:
+
+1. **Durability differential** -- replaying the journal from disk yields
+   a database byte-identical (canonical source dump) to the live one,
+   at the same version: every acknowledged write survived, nothing
+   unacknowledged leaked in.
+2. **MLS invariant** -- every ``cross_level_read`` in the server-wide
+   audit trail goes *down* the lattice: zero cross-clearance leaks,
+   chaos or not.
+
+Exit code 0 on success; prints a one-line summary for the CI log.
+
+    PYTHONPATH=src python scripts/serving_chaos.py --seed 0 --clients 48
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import socket
+import struct
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.resilience import FaultPlan
+from repro.resilience.journal import SessionJournal, database_source
+from repro.serving import MultiLogServer, ServerConfig, ServingClient
+from repro.workloads.d1 import D1_SOURCE
+
+CLEARANCES = ("u", "c", "s")
+ASKS = {
+    "u": "u[p(K : a -C-> V)] << cau",
+    "c": "c[p(K : a -C-> V)] << opt",
+    "s": "s[p(K : a -C-> V)] << cau",
+}
+
+#: outcomes a chaos client may report (summary bookkeeping).
+OUTCOMES = ("ok", "torn", "loris", "deadline", "enospc-clean", "shed")
+
+
+def rst_close(sock: socket.socket) -> None:
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0))
+    sock.close()
+
+
+async def drive(host: str, port: int, index: int, rng: random.Random,
+                counts: dict) -> None:
+    clearance = CLEARANCES[index % len(CLEARANCES)]
+    roll = rng.random()
+    if roll < 0.15:
+        # Torn frame: half a request, then an RST mid-connection.
+        sock = socket.create_connection((host, port))
+        sock.sendall(b'{"op": "ask", "query": "' + b"s[p(" * rng.randint(1, 4))
+        await asyncio.sleep(rng.uniform(0, 0.01))
+        rst_close(sock)
+        counts["torn"] += 1
+        return
+    if roll < 0.25:
+        # Slow loris: connect, say nothing, linger, leave.
+        sock = socket.create_connection((host, port))
+        await asyncio.sleep(rng.uniform(0.01, 0.05))
+        sock.close()
+        counts["loris"] += 1
+        return
+    async with await ServingClient.connect(host, port, clearance) as client:
+        if roll < 0.35:
+            # Near-zero deadline: the server must answer ``deadline``.
+            response = await client.request(
+                {"op": "ask", "query": ASKS[clearance], "timeout_s": 1e-9})
+            assert response["code"] == "deadline", response
+            counts["deadline"] += 1
+            return
+        engine = "reduction" if index % 2 else "operational"
+        await client.ask(ASKS[clearance], engine=engine)
+        if index % 5 == 0:
+            response = await client.request(
+                {"op": "assert",
+                 "clause": f"{clearance}[t(s{index} : f "
+                           f"-{clearance}-> {index})]."})
+            if not response.get("ok"):
+                # The ENOSPC window: the assert must fail *clean* with a
+                # journal error, never ack-then-lose.
+                assert response["code"] == "internal", response
+                counts["enospc-clean"] += 1
+                return
+        await client.ask(ASKS[clearance], engine="reduction")
+        counts["ok"] += 1
+
+
+async def main(seed: int, n_clients: int, journal_path: Path) -> int:
+    rng = random.Random(seed)
+    server = MultiLogServer(D1_SOURCE, ServerConfig(
+        clearance="s", journal=str(journal_path), max_inflight=4096,
+        checkpoint_records=25, checkpoint_poll_s=0.02))
+    await server.start()
+    host, port = server.address
+    counts = dict.fromkeys(OUTCOMES, 0)
+
+    # One ENOSPC burst mid-run: a few journal appends hit a full disk.
+    plan = FaultPlan(seed=seed)
+    plan.arm("journal-append", action="enospc", after=3, times=2)
+    server.root.journal.arm_faults(plan)
+
+    try:
+        await asyncio.gather(*(
+            drive(host, port, index, rng, counts)
+            for index in range(n_clients)))
+        drained = await server.drain(timeout_s=10.0)
+    finally:
+        await server.stop()
+
+    live = database_source(server.root.database)
+    live_version = server.root.database.version
+
+    # 1. Durability differential: disk == memory, byte for byte.
+    replayed = SessionJournal(journal_path).replay()
+    replay_ok = (database_source(replayed) == live
+                 and replayed.version == live_version)
+
+    # 2. The MLS invariant under chaos: zero cross-clearance leaks.
+    events = server.audit.to_dicts() if server.audit is not None else []
+    crosses = [e for e in events if e["kind"] == "cross_level_read"]
+    lattice = server.root.lattice
+    leaks = [e for e in crosses if not lattice.leq(e["object"], e["subject"])]
+
+    outcome = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+    print(f"serving chaos: seed={seed} clients={n_clients} ({outcome}), "
+          f"{server.stats.checkpoints_total} checkpoints, "
+          f"{server.stats.cancelled_total} cancelled, "
+          f"{len(crosses)} cross-level reads, {len(leaks)} leaks, "
+          f"drain={'clean' if drained else 'TIMEOUT'}, "
+          f"replay={'identical' if replay_ok else 'DIVERGED'}")
+    if not replay_ok:
+        print(f"FAIL: journal replay diverged from the live database "
+              f"(live v{live_version}, replayed v{replayed.version})")
+        return 1
+    if leaks:
+        for event in leaks[:10]:
+            print(f"LEAK: {event}")
+        return 1
+    if not crosses:
+        print("FAIL: no cross-level reads audited (trail not wired?)")
+        return 1
+    if not drained:
+        print("FAIL: drain timed out with requests in flight")
+        return 1
+    if counts["enospc-clean"] == 0 and plan.history:
+        print("FAIL: ENOSPC fired but no assert reported a clean failure")
+        return 1
+    if counts["ok"] == 0:
+        print("FAIL: chaos drowned out every well-behaved client")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--clients", type=int, default=48)
+    args = parser.parse_args()
+    with tempfile.TemporaryDirectory(prefix="multilog-chaos-") as tmp:
+        sys.exit(asyncio.run(main(args.seed, args.clients,
+                                  Path(tmp) / "wal.jsonl")))

@@ -592,11 +592,28 @@ def serve_main(argv: list[str]) -> int:
                              "degraded (budgeted, partial answers)")
     parser.add_argument("--shed-timeout", type=float, default=2.0,
                         help="wall-clock budget per degraded ask in seconds")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="default deadline per request in seconds "
+                             "(clients may override per request)")
+    parser.add_argument("--quota", action="append", default=None,
+                        metavar="LEVEL=N",
+                        help="per-clearance admission quota (repeatable), "
+                             "e.g. --quota u=16 --quota c=32")
+    parser.add_argument("--checkpoint-records", type=int, default=1000,
+                        help="checkpoint the journal after this many clause "
+                             "records since the last snapshot (0 disables)")
+    parser.add_argument("--checkpoint-bytes", type=int, default=4 * 1024 * 1024,
+                        help="... or once the journal exceeds this many bytes "
+                             "(0 disables)")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="seconds SIGTERM waits for inflight requests "
+                             "before stopping anyway")
     parser.add_argument("--no-audit", action="store_true",
                         help="disable the server-wide MLS audit trail")
     args = parser.parse_args(argv)
 
     import asyncio
+    import signal
 
     from repro.obs import EvaluationBudget
     from repro.serving import MultiLogServer, ServerConfig
@@ -606,11 +623,25 @@ def serve_main(argv: list[str]) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    quotas = None
+    if args.quota:
+        quotas = {}
+        for spec in args.quota:
+            level, sep, cap = spec.partition("=")
+            if not sep or not cap.isdigit():
+                print(f"error: bad --quota {spec!r} (expected LEVEL=N)",
+                      file=sys.stderr)
+                return 2
+            quotas[level] = int(cap)
     config = ServerConfig(
         host=args.host, port=args.port, clearance=args.clearance,
         backend=args.backend, journal=args.journal, engine=args.engine,
         max_inflight=args.max_inflight, degrade_at=args.degrade_at,
         shed_budget=EvaluationBudget(timeout_s=args.shed_timeout),
+        default_timeout_s=args.timeout, clearance_quotas=quotas,
+        checkpoint_records=args.checkpoint_records or None,
+        checkpoint_bytes=args.checkpoint_bytes or None,
+        drain_timeout_s=args.drain_timeout,
         audit=not args.no_audit)
 
     async def _serve() -> int:
@@ -628,11 +659,32 @@ def serve_main(argv: list[str]) -> int:
             http_host, http_port = await server.start_http(port=args.http_port)
             print(f"HTTP shim on http://{http_host}:{http_port} "
                   f"(POST /v1/ask, GET /metrics, GET /healthz)")
+        # SIGTERM drains gracefully: stop accepting, finish inflight,
+        # final checkpoint, then exit -- the rollout story for the
+        # million-user deployment (docs/SERVING.md).
+        terminated = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, terminated.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal handler support
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        term_task = asyncio.ensure_future(terminated.wait())
+        try:
+            await asyncio.wait({serve_task, term_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if terminated.is_set():
+                print("SIGTERM: draining...")
+                drained = await server.drain()
+                print("drained cleanly" if drained
+                      else "drain timed out with requests in flight")
         except asyncio.CancelledError:
             pass
         finally:
+            for task in (serve_task, term_task):
+                task.cancel()
+            await asyncio.gather(serve_task, term_task,
+                                 return_exceptions=True)
             await server.stop()
         return 0
 
@@ -775,12 +827,15 @@ def recover_main(argv: list[str]) -> int:
     print(f"recovered {len(db.lattice_clauses)} lattice, "
           f"{len(db.secured_clauses)} secured, "
           f"{len(db.plain_clauses)} plain clause(s) at version {db.version}")
-    print("admissibility (Def 5.3): ok")
-    report = session.recovery_report
-    print(f"consistency (Def 5.4): {'ok' if report.ok else 'VIOLATED'}")
-    if not report.ok:
-        for message in report.all_messages():
-            print(f"  {message}")
+    if session.journal_recovery is not None:
+        print(session.journal_recovery.summary())
+    else:
+        print("admissibility (Def 5.3): ok")
+        report = session.recovery_report
+        print(f"consistency (Def 5.4): {'ok' if report.ok else 'VIOLATED'}")
+        if not report.ok:
+            for message in report.all_messages():
+                print(f"  {message}")
     if args.compact:
         session.journal.compact(db)
         print(f"compacted journal to {args.journal}")

@@ -137,6 +137,9 @@ class MultiLogSession:
         self.journal = None
         #: Definition 5.4 report computed by :meth:`recover` (else ``None``).
         self.recovery_report: ConsistencyReport | None = None
+        #: full journal-level :class:`~repro.resilience.RecoveryReport`
+        #: from :meth:`recover` -- what replayed, what was quarantined.
+        self.journal_recovery = None
         if journal is not None:
             self.attach_journal(journal)
         if lint:
@@ -255,13 +258,20 @@ class MultiLogSession:
         :class:`~repro.errors.RecoveryError` for callers whose database
         is supposed to stay consistent across crashes.  The returned
         session keeps journaling to the same file.
+
+        A torn or corrupt journal *tail* (the residue of a crash
+        mid-append) is quarantined into the journal's sidecar file and
+        accounted in the session's ``journal_recovery``
+        :class:`~repro.resilience.RecoveryReport` -- never silently
+        dropped; corruption anywhere before intact records raises
+        :class:`~repro.errors.JournalError`.
         """
         from repro.resilience.journal import SessionJournal
 
         journal = path if isinstance(path, SessionJournal) else SessionJournal(path)
         if not journal.path.exists():
             raise RecoveryError(f"no journal at {journal.path}")
-        database = journal.replay()
+        database, journal_report = journal.replay_with_report()
         try:
             # ``backend`` is propagated explicitly (not left to re-resolve
             # from ``MULTILOG_BACKEND`` at construction time) so a caller
@@ -275,6 +285,8 @@ class MultiLogSession:
             ) from exc
         report = session.check_consistency()
         session.recovery_report = report
+        journal_report.consistency = report
+        session.journal_recovery = journal_report
         if require_consistent and not report.ok:
             raise RecoveryError(
                 "recovered database fails consistency (Def 5.4):\n"

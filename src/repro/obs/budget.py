@@ -20,8 +20,9 @@ stratum anyway).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Callable
 
 from repro.errors import BudgetExceededError
 
@@ -36,6 +37,14 @@ class EvaluationBudget:
     max_rounds: int | None = None
     #: Wall-clock cap in seconds, measured from the meter's creation.
     timeout_s: float | None = None
+    #: Cooperative cancellation probe, polled at round boundaries and
+    #: row charges.  Returning ``True`` aborts the evaluation with
+    #: ``reason="cancelled"`` -- the serving layer points this at a
+    #: per-request event set when the client disconnects mid-ask.
+    #: Excluded from equality/hash so budgets differing only in their
+    #: cancel hook still compare equal (and memo keys stay stable).
+    cancelled: Callable[[], bool] | None = field(
+        default=None, compare=False, hash=False)
 
     def meter(self) -> "BudgetMeter":
         """A fresh runtime meter; starts the wall clock now."""
@@ -64,6 +73,14 @@ class BudgetMeter:
     def _fail(self, reason: str, message: str) -> None:
         raise BudgetExceededError(message, reason=reason, spent=self.spent())
 
+    def check_cancelled(self, scope: str = "") -> None:
+        """Fail when the budget's cancellation probe has tripped."""
+        probe = self.budget.cancelled
+        if probe is not None and probe():
+            where = f" in {scope}" if scope else ""
+            self._fail("cancelled", f"evaluation cancelled{where} "
+                                    f"(caller abandoned the request)")
+
     def charge_rows(self, n: int, scope: str = "") -> None:
         """Account ``n`` freshly derived rows; fail past the row cap."""
         self.rows += n
@@ -72,6 +89,7 @@ class BudgetMeter:
             where = f" in {scope}" if scope else ""
             self._fail("rows", f"derived-row budget exceeded{where}: "
                                f"{self.rows} rows > cap {cap}")
+        self.check_cancelled(scope)
 
     def begin_round(self, scope: str = "") -> None:
         """Enter one fixpoint round: bumps the count, checks rounds + clock."""
@@ -81,6 +99,7 @@ class BudgetMeter:
             where = f" in {scope}" if scope else ""
             self._fail("rounds", f"fixpoint-round budget exceeded{where}: "
                                  f"round {self.rounds} > cap {cap}")
+        self.check_cancelled(scope)
         self.check_time(scope)
 
     def check_time(self, scope: str = "") -> None:

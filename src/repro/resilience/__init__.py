@@ -18,10 +18,15 @@ model):
   strategy-specific failures, and, when the caller opts in, a
   :class:`PartialResult` instead of a raise on budget exhaustion.
 * **Crash-safe journaling** (:mod:`~repro.resilience.journal`) -- a
-  write-ahead :class:`SessionJournal` for ``assert_clause``
-  (validate, append-and-fsync, apply; atomic snapshot compaction) and
-  ``MultiLogSession.recover(path)``, which replays the journal and
-  re-checks Definitions 5.3/5.4 on the recovered database.
+  write-ahead :class:`SessionJournal` for ``assert_clause`` (validate,
+  append-and-fsync, apply; atomic snapshot compaction), now with
+  per-record CRC-32 checksums + sequence numbers, torn/corrupt-tail
+  quarantine into a sidecar file, and a structured
+  :class:`RecoveryReport` from ``MultiLogSession.recover(path)``, which
+  replays the journal and re-checks Definitions 5.3/5.4 on the
+  recovered database.  :class:`CheckpointPolicy`
+  (:mod:`~repro.resilience.checkpoint`) decides when the serving
+  layer's background checkpointer compacts.
 
 The error taxonomy lives in :mod:`repro.errors`:
 :func:`~repro.errors.is_transient` separates retryable faults
@@ -43,15 +48,26 @@ from repro.resilience.faults import (
     FaultSpec,
     InjectingRecorder,
 )
-from repro.resilience.journal import SessionJournal, database_source
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.resilience.journal import (
+    JOURNAL_FAULT_POINTS,
+    QuarantinedRecord,
+    RecoveryReport,
+    SessionJournal,
+    database_source,
+)
 
 __all__ = [
+    "CheckpointPolicy",
     "FaultPlan",
     "FaultSpec",
     "InjectingRecorder",
+    "JOURNAL_FAULT_POINTS",
     "LADDER",
     "Outcome",
     "PartialResult",
+    "QuarantinedRecord",
+    "RecoveryReport",
     "ResilientExecutor",
     "RetryPolicy",
     "SPAN_POINTS",

@@ -1,0 +1,51 @@
+"""Checkpoint cadence: when is a journal worth compacting?
+
+A :class:`CheckpointPolicy` is immutable configuration the serving
+layer's background checkpointer evaluates against
+:meth:`~repro.resilience.journal.SessionJournal.checkpoint_stats` --
+"compact once this many clauses or this many bytes have accumulated
+since the last snapshot".  Compaction itself stays in the journal
+(write-temp -> fsync -> atomic rename -> parent-dir fsync); the policy
+only decides *when*, so recovery time is bounded by the thresholds
+instead of growing with total write volume.
+
+Both thresholds are disjunctive: either one being crossed makes the
+checkpoint due.  ``None`` disables a threshold; a policy with both
+disabled is never due (checkpointing off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Thresholds that make a journal compaction due."""
+
+    #: Compact after this many clause records since the last snapshot.
+    max_records: int | None = 1000
+    #: Compact once the journal file exceeds this many bytes.
+    max_bytes: int | None = 4 * 1024 * 1024
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_records is not None or self.max_bytes is not None
+
+    def due(self, records: int, size_bytes: int) -> bool:
+        """Is a checkpoint due at this accumulation?"""
+        if self.max_records is not None and records >= self.max_records:
+            return True
+        if self.max_bytes is not None and size_bytes >= self.max_bytes:
+            return True
+        return False
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "checkpointing disabled"
+        parts = []
+        if self.max_records is not None:
+            parts.append(f"{self.max_records} record(s)")
+        if self.max_bytes is not None:
+            parts.append(f"{self.max_bytes} byte(s)")
+        return "checkpoint after " + " or ".join(parts)

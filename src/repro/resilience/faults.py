@@ -29,10 +29,15 @@ Three actions:
   :class:`~repro.errors.DataCorruptionError`, modelling an intermediate
   whose checksum verification failed.  Detected corruption is transient:
   recomputing from clean inputs may succeed.
+* ``enospc`` -- raise ``OSError(ENOSPC)``, modelling a full disk.  Only
+  meaningful at the journal's disk fault points
+  (:data:`~repro.resilience.journal.JOURNAL_FAULT_POINTS`), where the
+  journal wraps it into a :class:`~repro.errors.JournalError`.
 """
 
 from __future__ import annotations
 
+import errno
 import random
 import time
 from dataclasses import dataclass, field
@@ -53,7 +58,7 @@ SPAN_POINTS = (
     "analyze",
 )
 
-_ACTIONS = ("raise", "delay", "corrupt")
+_ACTIONS = ("raise", "delay", "corrupt", "enospc")
 _ERRORS = ("transient", "permanent", "strategy")
 
 
@@ -185,6 +190,9 @@ class FaultPlan:
         if spec.action == "corrupt":
             raise DataCorruptionError(
                 f"injected corruption detected at span point {name!r}")
+        if spec.action == "enospc":
+            raise OSError(errno.ENOSPC,
+                          f"injected ENOSPC at span point {name!r}")
         if spec.error == "transient":
             raise TransientFaultError(
                 f"injected transient fault at span point {name!r}", point=name)

@@ -49,14 +49,22 @@ class ServingClient:
 
     @classmethod
     async def connect(cls, host: str, port: int,
-                      clearance: str | None = None) -> "ServingClient":
-        """Open a connection and complete the ``hello`` handshake."""
+                      clearance: str | None = None,
+                      timeout_s: float | None = None) -> "ServingClient":
+        """Open a connection and complete the ``hello`` handshake.
+
+        ``timeout_s`` pins the connection's default deadline: every
+        ask/assert on this connection inherits it unless the call names
+        its own.
+        """
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES + 2)
         client = cls(reader, writer, clearance)
         payload: dict = {"op": "hello"}
         if clearance is not None:
             payload["clearance"] = clearance
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
         client.hello = await client.request(payload)
         if not client.hello.get("ok"):
             await client.close()
@@ -91,26 +99,34 @@ class ServingClient:
 
     # ------------------------------------------------------------------
     async def ask(self, query: str, engine: str | None = None,
-                  clearance: str | None = None) -> list[dict]:
+                  clearance: str | None = None,
+                  timeout_s: float | None = None) -> list[dict]:
         """The answers of one ask (degraded partial answers included --
         check :meth:`ask_full` for the ``complete`` flag)."""
-        return (await self.ask_full(query, engine, clearance))["answers"]
+        return (await self.ask_full(query, engine, clearance,
+                                    timeout_s))["answers"]
 
     async def ask_full(self, query: str, engine: str | None = None,
-                       clearance: str | None = None) -> dict:
+                       clearance: str | None = None,
+                       timeout_s: float | None = None) -> dict:
         """The full ask response (``answers``/``version``/``complete``)."""
         payload: dict = {"op": "ask", "query": query}
         if engine is not None:
             payload["engine"] = engine
         if clearance is not None:
             payload["clearance"] = clearance
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
         return self._checked(await self.request(payload))
 
     async def assert_clause(self, clause: str, strict: bool = False,
-                            clearance: str | None = None) -> dict:
+                            clearance: str | None = None,
+                            timeout_s: float | None = None) -> dict:
         payload: dict = {"op": "assert", "clause": clause, "strict": strict}
         if clearance is not None:
             payload["clearance"] = clearance
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
         return self._checked(await self.request(payload))
 
     async def ping(self) -> dict:

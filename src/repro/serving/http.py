@@ -3,18 +3,25 @@
 Some callers (dashboards, load balancers, ``curl``) prefer HTTP to a
 framed socket protocol.  This module serves the same dispatch as the
 framed protocol over a deliberately tiny, dependency-free HTTP/1.1
-subset -- enough for request/response JSON with ``Content-Length``
-bodies, nothing more (no chunked encoding, no keep-alive)::
+subset -- request/response JSON with ``Content-Length`` bodies and
+**persistent connections**: HTTP/1.1 keep-alive is the default, and
+because requests are read back-to-back off one stream, a client that
+pipelines several requests gets its responses in order.  ``Connection:
+close`` (or HTTP/1.0 without ``Connection: keep-alive``) is honored and
+closes after the response.  No chunked encoding::
 
-    POST /v1/ask      {"query": "...", "engine": "...", "clearance": "..."}
+    POST /v1/ask      {"query": "...", "engine": "...", "timeout_s": 1.5}
     POST /v1/assert   {"clause": "...", "strict": false, "clearance": "..."}
     GET  /metrics     Prometheus text exposition (the serving dashboard)
     GET  /v1/audit    the server-wide audit trail as JSON
-    GET  /healthz     liveness: {"ok": true, "version": N}
+    GET  /healthz     {"ok": true, "status": "healthy|degraded|draining", ...}
 
-Error codes map onto HTTP status: ``shed`` -> 503 (with ``Retry-After``),
-``bad-request``/``bad-query``/``bad-clearance``/``unknown-op`` -> 400,
-``rejected`` -> 409, ``busy`` -> 503, ``internal`` -> 500.
+Error codes map onto HTTP status: ``shed``/``quota`` -> 503/429 (with
+``Retry-After``), ``deadline`` -> 504, ``cancelled`` -> 499,
+``breaker-open``/``draining``/``busy`` -> 503, ``bad-*`` -> 400,
+``rejected`` -> 409, ``internal`` -> 500.  ``/healthz`` answers 200
+while ``healthy``/``degraded`` and 503 once the server is draining, so
+load balancers stop routing to a replica that is shutting down.
 """
 
 from __future__ import annotations
@@ -34,6 +41,11 @@ STATUS_FOR_CODE = {
     "bad-query": "400 Bad Request",
     "rejected": "409 Conflict",
     "shed": "503 Service Unavailable",
+    "quota": "429 Too Many Requests",
+    "deadline": "504 Gateway Timeout",
+    "cancelled": "499 Client Closed Request",
+    "breaker-open": "503 Service Unavailable",
+    "draining": "503 Service Unavailable",
     "busy": "503 Service Unavailable",
     "internal": "500 Internal Server Error",
 }
@@ -48,14 +60,19 @@ ROUTES = {
 
 _MAX_HEADER_BYTES = 16 * 1024
 
+#: requests served on one keep-alive connection before the server closes
+#: it anyway (bounds how long a slow-loris client can pin a handler).
+MAX_KEEPALIVE_REQUESTS = 1000
+
 
 def _response_bytes(status: str, body: bytes,
                     content_type: str = "application/json",
-                    extra_headers: tuple[tuple[str, str], ...] = ()) -> bytes:
+                    extra_headers: tuple[tuple[str, str], ...] = (),
+                    close: bool = False) -> bytes:
     head = [f"HTTP/1.1 {status}",
             f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
-            "Connection: close"]
+            f"Connection: {'close' if close else 'keep-alive'}"]
     head.extend(f"{name}: {value}" for name, value in extra_headers)
     return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
 
@@ -72,7 +89,7 @@ async def _read_request(reader: asyncio.StreamReader):
     parts = request_line.decode("ascii", "replace").split()
     if len(parts) < 3:
         raise ProtocolError(f"malformed HTTP request line: {request_line!r}")
-    method, path = parts[0].upper(), parts[1]
+    method, path, version = parts[0].upper(), parts[1], parts[2].upper()
     headers: dict[str, str] = {}
     total = 0
     while True:
@@ -86,35 +103,57 @@ async def _read_request(reader: asyncio.StreamReader):
         headers[name.strip().lower()] = value.strip()
     length = int(headers.get("content-length", "0") or "0")
     body = await reader.readexactly(length) if length else b""
-    return method, path, headers, body
+    return method, path, version, headers, body
+
+
+def _wants_close(version: str, headers: dict[str, str]) -> bool:
+    """Honor ``Connection: close``; HTTP/1.0 closes unless asked not to."""
+    connection = headers.get("connection", "").lower()
+    if "close" in connection:
+        return True
+    if version == "HTTP/1.0":
+        return "keep-alive" not in connection
+    return False
 
 
 async def handle_http_connection(server, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-    """Serve one HTTP request on a fresh connection, then close it."""
+    """Serve HTTP requests on one connection until it closes.
+
+    Keep-alive by default: the loop reads the next request off the same
+    stream after each response.  A protocol error, ``Connection:
+    close``, EOF or the keep-alive cap ends the connection.
+    """
     server.stats.connections_total += 1
     server.stats.connections += 1
     try:
-        try:
-            parsed = await _read_request(reader)
-        except ProtocolError as exc:
-            writer.write(_response_bytes(
-                STATUS_FOR_CODE.get(exc.code, "400 Bad Request"),
-                _json_body({"ok": False, "code": exc.code, "error": str(exc)})))
+        for _served in range(MAX_KEEPALIVE_REQUESTS):
+            try:
+                parsed = await _read_request(reader)
+            except ProtocolError as exc:
+                writer.write(_response_bytes(
+                    STATUS_FOR_CODE.get(exc.code, "400 Bad Request"),
+                    _json_body({"ok": False, "code": exc.code,
+                                "error": str(exc)}),
+                    close=True))
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ValueError) as exc:
+                writer.write(_response_bytes(
+                    "400 Bad Request",
+                    _json_body({"ok": False, "code": "bad-request",
+                                "error": f"malformed HTTP request: {exc}"}),
+                    close=True))
+                await writer.drain()
+                return
+            if parsed is None:
+                return  # peer closed (or sent a bare blank line)
+            method, path, version, headers, body = parsed
+            close = _wants_close(version, headers)
+            writer.write(await _route(server, method, path, body, close=close))
             await writer.drain()
-            return
-        except (asyncio.IncompleteReadError, ValueError) as exc:
-            writer.write(_response_bytes(
-                "400 Bad Request",
-                _json_body({"ok": False, "code": "bad-request",
-                            "error": f"malformed HTTP request: {exc}"})))
-            await writer.drain()
-            return
-        if parsed is None:
-            return
-        method, path, _headers, body = parsed
-        writer.write(await _route(server, method, path, body))
-        await writer.drain()
+            if close:
+                return
     except (ConnectionResetError, BrokenPipeError):
         server.stats.disconnects_total += 1
     finally:
@@ -127,18 +166,23 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
             pass
 
 
-async def _route(server, method: str, path: str, body: bytes) -> bytes:
+async def _route(server, method: str, path: str, body: bytes,
+                 close: bool = False) -> bytes:
     if (method, path) == ("GET", "/healthz"):
-        return _response_bytes("200 OK", _json_body(
-            {"ok": True, "version": server.root.database.version}))
+        health = server.health
+        status = "200 OK" if health != "draining" else "503 Service Unavailable"
+        return _response_bytes(status, _json_body(
+            {"ok": health != "draining", "status": health,
+             "version": server.root.database.version}), close=close)
     if (method, path) == ("GET", "/metrics"):
         return _response_bytes("200 OK", server.metrics_text().encode("utf-8"),
-                               content_type="text/plain; version=0.0.4")
+                               content_type="text/plain; version=0.0.4",
+                               close=close)
     op = ROUTES.get((method, path))
     if op is None:
         return _response_bytes("404 Not Found", _json_body(
             {"ok": False, "code": "bad-request",
-             "error": f"no route for {method} {path}"}))
+             "error": f"no route for {method} {path}"}), close=close)
     payload: dict = {"op": op}
     if body:
         try:
@@ -146,11 +190,11 @@ async def _route(server, method: str, path: str, body: bytes) -> bytes:
         except ValueError as exc:
             return _response_bytes("400 Bad Request", _json_body(
                 {"ok": False, "code": "bad-request",
-                 "error": f"body is not valid JSON: {exc}"}))
+                 "error": f"body is not valid JSON: {exc}"}), close=close)
         if not isinstance(fields, dict):
             return _response_bytes("400 Bad Request", _json_body(
                 {"ok": False, "code": "bad-request",
-                 "error": "body must be a JSON object"}))
+                 "error": "body must be a JSON object"}), close=close)
         fields.pop("op", None)
         payload.update(fields)
     try:
@@ -158,11 +202,15 @@ async def _route(server, method: str, path: str, body: bytes) -> bytes:
     except ProtocolError as exc:
         return _response_bytes(
             STATUS_FOR_CODE.get(exc.code, "400 Bad Request"),
-            _json_body({"ok": False, "code": exc.code, "error": str(exc)}))
+            _json_body({"ok": False, "code": exc.code, "error": str(exc)}),
+            close=close)
     response = await server.dispatch(request)
     if response.get("ok"):
-        return _response_bytes("200 OK", _json_body(response))
+        return _response_bytes("200 OK", _json_body(response), close=close)
     status = STATUS_FOR_CODE.get(response.get("code", "internal"),
                                  "500 Internal Server Error")
-    extra = (("Retry-After", "1"),) if response.get("code") == "shed" else ()
-    return _response_bytes(status, _json_body(response), extra_headers=extra)
+    retry_after = response.get("retry_after")
+    extra = ((("Retry-After", f"{max(1, round(retry_after))}"),)
+             if retry_after is not None else ())
+    return _response_bytes(status, _json_body(response), extra_headers=extra,
+                           close=close)

@@ -23,15 +23,23 @@ the connection.
 ========  ===========================================================
 op        fields
 ========  ===========================================================
-hello     ``clearance?`` -- set the connection's default clearance
-ping      liveness probe; echoes the server version counter
+hello     ``clearance?`` -- set the connection's default clearance;
+          ``timeout_s?`` -- default deadline for this connection
+ping      liveness probe; echoes the server version counter + health
 ask       ``query`` (required), ``engine?`` (operational|reduction),
-          ``clearance?``
+          ``clearance?``, ``timeout_s?`` (per-request deadline)
 assert    ``clause`` (required), ``strict?`` (Def 5.4 gate),
-          ``clearance?``
+          ``clearance?``, ``timeout_s?``
 metrics   Prometheus text exposition of the serving dashboard
 audit     the server-wide MLS audit trail as structured events
 ========  ===========================================================
+
+Deadlines: ``timeout_s`` on ``hello`` pins a per-connection default;
+``timeout_s`` on an individual ``ask``/``assert`` overrides it for that
+request.  The deadline propagates into the evaluation budget, so an
+overrunning ask is aborted *inside* the engine and answered with code
+``deadline``; a client that disconnects mid-ask gets its evaluation
+cancelled (``cancelled``) instead of burning a worker thread.
 
 Responses
 ---------
@@ -42,6 +50,9 @@ false and ``code`` carries a stable machine-readable error code from
 served degraded under load keeps ``ok: true`` but reports
 ``complete: false`` and ``degraded`` (the rung/reason that served it)
 -- partial answers are an answer, not an error (docs/SERVING.md).
+Transient rejections (``shed``, ``quota``, ``breaker-open``,
+``draining``) carry a ``retry_after`` hint in seconds, mirroring the
+HTTP shim's ``Retry-After`` header.
 
 Framing limits: a request line longer than :data:`MAX_LINE_BYTES` is
 rejected with ``line-too-long`` and the connection is closed (an
@@ -71,13 +82,24 @@ OPS = ("hello", "ping", "ask", "assert", "metrics", "audit")
 #: rejected        the engine refused the operation (inadmissible
 #:                 clause, unknown mode, budget exhausted, ...)
 #: shed            admission control dropped the request (overload);
-#:                 transient -- retry after backoff
+#:                 transient -- retry after ``retry_after`` seconds
+#: quota           the per-clearance admission quota is exhausted;
+#:                 transient -- retry after ``retry_after`` seconds
+#: deadline        the request's ``timeout_s`` deadline passed before
+#:                 the evaluation finished
+#: cancelled       the client disconnected (or abandoned the request)
+#:                 mid-evaluation, so the server cancelled it
+#: breaker-open    the per-op circuit breaker is open after repeated
+#:                 failures; transient -- retry after ``retry_after``
+#: draining        the server is shutting down gracefully and no longer
+#:                 admits work; retry against another replica
 #: busy            the session layer reported concurrent use (should
 #:                 not escape the pool; a report is a server bug)
 #: internal        unexpected server-side failure
 #: ==============  ====================================================
 ERROR_CODES = ("bad-request", "line-too-long", "unknown-op", "bad-clearance",
-               "bad-query", "rejected", "shed", "busy", "internal")
+               "bad-query", "rejected", "shed", "quota", "deadline",
+               "cancelled", "breaker-open", "draining", "busy", "internal")
 
 #: hard cap on one framed request line (1 MiB).
 MAX_LINE_BYTES = 1 << 20
@@ -99,11 +121,17 @@ def ok_response(request_id, **fields) -> dict:
     return out
 
 
-def error_response(request_id, code: str, message: str) -> dict:
-    """A failure response with a stable ``code`` from :data:`ERROR_CODES`."""
+def error_response(request_id, code: str, message: str, **fields) -> dict:
+    """A failure response with a stable ``code`` from :data:`ERROR_CODES`.
+
+    Extra ``fields`` ride along verbatim -- transient rejections use
+    this for the ``retry_after`` backoff hint.
+    """
     if code not in ERROR_CODES:
         code = "internal"
-    return {"id": request_id, "ok": False, "code": code, "error": message}
+    out = {"id": request_id, "ok": False, "code": code, "error": message}
+    out.update(fields)
+    return out
 
 
 def decode_request(line: bytes | str) -> dict:
@@ -138,6 +166,15 @@ def decode_request(line: bytes | str) -> dict:
     clearance = request.get("clearance")
     if clearance is not None and not isinstance(clearance, str):
         raise ProtocolError("'clearance' must be a string level name")
+    if op in ("hello", "ask", "assert"):
+        timeout = request.get("timeout_s")
+        if timeout is not None:
+            # bool is an int subclass; reject it explicitly.
+            if (isinstance(timeout, bool)
+                    or not isinstance(timeout, (int, float))
+                    or timeout <= 0):
+                raise ProtocolError(
+                    "'timeout_s' must be a positive number of seconds")
     if op == "ask":
         query = request.get("query")
         if not isinstance(query, str) or not query.strip():

@@ -43,13 +43,18 @@ Architecture (docs/SERVING.md has the full walkthrough)::
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import dataclasses
 import functools
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.errors import (
+    BudgetExceededError,
+    JournalError,
     LatticeError,
     MultiLogSyntaxError,
     ProtocolError,
@@ -61,6 +66,8 @@ from repro.multilog.session import MultiLogSession
 from repro.obs.audit import AuditLog
 from repro.obs.budget import EvaluationBudget
 from repro.obs.histogram import HistogramSet
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.serving.breaker import CircuitBreaker
 from repro.serving.pool import SessionPool
 from repro.serving.protocol import (
     MAX_LINE_BYTES,
@@ -70,6 +77,10 @@ from repro.serving.protocol import (
     error_response,
     ok_response,
 )
+
+#: backoff hint (seconds) sent with transient rejections (shed/quota/
+#: draining) -- matches the HTTP shim's ``Retry-After: 1``.
+RETRY_AFTER_S = 1.0
 
 #: budget applied to degraded asks when the config leaves it unset: deep
 #: enough for the paper-scale workloads, shallow enough that an overload
@@ -102,9 +113,35 @@ class ServerConfig:
     workers: int = 8
     audit: bool = True
     max_line_bytes: int = MAX_LINE_BYTES
+    #: server-side default deadline applied when neither the request nor
+    #: the connection ``hello`` named one (``None`` = no deadline).
+    default_timeout_s: float | None = None
+    #: per-clearance admission quotas layered *under* ``max_inflight``:
+    #: ``{"u": 16}`` caps unclassified traffic at 16 in flight while
+    #: other levels still share the global cap.  ``None``/missing level
+    #: = no per-level cap.
+    clearance_quotas: dict[str, int] | None = None
+    #: consecutive server-side failures of one op before its circuit
+    #: breaker opens.
+    breaker_threshold: int = 8
+    #: seconds an open breaker waits before admitting a half-open probe.
+    breaker_reset_s: float = 5.0
+    #: checkpoint the journal after this many clause records since the
+    #: last snapshot (``None`` disables the record threshold).
+    checkpoint_records: int | None = 1000
+    #: ... or once the journal file exceeds this many bytes.
+    checkpoint_bytes: int | None = 4 * 1024 * 1024
+    #: cadence of the background checkpointer's threshold poll.
+    checkpoint_poll_s: float = 0.25
+    #: how long :meth:`MultiLogServer.drain` waits for inflight requests.
+    drain_timeout_s: float = 10.0
 
     def degrade_threshold(self) -> int:
         return max(1, int(self.max_inflight * self.degrade_at))
+
+    def checkpoint_policy(self) -> CheckpointPolicy:
+        return CheckpointPolicy(max_records=self.checkpoint_records,
+                                max_bytes=self.checkpoint_bytes)
 
 
 class ServingStats:
@@ -114,12 +151,18 @@ class ServingStats:
         ("accepted_total", "Requests admitted past admission control."),
         ("completed_total", "Requests finished with an ok response."),
         ("shed_total", "Requests dropped by admission control (overload)."),
+        ("quota_shed_total", "Requests dropped by a per-clearance quota."),
         ("degraded_total", "Asks served degraded (budgeted partial answers)."),
+        ("deadline_total", "Requests aborted by their timeout_s deadline."),
+        ("cancelled_total", "Asks cancelled after the client disconnected."),
+        ("breaker_rejected_total", "Requests rejected by an open breaker."),
         ("errors_total", "Requests answered with an error response."),
         ("asks_total", "Ask operations served."),
         ("asserts_total", "Assert operations applied."),
         ("connections_total", "Client connections accepted."),
         ("disconnects_total", "Connections dropped mid-request by the peer."),
+        ("checkpoints_total", "Journal checkpoints taken."),
+        ("checkpoint_failures_total", "Journal checkpoints that failed."),
     )
 
     # counter slots (one per COUNTERS row, created in __init__); declared
@@ -127,18 +170,25 @@ class ServingStats:
     accepted_total: int
     completed_total: int
     shed_total: int
+    quota_shed_total: int
     degraded_total: int
+    deadline_total: int
+    cancelled_total: int
+    breaker_rejected_total: int
     errors_total: int
     asks_total: int
     asserts_total: int
     connections_total: int
     disconnects_total: int
+    checkpoints_total: int
+    checkpoint_failures_total: int
 
     def __init__(self) -> None:
         for name, _help in self.COUNTERS:
             setattr(self, name, 0)
         self.inflight = 0
         self.connections = 0
+        self.inflight_by_clearance: dict[str, int] = {}
         self.histograms = HistogramSet()
 
     def observe(self, op: str, seconds: float) -> None:
@@ -148,11 +198,14 @@ class ServingStats:
         out = {name: getattr(self, name) for name, _help in self.COUNTERS}
         out["inflight"] = self.inflight
         out["connections"] = self.connections
+        out["inflight_by_clearance"] = dict(self.inflight_by_clearance)
         out["latency"] = self.histograms.to_dict()
         return out
 
     def render_prometheus(self, namespace: str = "multilog_serving",
-                          pool: SessionPool | None = None) -> str:
+                          pool: SessionPool | None = None,
+                          breakers: dict[str, CircuitBreaker] | None = None,
+                          ) -> str:
         """Prometheus text exposition of the serving dashboard."""
         from repro.obs.export import _fmt_bound, _labels
 
@@ -168,6 +221,28 @@ class ServingStats:
             lines.append(f"# HELP {full} {help_text}")
             lines.append(f"# TYPE {full} gauge")
             lines.append(f"{full} {getattr(self, name)}")
+        if self.inflight_by_clearance:
+            full = f"{namespace}_inflight_by_clearance"
+            lines.append(f"# HELP {full} Requests in flight per clearance.")
+            lines.append(f"# TYPE {full} gauge")
+            for level in sorted(self.inflight_by_clearance):
+                labels = _labels(clearance=level)
+                lines.append(
+                    f"{full}{labels} {self.inflight_by_clearance[level]}")
+        if breakers:
+            full = f"{namespace}_breaker_state"
+            lines.append(f"# HELP {full} Circuit breaker state per op "
+                         "(0=closed, 1=half-open, 2=open).")
+            lines.append(f"# TYPE {full} gauge")
+            for op in sorted(breakers):
+                lines.append(f"{full}{_labels(op=op)} "
+                             f"{breakers[op].state_code}")
+            full = f"{namespace}_breaker_opened_total"
+            lines.append(f"# HELP {full} Times each breaker tripped open.")
+            lines.append(f"# TYPE {full} counter")
+            for op in sorted(breakers):
+                lines.append(f"{full}{_labels(op=op)} "
+                             f"{breakers[op].opened_total}")
         if pool is not None:
             full = f"{namespace}_pool_sessions"
             lines.append(f"# HELP {full} Pooled sessions per clearance and state.")
@@ -242,12 +317,14 @@ class _ReadWriteLock:
 
 @dataclass
 class _Connection:
-    """Per-connection state (the ``hello``-pinned default clearance)."""
+    """Per-connection state (the ``hello``-pinned defaults)."""
 
     clearance: str | None = None
     peer: str = ""
     requests: int = 0
     closing: bool = field(default=False)
+    #: default deadline pinned by ``hello`` (per-request override wins).
+    timeout_s: float | None = None
 
 
 class MultiLogServer:
@@ -287,6 +364,15 @@ class MultiLogServer:
         #: open connection-handler tasks; ``stop()`` drains them so no
         #: handler is left to be cancelled noisily at loop shutdown.
         self._conn_tasks: set[asyncio.Task] = set()
+        #: per-op circuit breakers (consecutive server-side failures).
+        self._breakers: dict[str, CircuitBreaker] = {
+            op: CircuitBreaker(threshold=self.config.breaker_threshold,
+                               reset_s=self.config.breaker_reset_s)
+            for op in ("ask", "assert")}
+        #: graceful-shutdown flag: set by :meth:`drain`, checked by
+        #: admission control and ``/healthz``.
+        self._draining = False
+        self._checkpoint_task: asyncio.Task | None = None
 
     def _setup_session(self, session: MultiLogSession) -> None:
         """Wire a fresh pooled sibling into the server-wide observability."""
@@ -299,6 +385,11 @@ class MultiLogServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
             limit=self.config.max_line_bytes + 2)
+        if (self.root.journal is not None
+                and self.config.checkpoint_policy().enabled
+                and self._checkpoint_task is None):
+            self._checkpoint_task = asyncio.ensure_future(
+                self._checkpoint_loop())
         return self.address
 
     async def start_http(self, host: str | None = None,
@@ -348,6 +439,11 @@ class MultiLogServer:
         await server.serve_forever()
 
     async def stop(self) -> None:
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._checkpoint_task
+            self._checkpoint_task = None
         for server in (self._server, self._http_server):
             if server is not None:
                 server.close()
@@ -358,6 +454,101 @@ class MultiLogServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._threads.shutdown(wait=False, cancel_futures=True)
+
+    async def drain(self, timeout_s: float | None = None) -> bool:
+        """Graceful shutdown: stop admitting, drain inflight, checkpoint.
+
+        Sets the server ``draining`` (new requests are rejected with the
+        ``draining`` code, ``/healthz`` turns 503), closes the listening
+        sockets, waits up to ``timeout_s`` (default
+        ``config.drain_timeout_s``) for inflight requests to finish, and
+        takes a final journal checkpoint so a restart replays one
+        snapshot instead of the whole history.  Returns ``True`` when
+        everything in flight completed within the deadline.  The caller
+        still owns :meth:`stop` for closing connections and threads.
+        """
+        if timeout_s is None:
+            timeout_s = self.config.drain_timeout_s
+        self._draining = True
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._checkpoint_task
+            self._checkpoint_task = None
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while self.stats.inflight and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        drained = self.stats.inflight == 0
+        if self.root.journal is not None:
+            await self.checkpoint()
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def health(self) -> str:
+        """``healthy``, ``degraded`` or ``draining`` (for ``/healthz``)."""
+        if self._draining:
+            return "draining"
+        if self.stats.inflight >= self.config.degrade_threshold():
+            return "degraded"
+        if any(breaker.state != "closed"
+               for breaker in self._breakers.values()):
+            return "degraded"
+        return "healthy"
+
+    # -- background checkpointing --------------------------------------
+    async def _checkpoint_loop(self) -> None:
+        """Poll the journal's accumulation; compact when the policy says.
+
+        Runs as a background task for the server's lifetime.  The
+        threshold check runs on a worker thread (it stats the file); the
+        compaction itself runs under the write lock so no assert is
+        mid-flight while the journal is replaced -- SIGKILL at any
+        instant leaves either the old journal or the new snapshot.
+        """
+        journal = self.root.journal
+        if journal is None:
+            return
+        policy = self.config.checkpoint_policy()
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.checkpoint_poll_s)
+            due = await loop.run_in_executor(
+                self._threads,
+                functools.partial(self._checkpoint_due, journal, policy))
+            if due:
+                await self.checkpoint()
+
+    def _checkpoint_due(self, journal, policy: CheckpointPolicy) -> bool:
+        records, size = journal.checkpoint_stats()
+        return policy.due(records, size)
+
+    def _checkpoint_sync(self, journal) -> None:
+        journal.compact(self.root.database)
+
+    async def checkpoint(self) -> bool:
+        """Compact the journal now (under the write lock); True on success."""
+        journal = self.root.journal
+        if journal is None:
+            return False
+        loop = asyncio.get_running_loop()
+        async with self._rw.write():
+            try:
+                await loop.run_in_executor(
+                    self._threads,
+                    functools.partial(self._checkpoint_sync, journal))
+            except Exception:  # noqa: BLE001 -- checkpointing must not kill
+                self.stats.checkpoint_failures_total += 1
+                return False
+        self.stats.checkpoints_total += 1
+        return True
 
     # -- framed-protocol connection handling ---------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -378,22 +569,42 @@ class MultiLogServer:
         self.stats.connections_total += 1
         self.stats.connections += 1
         conn = _Connection(peer=str(writer.get_extra_info("peername", "")))
+        next_line: asyncio.Task | None = None
         try:
             while True:
+                if next_line is None:
+                    next_line = asyncio.ensure_future(reader.readline())
                 try:
-                    line = await reader.readline()
+                    line = await next_line
                 except (asyncio.LimitOverrunError, ValueError):
                     # Unframed or oversized input: answer once, hang up.
+                    next_line = None
                     writer.write(encode_message(error_response(
                         None, "line-too-long",
                         f"request line exceeds {self.config.max_line_bytes} bytes")))
                     await writer.drain()
                     break
+                next_line = None
                 if not line:
                     break  # peer closed cleanly
                 if not line.strip():
                     continue
-                response = await self.handle_line(line, conn)
+                # Read ahead before serving: the pending readline is both
+                # the pipelining queue (a client may send its next request
+                # without waiting) and the disconnect probe -- it resolving
+                # to EOF mid-request means the peer is gone, so the
+                # watcher flips the cancel event and the evaluation aborts
+                # inside the engine instead of burning a worker thread.
+                next_line = asyncio.ensure_future(reader.readline())
+                cancel = threading.Event()
+                watcher = asyncio.ensure_future(
+                    self._peer_watch(next_line, cancel))
+                try:
+                    response = await self.handle_line(line, conn, cancel)
+                finally:
+                    watcher.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await watcher
                 writer.write(encode_message(response))
                 await writer.drain()
                 if conn.closing:
@@ -405,6 +616,9 @@ class MultiLogServer:
             # is lost is the response bytes.
             self.stats.disconnects_total += 1
         finally:
+            if next_line is not None:
+                next_line.cancel()
+                await asyncio.gather(next_line, return_exceptions=True)
             if task is not None:
                 self._conn_tasks.discard(task)
             self.stats.connections -= 1
@@ -415,17 +629,49 @@ class MultiLogServer:
                     asyncio.CancelledError):
                 pass
 
-    async def handle_line(self, line: bytes, conn: _Connection | None = None) -> dict:
+    async def _peer_watch(self, read_task: "asyncio.Task[bytes]",
+                          cancel: threading.Event) -> None:
+        """Flip ``cancel`` if the pending read resolves to EOF/error.
+
+        ``read_task`` is the connection loop's read-ahead for the *next*
+        request; it completing empty while the current request is being
+        served means the client hung up.  Shielded so cancelling the
+        watcher (the normal end of every request) leaves the read-ahead
+        running.
+        """
+        try:
+            line = await asyncio.shield(read_task)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 -- any read failure means gone
+            cancel.set()
+            return
+        if not line:
+            cancel.set()
+
+    async def handle_line(self, line: bytes, conn: _Connection | None = None,
+                          cancel: threading.Event | None = None) -> dict:
         """Decode one framed request line and dispatch it."""
         try:
             request = decode_request(line)
         except ProtocolError as exc:
             self.stats.errors_total += 1
             return error_response(None, exc.code, str(exc))
-        return await self.dispatch(request, conn)
+        return await self.dispatch(request, conn, cancel)
 
     # -- dispatch ------------------------------------------------------
-    async def dispatch(self, request: dict, conn: _Connection | None = None) -> dict:
+    def _request_timeout(self, request: dict,
+                         conn: _Connection | None) -> float | None:
+        """Effective deadline: request > connection hello > server default."""
+        timeout = request.get("timeout_s")
+        if timeout is None and conn is not None:
+            timeout = conn.timeout_s
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        return timeout
+
+    async def dispatch(self, request: dict, conn: _Connection | None = None,
+                       cancel: threading.Event | None = None) -> dict:
         """Serve one validated request (shared by framed and HTTP paths)."""
         op = request["op"]
         request_id = request.get("id")
@@ -444,16 +690,20 @@ class MultiLogServer:
                         self.stats.errors_total += 1
                         return error_response(request_id, "bad-clearance", str(exc))
                     conn.clearance = request["clearance"]
+                if request.get("timeout_s") is not None and conn is not None:
+                    conn.timeout_s = float(request["timeout_s"])
                 return ok_response(
                     request_id, server=PROTOCOL_VERSION,
                     clearance=str(clearance or self.root.clearance),
                     backend=self.root.backend,
                     version=self.root.database.version,
+                    status=self.health,
                     levels=sorted(str(level) for level
                                   in self.root.lattice.levels))
             if op == "ping":
                 return ok_response(request_id,
-                                   version=self.root.database.version)
+                                   version=self.root.database.version,
+                                   status=self.health)
             if op == "metrics":
                 return ok_response(request_id, text=self.metrics_text())
             if op == "audit":
@@ -461,31 +711,100 @@ class MultiLogServer:
                 return ok_response(request_id, events=events,
                                    enabled=self.audit is not None)
             if op == "ask":
-                return await self._serve_ask(request, request_id, clearance)
+                return await self._serve_ask(request, request_id, clearance,
+                                             conn, cancel)
             if op == "assert":
-                return await self._serve_assert(request, request_id, clearance)
+                return await self._serve_assert(request, request_id,
+                                                clearance, conn)
             self.stats.errors_total += 1
             return error_response(request_id, "unknown-op", f"unknown op {op!r}")
         finally:
             self.stats.observe(op, perf_counter() - started)
 
     # -- the two data paths --------------------------------------------
-    def _admit(self) -> bool:
-        """Admission control: count the request in, or shed it."""
+    def _level_of(self, clearance) -> str:
+        return str(clearance if clearance is not None else self.root.clearance)
+
+    def _admit(self, level: str) -> dict | None:
+        """Admission control: count the request in, or explain the drop.
+
+        Returns ``None`` on admission (caller owns :meth:`_release`) or
+        ``{"code", "message", "retry_after"}`` describing the rejection.
+        Order: draining beats the global cap beats per-clearance quotas,
+        so a drained server reports *why* uniformly.
+        """
+        if self._draining:
+            return {"code": "draining",
+                    "message": "server is draining for shutdown; "
+                               "retry against another replica",
+                    "retry_after": RETRY_AFTER_S}
         if self.stats.inflight >= self.config.max_inflight:
             self.stats.shed_total += 1
-            return False
+            return {"code": "shed",
+                    "message": f"server at capacity "
+                               f"({self.config.max_inflight} in flight); "
+                               "retry after backoff",
+                    "retry_after": RETRY_AFTER_S}
+        quotas = self.config.clearance_quotas
+        if quotas is not None:
+            cap = quotas.get(level)
+            if (cap is not None
+                    and self.stats.inflight_by_clearance.get(level, 0) >= cap):
+                self.stats.quota_shed_total += 1
+                return {"code": "quota",
+                        "message": f"clearance {level!r} at its admission "
+                                   f"quota ({cap} in flight); retry after "
+                                   "backoff",
+                        "retry_after": RETRY_AFTER_S}
         self.stats.inflight += 1
+        self.stats.inflight_by_clearance[level] = (
+            self.stats.inflight_by_clearance.get(level, 0) + 1)
         self.stats.accepted_total += 1
-        return True
+        return None
 
-    async def _serve_ask(self, request: dict, request_id, clearance) -> dict:
-        if not self._admit():
+    def _release(self, level: str) -> None:
+        self.stats.inflight -= 1
+        left = self.stats.inflight_by_clearance.get(level, 0) - 1
+        if left > 0:
+            self.stats.inflight_by_clearance[level] = left
+        else:
+            self.stats.inflight_by_clearance.pop(level, None)
+
+    def _combine_budget(self, base: EvaluationBudget | None,
+                        timeout_s: float | None,
+                        cancel: threading.Event | None,
+                        ) -> EvaluationBudget | None:
+        """The request's effective budget: base caps + deadline + cancel."""
+        if base is None:
+            if timeout_s is None and cancel is None:
+                return None
+            base = EvaluationBudget()
+        limit = base.timeout_s
+        if timeout_s is not None:
+            limit = timeout_s if limit is None else min(limit, timeout_s)
+        return dataclasses.replace(
+            base, timeout_s=limit,
+            cancelled=cancel.is_set if cancel is not None else base.cancelled)
+
+    async def _serve_ask(self, request: dict, request_id, clearance,
+                         conn: _Connection | None = None,
+                         cancel: threading.Event | None = None) -> dict:
+        breaker = self._breakers["ask"]
+        if not breaker.allow():
+            self.stats.breaker_rejected_total += 1
             return error_response(
-                request_id, "shed",
-                f"server at capacity ({self.config.max_inflight} in flight); "
-                "retry after backoff")
+                request_id, "breaker-open",
+                f"ask circuit breaker is {breaker.state} after "
+                f"{breaker.threshold} consecutive failures",
+                retry_after=round(breaker.retry_after(), 3))
+        level = self._level_of(clearance)
+        denied = self._admit(level)
+        if denied is not None:
+            return error_response(request_id, denied["code"],
+                                  denied["message"],
+                                  retry_after=denied["retry_after"])
         engine = request.get("engine") or self.config.engine
+        timeout_s = self._request_timeout(request, conn)
         degrade = self.stats.inflight >= self.config.degrade_threshold()
         loop = asyncio.get_running_loop()
         try:
@@ -494,19 +813,14 @@ class MultiLogServer:
                 # version is the snapshot every answer is computed at.
                 version = self.root.database.version
                 async with self.pool.lease(clearance) as session:
-                    if degrade:
-                        answers, degraded = await loop.run_in_executor(
-                            self._threads,
-                            functools.partial(self._degraded_ask, session,
-                                              request["query"], engine))
-                    else:
-                        answers = await loop.run_in_executor(
-                            self._threads,
-                            functools.partial(session.ask, request["query"],
-                                              engine=engine))
-                        degraded = None
+                    answers, degraded = await loop.run_in_executor(
+                        self._threads,
+                        functools.partial(self._run_ask, session,
+                                          request["query"], engine, degrade,
+                                          timeout_s, cancel))
             self.stats.asks_total += 1
             self.stats.completed_total += 1
+            breaker.record_success()
             if degraded is not None:
                 self.stats.degraded_total += 1
                 return ok_response(request_id, answers=answers, version=version,
@@ -514,6 +828,21 @@ class MultiLogServer:
                                    engine=engine)
             return ok_response(request_id, answers=answers, version=version,
                                complete=True, engine=engine)
+        except BudgetExceededError as exc:
+            # The request's own budget tripping is client-attributable:
+            # it never counts against the breaker.
+            self.stats.errors_total += 1
+            if exc.reason == "cancelled":
+                self.stats.cancelled_total += 1
+                return error_response(request_id, "cancelled",
+                                      "client disconnected mid-ask; "
+                                      "evaluation cancelled")
+            if exc.reason == "timeout" and timeout_s is not None:
+                self.stats.deadline_total += 1
+                return error_response(
+                    request_id, "deadline",
+                    f"deadline of {timeout_s}s passed: {exc}")
+            return error_response(request_id, "rejected", str(exc))
         except MultiLogSyntaxError as exc:
             self.stats.errors_total += 1
             return error_response(request_id, "bad-query", str(exc))
@@ -530,44 +859,77 @@ class MultiLogServer:
             return error_response(request_id, "rejected", str(exc))
         except Exception as exc:  # noqa: BLE001 -- server must not die
             self.stats.errors_total += 1
+            breaker.record_failure()
             return error_response(request_id, "internal",
                                   f"{type(exc).__name__}: {exc}")
         finally:
-            self.stats.inflight -= 1
+            self._release(level)
 
-    def _degraded_ask(self, session, query: str, engine: str):
-        """One budgeted ask that prefers partial answers over queueing.
+    def _run_ask(self, session, query: str, engine: str, degrade: bool,
+                 timeout_s: float | None, cancel: threading.Event | None):
+        """One ask on a worker thread, under the request's budget.
 
-        Runs on a worker thread.  Returns ``(answers, degraded)`` where
-        ``degraded`` is ``None`` for a complete result and the
-        ``rung:reason`` string for a salvaged partial one.
+        Returns ``(answers, degraded)``: ``degraded`` is ``None`` for a
+        complete result, the ``rung:reason`` string for a partial one
+        served under overload.  The session's budget is swapped for the
+        combined request budget (deadline + disconnect probe) for the
+        duration -- the pool's exclusive checkout makes that safe.
         """
         from repro.resilience import PartialResult, ResilientExecutor
 
-        executor = ResilientExecutor(allow_partial=True,
-                                     budget=self._shed_budget)
         saved = session.budget
-        session.budget = self._shed_budget
+        base = self._shed_budget if degrade else saved
+        budget = self._combine_budget(base, timeout_s, cancel)
+        session.budget = budget
         try:
-            result = executor.ask(session, query, engine=engine)
+            if degrade:
+                executor = ResilientExecutor(allow_partial=True, budget=budget)
+                result = executor.ask(session, query, engine=engine)
+                if isinstance(result, PartialResult):
+                    return result.answers or [], f"{result.rung}:{result.reason}"
+                return result, None
+            return session.ask(query, engine=engine), None
         finally:
             session.budget = saved
-        if isinstance(result, PartialResult):
-            return result.answers or [], f"{result.rung}:{result.reason}"
-        return result, None
 
-    async def _serve_assert(self, request: dict, request_id, clearance) -> dict:
-        if not self._admit():
+    async def _serve_assert(self, request: dict, request_id, clearance,
+                            conn: _Connection | None = None) -> dict:
+        breaker = self._breakers["assert"]
+        if not breaker.allow():
+            self.stats.breaker_rejected_total += 1
             return error_response(
-                request_id, "shed",
-                f"server at capacity ({self.config.max_inflight} in flight); "
-                "retry after backoff")
+                request_id, "breaker-open",
+                f"assert circuit breaker is {breaker.state} after "
+                f"{breaker.threshold} consecutive failures",
+                retry_after=round(breaker.retry_after(), 3))
+        level = self._level_of(clearance)
+        denied = self._admit(level)
+        if denied is not None:
+            return error_response(request_id, denied["code"],
+                                  denied["message"],
+                                  retry_after=denied["retry_after"])
+        timeout_s = self._request_timeout(request, conn)
+        started = perf_counter()
         loop = asyncio.get_running_loop()
         try:
             async with self._rw.write():
                 # The write side drained every reader: no ask is mid-flight
                 # over the database while the clause lands, and the version
                 # bump below is the next snapshot readers will see.
+                #
+                # Deadlines gate asserts only *before* the engine runs: an
+                # assert is never cancelled mid-flight, because by the time
+                # the deadline could trip, the journal may already hold the
+                # record -- and an acknowledged-on-disk but
+                # reported-dead-to-the-client write is the worst outcome.
+                if (timeout_s is not None
+                        and perf_counter() - started > timeout_s):
+                    self.stats.errors_total += 1
+                    self.stats.deadline_total += 1
+                    return error_response(
+                        request_id, "deadline",
+                        f"deadline of {timeout_s}s passed while waiting "
+                        "for the write lock; clause not applied")
                 async with self.pool.lease(clearance) as session:
                     await loop.run_in_executor(
                         self._threads,
@@ -577,6 +939,7 @@ class MultiLogServer:
                 version = self.root.database.version
             self.stats.asserts_total += 1
             self.stats.completed_total += 1
+            breaker.record_success()
             return ok_response(request_id, version=version)
         except MultiLogSyntaxError as exc:
             self.stats.errors_total += 1
@@ -587,20 +950,30 @@ class MultiLogServer:
         except SessionBusyError as exc:
             self.stats.errors_total += 1
             return error_response(request_id, "busy", str(exc))
+        except JournalError as exc:
+            # Durability failing (full disk, fsync fault) is a server
+            # problem, not a client one: it counts against the breaker so
+            # repeated failures start failing fast instead of grinding
+            # every client through the same broken disk.
+            self.stats.errors_total += 1
+            breaker.record_failure()
+            return error_response(request_id, "internal", str(exc))
         except ReproError as exc:
             self.stats.errors_total += 1
             return error_response(request_id, "rejected", str(exc))
         except Exception as exc:  # noqa: BLE001
             self.stats.errors_total += 1
+            breaker.record_failure()
             return error_response(request_id, "internal",
                                   f"{type(exc).__name__}: {exc}")
         finally:
-            self.stats.inflight -= 1
+            self._release(level)
 
     # -- dashboard -----------------------------------------------------
     def metrics_text(self) -> str:
         """The serving dashboard in Prometheus text exposition format."""
-        return self.stats.render_prometheus(pool=self.pool)
+        return self.stats.render_prometheus(pool=self.pool,
+                                            breakers=self._breakers)
 
 
 async def serve(source, config: ServerConfig | None = None,

@@ -79,6 +79,23 @@ class TestRecoverSubcommand:
         assert "admissibility (Def 5.3): ok" in out
         assert "consistency (Def 5.4):" in out
 
+    def test_recover_prints_the_recovery_summary(self, tmp_path, capsys):
+        journal = self.make_journal(tmp_path)
+        assert main(["recover", str(journal), "--clearance", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "recovered database version:" in out
+        assert "quarantined: nothing" in out
+
+    def test_recover_reports_a_quarantined_torn_tail(self, tmp_path, capsys):
+        journal = self.make_journal(tmp_path)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "clause", "text": "u[half')  # torn write
+        assert main(["recover", str(journal), "--clearance", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 torn/corrupt tail record(s)" in out
+        assert journal.with_name(journal.name + ".quarantine").exists()
+
     def test_recover_compact_collapses_the_journal(self, tmp_path, capsys):
         journal = self.make_journal(tmp_path)
         assert main(["recover", str(journal), "--compact"]) == 0

@@ -8,6 +8,7 @@ from repro.errors import JournalError
 from repro.multilog import MultiLogSession
 from repro.multilog.parser import parse_database
 from repro.resilience import SessionJournal, database_source
+from repro.resilience.journal import record_crc
 
 SOURCE = """
 level(u). level(s). order(u, s).
@@ -34,8 +35,32 @@ class TestRecords:
         journal.append_clause(CLAUSES[0], version=1)
         journal.close()
         first, second = records(path)
-        assert first == {"type": "open", "format": "multilog-journal/1"}
-        assert second == {"type": "clause", "text": CLAUSES[0], "version": 1}
+        assert first["type"] == "open"
+        assert first["format"] == "multilog-journal/2"
+        assert second["type"] == "clause"
+        assert second["text"] == CLAUSES[0]
+        assert second["version"] == 1
+
+    def test_records_carry_contiguous_seq_and_valid_crc(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        entries = records(path)
+        assert [record["seq"] for record in entries] == [1, 2, 3]
+        for record in entries:
+            assert record["crc"] == record_crc(record)
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        journal = SessionJournal(path)
+        journal.append_clause(CLAUSES[1], version=2)
+        journal.close()
+        assert [record["seq"] for record in records(path)] == [1, 2, 3]
 
     def test_reopen_does_not_duplicate_the_open_record(self, tmp_path):
         path = tmp_path / "wal.jsonl"
@@ -118,6 +143,118 @@ class TestReplay:
         journal = SessionJournal(tmp_path / "never-written.jsonl")
         assert journal.entries() == []
         assert database_source(journal.replay()) == ""
+
+    def test_sequence_gap_between_intact_records_is_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        for version, clause in enumerate(CLAUSES, start=1):
+            journal.append_clause(clause, version)
+        journal.close()
+        lines = path.read_text().splitlines()
+        del lines[2]  # an acknowledged clause vanishes entirely
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="sequence gap"):
+            SessionJournal(path).replay()
+
+    def test_bitflipped_tail_fails_its_checksum(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        lines = path.read_text().splitlines()
+        # Valid JSON, wrong content: only the checksum can catch this.
+        lines[-1] = lines[-1].replace("bob", "eve")
+        path.write_text("\n".join(lines) + "\n")
+        db, report = SessionJournal(path).replay_with_report()
+        assert "bob" not in database_source(db)
+        assert report.checksum_failures == 1
+        assert report.quarantined[0].line == 3
+        assert "checksum" in report.quarantined[0].reason
+
+    def test_legacy_v1_journal_still_replays(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        lines = [
+            {"type": "open", "format": "multilog-journal/1"},
+            {"type": "snapshot", "source": SOURCE, "version": 0},
+            {"type": "clause", "text": CLAUSES[0], "version": 1},
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines))
+        db, report = SessionJournal(path).replay_with_report()
+        assert "bob" in database_source(db)
+        assert report.legacy_records == 3
+        assert report.clean
+
+    def test_replay_preserves_database_version(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        session = MultiLogSession(SOURCE, clearance="s", journal=path)
+        for clause in CLAUSES:
+            session.assert_clause(clause)
+        version = session.database.version
+        assert version > 0
+        recovered = SessionJournal(path).replay()
+        assert recovered.version == version
+
+
+class TestQuarantine:
+    def torn_journal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal.append_clause(CLAUSES[0], version=1)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "clause", "text": "u[acc')  # torn write
+        return path
+
+    def test_torn_tail_is_quarantined_not_silently_dropped(self, tmp_path):
+        path = self.torn_journal(tmp_path)
+        journal = SessionJournal(path)
+        db, report = journal.replay_with_report()
+        assert "bob" in database_source(db)  # acknowledged clause survives
+        assert report.torn_tail
+        assert [entry.line for entry in report.quarantined] == [4]
+        sidecar = journal.quarantine_path
+        assert report.quarantine_path == str(sidecar)
+        entries = [json.loads(line) for line in
+                   sidecar.read_text().splitlines()]
+        assert entries[0]["line"] == 4
+        assert entries[0]["raw"].startswith('{"type": "clause"')
+
+    def test_quarantine_truncates_journal_to_clean_prefix(self, tmp_path):
+        path = self.torn_journal(tmp_path)
+        SessionJournal(path).replay_with_report()
+        # The journal itself is clean again: re-scan finds nothing torn.
+        journal = SessionJournal(path)
+        _, report = journal.replay_with_report()
+        assert report.clean
+        assert not report.quarantined
+        # ... and appending continues the sequence without a gap.
+        journal.append_clause(CLAUSES[1], version=2)
+        journal.close()
+        assert [record["seq"] for record in records(path)] == [1, 2, 3, 4]
+
+    def test_recover_reports_quarantine(self, tmp_path):
+        path = self.torn_journal(tmp_path)
+        session = MultiLogSession.recover(path, clearance="s")
+        report = session.journal_recovery
+        assert report is not None
+        assert report.torn_tail
+        assert report.consistency is session.recovery_report
+        summary = report.summary()
+        assert "quarantined 1" in summary
+        assert "Def 5.3" in summary
+
+    def test_report_dict_shape(self, tmp_path):
+        path = self.torn_journal(tmp_path)
+        _, report = SessionJournal(path).replay_with_report()
+        out = report.to_dict()
+        assert out["torn_tail"] is True
+        assert out["records"] == 3
+        assert out["quarantined"] == [
+            {"line": 4, "reason": out["quarantined"][0]["reason"]}]
 
 
 class TestCompaction:

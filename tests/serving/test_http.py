@@ -15,15 +15,8 @@ def run(coro):
     return asyncio.run(coro)
 
 
-async def http_request(host: str, port: int, method: str, path: str,
-                       body: bytes | None = None) -> tuple[str, dict, bytes]:
-    reader, writer = await asyncio.open_connection(host, port)
-    head = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
-    if body:
-        head.append(f"Content-Length: {len(body)}")
-    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii")
-                 + (body or b""))
-    await writer.drain()
+async def read_response(reader) -> tuple[str, dict, bytes]:
+    """One Content-Length-framed response off a (kept-alive) stream."""
     status_line = (await reader.readline()).decode("ascii")
     headers: dict[str, str] = {}
     while True:
@@ -32,9 +25,28 @@ async def http_request(host: str, port: int, method: str, path: str,
             break
         name, _, value = line.decode("ascii").partition(":")
         headers[name.strip().lower()] = value.strip()
-    payload = await reader.read()
-    writer.close()
+    payload = await reader.readexactly(int(headers.get("content-length", 0)))
     return status_line.split(" ", 1)[1].strip(), headers, payload
+
+
+def request_bytes(method: str, path: str, body: bytes | None = None,
+                  extra: tuple[str, ...] = ()) -> bytes:
+    head = [f"{method} {path} HTTP/1.1", "Host: test"]
+    head.extend(extra)
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + (body or b"")
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: bytes | None = None) -> tuple[str, dict, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(request_bytes(method, path, body,
+                               extra=("Connection: close",)))
+    await writer.drain()
+    result = await read_response(reader)
+    writer.close()
+    return result
 
 
 async def started_http() -> MultiLogServer:
@@ -132,6 +144,115 @@ def test_http_shed_maps_to_503_with_retry_after():
             assert status == "503 Service Unavailable"
             assert headers.get("retry-after") == "1"
             assert json.loads(body)["code"] == "shed"
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_keep_alive_serves_many_requests_on_one_connection():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            for _ in range(3):
+                writer.write(request_bytes(
+                    "POST", "/v1/ask",
+                    json.dumps({"query": ASK, "clearance": "s"}).encode()))
+                await writer.drain()
+                status, headers, body = await read_response(reader)
+                assert status == "200 OK"
+                assert headers["connection"] == "keep-alive"
+                assert json.loads(body)["complete"] is True
+            writer.close()
+            # All three rode one TCP connection.
+            assert server.stats.connections_total == 1
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_pipelined_requests_answered_in_order():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            # Send both requests before reading either response.
+            writer.write(request_bytes("GET", "/healthz")
+                         + request_bytes(
+                             "POST", "/v1/ask",
+                             json.dumps({"query": ASK,
+                                         "clearance": "s"}).encode()))
+            await writer.drain()
+            status, _h, body = await read_response(reader)
+            assert status == "200 OK"
+            assert json.loads(body)["status"] == "healthy"
+            status, _h, body = await read_response(reader)
+            assert status == "200 OK"
+            assert json.loads(body)["answers"]
+            writer.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_connection_close_is_honored():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(request_bytes("GET", "/healthz",
+                                       extra=("Connection: close",)))
+            await writer.drain()
+            _status, headers, _body = await read_response(reader)
+            assert headers["connection"] == "close"
+            # The server hangs up: the next read sees EOF.
+            assert await reader.read() == b""
+            writer.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_http10_closes_by_default():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /healthz HTTP/1.0\r\nHost: test\r\n\r\n")
+            await writer.drain()
+            _status, headers, _body = await read_response(reader)
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""
+            writer.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_healthz_reports_draining_as_503():
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            server._draining = True
+            writer.write(request_bytes("GET", "/healthz"))
+            await writer.drain()
+            status, _h, body = await read_response(reader)
+            assert status == "503 Service Unavailable"
+            payload = json.loads(body)
+            assert payload["ok"] is False
+            assert payload["status"] == "draining"
+            writer.close()
         finally:
             await server.stop()
 
