@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -212,8 +213,18 @@ class SessionJournal:
         #: next sequence number to write (lazily derived from the file).
         self._next_seq: int | None = None
         #: clause records appended since the last snapshot/compaction
-        #: (lazily derived; drives checkpoint policies).
+        #: (lazily derived; drives checkpoint policies).  Guarded by
+        #: ``_counter_lock``: appends increment it on whichever worker
+        #: thread holds the serving write lock while the checkpoint
+        #: poller reads it from its own thread.
         self._clauses_since_snapshot: int | None = None
+        self._counter_lock = threading.Lock()
+        #: set when a failed append could not be truncated back out: the
+        #: partial line is still on disk, and appending after it would
+        #: merge into it and turn an isolated torn tail into fatal
+        #: interior corruption.  Appends refuse until recovery
+        #: (quarantine) or compaction removes the residue.
+        self._poisoned: str | None = None
         #: fault hook (``on_span(point)``) probed at JOURNAL_FAULT_POINTS.
         self._faults = None
 
@@ -241,7 +252,8 @@ class SessionJournal:
             self._file = open(self.path, "a", encoding="utf-8")
             if fresh:
                 self._next_seq = 1
-                self._clauses_since_snapshot = 0
+                with self._counter_lock:
+                    self._clauses_since_snapshot = 0
                 self._write_record({"type": "open", "format": FORMAT})
         return self._file
 
@@ -249,8 +261,9 @@ class SessionJournal:
         if self._next_seq is None:
             scan = self.scan()
             self._next_seq = scan.last_seq + 1
-            if self._clauses_since_snapshot is None:
-                self._clauses_since_snapshot = scan.clauses_since_snapshot
+            with self._counter_lock:
+                if self._clauses_since_snapshot is None:
+                    self._clauses_since_snapshot = scan.clauses_since_snapshot
         seq = self._next_seq
         self._next_seq = seq + 1
         return seq
@@ -279,7 +292,16 @@ class SessionJournal:
             raise
 
     def _heal(self, handle, start: int) -> None:
-        """Best-effort truncation of a partially written record."""
+        """Truncate a partially written record back out, or poison.
+
+        If the truncation itself fails the partial line stays on disk;
+        a further append would concatenate onto it, and once an intact
+        record followed the merged garbage, :meth:`scan` would (rightly)
+        treat it as fatal interior corruption of acknowledged history.
+        So an unhealed journal is poisoned: appends refuse until
+        recovery quarantines the residue or compaction rewrites the
+        file.
+        """
         try:
             handle.flush()
         except OSError:
@@ -287,12 +309,27 @@ class SessionJournal:
         try:
             handle.truncate(start)
             handle.seek(start)
+        except OSError as exc:
+            self._poisoned = (f"failed append left an unhealed partial "
+                              f"record at byte {start} ({exc})")
+            return
+        try:
             os.fsync(handle.fileno())
         except OSError:
+            # The truncation landed in the file; if its fsync was lost
+            # with a crash, replay sees a torn tail -- quarantinable,
+            # not interior corruption.  The next append fsyncs anyway.
             pass
+
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None:
+            raise JournalError(
+                f"{self.path}: journal poisoned: {self._poisoned}; "
+                "run recovery (or compact) before appending")
 
     def append_clause(self, text: str, version: int) -> None:
         """Durably record one asserted clause (fsync before returning)."""
+        self._check_poisoned()
         self._handle()
         try:
             self._write_record({"type": "clause", "text": text,
@@ -300,11 +337,13 @@ class SessionJournal:
         except OSError as exc:
             raise JournalError(
                 f"{self.path}: journal append failed: {exc}") from exc
-        if self._clauses_since_snapshot is not None:
-            self._clauses_since_snapshot += 1
+        with self._counter_lock:
+            if self._clauses_since_snapshot is not None:
+                self._clauses_since_snapshot += 1
 
     def snapshot(self, db) -> None:
         """Append a full-database snapshot record (non-compacting)."""
+        self._check_poisoned()
         self._handle()
         try:
             self._write_record({"type": "snapshot",
@@ -313,7 +352,8 @@ class SessionJournal:
         except OSError as exc:
             raise JournalError(
                 f"{self.path}: journal snapshot failed: {exc}") from exc
-        self._clauses_since_snapshot = 0
+        with self._counter_lock:
+            self._clauses_since_snapshot = 0
 
     def compact(self, db) -> None:
         """Atomically replace the journal with one snapshot of ``db``.
@@ -330,7 +370,8 @@ class SessionJournal:
         # 1-2 and a stale counter would make the next append a sequence
         # gap.  ``None`` forces the next append to rescan.
         self._next_seq = None
-        self._clauses_since_snapshot = None
+        with self._counter_lock:
+            self._clauses_since_snapshot = None
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:
             self._probe("journal-compact-write")
@@ -353,7 +394,11 @@ class SessionJournal:
                 f"{self.path}: journal compaction failed: {exc}") from exc
         self._fsync_dir()
         self._next_seq = 3
-        self._clauses_since_snapshot = 0
+        with self._counter_lock:
+            self._clauses_since_snapshot = 0
+        # The journal is a fresh snapshot file: any unhealed residue of
+        # a failed append went with the old file.
+        self._poisoned = None
 
     def _fsync_dir(self) -> None:
         """Make the rename itself durable (best effort off POSIX)."""
@@ -378,15 +423,25 @@ class SessionJournal:
         """``(clauses since last snapshot, journal size in bytes)``.
 
         Drives :class:`~repro.resilience.CheckpointPolicy` decisions;
-        cheap after the first call (a counter and one ``stat``).
+        cheap after the first call (a counter and one ``stat``).  Safe
+        to call from the checkpoint poller's thread while appends run on
+        another: the counter is read under ``_counter_lock`` (a scan
+        racing an in-flight append may see its torn line as a would-be
+        torn tail, which only mistimes one poll -- tolerable).
         """
-        if self._clauses_since_snapshot is None:
-            self._clauses_since_snapshot = self.scan().clauses_since_snapshot
+        with self._counter_lock:
+            clauses = self._clauses_since_snapshot
+        if clauses is None:
+            scanned = self.scan().clauses_since_snapshot
+            with self._counter_lock:
+                if self._clauses_since_snapshot is None:
+                    self._clauses_since_snapshot = scanned
+                clauses = self._clauses_since_snapshot
         try:
             size = self.path.stat().st_size
         except OSError:
             size = 0
-        return self._clauses_since_snapshot, size
+        return clauses, size
 
     # -- reading ---------------------------------------------------------
     def scan(self) -> JournalScan:
@@ -543,6 +598,10 @@ class SessionJournal:
         if scan.quarantined and quarantine:
             self._write_quarantine(scan)
             quarantine_path = str(self.quarantine_path)
+        if not scan.quarantined:
+            # Nothing torn on disk: a poisoning failed append never
+            # actually landed, so the journal is safe to append to.
+            self._poisoned = None
         db, snapshot_version, clauses = self._replay_records(scan.records)
         report = RecoveryReport(
             journal=str(self.path),
@@ -582,3 +641,6 @@ class SessionJournal:
             raise JournalError(
                 f"{self.path}: quarantine of torn tail failed: {exc}") from exc
         self._fsync_dir()
+        # The torn residue (including any unhealed partial append that
+        # poisoned the journal) is out of the file: appends are safe.
+        self._poisoned = None

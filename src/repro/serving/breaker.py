@@ -16,7 +16,11 @@ Classic three-state machine:
   (clients retry after ``retry_after``); after ``reset_s`` seconds the
   breaker moves to half-open.
 * **half-open** -- exactly one probe request is admitted.  Success
-  closes the breaker; failure reopens it for another ``reset_s``.
+  closes the breaker; failure reopens it for another ``reset_s``; a
+  probe that ends without a verdict on the server's health (shed,
+  client error, client deadline/disconnect) **releases** the slot so
+  the next request can probe -- otherwise the slot would leak and the
+  breaker would reject everything forever.
 
 Client-caused errors (bad query, bad clearance, budget/deadline of the
 *request*) never count: they say nothing about the server's health.
@@ -61,6 +65,17 @@ class CircuitBreaker:
         return "open"
 
     @property
+    def probing(self) -> bool:
+        """Is the single half-open probe currently out?
+
+        Read right after a successful :meth:`allow` this tells the caller
+        whether *it* holds the probe slot -- the caller must then resolve
+        the probe on every exit path (``record_success`` /
+        ``record_failure`` / :meth:`release_probe`).
+        """
+        return self._probing
+
+    @property
     def state_code(self) -> int:
         return STATE_CODES[self.state]
 
@@ -88,6 +103,20 @@ class CircuitBreaker:
         """The admitted request succeeded: close (or stay closed)."""
         self.failures = 0
         self._opened_at = None
+        self._probing = False
+
+    def release_probe(self) -> None:
+        """Return the probe slot without a verdict on the server's health.
+
+        The probe request can end in ways that say nothing about the
+        server -- shed by admission control, a bad query, the client's
+        own deadline or disconnect.  Counting those as success would
+        close the breaker on no evidence; counting them as failure would
+        punish the server for its clients; recording *nothing* would
+        leak the probe slot and wedge the breaker in half-open forever.
+        Releasing keeps the breaker half-open and lets the next request
+        claim a fresh probe.  No-op unless a probe is out.
+        """
         self._probing = False
 
     def record_failure(self) -> None:

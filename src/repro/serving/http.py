@@ -149,7 +149,11 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
             if parsed is None:
                 return  # peer closed (or sent a bare blank line)
             method, path, version, headers, body = parsed
-            close = _wants_close(version, headers)
+            # The last permitted request must *advertise* the close: a
+            # keep-alive header followed by a silent hangup would reset
+            # clients that pipeline or reuse the connection as told.
+            close = (_wants_close(version, headers)
+                     or _served == MAX_KEEPALIVE_REQUESTS - 1)
             writer.write(await _route(server, method, path, body, close=close))
             await writer.drain()
             if close:

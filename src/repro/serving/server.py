@@ -643,8 +643,17 @@ class MultiLogServer:
             line = await asyncio.shield(read_task)
         except asyncio.CancelledError:
             raise
-        except Exception:  # noqa: BLE001 -- any read failure means gone
+        except (ConnectionResetError, BrokenPipeError, EOFError, OSError):
+            # IncompleteReadError is an EOFError; Connection*/BrokenPipe
+            # are OSErrors -- all mean the peer is gone.
             cancel.set()
+            return
+        except Exception:  # noqa: BLE001
+            # LimitOverrunError/ValueError: the *next* pipelined line is
+            # oversized or unframed.  The peer is still connected and
+            # still owed the current response, so don't cancel; the
+            # connection loop answers line-too-long and hangs up after
+            # the in-flight request completes.
             return
         if not line:
             cancel.set()
@@ -797,9 +806,17 @@ class MultiLogServer:
                 f"ask circuit breaker is {breaker.state} after "
                 f"{breaker.threshold} consecutive failures",
                 retry_after=round(breaker.retry_after(), 3))
+        # If allow() just claimed the half-open probe slot, every exit
+        # below must resolve it: record_success/record_failure do, and
+        # the finally releases it on verdict-less paths (admission
+        # denial, client errors, deadlines) so the slot cannot leak and
+        # wedge the breaker half-open forever.
+        probe = breaker.probing
         level = self._level_of(clearance)
         denied = self._admit(level)
         if denied is not None:
+            if probe:
+                breaker.release_probe()
             return error_response(request_id, denied["code"],
                                   denied["message"],
                                   retry_after=denied["retry_after"])
@@ -864,6 +881,8 @@ class MultiLogServer:
                                   f"{type(exc).__name__}: {exc}")
         finally:
             self._release(level)
+            if probe:
+                breaker.release_probe()
 
     def _run_ask(self, session, query: str, engine: str, degrade: bool,
                  timeout_s: float | None, cancel: threading.Event | None):
@@ -902,9 +921,14 @@ class MultiLogServer:
                 f"assert circuit breaker is {breaker.state} after "
                 f"{breaker.threshold} consecutive failures",
                 retry_after=round(breaker.retry_after(), 3))
+        # Same probe contract as _serve_ask: a claimed half-open probe
+        # is resolved on every path -- verdict-less exits release it.
+        probe = breaker.probing
         level = self._level_of(clearance)
         denied = self._admit(level)
         if denied is not None:
+            if probe:
+                breaker.release_probe()
             return error_response(request_id, denied["code"],
                                   denied["message"],
                                   retry_after=denied["retry_after"])
@@ -968,6 +992,8 @@ class MultiLogServer:
                                   f"{type(exc).__name__}: {exc}")
         finally:
             self._release(level)
+            if probe:
+                breaker.release_probe()
 
     # -- dashboard -----------------------------------------------------
     def metrics_text(self) -> str:

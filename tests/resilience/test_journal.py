@@ -257,6 +257,51 @@ class TestQuarantine:
             {"line": 4, "reason": out["quarantined"][0]["reason"]}]
 
 
+class BrokenDiskHandle:
+    """Tear the first write partway through, then refuse truncation."""
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.torn = False
+
+    def write(self, text):
+        if not self.torn:
+            self.torn = True
+            self._handle.write(text[:10])
+            raise OSError("injected torn write")
+        return self._handle.write(text)
+
+    def truncate(self, size):
+        raise OSError("injected truncate failure")
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)
+
+
+class TestPoisonedJournal:
+    def test_unhealed_partial_append_poisons_until_quarantined(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = SessionJournal(path)
+        journal.snapshot(parse_database(SOURCE))
+        journal._file = BrokenDiskHandle(journal._file)
+        with pytest.raises(JournalError, match="append failed"):
+            journal.append_clause(CLAUSES[0], version=1)
+        # The partial line could not be truncated back out: appending
+        # after it would merge into the residue and turn an isolated
+        # torn tail into fatal interior corruption, so appends refuse.
+        with pytest.raises(JournalError, match="poisoned"):
+            journal.append_clause(CLAUSES[0], version=1)
+        # Recovery quarantines the residue and lifts the poison.
+        _db, report = journal.replay_with_report()
+        assert report.torn_tail
+        assert len(report.quarantined) == 1
+        journal.append_clause(CLAUSES[1], version=2)
+        journal.close()
+        assert [record["seq"] for record in records(path)] == [1, 2, 3]
+        assert json.loads(path.read_text().splitlines()[-1])["text"] \
+            == CLAUSES[1]
+
+
 class TestCompaction:
     def test_compact_collapses_to_one_snapshot(self, tmp_path):
         path = tmp_path / "wal.jsonl"

@@ -174,6 +174,34 @@ def test_keep_alive_serves_many_requests_on_one_connection():
     run(main())
 
 
+def test_keepalive_cap_advertises_close_on_the_last_request(monkeypatch):
+    from repro.serving import http as http_shim
+    monkeypatch.setattr(http_shim, "MAX_KEEPALIVE_REQUESTS", 2)
+
+    async def main():
+        server = await started_http()
+        try:
+            host, port = server.http_address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(request_bytes("GET", "/healthz"))
+            await writer.drain()
+            _status, headers, _body = await read_response(reader)
+            assert headers["connection"] == "keep-alive"
+            writer.write(request_bytes("GET", "/healthz"))
+            await writer.drain()
+            _status, headers, _body = await read_response(reader)
+            # The cap is reached: the final response must say close
+            # instead of advertising keep-alive and then resetting a
+            # client that reuses the connection as told.
+            assert headers["connection"] == "close"
+            assert await reader.read() == b""
+            writer.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
 def test_pipelined_requests_answered_in_order():
     async def main():
         server = await started_http()

@@ -73,6 +73,22 @@ def test_breaker_probe_failure_reopens():
     assert breaker.opened_total == 2
 
 
+def test_breaker_probe_release_frees_the_slot():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, reset_s=2.0, clock=clock)
+    breaker.record_failure()
+    clock.now += 2.5
+    assert breaker.allow()  # claim the half-open probe
+    assert breaker.probing
+    assert not breaker.allow()
+    breaker.release_probe()  # the probe ended with no health verdict
+    assert breaker.state == "half-open"
+    assert not breaker.probing
+    assert breaker.allow()  # the slot is free for a fresh probe
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
 def test_breaker_state_codes_cover_every_state():
     assert STATE_CODES == {"closed": 0, "half-open": 1, "open": 2}
     breaker = CircuitBreaker()
@@ -246,6 +262,53 @@ def test_client_attributable_errors_never_count_against_the_breaker():
             ok = await server.dispatch(
                 {"op": "ask", "query": ASK, "clearance": "s"})
             assert ok["ok"] is True
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_verdictless_probe_outcomes_do_not_wedge_the_breaker():
+    # Regression: a half-open probe that exited without reaching a
+    # server-health verdict (admission denial, client error, client
+    # deadline) used to leak the probe slot, leaving the breaker
+    # rejecting every request with breaker-open until restart.
+    async def main():
+        server = await started(breaker_threshold=1, breaker_reset_s=0.0)
+        try:
+            def explode(*args, **kwargs):
+                raise RuntimeError("engine crashed")
+
+            server._run_ask = explode
+            failed = await server.dispatch(
+                {"op": "ask", "query": ASK, "clearance": "s"})
+            assert failed["code"] == "internal"
+            del server._run_ask  # restore the real engine path
+            breaker = server._breakers["ask"]
+            assert breaker.state == "half-open"  # reset_s=0: probe allowed
+
+            # Probe 1 dies on admission control (runs after allow()).
+            server._draining = True
+            denied = await server.dispatch(
+                {"op": "ask", "query": ASK, "clearance": "s"})
+            assert denied["code"] == "draining"
+            server._draining = False
+
+            # Probe 2 is a client error; probe 3 the client's deadline.
+            bad = await server.dispatch(
+                {"op": "ask", "query": "p((", "clearance": "s"})
+            assert bad["code"] == "bad-query"
+            late = await server.dispatch(
+                {"op": "ask", "query": ASK, "clearance": "s",
+                 "timeout_s": 1e-9})
+            assert late["code"] == "deadline"
+
+            # None of those wedged the slot: a real probe still gets
+            # through, succeeds and closes the breaker.
+            ok = await server.dispatch(
+                {"op": "ask", "query": ASK, "clearance": "s"})
+            assert ok["ok"] is True
+            assert breaker.state == "closed"
         finally:
             await server.stop()
 

@@ -7,6 +7,7 @@ import asyncio
 import json
 import socket
 import struct
+import threading
 
 import pytest
 
@@ -133,6 +134,65 @@ def test_oversized_line_answers_then_hangs_up():
             line = await reader.readline()
             assert json.loads(line)["code"] == "line-too-long"
             assert await reader.read() == b""  # server closed the connection
+            writer.close()
+        finally:
+            await server.stop()
+
+    run(main())
+
+
+def test_peer_watch_distinguishes_overrun_from_disconnect():
+    # The read-ahead overrunning on a pipelined oversized *next* line
+    # means the peer is still connected -- only EOF/connection errors
+    # may cancel the in-flight request.
+    async def main():
+        server = MultiLogServer(D1_SOURCE, clearance="s")
+
+        async def raising(exc):
+            raise exc
+
+        async def eof():
+            return b""
+
+        for exc in (asyncio.LimitOverrunError("chunk too long", 0),
+                    ValueError("line too long")):
+            cancel = threading.Event()
+            await server._peer_watch(asyncio.ensure_future(raising(exc)),
+                                     cancel)
+            assert not cancel.is_set(), f"{exc!r} is not a disconnect"
+        for make in ((lambda: raising(ConnectionResetError())),
+                     (lambda: raising(asyncio.IncompleteReadError(b"x", 2))),
+                     eof):
+            cancel = threading.Event()
+            await server._peer_watch(asyncio.ensure_future(make()), cancel)
+            assert cancel.is_set()
+        server._threads.shutdown(wait=False)
+
+    run(main())
+
+
+def test_oversized_pipelined_line_does_not_cancel_the_inflight_request():
+    async def main():
+        server = await started(max_line_bytes=256)
+        try:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            # Park the ask behind the write lock so the oversized second
+            # line is guaranteed to overrun the read-ahead mid-request.
+            gate = server._rw.write()
+            await gate.__aenter__()
+            request = json.dumps({"op": "ask", "query": ASK,
+                                  "clearance": "s"}).encode() + b"\n"
+            writer.write(request + b"x" * 1024)
+            await writer.drain()
+            await wait_for(lambda: server.stats.inflight == 1)
+            await asyncio.sleep(0.05)  # let the read-ahead see the junk
+            await gate.__aexit__(None, None, None)
+            first = json.loads(await reader.readline())
+            assert first["ok"] is True, first  # served, not "cancelled"
+            second = json.loads(await reader.readline())
+            assert second["code"] == "line-too-long"
+            assert await reader.read() == b""  # then the server hangs up
             writer.close()
         finally:
             await server.stop()
