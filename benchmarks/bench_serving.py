@@ -117,15 +117,116 @@ async def _run_case(name, n_clients, ops_per_client, assert_every):
     return entry
 
 
+async def _paired_latencies(source, query, clearance, pairs):
+    """Per-request latencies: untraced vs traced, paired per request.
+
+    Both servers (one with ``trace=True``, one without) are up
+    simultaneously and each pair of asks runs back to back with the
+    side order alternating, so CPU-frequency drift and noisy
+    neighbours on a shared runner hit both sides equally -- sequential
+    whole-run A/B comparison was measured at +-20% run-to-run on the
+    same config, which would drown any real overhead signal.
+    """
+    off_server = MultiLogServer(source, ServerConfig(
+        clearance=clearance, max_inflight=4096, workers=8))
+    on_server = MultiLogServer(source, ServerConfig(
+        clearance=clearance, max_inflight=4096, workers=8, trace=True))
+    await off_server.start()
+    await on_server.start()
+    off_client = await ServingClient.connect(*off_server.address, clearance)
+    on_client = await ServingClient.connect(*on_server.address, clearance)
+    untraced: list[float] = []
+    traced: list[float] = []
+    try:
+        for warm_client in (off_client, on_client):
+            await warm_client.request({"op": "ask", "query": query})
+        for pair in range(pairs):
+            sides = ((off_client, untraced), (on_client, traced))
+            if pair % 2:
+                sides = tuple(reversed(sides))
+            for client, sink in sides:
+                started = time.perf_counter()
+                response = await client.request(
+                    {"op": "ask", "query": query})
+                sink.append(time.perf_counter() - started)
+                assert response.get("ok"), response
+    finally:
+        await off_client.close()
+        await on_client.close()
+        await off_server.stop()
+        await on_server.stop()
+    untraced.sort()
+    traced.sort()
+    return untraced, traced
+
+
+async def _measure_tracing_overhead():
+    """Per-request cost of full tracing, absolute and relative.
+
+    The traced server opens a root span per request, threads it through
+    the executor offload (contextvars copy) and grafts the engine's
+    span tree under it -- the whole tentpole path.  Tracing is a fixed
+    per-request cost (a few tens of microseconds of span/scope
+    bookkeeping), so the stanza reports it both ways:
+
+    * ``fixed_overhead_us_p50`` -- the absolute cost, exposed by a
+      paired run over the near-trivial D1 ask (~0.6 ms wall) where it
+      is the whole signal;
+    * ``overhead_pct`` -- the gated p95 ratio over a representative
+      medium-weight query (a generated 120-tuple polyinstantiated
+      database, several ms of engine time per ask), which is what a
+      production ask mix actually pays.
+    """
+    from repro.workloads.generator import random_multilog_database
+
+    # The absolute cost, measured where it dominates: the light ask.
+    light_off, light_on = await _paired_latencies(
+        D1_SOURCE, ASKS["s"], "s", pairs=300)
+    fixed_us = (_percentile(light_on, 0.50)
+                - _percentile(light_off, 0.50)) * 1e6
+
+    # The gated ratio, measured on a representative query weight.  The
+    # p95 of a multi-ms engine ask carries scheduler/thermal tail noise
+    # even under pairing, so the gate statistic is the median over
+    # three independent sub-trials (standard repeated-measurement
+    # hygiene; every sub-trial lands in the stanza for review).
+    db = random_multilog_database(30, seed=23, polyinstantiation_rate=0.3)
+    rep_query = "t[p(K : a1 -C-> V)] << cau"
+    trials = []
+    for _trial in range(3):
+        rep_off, rep_on = await _paired_latencies(db, rep_query, "t",
+                                                  pairs=800)
+        trials.append({
+            "requests_per_side": len(rep_off),
+            "p95_untraced_ms": round(_percentile(rep_off, 0.95) * 1e3, 3),
+            "p95_traced_ms": round(_percentile(rep_on, 0.95) * 1e3, 3),
+            "p50_untraced_ms": round(_percentile(rep_off, 0.50) * 1e3, 3),
+            "p50_traced_ms": round(_percentile(rep_on, 0.50) * 1e3, 3),
+            "overhead_pct": round((_percentile(rep_on, 0.95)
+                                   / _percentile(rep_off, 0.95)
+                                   - 1.0) * 100.0, 2),
+        })
+    median = sorted(trials, key=lambda t: t["overhead_pct"])[1]
+    return {
+        "case": "trace_on_vs_off",
+        "method": "paired per-request A/B, alternating order, "
+                  "median of 3 sub-trials",
+        **median,
+        "trials_overhead_pct": [t["overhead_pct"] for t in trials],
+        "fixed_overhead_us_p50": round(fixed_us, 1),
+        "light_query_p50_ms": round(_percentile(light_off, 0.50) * 1e3, 3),
+    }
+
+
 def test_emit_serving_bench():
     async def main():
         cases = [await _run_case("ask_storm", N_CLIENTS,
                                  ops_per_client=3, assert_every=0)]
         cases.append(await _run_case("mixed_writes", min(200, N_CLIENTS),
                                      ops_per_client=5, assert_every=5))
-        return cases
+        return cases, await _measure_tracing_overhead()
 
-    cases = asyncio.run(main())
+    cases, overhead = asyncio.run(main())
 
     payload = {}
     if BENCH_JSON.exists():
@@ -139,6 +240,10 @@ def test_emit_serving_bench():
         "target": ">= 1000 concurrent clients, zero shed, bounded p99",
         "cases": cases,
     }
+    payload["serving_trace_overhead"] = {
+        "target": "request tracing costs < 5% at p95",
+        **overhead,
+    }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
     storm = cases[0]
@@ -148,3 +253,4 @@ def test_emit_serving_bench():
     assert mixed["asserts"] > 0
     # Writes are serialized: every assert produced exactly one version.
     assert mixed["versions_committed"] == mixed["asserts"]
+    assert overhead["overhead_pct"] < 5.0, overhead

@@ -22,16 +22,26 @@ invariants are checked end to end:
 2. **MLS invariant** -- every ``cross_level_read`` in the server-wide
    audit trail goes *down* the lattice: zero cross-clearance leaks,
    chaos or not.
+3. **Observability stays leak-free** (``--trace --access-log``): every
+   request root span reaching the sink is closed with an outcome (no
+   span left open by torn frames, deadlines or mid-ask disconnects),
+   every access-log line is valid JSON carrying a trace id, the span
+   and line counts agree, and the process file-descriptor count after
+   shutdown is back at the post-start baseline.
 
 Exit code 0 on success; prints a one-line summary for the CI log.
 
-    PYTHONPATH=src python scripts/serving_chaos.py --seed 0 --clients 48
+    PYTHONPATH=src python scripts/serving_chaos.py --seed 0 --clients 48 \
+        --trace --access-log
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import gc
+import json
+import os
 import random
 import socket
 import struct
@@ -53,6 +63,24 @@ ASKS = {
 
 #: outcomes a chaos client may report (summary bookkeeping).
 OUTCOMES = ("ok", "torn", "loris", "deadline", "enospc-clean", "shed")
+
+
+class _SpanSink:
+    """Trace sink that keeps every request root span for leak checks."""
+
+    def __init__(self) -> None:
+        self.spans: list = []
+
+    def write_span(self, span) -> None:
+        self.spans.append(span)
+
+
+def _open_fds() -> int | None:
+    """The process's open file-descriptor count (Linux), else ``None``."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
 
 
 def rst_close(sock: socket.socket) -> None:
@@ -105,14 +133,25 @@ async def drive(host: str, port: int, index: int, rng: random.Random,
         counts["ok"] += 1
 
 
-async def main(seed: int, n_clients: int, journal_path: Path) -> int:
+async def main(seed: int, n_clients: int, journal_path: Path,
+               trace: bool = False,
+               access_log_path: Path | None = None) -> int:
     rng = random.Random(seed)
+    sink = _SpanSink() if trace else None
     server = MultiLogServer(D1_SOURCE, ServerConfig(
         clearance="s", journal=str(journal_path), max_inflight=4096,
-        checkpoint_records=25, checkpoint_poll_s=0.02))
+        checkpoint_records=25, checkpoint_poll_s=0.02,
+        trace=trace, trace_sink=sink,
+        access_log=str(access_log_path) if access_log_path else None))
     await server.start()
     host, port = server.address
     counts = dict.fromkeys(OUTCOMES, 0)
+    # FD baseline after one served request, so lazily-opened files (the
+    # access log) are already counted; the post-shutdown count must come
+    # back to (at most) this.
+    async with await ServingClient.connect(host, port, "s") as warm:
+        await warm.ask(ASKS["s"])
+    fd_baseline = _open_fds()
 
     # One ENOSPC burst mid-run: a few journal appends hit a full disk.
     plan = FaultPlan(seed=seed)
@@ -141,13 +180,36 @@ async def main(seed: int, n_clients: int, journal_path: Path) -> int:
     lattice = server.root.lattice
     leaks = [e for e in crosses if not lattice.leq(e["object"], e["subject"])]
 
+    # 3. Observability leak checks (only meaningful with tracing on).
+    open_spans: list = []
+    bad_lines: list[str] = []
+    access_lines = 0
+    if sink is not None:
+        open_spans = [s for s in sink.spans
+                      if "outcome" not in s.attrs or s.elapsed_s <= 0.0]
+    if access_log_path is not None and access_log_path.exists():
+        for line in access_log_path.read_text().splitlines():
+            access_lines += 1
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                bad_lines.append(line[:120])
+                continue
+            if not entry.get("trace_id") or "outcome" not in entry:
+                bad_lines.append(line[:120])
+    gc.collect()
+    fd_final = _open_fds()
+
     outcome = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
     print(f"serving chaos: seed={seed} clients={n_clients} ({outcome}), "
           f"{server.stats.checkpoints_total} checkpoints, "
           f"{server.stats.cancelled_total} cancelled, "
           f"{len(crosses)} cross-level reads, {len(leaks)} leaks, "
           f"drain={'clean' if drained else 'TIMEOUT'}, "
-          f"replay={'identical' if replay_ok else 'DIVERGED'}")
+          f"replay={'identical' if replay_ok else 'DIVERGED'}"
+          + (f", {len(sink.spans)} spans ({len(open_spans)} unclosed), "
+             f"{access_lines} access lines, "
+             f"fds {fd_baseline}->{fd_final}" if sink is not None else ""))
     if not replay_ok:
         print(f"FAIL: journal replay diverged from the live database "
               f"(live v{live_version}, replayed v{replayed.version})")
@@ -168,6 +230,29 @@ async def main(seed: int, n_clients: int, journal_path: Path) -> int:
     if counts["ok"] == 0:
         print("FAIL: chaos drowned out every well-behaved client")
         return 1
+    if sink is not None:
+        if not sink.spans:
+            print("FAIL: tracing enabled but no root spans reached the sink")
+            return 1
+        if open_spans:
+            for span in open_spans[:5]:
+                print(f"SPAN LEAK: {span!r} attrs={span.attrs}")
+            return 1
+        if access_log_path is not None:
+            if bad_lines:
+                for line in bad_lines[:5]:
+                    print(f"BAD ACCESS LINE: {line}")
+                return 1
+            if access_lines != len(sink.spans):
+                print(f"FAIL: {access_lines} access-log lines but "
+                      f"{len(sink.spans)} root spans -- a request dodged "
+                      f"one of the two exits")
+                return 1
+        if (fd_baseline is not None and fd_final is not None
+                and fd_final > fd_baseline):
+            print(f"FD LEAK: {fd_baseline} open fds after start, "
+                  f"{fd_final} after shutdown")
+            return 1
     return 0
 
 
@@ -175,7 +260,16 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--clients", type=int, default=48)
+    parser.add_argument("--trace", action="store_true",
+                        help="serve with per-request tracing and check "
+                             "every root span closes")
+    parser.add_argument("--access-log", action="store_true",
+                        help="write a JSONL access log next to the journal "
+                             "and check every line (implies request scopes)")
     args = parser.parse_args()
     with tempfile.TemporaryDirectory(prefix="multilog-chaos-") as tmp:
-        sys.exit(asyncio.run(main(args.seed, args.clients,
-                                  Path(tmp) / "wal.jsonl")))
+        sys.exit(asyncio.run(main(
+            args.seed, args.clients, Path(tmp) / "wal.jsonl",
+            trace=args.trace,
+            access_log_path=(Path(tmp) / "access.jsonl"
+                             if args.access_log else None))))

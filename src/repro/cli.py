@@ -610,6 +610,20 @@ def serve_main(argv: list[str]) -> int:
                              "before stopping anyway")
     parser.add_argument("--no-audit", action="store_true",
                         help="disable the server-wide MLS audit trail")
+    parser.add_argument("--trace", action="store_true",
+                        help="open a root span per request and thread it "
+                             "through the engine (docs/OBSERVABILITY.md)")
+    parser.add_argument("--access-log", default=None, metavar="FILE",
+                        help="size-rotated JSONL request log (one line per "
+                             "request; never contains query text)")
+    parser.add_argument("--slow-threshold", type=float, default=None,
+                        metavar="SECONDS",
+                        help="capture requests slower than this (or errored) "
+                             "into the slow log, served via the slowlog op "
+                             "and GET /v1/debug/slow")
+    parser.add_argument("--slo-target", type=float, default=0.99,
+                        help="availability target the burn-rate gauges "
+                             "measure against (default 0.99)")
     args = parser.parse_args(argv)
 
     import asyncio
@@ -642,7 +656,9 @@ def serve_main(argv: list[str]) -> int:
         checkpoint_records=args.checkpoint_records or None,
         checkpoint_bytes=args.checkpoint_bytes or None,
         drain_timeout_s=args.drain_timeout,
-        audit=not args.no_audit)
+        audit=not args.no_audit,
+        trace=args.trace, access_log=args.access_log,
+        slow_threshold_s=args.slow_threshold, slo_target=args.slo_target)
 
     async def _serve() -> int:
         try:
@@ -795,6 +811,74 @@ def audit_main(argv: list[str]) -> int:
     return exit_code
 
 
+def slowlog_main(argv: list[str]) -> int:
+    """``multilog slowlog``: fetch a running server's slow-query log.
+
+    Connects over the framed protocol and prints the captured
+    slow/errored requests, redacted by the server at the requesting
+    clearance -- a LOW operator sees timings and outcomes for HIGH
+    captures but never their query text (docs/OBSERVABILITY.md).
+    """
+    parser = argparse.ArgumentParser(
+        prog="multilog slowlog",
+        description="Print the slow-query captures of a running multilog "
+                    "server, redacted at the requesting clearance.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7979,
+                        help="framed-protocol port of the server")
+    parser.add_argument("--clearance", default=None,
+                        help="view the log at this clearance "
+                             "(default: the server's root clearance)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="newest N captures only")
+    parser.add_argument("--format", choices=("text", "jsonl"), default="text")
+    args = parser.parse_args(argv)
+
+    import asyncio
+    import json
+
+    from repro.serving import ServingClient
+
+    async def _fetch() -> dict:
+        client = await ServingClient.connect(args.host, args.port,
+                                             clearance=args.clearance)
+        try:
+            return await client.slowlog(limit=args.limit)
+        finally:
+            await client.close()
+
+    try:
+        response = asyncio.run(_fetch())
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not response.get("enabled"):
+        print("slow log disabled on this server "
+              "(start it with --slow-threshold)", file=sys.stderr)
+        return 1
+    entries = response.get("entries", [])
+    if args.format == "jsonl":
+        for entry in entries:
+            print(json.dumps(entry, separators=(",", ":"), default=repr))
+        return 0
+    print(f"{len(entries)} capture(s) "
+          f"(threshold {response.get('threshold_s')}s, "
+          f"{response.get('captured_total')} total)")
+    for entry in entries:
+        line = (f"  {entry['trace_id']}  {entry['op']:<6} "
+                f"level={entry['level']} outcome={entry['outcome']} "
+                f"{entry['elapsed_ms']:.1f}ms")
+        if entry.get("redacted"):
+            line += "  [redacted]"
+        print(line)
+        if not entry.get("redacted") and entry.get("query"):
+            print(f"    query: {entry['query']}")
+            if entry.get("explain"):
+                for row in str(entry["explain"]).splitlines():
+                    print(f"    | {row}")
+    return 0
+
+
 def recover_main(argv: list[str]) -> int:
     """``multilog recover``: rebuild a database from a journal."""
     parser = argparse.ArgumentParser(
@@ -879,6 +963,8 @@ def main(argv: list[str] | None = None) -> int:
         return metrics_main(argv[1:])
     if argv and argv[0] == "audit":
         return audit_main(argv[1:])
+    if argv and argv[0] == "slowlog":
+        return slowlog_main(argv[1:])
     parser = argparse.ArgumentParser(description="Interactive MultiLog shell")
     parser.add_argument("program", nargs="?", help="MultiLog source file to load")
     parser.add_argument("--clearance", help="session clearance (default: lattice top)")

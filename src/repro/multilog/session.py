@@ -335,13 +335,21 @@ class MultiLogSession:
             draw = (self._sample_rng.random() if self._sample_rng is not None
                     else random.random())
             sampled = draw < self._sample_rate
+        # The ambient context is consulted for cross-cutting concerns the
+        # caller threaded around the public signature: an armed fault
+        # plan, and (serving) the request span this ask should parent
+        # its trace under -- the server copies its contextvars into the
+        # executor offload precisely so this read sees them.
+        ambient = _current_obs()
         if sampled:
-            recorder = TraceRecorder(histograms=self._histograms, sink=self._sink)
+            recorder = TraceRecorder(histograms=self._histograms,
+                                     sink=self._sink,
+                                     parent=ambient.parent_span)
         else:
             recorder = NULL_RECORDER
         meter = self.budget.meter() if self.budget is not None else None
         faults = self._fault_plan if self._fault_plan is not None \
-            else _current_obs().faults
+            else ambient.faults
         ctx = ObsContext(recorder, self._metrics, meter, faults, audit=self._audit)
         # ctx.recorder is the fault-wrapped view of ``recorder`` (identical
         # when no plan is armed): session-level spans must announce through

@@ -54,6 +54,7 @@ from repro.obs.explain import explain_program, explain_rule
 from repro.obs.export import (
     JsonlSpanSink,
     ListSink,
+    RotatingJsonlWriter,
     TelemetrySink,
     chrome_trace_events,
     render_chrome_trace,
@@ -81,6 +82,10 @@ from repro.obs.trace import (
     NullRecorder,
     Span,
     TraceRecorder,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
 )
 
 __all__ = [
@@ -107,6 +112,7 @@ __all__ = [
     "NullMetrics",
     "NullRecorder",
     "ObsContext",
+    "RotatingJsonlWriter",
     "Span",
     "TelemetrySink",
     "TraceRecorder",
@@ -114,7 +120,11 @@ __all__ = [
     "current",
     "explain_program",
     "explain_rule",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
     "observe",
+    "parse_traceparent",
     "provenance",
     "render_chrome_trace",
     "render_jsonl",

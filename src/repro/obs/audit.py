@@ -25,6 +25,10 @@ kind                      emitted when
 ``assert``                a clause was asserted through the session
                           (mirrors the crash-safe journal record)
 ``recover``               a session was rebuilt from its journal
+``slow_capture``          the serving slow log retained a request's
+                          query text and span tree (fields: subject =
+                          the clearance the request ran at, trace_id,
+                          op, outcome) -- retention is itself an access
 ========================  ==============================================
 
 Identical events collapse into one entry with an occurrence ``count``
@@ -50,6 +54,7 @@ AUDIT_KINDS = (
     "surprise_story",
     "assert",
     "recover",
+    "slow_capture",
 )
 
 

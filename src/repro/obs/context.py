@@ -37,6 +37,15 @@ class ObsContext:
     wrapping works even when tracing is off (the null recorder's span
     points still fire), so chaos tests do not pay for span collection.
 
+    ``parent_span`` carries a request-scoped parent across thread and
+    recorder boundaries: the serving layer opens a per-request root span,
+    installs a context naming it, and copies the contextvars context into
+    the executor offload -- the session then builds its per-ask
+    :class:`~repro.obs.trace.TraceRecorder` with that span as its graft
+    ``parent``, so engine/stratum spans nest under the request that
+    caused them.  It never affects :attr:`enabled`: parenting is a
+    correlation hint, not an instrumentation switch.
+
     ``sample_rate`` enables head-based trace sampling: the keep/drop
     decision is made *here*, once, at context construction -- an
     unsampled context swaps its recorder for the null recorder before any
@@ -49,11 +58,11 @@ class ObsContext:
     """
 
     __slots__ = ("recorder", "metrics", "meter", "faults", "audit",
-                 "sample_rate", "sampled")
+                 "sample_rate", "sampled", "parent_span")
 
     def __init__(self, recorder=None, metrics=None, meter: BudgetMeter | None = None,
                  faults=None, audit=None, sample_rate: float = 1.0,
-                 sample_draw: float | None = None):
+                 sample_draw: float | None = None, parent_span=None):
         self.sample_rate = sample_rate
         if sample_rate >= 1.0:
             self.sampled = True
@@ -70,6 +79,7 @@ class ObsContext:
         self.meter = meter
         self.faults = faults
         self.audit = audit if audit is not None else NULL_AUDIT
+        self.parent_span = parent_span
 
     @property
     def enabled(self) -> bool:

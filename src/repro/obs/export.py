@@ -246,13 +246,15 @@ class ListSink:
         self.closed = True
 
 
-class JsonlSpanSink:
-    """Append-only JSONL span stream with size-based file rotation.
+class RotatingJsonlWriter:
+    """Append-only line stream with size-based file rotation.
 
-    When the live file would exceed ``max_bytes`` the sink rotates:
-    ``trace.jsonl`` -> ``trace.jsonl.1`` -> ... -> ``trace.jsonl.N`` with
-    the oldest dropped, so a long-lived session's telemetry occupies at
-    most ``max_bytes * (max_files + 1)`` on disk.
+    When the live file would exceed ``max_bytes`` the writer rotates:
+    ``name`` -> ``name.1`` -> ... -> ``name.N`` with the oldest dropped,
+    so a long-lived stream occupies at most ``max_bytes * (max_files +
+    1)`` on disk.  The shared mechanics under :class:`JsonlSpanSink`
+    (span trees) and the serving layer's structured access log (request
+    lines) -- both are "one JSON object per line, bounded on disk".
     """
 
     def __init__(self, path: str | Path, max_bytes: int = 8 * 1024 * 1024,
@@ -262,16 +264,17 @@ class JsonlSpanSink:
         self.max_files = max_files
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("a", encoding="utf-8")
-        self.spans_written = 0
+        self.lines_written = 0
         self.rotations = 0
 
-    def write_span(self, span: Span) -> None:
-        line = json.dumps(span.to_dict(), default=repr) + "\n"
+    def write_line(self, line: str) -> None:
+        """Append one line (no trailing newline), rotating first if due."""
+        line = line + "\n"
         if self._handle.tell() + len(line) > self.max_bytes and self._handle.tell():
             self._rotate()
         self._handle.write(line)
         self._handle.flush()
-        self.spans_written += 1
+        self.lines_written += 1
 
     def _rotate(self) -> None:
         self._handle.close()
@@ -287,9 +290,62 @@ class JsonlSpanSink:
         self._handle = self.path.open("a", encoding="utf-8")
         self.rotations += 1
 
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
+
+    def __enter__(self) -> "RotatingJsonlWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class JsonlSpanSink:
+    """Append-only JSONL span stream with size-based file rotation.
+
+    When the live file would exceed ``max_bytes`` the sink rotates:
+    ``trace.jsonl`` -> ``trace.jsonl.1`` -> ... -> ``trace.jsonl.N`` with
+    the oldest dropped, so a long-lived session's telemetry occupies at
+    most ``max_bytes * (max_files + 1)`` on disk (the mechanics live in
+    :class:`RotatingJsonlWriter`).
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 8 * 1024 * 1024,
+                 max_files: int = 3):
+        self._writer = RotatingJsonlWriter(path, max_bytes=max_bytes,
+                                           max_files=max_files)
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def max_bytes(self) -> int:
+        return self._writer.max_bytes
+
+    @property
+    def max_files(self) -> int:
+        return self._writer.max_files
+
+    @property
+    def spans_written(self) -> int:
+        return self._writer.lines_written
+
+    @property
+    def rotations(self) -> int:
+        return self._writer.rotations
+
+    def write_span(self, span: Span) -> None:
+        self._writer.write_line(json.dumps(span.to_dict(), default=repr))
+
+    def close(self) -> None:
+        self._writer.close()
 
     def __enter__(self) -> "JsonlSpanSink":
         return self

@@ -24,11 +24,79 @@ Instrumented code never branches on which recorder it holds; it calls
 from __future__ import annotations
 
 import json
+import os
+import random
 from time import perf_counter
 
 #: Attribute names that count "rows processed" by a span, probed in this
 #: order by the throughput column of :meth:`Span.pretty`.
 _ROW_ATTRS = ("delta", "rows", "tuples", "facts", "answers")
+
+
+# ----------------------------------------------------------------------
+# W3C-style trace context (the serving layer's request correlation ids)
+# ----------------------------------------------------------------------
+
+#: Correlation ids need uniqueness, not secrecy: one getrandom() syscall
+#: seeds the generator and every id after that is a pure user-space draw
+#: (os.urandom per id would put a syscall on the serving hot path --
+#: measured at ~60us per call on audited kernels).  Reseeded in forked
+#: children so parent and child never mint the same id stream.
+_ID_RNG = random.Random(os.urandom(16))
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(
+        after_in_child=lambda: _ID_RNG.seed(os.urandom(16)))
+
+
+def new_trace_id() -> str:
+    """A fresh non-zero 128-bit trace id as 32 lowercase hex characters."""
+    value = 0
+    while not value:
+        value = _ID_RNG.getrandbits(128)
+    return f"{value:032x}"
+
+
+def new_span_id() -> str:
+    """A fresh non-zero 64-bit span id as 16 lowercase hex characters."""
+    value = 0
+    while not value:
+        value = _ID_RNG.getrandbits(64)
+    return f"{value:016x}"
+
+
+def format_traceparent(trace_id: str, span_id: str,
+                       sampled: bool = True) -> str:
+    """A W3C ``traceparent`` header value: ``00-<trace>-<span>-<flags>``."""
+    return f"00-{trace_id}-{span_id}-{'01' if sampled else '00'}"
+
+
+def parse_traceparent(text: str) -> tuple[str, str, bool]:
+    """``(trace_id, parent_span_id, sampled)`` from a ``traceparent``.
+
+    Accepts the W3C shape ``version-traceid-spanid-flags`` (lowercase
+    hex, version ``ff`` and all-zero ids rejected); raises
+    :class:`ValueError` on anything else so protocol layers can map the
+    failure to a ``bad-request``.
+    """
+    parts = text.split("-")
+    if len(parts) != 4:
+        raise ValueError(f"traceparent must have 4 '-'-separated fields, "
+                         f"got {len(parts)}: {text!r}")
+    version, trace_id, span_id, flags = parts
+    for name, value, width in (("version", version, 2),
+                               ("trace id", trace_id, 32),
+                               ("span id", span_id, 16),
+                               ("flags", flags, 2)):
+        if len(value) != width or any(c not in "0123456789abcdef"
+                                      for c in value):
+            raise ValueError(f"traceparent {name} must be {width} lowercase "
+                             f"hex characters, got {value!r}")
+    if version == "ff":
+        raise ValueError("traceparent version 'ff' is forbidden")
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        raise ValueError("traceparent ids must not be all zeros")
+    return trace_id, span_id, bool(int(flags, 16) & 0x01)
 
 
 class Span:
@@ -118,17 +186,29 @@ class TraceRecorder:
     streams only completed trees.  The sink receives each **root** span
     as it closes, letting a long-lived session stream spans to a file
     instead of accumulating every forest in memory.
+
+    ``parent`` grafts this recorder's root spans under a :class:`Span`
+    owned by *another* recorder: each root is appended to
+    ``parent.children`` as it closes (while still landing in
+    :attr:`roots`, so per-recorder introspection keeps working).  The
+    serving layer uses this to hang an engine evaluation's span forest
+    under the request span that caused it, even though the engine runs
+    on a worker thread with its own per-ask recorder.  The append is a
+    single list mutation (atomic under the GIL) and the parent span is
+    still open when it happens, so the grafted tree renders connected.
     """
 
-    __slots__ = ("roots", "_stack", "histograms", "sink")
+    __slots__ = ("roots", "_stack", "histograms", "sink", "parent")
 
     enabled = True
 
-    def __init__(self, histograms=None, sink=None) -> None:
+    def __init__(self, histograms=None, sink=None,
+                 parent: Span | None = None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self.histograms = histograms
         self.sink = sink
+        self.parent = parent
 
     def span(self, name: str, **attrs) -> Span:
         """A new span; use as ``with recorder.span("stratum[0]") as sp:``."""
@@ -148,8 +228,11 @@ class TraceRecorder:
                 break
         if self.histograms is not None:
             self.histograms.observe_span(span.name, span.attrs, span.elapsed_s)
-        if self.sink is not None and not self._stack:
-            self.sink.write_span(span)
+        if not self._stack:
+            if self.parent is not None:
+                self.parent.children.append(span)
+            if self.sink is not None:
+                self.sink.write_span(span)
 
     # -- introspection ---------------------------------------------------
     def clear(self) -> None:

@@ -15,6 +15,9 @@ Pieces (docs/SERVING.md is the operator walkthrough):
   reads, serialized journaled writes, the Prometheus serving dashboard.
 * :mod:`repro.serving.http` -- a minimal HTTP/1.1 shim over the same
   dispatch (``POST /v1/ask``, ``GET /metrics``, ``GET /healthz``).
+* :mod:`repro.serving.requestlog` -- the per-request observability
+  trio: structured access log, lattice-redacted slow-query capture,
+  SLO burn-rate monitors (docs/OBSERVABILITY.md).
 * :mod:`repro.serving.client` -- the reference asyncio client.
 
 Start one from the CLI with ``multilog serve PROGRAM.mlog --port 7979``
@@ -27,6 +30,7 @@ or in-process::
 
 from repro.serving.client import ServingCallError, ServingClient
 from repro.serving.pool import SessionPool
+from repro.serving.requestlog import AccessLog, SlowLog, SLOTracker
 from repro.serving.protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -46,11 +50,14 @@ from repro.serving.server import (
 )
 
 __all__ = [
+    "AccessLog",
     "DEFAULT_SHED_BUDGET",
     "ERROR_CODES",
     "MAX_LINE_BYTES",
     "MultiLogServer",
     "OPS",
+    "SLOTracker",
+    "SlowLog",
     "PROTOCOL_VERSION",
     "ServerConfig",
     "ServingCallError",

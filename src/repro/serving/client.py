@@ -100,16 +100,23 @@ class ServingClient:
     # ------------------------------------------------------------------
     async def ask(self, query: str, engine: str | None = None,
                   clearance: str | None = None,
-                  timeout_s: float | None = None) -> list[dict]:
+                  timeout_s: float | None = None,
+                  traceparent: str | None = None) -> list[dict]:
         """The answers of one ask (degraded partial answers included --
         check :meth:`ask_full` for the ``complete`` flag)."""
         return (await self.ask_full(query, engine, clearance,
-                                    timeout_s))["answers"]
+                                    timeout_s, traceparent))["answers"]
 
     async def ask_full(self, query: str, engine: str | None = None,
                        clearance: str | None = None,
-                       timeout_s: float | None = None) -> dict:
-        """The full ask response (``answers``/``version``/``complete``)."""
+                       timeout_s: float | None = None,
+                       traceparent: str | None = None) -> dict:
+        """The full ask response (``answers``/``version``/``complete``).
+
+        ``traceparent`` joins the request to a client-side trace: mint
+        one with :func:`repro.obs.format_traceparent` and the server
+        parents its request span under it, echoing ``trace_id``.
+        """
         payload: dict = {"op": "ask", "query": query}
         if engine is not None:
             payload["engine"] = engine
@@ -117,16 +124,21 @@ class ServingClient:
             payload["clearance"] = clearance
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
+        if traceparent is not None:
+            payload["traceparent"] = traceparent
         return self._checked(await self.request(payload))
 
     async def assert_clause(self, clause: str, strict: bool = False,
                             clearance: str | None = None,
-                            timeout_s: float | None = None) -> dict:
+                            timeout_s: float | None = None,
+                            traceparent: str | None = None) -> dict:
         payload: dict = {"op": "assert", "clause": clause, "strict": strict}
         if clearance is not None:
             payload["clearance"] = clearance
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
+        if traceparent is not None:
+            payload["traceparent"] = traceparent
         return self._checked(await self.request(payload))
 
     async def ping(self) -> dict:
@@ -137,6 +149,17 @@ class ServingClient:
 
     async def audit(self) -> list[dict]:
         return self._checked(await self.request({"op": "audit"}))["events"]
+
+    async def slowlog(self, limit: int | None = None,
+                      clearance: str | None = None) -> dict:
+        """The server's slow-query captures, redacted at ``clearance``
+        (default: the connection's) -- ``{"enabled", "entries", ...}``."""
+        payload: dict = {"op": "slowlog"}
+        if limit is not None:
+            payload["limit"] = limit
+        if clearance is not None:
+            payload["clearance"] = clearance
+        return self._checked(await self.request(payload))
 
     # ------------------------------------------------------------------
     async def close(self) -> None:

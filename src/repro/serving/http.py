@@ -14,7 +14,15 @@ closes after the response.  No chunked encoding::
     POST /v1/assert   {"clause": "...", "strict": false, "clearance": "..."}
     GET  /metrics     Prometheus text exposition (the serving dashboard)
     GET  /v1/audit    the server-wide audit trail as JSON
-    GET  /healthz     {"ok": true, "status": "healthy|degraded|draining", ...}
+    GET  /v1/debug/slow?limit=N   captured slow/errored requests, redacted
+                      at the requesting clearance (docs/OBSERVABILITY.md)
+    GET  /healthz     {"ok": true, "status": "healthy|degraded|draining",
+                       "slo": {...burn rates...}, ...}
+
+A ``traceparent`` request header on ``/v1/ask`` and ``/v1/assert`` is
+forwarded into the protocol request, so HTTP callers join server-side
+traces exactly like framed-protocol callers; the response echoes the
+adopted ``trace_id``.
 
 Error codes map onto HTTP status: ``shed``/``quota`` -> 503/429 (with
 ``Retry-After``), ``deadline`` -> 504, ``cancelled`` -> 499,
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+from urllib.parse import unquote_plus
 
 from repro.errors import ProtocolError
 from repro.serving.protocol import decode_request
@@ -56,6 +65,7 @@ ROUTES = {
     ("POST", "/v1/assert"): "assert",
     ("GET", "/v1/audit"): "audit",
     ("GET", "/v1/hello"): "hello",
+    ("GET", "/v1/debug/slow"): "slowlog",
 }
 
 _MAX_HEADER_BYTES = 16 * 1024
@@ -154,7 +164,8 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
             # clients that pipeline or reuse the connection as told.
             close = (_wants_close(version, headers)
                      or _served == MAX_KEEPALIVE_REQUESTS - 1)
-            writer.write(await _route(server, method, path, body, close=close))
+            writer.write(await _route(server, method, path, body,
+                                      headers=headers, close=close))
             await writer.drain()
             if close:
                 return
@@ -171,13 +182,19 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
 
 
 async def _route(server, method: str, path: str, body: bytes,
+                 headers: dict[str, str] | None = None,
                  close: bool = False) -> bytes:
+    headers = headers if headers is not None else {}
+    path, _, query_string = path.partition("?")
     if (method, path) == ("GET", "/healthz"):
         health = server.health
         status = "200 OK" if health != "draining" else "503 Service Unavailable"
-        return _response_bytes(status, _json_body(
-            {"ok": health != "draining", "status": health,
-             "version": server.root.database.version}), close=close)
+        body_fields = {"ok": health != "draining", "status": health,
+                       "version": server.root.database.version}
+        if server.stats.slo is not None:
+            body_fields["slo"] = {"target": server.stats.slo.target,
+                                  "ops": server.stats.slo.detail()}
+        return _response_bytes(status, _json_body(body_fields), close=close)
     if (method, path) == ("GET", "/metrics"):
         return _response_bytes("200 OK", server.metrics_text().encode("utf-8"),
                                content_type="text/plain; version=0.0.4",
@@ -188,6 +205,20 @@ async def _route(server, method: str, path: str, body: bytes,
             {"ok": False, "code": "bad-request",
              "error": f"no route for {method} {path}"}), close=close)
     payload: dict = {"op": op}
+    if query_string:
+        for pair in query_string.split("&"):
+            if not pair:
+                continue
+            name, _, value = pair.partition("=")
+            name = unquote_plus(name)
+            value = unquote_plus(value)
+            # limit is the one integer query parameter; everything else
+            # (clearance, engine) rides through as a string.
+            payload[name] = int(value) if (name == "limit"
+                                           and value.isdigit()) else value
+    traceparent = headers.get("traceparent")
+    if traceparent is not None and op in ("ask", "assert"):
+        payload["traceparent"] = traceparent
     if body:
         try:
             fields = json.loads(body)

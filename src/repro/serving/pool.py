@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 from contextlib import asynccontextmanager
+from time import perf_counter
 
 from repro.errors import ServingError
 
@@ -29,7 +30,7 @@ class SessionPool:
     """Exclusive-checkout pool of sibling sessions over one database."""
 
     def __init__(self, root, max_per_clearance: int = 32,
-                 on_create=None):
+                 on_create=None, on_wait=None):
         if max_per_clearance < 1:
             raise ServingError("max_per_clearance must be >= 1")
         #: the session the pool was built from; never handed out itself,
@@ -39,6 +40,10 @@ class SessionPool:
         #: hook run on each freshly created sibling (the server wires the
         #: shared audit log and telemetry through it).
         self._on_create = on_create
+        #: ``on_wait(level, seconds)`` called after every checkout with
+        #: the time spent acquiring a session -- near-zero on a free
+        #: sibling, the queueing delay when the clearance cap was hit.
+        self._on_wait = on_wait
         self._free: dict[str, list] = {}
         self._busy: dict[str, int] = {}
         self._created: dict[str, int] = {}
@@ -67,6 +72,7 @@ class SessionPool:
         # Validate before taking the condition: an unknown level must not
         # leave a phantom slot accounted against the cap.
         self.root.lattice.check_level(level)
+        started = perf_counter()
         async with self._cond:
             while True:
                 free = self._free.get(level)
@@ -87,6 +93,8 @@ class SessionPool:
                     break
                 await self._cond.wait()
             self._busy[level] = self._busy.get(level, 0) + 1
+        if self._on_wait is not None:
+            self._on_wait(level, perf_counter() - started)
         return session
 
     async def checkin(self, session) -> None:

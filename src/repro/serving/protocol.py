@@ -27,11 +27,14 @@ hello     ``clearance?`` -- set the connection's default clearance;
           ``timeout_s?`` -- default deadline for this connection
 ping      liveness probe; echoes the server version counter + health
 ask       ``query`` (required), ``engine?`` (operational|reduction),
-          ``clearance?``, ``timeout_s?`` (per-request deadline)
+          ``clearance?``, ``timeout_s?`` (per-request deadline),
+          ``traceparent?`` (W3C trace context to join)
 assert    ``clause`` (required), ``strict?`` (Def 5.4 gate),
-          ``clearance?``, ``timeout_s?``
+          ``clearance?``, ``timeout_s?``, ``traceparent?``
 metrics   Prometheus text exposition of the serving dashboard
 audit     the server-wide MLS audit trail as structured events
+slowlog   ``limit?`` -- newest captured slow/errored requests, redacted
+          at the requesting clearance (docs/OBSERVABILITY.md)
 ========  ===========================================================
 
 Deadlines: ``timeout_s`` on ``hello`` pins a per-connection default;
@@ -40,6 +43,13 @@ request.  The deadline propagates into the evaluation budget, so an
 overrunning ask is aborted *inside* the engine and answered with code
 ``deadline``; a client that disconnects mid-ask gets its evaluation
 cancelled (``cancelled``) instead of burning a worker thread.
+
+Trace context: ``traceparent`` on ``ask``/``assert`` carries a W3C-style
+``00-<trace id>-<span id>-<flags>`` header value; the server adopts the
+trace id for its per-request root span and echoes it as ``trace_id`` in
+the response, so a client span tree and the server-side capture join up.
+A structurally invalid ``traceparent`` is a ``bad-request`` -- tracing
+headers are validated like any other field, not silently dropped.
 
 Responses
 ---------
@@ -64,12 +74,13 @@ from __future__ import annotations
 import json
 
 from repro.errors import ProtocolError
+from repro.obs.trace import parse_traceparent
 
 #: protocol identifier sent in every ``hello`` response.
 PROTOCOL_VERSION = "multilog-serving/1"
 
 #: request operations the server understands.
-OPS = ("hello", "ping", "ask", "assert", "metrics", "audit")
+OPS = ("hello", "ping", "ask", "assert", "metrics", "audit", "slowlog")
 
 #: stable machine-readable error codes.
 #:
@@ -175,6 +186,21 @@ def decode_request(line: bytes | str) -> dict:
                     or timeout <= 0):
                 raise ProtocolError(
                     "'timeout_s' must be a positive number of seconds")
+    if op in ("ask", "assert"):
+        traceparent = request.get("traceparent")
+        if traceparent is not None:
+            if not isinstance(traceparent, str):
+                raise ProtocolError("'traceparent' must be a string")
+            try:
+                parse_traceparent(traceparent)
+            except ValueError as exc:
+                raise ProtocolError(f"invalid traceparent: {exc}") from exc
+    if op == "slowlog":
+        limit = request.get("limit")
+        if limit is not None:
+            if (isinstance(limit, bool) or not isinstance(limit, int)
+                    or limit <= 0):
+                raise ProtocolError("'limit' must be a positive integer")
     if op == "ask":
         query = request.get("query")
         if not isinstance(query, str) or not query.strip():

@@ -1,0 +1,298 @@
+"""Per-request serving telemetry: access log, slow-query capture, SLOs.
+
+Three observers the :class:`~repro.serving.server.MultiLogServer` feeds
+once per request, from the single bookkeeping exit point of each data
+path (docs/OBSERVABILITY.md documents the operator view):
+
+* :class:`AccessLog` -- one structured JSONL line per request (trace id,
+  op, clearance, outcome code, the admission/pool/lock/engine breakdown,
+  shed/degraded/breaker flags), size-rotated on disk via
+  :class:`~repro.obs.export.RotatingJsonlWriter`.  Never contains query
+  text or answers: the access log is greppable operational metadata an
+  operator at *any* clearance may read.
+* :class:`SlowLog` -- tail-based capture: requests over a latency
+  threshold (or with error outcomes) keep their full span tree, query
+  text and an EXPLAIN sketch in a bounded ring buffer.  Entries are
+  classified at the clearance the request ran at; :meth:`SlowLog.view`
+  redacts everything content-bearing from entries above the viewer's
+  level, so a LOW operator sees that a HIGH query was slow (timing,
+  outcome, trace id) but never what it asked.  Every capture emits a
+  ``slow_capture`` audit event -- retained query text is itself a
+  cross-level access.
+* :class:`SLOTracker` -- per-op rolling good/bad windows (a fast and a
+  slow window, time-bucketed ring buffers) turned into burn-rate gauges:
+  ``burn rate = bad_fraction / (1 - target)``, so 1.0 means "exactly
+  spending the error budget" and a fast-window rate far above the slow
+  one means the bleeding started just now.  The clock is injectable for
+  tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.obs.export import RotatingJsonlWriter
+
+
+class AccessLog:
+    """Size-rotated JSONL request log (one structured line per request).
+
+    The writer is sync file I/O; the server calls :meth:`record` from
+    its request bookkeeping (a handful of microseconds per line, flushed
+    so ``tail -f`` works).  Schema: see docs/OBSERVABILITY.md.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 8 * 1024 * 1024,
+                 max_files: int = 3):
+        self._writer = RotatingJsonlWriter(path, max_bytes=max_bytes,
+                                           max_files=max_files)
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def lines_written(self) -> int:
+        return self._writer.lines_written
+
+    @property
+    def rotations(self) -> int:
+        return self._writer.rotations
+
+    @property
+    def closed(self) -> bool:
+        return self._writer.closed
+
+    def record(self, entry: dict) -> None:
+        self._writer.write_line(json.dumps(entry, separators=(",", ":"),
+                                           default=repr))
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+#: keys a redacted slow-log view keeps: operational metadata only --
+#: no query text, no rule labels, no span attributes, no answer counts.
+_REDACTED_KEEP = ("ts", "trace_id", "op", "level", "outcome", "elapsed_ms",
+                  "breakdown", "degraded")
+
+
+class SlowLog:
+    """Bounded ring of slow/errored request captures, lattice-redacted.
+
+    ``threshold_s`` is the latency past which an ok request is captured;
+    error outcomes are always captured (the "tail" in tail-based
+    sampling includes failures).  ``capacity`` bounds memory: the oldest
+    capture is dropped when a new one lands in a full ring.
+
+    Captures carry content -- the query text, the span tree (whose
+    attributes include rule labels and answer counts) and the EXPLAIN
+    sketch -- classified at the clearance the request ran at.
+    :meth:`view` applies the lattice: a viewer at level L gets full
+    entries for captures at levels <= L and metadata-only (``redacted:
+    true``) entries for the rest.  With no lattice attached, everything
+    is redacted -- fail closed.
+    """
+
+    def __init__(self, capacity: int = 64, threshold_s: float = 1.0,
+                 lattice=None, audit=None):
+        self.capacity = capacity
+        self.threshold_s = threshold_s
+        self._lattice = lattice
+        self._audit = audit
+        self._entries: deque[dict] = deque(maxlen=max(1, capacity))
+        self.captured_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def should_capture(self, elapsed_s: float, ok: bool) -> bool:
+        return (not ok) or elapsed_s >= self.threshold_s
+
+    def capture(self, *, trace_id: str | None, op: str, level: str,
+                outcome: str, elapsed_s: float, breakdown: dict,
+                query: str | None = None, engine: str | None = None,
+                explain: str | None = None,
+                spans: list[dict] | None = None,
+                degraded: bool = False) -> dict:
+        """Record one capture (caller already decided it qualifies)."""
+        entry: dict = {
+            "ts": round(time.time(), 3),
+            "trace_id": trace_id,
+            "op": op,
+            "level": level,
+            "outcome": outcome,
+            "elapsed_ms": round(elapsed_s * 1e3, 3),
+            "breakdown": dict(breakdown),
+            "degraded": degraded,
+            "query": query,
+            "engine": engine,
+            "explain": explain,
+            "spans": spans if spans is not None else [],
+        }
+        self._entries.append(entry)
+        self.captured_total += 1
+        if self._audit is not None:
+            # Retaining query text in an inspectable buffer is itself an
+            # access: leave a trail entry per capture, keyed by trace id
+            # so the dedup in AuditLog keeps distinct requests distinct.
+            self._audit.emit("slow_capture", subject=level,
+                             trace_id=str(trace_id), op=op, outcome=outcome)
+        return entry
+
+    def view(self, viewer_level: str | None = None) -> list[dict]:
+        """Captures newest-first, redacted for ``viewer_level``.
+
+        An entry classified at level C is shown in full only when the
+        lattice says ``C <= viewer_level``; otherwise every
+        content-bearing field (query, explain, spans, engine) is
+        stripped and the entry is marked ``redacted: true``.  ``None``
+        viewer (or no lattice) redacts everything.
+        """
+        out: list[dict] = []
+        for entry in reversed(self._entries):
+            if self._visible(entry["level"], viewer_level):
+                shown = dict(entry)
+                shown["breakdown"] = dict(entry["breakdown"])
+                shown["redacted"] = False
+            else:
+                shown = {key: (dict(entry[key]) if key == "breakdown"
+                               else entry[key])
+                         for key in _REDACTED_KEEP}
+                shown["redacted"] = True
+            out.append(shown)
+        return out
+
+    def _visible(self, entry_level: str, viewer_level: str | None) -> bool:
+        if viewer_level is None or self._lattice is None:
+            return False
+        try:
+            return bool(self._lattice.leq(entry_level, viewer_level))
+        except Exception:  # noqa: BLE001 -- unknown level: fail closed
+            return False
+
+
+class _Window:
+    """One rolling good/bad window as a time-bucketed ring."""
+
+    __slots__ = ("window_s", "bucket_s", "_good", "_bad", "_stamp", "_clock")
+
+    def __init__(self, window_s: float, buckets: int,
+                 clock: Callable[[], float]):
+        self.window_s = window_s
+        self.bucket_s = window_s / buckets
+        self._good = [0] * buckets
+        self._bad = [0] * buckets
+        #: bucket-epoch each slot was last written in; a stale slot is
+        #: zeroed before reuse, so old traffic ages out lazily.
+        self._stamp = [-1] * buckets
+        self._clock = clock
+
+    def _slot(self, now: float) -> int:
+        epoch = int(now / self.bucket_s)
+        index = epoch % len(self._good)
+        if self._stamp[index] != epoch:
+            self._stamp[index] = epoch
+            self._good[index] = 0
+            self._bad[index] = 0
+        return index
+
+    def record(self, good: bool) -> None:
+        index = self._slot(self._clock())
+        if good:
+            self._good[index] += 1
+        else:
+            self._bad[index] += 1
+
+    def totals(self) -> tuple[int, int]:
+        """``(good, bad)`` over the live window."""
+        now = self._clock()
+        epoch = int(now / self.bucket_s)
+        good = bad = 0
+        for index in range(len(self._good)):
+            age = epoch - self._stamp[index]
+            if 0 <= age < len(self._good):
+                good += self._good[index]
+                bad += self._bad[index]
+        return good, bad
+
+
+class SLOMonitor:
+    """Good/bad windows for one op, reduced to burn rates."""
+
+    def __init__(self, target: float, windows: dict[str, float],
+                 buckets: int, clock: Callable[[], float]):
+        self.target = target
+        self._windows = {name: _Window(seconds, buckets, clock)
+                         for name, seconds in windows.items()}
+
+    def record(self, good: bool) -> None:
+        for window in self._windows.values():
+            window.record(good)
+
+    def burn_rates(self) -> dict[str, float]:
+        budget = max(1e-9, 1.0 - self.target)
+        out: dict[str, float] = {}
+        for name, window in self._windows.items():
+            good, bad = window.totals()
+            total = good + bad
+            bad_fraction = (bad / total) if total else 0.0
+            out[name] = round(bad_fraction / budget, 4)
+        return out
+
+    def detail(self) -> dict[str, dict]:
+        """Per-window good/bad counts + burn rate (the /healthz shape)."""
+        rates = self.burn_rates()
+        out: dict[str, dict] = {}
+        for name, window in self._windows.items():
+            good, bad = window.totals()
+            out[name] = {"good": good, "bad": bad,
+                         "burn_rate": rates[name],
+                         "window_s": window.window_s}
+        return out
+
+
+class SLOTracker:
+    """Per-op SLO monitors over a shared target and window pair.
+
+    ``record(op, good)`` feeds both windows of the op's monitor
+    (creating it on first sight); ``burn_rates()`` is the Prometheus
+    gauge shape, ``detail()`` the /healthz shape.  A request is "good"
+    when it completed ok within the op's latency objective -- the
+    *server* decides that; the tracker only counts.
+    """
+
+    def __init__(self, target: float = 0.99, fast_window_s: float = 60.0,
+                 slow_window_s: float = 3600.0, buckets: int = 60,
+                 clock: Callable[[], float] = time.monotonic,
+                 ops: Iterable[str] = ("ask", "assert")):
+        self.target = target
+        self._windows = {"fast": fast_window_s, "slow": slow_window_s}
+        self._buckets = buckets
+        self._clock = clock
+        self._tracked = tuple(ops)
+        self._monitors: dict[str, SLOMonitor] = {}
+
+    def tracks(self, op: str) -> bool:
+        return op in self._tracked
+
+    def record(self, op: str, good: bool) -> None:
+        if op not in self._tracked:
+            return
+        monitor = self._monitors.get(op)
+        if monitor is None:
+            monitor = self._monitors[op] = SLOMonitor(
+                self.target, self._windows, self._buckets, self._clock)
+        monitor.record(good)
+
+    def burn_rates(self) -> dict[str, dict[str, float]]:
+        return {op: monitor.burn_rates()
+                for op, monitor in sorted(self._monitors.items())}
+
+    def detail(self) -> dict[str, dict]:
+        return {op: monitor.detail()
+                for op, monitor in sorted(self._monitors.items())}

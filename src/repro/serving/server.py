@@ -44,13 +44,16 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import dataclasses
 import functools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Callable
 
 from repro.errors import (
     BudgetExceededError,
@@ -65,18 +68,28 @@ from repro.multilog.ast import MultiLogDatabase
 from repro.multilog.session import MultiLogSession
 from repro.obs.audit import AuditLog
 from repro.obs.budget import EvaluationBudget
+from repro.obs.context import ObsContext
+from repro.obs.context import use as use_obs
 from repro.obs.histogram import HistogramSet
+from repro.obs.trace import (
+    Span,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from repro.resilience.checkpoint import CheckpointPolicy
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.pool import SessionPool
 from repro.serving.protocol import (
     MAX_LINE_BYTES,
+    OPS,
     PROTOCOL_VERSION,
     decode_request,
     encode_message,
     error_response,
     ok_response,
 )
+from repro.serving.requestlog import AccessLog, SlowLog, SLOTracker
 
 #: backoff hint (seconds) sent with transient rejections (shed/quota/
 #: draining) -- matches the HTTP shim's ``Retry-After: 1``.
@@ -135,6 +148,38 @@ class ServerConfig:
     checkpoint_poll_s: float = 0.25
     #: how long :meth:`MultiLogServer.drain` waits for inflight requests.
     drain_timeout_s: float = 10.0
+    #: request-scoped tracing: every ask/assert runs under a root span
+    #: (``request[op]``) carrying the client's ``traceparent`` ids, with
+    #: the engine's span tree grafted beneath it.  Off by default -- the
+    #: serving bench gates the overhead at <5% p95.
+    trace: bool = False
+    #: sink each request's root span streams to as it closes (a
+    #: :class:`~repro.obs.export.TelemetrySink`: ``JsonlSpanSink`` for
+    #: disk, ``ListSink`` for tests).  Only consulted when ``trace``.
+    trace_sink: object | None = None
+    #: structured JSONL access log path (one line per request; ``None``
+    #: disables).  Implies per-request breakdown accounting.
+    access_log: str | None = None
+    access_log_max_bytes: int = 8 * 1024 * 1024
+    access_log_max_files: int = 3
+    #: slow-query capture: ok requests slower than this (seconds) -- and
+    #: every errored request -- keep their span tree + EXPLAIN sketch in
+    #: a bounded ring.  ``None`` disables capture entirely.
+    slow_threshold_s: float | None = None
+    #: ring-buffer capacity of the slow log.
+    slow_capacity: int = 64
+    #: SLO target (good-request fraction) behind the per-op burn-rate
+    #: gauges; 0.99 = a 1% error budget.
+    slo_target: float = 0.99
+    #: the burn-rate window pair (seconds): fast shows "bleeding now",
+    #: slow shows "budget spent over the period".
+    slo_fast_window_s: float = 60.0
+    slo_slow_window_s: float = 3600.0
+    #: latency objective: an ok answer slower than this still counts
+    #: *bad* for the SLO (``None`` = outcome-only SLO).
+    slo_latency_s: float | None = None
+    #: injectable clock for the SLO windows (tests); ``None`` = monotonic.
+    slo_clock: Callable[[], float] | None = None
 
     def degrade_threshold(self) -> int:
         return max(1, int(self.max_inflight * self.degrade_at))
@@ -190,9 +235,28 @@ class ServingStats:
         self.connections = 0
         self.inflight_by_clearance: dict[str, int] = {}
         self.histograms = HistogramSet()
+        #: per-op SLO monitors (attached by the server when configured).
+        self.slo: SLOTracker | None = None
 
     def observe(self, op: str, seconds: float) -> None:
+        """Feed the per-op latency histogram.
+
+        ``op`` must be a protocol op or the ``invalid`` pseudo-op the
+        server files undecodable requests under -- anything else is
+        normalized to ``invalid`` so attacker-chosen op strings cannot
+        mint unbounded histogram families (label-cardinality hygiene).
+        """
+        if op not in OPS and op != "invalid":
+            op = "invalid"
         self.histograms.observe(f"serve[{op}]", seconds)
+
+    def observe_pool_wait(self, seconds: float) -> None:
+        """Session-pool checkout wait (blocked on the per-clearance cap)."""
+        self.histograms.observe("pool[wait]", seconds)
+
+    def observe_lock_wait(self, side: str, seconds: float) -> None:
+        """RW-lock acquisition wait (``side`` is ``read`` or ``write``)."""
+        self.histograms.observe(f"lock[{side}]", seconds)
 
     def snapshot(self) -> dict:
         out = {name: getattr(self, name) for name, _help in self.COUNTERS}
@@ -205,9 +269,24 @@ class ServingStats:
     def render_prometheus(self, namespace: str = "multilog_serving",
                           pool: SessionPool | None = None,
                           breakers: dict[str, CircuitBreaker] | None = None,
+                          write_queue_depth: int | None = None,
                           ) -> str:
         """Prometheus text exposition of the serving dashboard."""
         from repro.obs.export import _fmt_bound, _labels
+
+        def histogram_block(full: str, help_text: str,
+                            rows: list[tuple[dict, object]]) -> None:
+            lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} histogram")
+            for label_args, hist in rows:
+                cumulative = 0
+                for bound, count in zip(hist.bounds, hist.counts):
+                    cumulative += count
+                    lines.append(f"{full}_bucket{_labels(**dict(label_args, le=_fmt_bound(bound)))} "
+                                 f"{cumulative}")
+                lines.append(f"{full}_bucket{_labels(**dict(label_args, le='+Inf'))} {hist.count}")
+                lines.append(f"{full}_sum{_labels(**label_args)} {hist.sum:.6f}")
+                lines.append(f"{full}_count{_labels(**label_args)} {hist.count}")
 
         lines: list[str] = []
         for name, help_text in self.COUNTERS:
@@ -251,21 +330,52 @@ class ServingStats:
                 for state in ("busy", "free"):
                     labels = _labels(clearance=level, state=state)
                     lines.append(f"{full}{labels} {counts[state]}")
+        if write_queue_depth is not None:
+            full = f"{namespace}_write_queue_depth"
+            lines.append(f"# HELP {full} Writers waiting on the RW lock.")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {write_queue_depth}")
         if self.histograms.histograms:
-            full = f"{namespace}_request_seconds"
-            lines.append(f"# HELP {full} Request latency per operation.")
-            lines.append(f"# TYPE {full} histogram")
+            serve_rows: list[tuple[dict, object]] = []
+            pool_rows: list[tuple[dict, object]] = []
+            lock_rows: list[tuple[dict, object]] = []
             for family in self.histograms.families():
                 hist = self.histograms.histograms[family]
-                op = family[len("serve["):-1] if family.startswith("serve[") else family
-                cumulative = 0
-                for bound, count in zip(hist.bounds, hist.counts):
-                    cumulative += count
-                    labels = _labels(op=op, le=_fmt_bound(bound))
-                    lines.append(f"{full}_bucket{labels} {cumulative}")
-                lines.append(f"{full}_bucket{_labels(op=op, le='+Inf')} {hist.count}")
-                lines.append(f"{full}_sum{_labels(op=op)} {hist.sum:.6f}")
-                lines.append(f"{full}_count{_labels(op=op)} {hist.count}")
+                if family.startswith("serve["):
+                    serve_rows.append(({"op": family[len("serve["):-1]}, hist))
+                elif family == "pool[wait]":
+                    pool_rows.append(({}, hist))
+                elif family.startswith("lock["):
+                    lock_rows.append(({"side": family[len("lock["):-1]}, hist))
+                else:  # pragma: no cover - no other families are fed
+                    serve_rows.append(({"op": family}, hist))
+            if serve_rows:
+                histogram_block(f"{namespace}_request_seconds",
+                                "Request latency per operation.", serve_rows)
+            if pool_rows:
+                histogram_block(f"{namespace}_pool_wait_seconds",
+                                "Session-pool checkout wait.", pool_rows)
+            if lock_rows:
+                histogram_block(f"{namespace}_lock_wait_seconds",
+                                "RW-lock acquisition wait per side.",
+                                lock_rows)
+        if self.slo is not None:
+            rates = self.slo.burn_rates()
+            full = f"{namespace}_slo_target"
+            lines.append(f"# HELP {full} Good-request fraction the SLO "
+                         "monitors aim for.")
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {self.slo.target}")
+            if rates:
+                full = f"{namespace}_slo_burn_rate"
+                lines.append(f"# HELP {full} Error-budget burn rate per op "
+                             "and window (1.0 = spending the budget "
+                             "exactly).")
+                lines.append(f"# TYPE {full} gauge")
+                for op, windows in rates.items():
+                    for window, rate in sorted(windows.items()):
+                        lines.append(
+                            f"{full}{_labels(op=op, window=window)} {rate}")
         return "\n".join(lines) + "\n"
 
 
@@ -282,6 +392,11 @@ class _ReadWriteLock:
         self._writer = False
         self._waiting_writers = 0
         self._cond = asyncio.Condition()
+
+    @property
+    def waiting_writers(self) -> int:
+        """Writers parked behind readers right now (queue-depth gauge)."""
+        return self._waiting_writers
 
     @asynccontextmanager
     async def read(self):
@@ -327,6 +442,74 @@ class _Connection:
     timeout_s: float | None = None
 
 
+class _RequestScope:
+    """Per-request observability state: trace ids, root span, breakdown.
+
+    Built by :meth:`MultiLogServer._begin_scope` when tracing, the
+    access log or the slow log is enabled -- ``None`` otherwise, so the
+    bare serving hot path allocates nothing per request.  The breakdown
+    dict accrues the resource waits (``admission_s``, ``lock_wait_s``,
+    ``pool_wait_s``, ``engine_s``) the data paths measure around their
+    awaits; :meth:`MultiLogServer._finish_scope` folds everything into
+    the root span, the access log and (when it qualifies) the slow log.
+    """
+
+    __slots__ = ("op", "level", "started", "trace_id", "span_id",
+                 "parent_span_id", "root", "breakdown",
+                 "query", "engine", "run_stats")
+
+    def __init__(self, op: str, level: str) -> None:
+        self.op = op
+        self.level = level
+        self.started = perf_counter()
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_span_id: str | None = None
+        self.root: Span | None = None
+        self.breakdown: dict[str, float] = {}
+        self.query: str | None = None
+        self.engine: str | None = None
+        self.run_stats: dict | None = None
+
+    def mark(self, key: str, since: float) -> None:
+        self.breakdown[key] = perf_counter() - since
+
+
+def _ask_run_stats(session, before, want_explain: bool) -> dict | None:
+    """Per-request engine deltas + EXPLAIN sketch for the slow log.
+
+    ``before`` is the session's cumulative EngineMetrics snapshot taken
+    just before the ask (``None`` on a fresh session); each ask publishes
+    a *fresh* snapshot object, so ``before`` is stable and the delta
+    against the post-ask snapshot isolates this request's rows/probes/
+    firings.  The firings scan and the EXPLAIN sketch (top five rules by
+    firing count -- enough to see which join went quadratic without
+    retaining the whole derivation) are only consumed by the slow log,
+    so ``want_explain=False`` keeps the traced hot path down to four
+    integer reads.
+    """
+    after = session.last_stats()
+    if after is None:
+        return None
+    rows0 = before.total_rows_derived if before is not None else 0
+    probes0 = ((before.join_probes + before.batch_probes)
+               if before is not None else 0)
+    rows = after.total_rows_derived - rows0
+    probes = (after.join_probes + after.batch_probes) - probes0
+    if not want_explain:
+        return {"rows": rows, "probes": probes}
+    firings0 = before.rule_firings if before is not None else {}
+    fired = sorted(
+        ((count - firings0.get(label, 0), label)
+         for label, count in after.rule_firings.items()
+         if count - firings0.get(label, 0) > 0),
+        reverse=True)
+    lines = [f"{count}x {label if len(label) <= 96 else label[:93] + '...'}"
+             for count, label in fired[:5]]
+    lines.append(f"rows={rows} probes={probes}")
+    return {"rows": rows, "probes": probes, "explain": "\n".join(lines)}
+
+
 class MultiLogServer:
     """Serve one shared MultiLog database to many concurrent clients."""
 
@@ -348,10 +531,33 @@ class MultiLogServer:
         if self.config.audit:
             self.audit = self.root.enable_audit()
         self.stats = ServingStats()
+        self.stats.slo = SLOTracker(
+            target=self.config.slo_target,
+            fast_window_s=self.config.slo_fast_window_s,
+            slow_window_s=self.config.slo_slow_window_s,
+            clock=(self.config.slo_clock
+                   if self.config.slo_clock is not None else time.monotonic))
+        self.access_log: AccessLog | None = None
+        if self.config.access_log is not None:
+            self.access_log = AccessLog(
+                self.config.access_log,
+                max_bytes=self.config.access_log_max_bytes,
+                max_files=self.config.access_log_max_files)
+        self.slow_log: SlowLog | None = None
+        if self.config.slow_threshold_s is not None:
+            self.slow_log = SlowLog(
+                capacity=self.config.slow_capacity,
+                threshold_s=self.config.slow_threshold_s,
+                lattice=self.root.lattice, audit=self.audit)
+        #: request scopes exist when any per-request surface is on; the
+        #: plain hot path (no tracing, no logs) allocates none of it.
+        self._scoped = (self.config.trace or self.access_log is not None
+                        or self.slow_log is not None)
         self.pool = SessionPool(
             self.root,
             max_per_clearance=self.config.max_sessions_per_clearance,
-            on_create=self._setup_session)
+            on_create=self._setup_session,
+            on_wait=self._observe_pool_wait)
         self._rw = _ReadWriteLock()
         self._threads = ThreadPoolExecutor(
             max_workers=self.config.workers,
@@ -378,6 +584,10 @@ class MultiLogServer:
         """Wire a fresh pooled sibling into the server-wide observability."""
         if self.audit is not None:
             session.enable_audit(self.audit)
+
+    def _observe_pool_wait(self, level: str, seconds: float) -> None:
+        """Pool ``on_wait`` hook: checkout wait into the stats histogram."""
+        self.stats.observe_pool_wait(seconds)
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> tuple[str, int]:
@@ -454,6 +664,8 @@ class MultiLogServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._threads.shutdown(wait=False, cancel_futures=True)
+        if self.access_log is not None:
+            self.access_log.close()
 
     async def drain(self, timeout_s: float | None = None) -> bool:
         """Graceful shutdown: stop admitting, drain inflight, checkpoint.
@@ -661,10 +873,15 @@ class MultiLogServer:
     async def handle_line(self, line: bytes, conn: _Connection | None = None,
                           cancel: threading.Event | None = None) -> dict:
         """Decode one framed request line and dispatch it."""
+        started = perf_counter()
         try:
             request = decode_request(line)
         except ProtocolError as exc:
             self.stats.errors_total += 1
+            # Undecodable requests must not be invisible in latency data:
+            # they are filed under the ``invalid`` pseudo-op (a real op
+            # label would let attackers mint histogram families).
+            self.stats.observe("invalid", perf_counter() - started)
             return error_response(None, exc.code, str(exc))
         return await self.dispatch(request, conn, cancel)
 
@@ -681,7 +898,13 @@ class MultiLogServer:
 
     async def dispatch(self, request: dict, conn: _Connection | None = None,
                        cancel: threading.Event | None = None) -> dict:
-        """Serve one validated request (shared by framed and HTTP paths)."""
+        """Serve one validated request (shared by framed and HTTP paths).
+
+        Every path through here -- success, shed, quota, breaker,
+        deadline, client error -- feeds the per-op latency histogram
+        (the ``finally``) and, for the data ops, the SLO windows: error
+        responses must not be invisible in latency or burn-rate data.
+        """
         op = request["op"]
         request_id = request.get("id")
         if conn is not None:
@@ -690,45 +913,184 @@ class MultiLogServer:
         if clearance is None and conn is not None:
             clearance = conn.clearance
         started = perf_counter()
+        response: dict | None = None
         try:
-            if op == "hello":
-                if request.get("clearance") is not None and conn is not None:
-                    try:
-                        self.root.lattice.check_level(request["clearance"])
-                    except LatticeError as exc:
-                        self.stats.errors_total += 1
-                        return error_response(request_id, "bad-clearance", str(exc))
-                    conn.clearance = request["clearance"]
-                if request.get("timeout_s") is not None and conn is not None:
-                    conn.timeout_s = float(request["timeout_s"])
-                return ok_response(
-                    request_id, server=PROTOCOL_VERSION,
-                    clearance=str(clearance or self.root.clearance),
-                    backend=self.root.backend,
-                    version=self.root.database.version,
-                    status=self.health,
-                    levels=sorted(str(level) for level
-                                  in self.root.lattice.levels))
-            if op == "ping":
-                return ok_response(request_id,
-                                   version=self.root.database.version,
-                                   status=self.health)
-            if op == "metrics":
-                return ok_response(request_id, text=self.metrics_text())
-            if op == "audit":
-                events = self.audit.to_dicts() if self.audit is not None else []
-                return ok_response(request_id, events=events,
-                                   enabled=self.audit is not None)
-            if op == "ask":
-                return await self._serve_ask(request, request_id, clearance,
-                                             conn, cancel)
-            if op == "assert":
-                return await self._serve_assert(request, request_id,
-                                                clearance, conn)
-            self.stats.errors_total += 1
-            return error_response(request_id, "unknown-op", f"unknown op {op!r}")
+            response = await self._dispatch_op(op, request, request_id,
+                                               clearance, conn, cancel)
+            return response
         finally:
-            self.stats.observe(op, perf_counter() - started)
+            elapsed = perf_counter() - started
+            self.stats.observe(op, elapsed)
+            slo = self.stats.slo
+            if slo is not None and slo.tracks(op):
+                ok = bool(response and response.get("ok"))
+                objective = self.config.slo_latency_s
+                slo.record(op, ok and (objective is None
+                                       or elapsed <= objective))
+
+    async def _dispatch_op(self, op: str, request: dict, request_id,
+                           clearance, conn: _Connection | None,
+                           cancel: threading.Event | None) -> dict:
+        if op == "hello":
+            if request.get("clearance") is not None and conn is not None:
+                try:
+                    self.root.lattice.check_level(request["clearance"])
+                except LatticeError as exc:
+                    self.stats.errors_total += 1
+                    return error_response(request_id, "bad-clearance", str(exc))
+                conn.clearance = request["clearance"]
+            if request.get("timeout_s") is not None and conn is not None:
+                conn.timeout_s = float(request["timeout_s"])
+            return ok_response(
+                request_id, server=PROTOCOL_VERSION,
+                clearance=str(clearance or self.root.clearance),
+                backend=self.root.backend,
+                version=self.root.database.version,
+                status=self.health,
+                levels=sorted(str(level) for level
+                              in self.root.lattice.levels))
+        if op == "ping":
+            return ok_response(request_id,
+                               version=self.root.database.version,
+                               status=self.health)
+        if op == "metrics":
+            return ok_response(request_id, text=self.metrics_text())
+        if op == "audit":
+            events = self.audit.to_dicts() if self.audit is not None else []
+            return ok_response(request_id, events=events,
+                               enabled=self.audit is not None)
+        if op == "slowlog":
+            return self._serve_slowlog(request, request_id, clearance)
+        if op == "ask":
+            return await self._serve_ask(request, request_id, clearance,
+                                         conn, cancel)
+        if op == "assert":
+            return await self._serve_assert(request, request_id,
+                                            clearance, conn)
+        self.stats.errors_total += 1
+        return error_response(request_id, "unknown-op", f"unknown op {op!r}")
+
+    def _serve_slowlog(self, request: dict, request_id, clearance) -> dict:
+        """The slow-query ring, redacted at the requester's clearance."""
+        if self.slow_log is None:
+            return ok_response(request_id, enabled=False, entries=[],
+                               captured_total=0)
+        entries = self.slow_log.view(self._level_of(clearance))
+        limit = request.get("limit")
+        if isinstance(limit, int) and limit > 0:
+            entries = entries[:limit]
+        return ok_response(request_id, enabled=True, entries=entries,
+                           threshold_s=self.slow_log.threshold_s,
+                           captured_total=self.slow_log.captured_total)
+
+    # -- request scopes (tracing / access log / slow log) ---------------
+    def _begin_scope(self, op: str, request: dict,
+                     level: str) -> _RequestScope | None:
+        """Open the per-request observability scope (or ``None`` when off).
+
+        The trace id comes from the client's ``traceparent`` when one
+        rode the request (protocol field or HTTP header, already
+        validated by the protocol layer) and is minted fresh otherwise;
+        either way every request on a connection gets its own ids.  With
+        ``config.trace`` the scope also opens the ``request[op]`` root
+        span that the engine's span tree will graft under.
+        """
+        if not self._scoped:
+            return None
+        scope = _RequestScope(op, level)
+        traceparent = request.get("traceparent")
+        if isinstance(traceparent, str):
+            try:
+                scope.trace_id, scope.parent_span_id, _ = parse_traceparent(
+                    traceparent)
+            except ValueError:
+                scope.trace_id = new_trace_id()
+        else:
+            scope.trace_id = new_trace_id()
+        scope.span_id = new_span_id()
+        if self.config.trace:
+            # The root span is managed by hand (no per-request recorder):
+            # nothing ever nests through a recorder stack here -- the
+            # engine's span tree grafts in via ``parent.children`` from
+            # the worker thread -- so a recorder would only add two
+            # allocations and a push/pop to the hot path.
+            attrs = {"op": op, "clearance": level,
+                     "trace_id": scope.trace_id, "span_id": scope.span_id}
+            if scope.parent_span_id is not None:
+                attrs["parent_span_id"] = scope.parent_span_id
+            root = Span(None, f"request[{op}]", attrs)
+            root.started = perf_counter()
+            scope.root = root
+        return scope
+
+    def _finish_scope(self, scope: _RequestScope | None,
+                      response: dict) -> None:
+        """Close the request scope: root span, access log, slow log.
+
+        One exit point for every outcome of a data path -- ok, shed,
+        quota, breaker, deadline, cancelled, internal -- so no error
+        path can dodge the access log the way unobserved returns once
+        dodged the latency histogram.
+        """
+        if scope is None:
+            return
+        elapsed = perf_counter() - scope.started
+        ok = bool(response.get("ok"))
+        outcome = "ok" if ok else str(response.get("code", "internal"))
+        degraded = bool(response.get("degraded"))
+        breakdown = {key: round(value, 6)
+                     for key, value in scope.breakdown.items()}
+        root = scope.root
+        if root is not None:
+            root.elapsed_s = elapsed - (root.started - scope.started)
+            attrs = root.attrs
+            attrs["outcome"] = outcome
+            attrs.update(breakdown)
+            if degraded:
+                attrs["degraded"] = True
+            if scope.run_stats is not None:
+                attrs["rows"] = scope.run_stats["rows"]
+                attrs["probes"] = scope.run_stats["probes"]
+            answers = response.get("answers")
+            if isinstance(answers, list):
+                attrs["answers"] = len(answers)
+            if outcome in ("cancelled", "deadline"):
+                # The evaluation was aborted mid-flight; the exception
+                # was already caught (it became the response), so stamp
+                # the abort on the root explicitly.
+                attrs["aborted"] = True
+            sink = self.config.trace_sink
+            if sink is not None:
+                sink.write_span(root)
+        if scope.trace_id is not None:
+            response.setdefault("trace_id", scope.trace_id)
+        if self.access_log is not None:
+            answers = response.get("answers")
+            self.access_log.record({
+                "ts": round(time.time(), 3),
+                "trace_id": scope.trace_id,
+                "op": scope.op,
+                "clearance": scope.level,
+                "outcome": outcome,
+                "elapsed_s": round(elapsed, 6),
+                "breakdown": breakdown,
+                "degraded": degraded,
+                "shed": outcome in ("shed", "quota"),
+                "breaker": outcome == "breaker-open",
+                "engine": scope.engine,
+                "version": response.get("version"),
+                "answers": len(answers) if isinstance(answers, list) else None,
+            })
+        if (self.slow_log is not None
+                and self.slow_log.should_capture(elapsed, ok)):
+            spans = [scope.root.to_dict()] if scope.root is not None else []
+            run_stats = scope.run_stats or {}
+            self.slow_log.capture(
+                trace_id=scope.trace_id, op=scope.op, level=scope.level,
+                outcome=outcome, elapsed_s=elapsed, breakdown=breakdown,
+                query=scope.query, engine=scope.engine,
+                explain=run_stats.get("explain"), spans=spans,
+                degraded=degraded)
 
     # -- the two data paths --------------------------------------------
     def _level_of(self, clearance) -> str:
@@ -798,6 +1160,17 @@ class MultiLogServer:
     async def _serve_ask(self, request: dict, request_id, clearance,
                          conn: _Connection | None = None,
                          cancel: threading.Event | None = None) -> dict:
+        level = self._level_of(clearance)
+        scope = self._begin_scope("ask", request, level)
+        response = await self._ask_path(request, request_id, clearance,
+                                        level, conn, cancel, scope)
+        self._finish_scope(scope, response)
+        return response
+
+    async def _ask_path(self, request: dict, request_id, clearance,
+                        level: str, conn: _Connection | None,
+                        cancel: threading.Event | None,
+                        scope: _RequestScope | None) -> dict:
         breaker = self._breakers["ask"]
         if not breaker.allow():
             self.stats.breaker_rejected_total += 1
@@ -812,7 +1185,6 @@ class MultiLogServer:
         # denial, client errors, deadlines) so the slot cannot leak and
         # wedge the breaker half-open forever.
         probe = breaker.probing
-        level = self._level_of(clearance)
         denied = self._admit(level)
         if denied is not None:
             if probe:
@@ -821,20 +1193,43 @@ class MultiLogServer:
                                   denied["message"],
                                   retry_after=denied["retry_after"])
         engine = request.get("engine") or self.config.engine
+        if scope is not None:
+            scope.mark("admission_s", scope.started)
+            scope.query = request["query"]
+            scope.engine = engine
         timeout_s = self._request_timeout(request, conn)
         degrade = self.stats.inflight >= self.config.degrade_threshold()
         loop = asyncio.get_running_loop()
         try:
+            lock_started = perf_counter()
             async with self._rw.read():
+                self.stats.observe_lock_wait(
+                    "read", perf_counter() - lock_started)
+                if scope is not None:
+                    scope.mark("lock_wait_s", lock_started)
                 # Writers are excluded while we hold the read side, so the
                 # version is the snapshot every answer is computed at.
                 version = self.root.database.version
+                pool_started = perf_counter()
                 async with self.pool.lease(clearance) as session:
+                    if scope is not None:
+                        scope.mark("pool_wait_s", pool_started)
+                    run = functools.partial(self._run_ask, session,
+                                            request["query"], engine, degrade,
+                                            timeout_s, cancel, scope)
+                    if scope is not None and scope.root is not None:
+                        # run_in_executor does NOT copy contextvars: copy
+                        # the context holding the request's parent span
+                        # here, so the session's per-ask recorder grafts
+                        # its engine spans under our root.
+                        with use_obs(ObsContext(parent_span=scope.root)):
+                            run_ctx = contextvars.copy_context()
+                        run = functools.partial(run_ctx.run, run)
+                    engine_started = perf_counter()
                     answers, degraded = await loop.run_in_executor(
-                        self._threads,
-                        functools.partial(self._run_ask, session,
-                                          request["query"], engine, degrade,
-                                          timeout_s, cancel))
+                        self._threads, run)
+                    if scope is not None:
+                        scope.mark("engine_s", engine_started)
             self.stats.asks_total += 1
             self.stats.completed_total += 1
             breaker.record_success()
@@ -885,7 +1280,8 @@ class MultiLogServer:
                 breaker.release_probe()
 
     def _run_ask(self, session, query: str, engine: str, degrade: bool,
-                 timeout_s: float | None, cancel: threading.Event | None):
+                 timeout_s: float | None, cancel: threading.Event | None,
+                 scope: _RequestScope | None = None):
         """One ask on a worker thread, under the request's budget.
 
         Returns ``(answers, degraded)``: ``degraded`` is ``None`` for a
@@ -893,6 +1289,13 @@ class MultiLogServer:
         served under overload.  The session's budget is swapped for the
         combined request budget (deadline + disconnect probe) for the
         duration -- the pool's exclusive checkout makes that safe.
+
+        With a ``scope``, per-request engine deltas (rows, probes, top
+        rule firings) are computed from the session's cumulative
+        EngineMetrics snapshots and stashed on the scope for the slow
+        log's EXPLAIN sketch.  Writing to the scope from this worker
+        thread is safe: the serving coroutine is parked on the executor
+        future until we return.
         """
         from repro.resilience import PartialResult, ResilientExecutor
 
@@ -900,19 +1303,37 @@ class MultiLogServer:
         base = self._shed_budget if degrade else saved
         budget = self._combine_budget(base, timeout_s, cancel)
         session.budget = budget
+        before = session.last_stats() if scope is not None else None
         try:
             if degrade:
                 executor = ResilientExecutor(allow_partial=True, budget=budget)
                 result = executor.ask(session, query, engine=engine)
                 if isinstance(result, PartialResult):
-                    return result.answers or [], f"{result.rung}:{result.reason}"
-                return result, None
-            return session.ask(query, engine=engine), None
+                    answers, degraded = (result.answers or [],
+                                         f"{result.rung}:{result.reason}")
+                else:
+                    answers, degraded = result, None
+            else:
+                answers, degraded = session.ask(query, engine=engine), None
+            if scope is not None:
+                scope.run_stats = _ask_run_stats(
+                    session, before, want_explain=self.slow_log is not None)
+            return answers, degraded
         finally:
             session.budget = saved
 
     async def _serve_assert(self, request: dict, request_id, clearance,
                             conn: _Connection | None = None) -> dict:
+        level = self._level_of(clearance)
+        scope = self._begin_scope("assert", request, level)
+        response = await self._assert_path(request, request_id, clearance,
+                                           level, conn, scope)
+        self._finish_scope(scope, response)
+        return response
+
+    async def _assert_path(self, request: dict, request_id, clearance,
+                           level: str, conn: _Connection | None,
+                           scope: _RequestScope | None) -> dict:
         breaker = self._breakers["assert"]
         if not breaker.allow():
             self.stats.breaker_rejected_total += 1
@@ -924,7 +1345,6 @@ class MultiLogServer:
         # Same probe contract as _serve_ask: a claimed half-open probe
         # is resolved on every path -- verdict-less exits release it.
         probe = breaker.probing
-        level = self._level_of(clearance)
         denied = self._admit(level)
         if denied is not None:
             if probe:
@@ -932,11 +1352,18 @@ class MultiLogServer:
             return error_response(request_id, denied["code"],
                                   denied["message"],
                                   retry_after=denied["retry_after"])
+        if scope is not None:
+            scope.mark("admission_s", scope.started)
+            scope.query = request["clause"]
         timeout_s = self._request_timeout(request, conn)
         started = perf_counter()
         loop = asyncio.get_running_loop()
         try:
             async with self._rw.write():
+                self.stats.observe_lock_wait(
+                    "write", perf_counter() - started)
+                if scope is not None:
+                    scope.mark("lock_wait_s", started)
                 # The write side drained every reader: no ask is mid-flight
                 # over the database while the clause lands, and the version
                 # bump below is the next snapshot readers will see.
@@ -954,12 +1381,18 @@ class MultiLogServer:
                         request_id, "deadline",
                         f"deadline of {timeout_s}s passed while waiting "
                         "for the write lock; clause not applied")
+                pool_started = perf_counter()
                 async with self.pool.lease(clearance) as session:
+                    if scope is not None:
+                        scope.mark("pool_wait_s", pool_started)
+                    engine_started = perf_counter()
                     await loop.run_in_executor(
                         self._threads,
                         functools.partial(session.assert_clause,
                                           request["clause"],
                                           strict=bool(request.get("strict"))))
+                    if scope is not None:
+                        scope.mark("engine_s", engine_started)
                 version = self.root.database.version
             self.stats.asserts_total += 1
             self.stats.completed_total += 1
@@ -998,8 +1431,9 @@ class MultiLogServer:
     # -- dashboard -----------------------------------------------------
     def metrics_text(self) -> str:
         """The serving dashboard in Prometheus text exposition format."""
-        return self.stats.render_prometheus(pool=self.pool,
-                                            breakers=self._breakers)
+        return self.stats.render_prometheus(
+            pool=self.pool, breakers=self._breakers,
+            write_queue_depth=self._rw.waiting_writers)
 
 
 async def serve(source, config: ServerConfig | None = None,

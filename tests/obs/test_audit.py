@@ -74,7 +74,7 @@ class TestAuditLog:
     def test_kinds_are_closed(self):
         assert set(AUDIT_KINDS) == {
             "cross_level_read", "override", "filter_suppression",
-            "surprise_story", "assert", "recover"}
+            "surprise_story", "assert", "recover", "slow_capture"}
 
 
 class TestSessionAudit:

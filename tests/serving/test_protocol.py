@@ -86,4 +86,5 @@ def test_decode_request_oversized_line():
 
 
 def test_every_op_documented():
-    assert set(OPS) == {"hello", "ping", "ask", "assert", "metrics", "audit"}
+    assert set(OPS) == {"hello", "ping", "ask", "assert", "metrics", "audit",
+                        "slowlog"}
